@@ -1,0 +1,104 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not part of the paper's evaluation — these quantify the levers behind the
+reproduction:
+
+* ``guard_stretch`` on/off — how much of time-cost's win comes from the
+  §III-A finish-time estimation versus the pure work-ratio rule;
+* ``candidates="rich"`` — how far redistribution-aware *set selection*
+  alone (no allocation adaptation) closes the gap to RATS;
+* allocator family — CPA vs HCPA vs MCPA under the same mapping step.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import NAIVE_TIMECOST, RATSParams
+from repro.experiments.metrics import relative_series, series_stats
+from repro.experiments.runner import baseline_spec, rats_spec
+from repro.experiments.scenarios import subsample
+from repro.platforms.grid5000 import GRILLON
+
+from conftest import emit, run_once
+
+
+def test_guard_stretch_ablation(benchmark, runner, scenario_suite):
+    scen = subsample(scenario_suite, 0.5) if len(scenario_suite) > 20 \
+        else scenario_suite
+    specs = [
+        baseline_spec("hcpa", label="HCPA"),
+        rats_spec(NAIVE_TIMECOST, label="tc-guarded"),
+        rats_spec(RATSParams("timecost", guard_stretch=False),
+                  label="tc-unguarded"),
+    ]
+
+    def campaign():
+        return runner.run_matrix(scen, [GRILLON], specs)
+
+    results = run_once(benchmark, campaign)
+    lines = ["Ablation: time-cost stretch finish-guard (grillon)"]
+    for label in ("tc-guarded", "tc-unguarded"):
+        stats = series_stats(
+            relative_series(results, label, "HCPA", "makespan"))
+        lines.append(f"  {label:<14} mean ratio {stats.mean:.3f}, "
+                     f"wins {stats.frac_better * 100:.0f}%")
+    emit("ablation_guard", "\n".join(lines))
+
+
+def test_rich_mapping_ablation(benchmark, runner, scenario_suite):
+    """Redistribution-aware set reuse without allocation adaptation."""
+    from repro.core.rats import RATSScheduler  # noqa: F401 (doc pointer)
+    from repro.experiments.runner import AlgorithmSpec, ExperimentRunner
+    from repro.scheduling.mapping import ListScheduler
+    from repro.simulation.simulator import simulate
+
+    scen = subsample(scenario_suite, 0.5) if len(scenario_suite) > 20 \
+        else scenario_suite
+
+    def campaign():
+        rows = []
+        for sc in scen:
+            graph = runner.graph_for(sc)
+            model = GRILLON.performance_model()
+            alloc = runner.allocation_for(sc, GRILLON, "hcpa")
+            redist = runner.redist_for(GRILLON)
+            for label, policy in (("earliest", "earliest"), ("rich", "rich")):
+                schedule = ListScheduler(graph, GRILLON, model, alloc,
+                                         redist=redist,
+                                         candidates=policy).run()
+                rows.append((sc.scenario_id, label,
+                             simulate(schedule).makespan))
+        return rows
+
+    rows = run_once(benchmark, campaign)
+    by_id: dict[str, dict[str, float]] = {}
+    for sid, label, ms in rows:
+        by_id.setdefault(sid, {})[label] = ms
+    ratios = sorted(v["rich"] / v["earliest"] for v in by_id.values())
+    mean = sum(ratios) / len(ratios)
+    emit("ablation_rich_mapping",
+         "Ablation: rich (redistribution-aware) candidate sets vs earliest-"
+         f"available mapping, same HCPA allocation (grillon)\n"
+         f"  mean makespan ratio rich/earliest = {mean:.3f} over "
+         f"{len(ratios)} scenarios\n"
+         f"  (RATS additionally adapts allocation sizes; this isolates "
+         f"pure set reuse)")
+    assert mean < 1.2
+
+
+def test_allocator_ablation(benchmark, runner, scenario_suite):
+    scen = subsample(scenario_suite, 0.4) if len(scenario_suite) > 20 \
+        else scenario_suite
+    specs = [baseline_spec(k, label=k) for k in ("cpa", "hcpa", "mcpa")]
+
+    def campaign():
+        return runner.run_matrix(scen, [GRILLON], specs)
+
+    results = run_once(benchmark, campaign)
+    lines = ["Ablation: allocation procedures under the same mapping "
+             "(grillon, simulated makespans relative to HCPA)"]
+    for label in ("cpa", "mcpa"):
+        stats = series_stats(relative_series(results, label, "hcpa",
+                                             "makespan"))
+        lines.append(f"  {label:<5} mean ratio {stats.mean:.3f}, "
+                     f"median {stats.median:.3f}")
+    emit("ablation_allocators", "\n".join(lines))

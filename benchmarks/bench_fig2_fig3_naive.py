@@ -1,0 +1,41 @@
+"""Figures 2 & 3 — naive-parameter RATS vs HCPA on the grillon cluster.
+
+Paper reference points (§IV-B): the delta strategy (mindelta = maxdelta =
+0.5) gives makespans on average 9% shorter than HCPA (shorter in 72% of
+scenarios); time-cost (packing allowed, minrho = 0.5) averages 16% shorter
+(80% of scenarios).  Both consume roughly HCPA-level total work, the delta
+strategy the least.
+
+Expected reproduction *shape*: both strategies win in the majority of
+configurations, time-cost ranks best on makespan, delta cheapest on work.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure2_3_naive
+from repro.experiments.metrics import relative_series, series_stats
+from repro.platforms.grid5000 import GRILLON
+
+from conftest import emit, run_once
+
+
+def test_figures_2_and_3(benchmark, runner, scenario_suite):
+    def campaign():
+        return figure2_3_naive(scenario_suite, GRILLON, runner=runner)
+
+    fig2, fig3, results = run_once(benchmark, campaign)
+
+    lines = [fig2.render(), "", fig3.render(), ""]
+    lines.append("paper: delta -9% avg (72% of scenarios shorter), "
+                 "time-cost -16% avg (80% shorter)")
+    emit("figure2_figure3", "\n".join(lines))
+
+    # reproduction shape assertions (loose: subsample + different substrate)
+    for label in ("Delta", "Time-cost"):
+        stats = series_stats(relative_series(results, label, "HCPA",
+                                             "makespan"))
+        assert stats.count == len(scenario_suite)
+        assert stats.frac_better > 0.3, f"{label} should win a fair share"
+    delta_work = series_stats(relative_series(results, "Delta", "HCPA",
+                                              "work"))
+    assert delta_work.mean < 1.05, "delta must not cost much more work"

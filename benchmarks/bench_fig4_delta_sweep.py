@@ -1,0 +1,37 @@
+"""Figure 4 — (mindelta, maxdelta) sweep for FFT DAGs on grillon.
+
+Paper reference (§IV-C): larger ``maxdelta`` values improve the average
+relative makespan (more resources per task); decreasing ``mindelta`` helps
+only to a certain extent.  The tuned optimum for (grillon, FFT) in Table IV
+is (mindelta, maxdelta) = (−0.5, 1).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments.figures import figure4_delta_surface
+from repro.experiments.scenarios import scenarios_by_family, subsample
+from repro.platforms.grid5000 import GRILLON
+
+from conftest import emit, run_once, scale_fraction
+
+
+def test_figure4(benchmark, runner):
+    fraction = scale_fraction()
+    ffts = subsample(scenarios_by_family()["fft"],
+                     max(fraction, 6 / 100))  # at least 6 FFT DAGs
+
+    def campaign():
+        return figure4_delta_surface(ffts, GRILLON, runner=runner)
+
+    fig, sweep = run_once(benchmark, campaign)
+    text = fig.render() + (
+        f"\n\n({len(ffts)} FFT DAGs; paper: larger maxdelta helps, "
+        f"tuned optimum (-0.5, 1) on grillon)")
+    emit("figure4", text)
+
+    # the zero-budget corner (0, 0) must not beat every stretched option:
+    # allowing adaptation should help somewhere on the grid
+    zero = sweep.averages[(0.0, 0.0)]
+    assert min(sweep.averages.values()) <= zero + 1e-9

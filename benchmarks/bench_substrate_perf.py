@@ -1,0 +1,57 @@
+"""Performance benchmarks of the substrate itself (not a paper artefact).
+
+These keep the fluid simulator and the Max-Min solver honest: the full
+557-configuration campaign is only tractable because a dense 100-task
+simulation stays in the low seconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.scenarios import Scenario
+from repro.network.maxmin import maxmin_rates_indexed
+from repro.platforms.grid5000 import GRILLON
+from repro.scheduling.allocation import hcpa_allocation
+from repro.scheduling.mapping import ListScheduler
+from repro.simulation.simulator import simulate
+from repro.utils.rng import spawn_rng
+
+
+def _dense_schedule():
+    sc = Scenario(family="irregular", n_tasks=100, width=0.5, density=0.8,
+                  regularity=0.8, jump=2, sample=0)
+    g = sc.build()
+    model = GRILLON.performance_model()
+    alloc = hcpa_allocation(g, model, GRILLON.num_procs).allocation
+    return ListScheduler(g, GRILLON, model, alloc).run()
+
+
+def test_simulator_dense_dag(benchmark):
+    schedule = _dense_schedule()
+    res = benchmark.pedantic(lambda: simulate(schedule), rounds=3,
+                             iterations=1)
+    assert res.makespan > 0
+
+
+def test_hcpa_allocation_speed(benchmark):
+    sc = Scenario(family="layered", n_tasks=100, width=0.8, density=0.8,
+                  regularity=0.8, sample=0)
+    g = sc.build()
+    model = GRILLON.performance_model()
+    res = benchmark(hcpa_allocation, g, model, GRILLON.num_procs)
+    assert res.converged or res.iterations > 0
+
+
+def test_maxmin_solver_speed(benchmark):
+    """1000 random flows over grelon-sized topology (250 links)."""
+    rng = spawn_rng("maxmin-bench")
+    n_links, n_flows = 250, 1000
+    capacities = np.full(n_links, 1.25e8)
+    flows = [
+        [int(a), int(b)]
+        for a, b in rng.integers(0, n_links, size=(n_flows, 2))
+    ]
+    rates = benchmark(maxmin_rates_indexed, flows, capacities)
+    assert len(rates) == n_flows
+    assert (rates >= 0).all()

@@ -1,0 +1,39 @@
+"""Table I — the 1-D block redistribution communication matrix.
+
+Reproduces the paper's example (10 units, p=4 senders → q=5 receivers) and
+benchmarks the matrix computation at realistic processor counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.redistribution.matrix import communication_matrix
+
+from conftest import emit
+
+
+def test_table1_matrix(benchmark):
+    mat = benchmark(communication_matrix, 10, 4, 5)
+    expected = {
+        (0, 0): 2.0, (0, 1): 0.5,
+        (1, 1): 1.5, (1, 2): 1.0,
+        (2, 2): 1.0, (2, 3): 1.5,
+        (3, 3): 0.5, (3, 4): 2.0,
+    }
+    assert set(mat) == set(expected)
+    for k, v in expected.items():
+        assert mat[k] == pytest.approx(v)
+
+    from repro.experiments.tables import table1_communication_matrix
+
+    emit("table1", table1_communication_matrix()
+         + "\n\n(paper Table I: p1->(q1:2, q2:0.5), p2->(q2:1.5, q3:1), "
+           "p3->(q3:1, q4:1.5), p4->(q4:0.5, q5:2) — matched exactly)")
+
+
+def test_matrix_at_cluster_scale(benchmark):
+    """120 -> 47 ranks (grelon -> grillon sized): must stay O(p + q)."""
+    mat = benchmark(communication_matrix, 968e6, 120, 47)
+    assert len(mat) <= 120 + 47 - 1
+    assert sum(mat.values()) == pytest.approx(968e6)

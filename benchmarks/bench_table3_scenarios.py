@@ -1,0 +1,33 @@
+"""Tables II & III — cluster characteristics and the 557 configurations.
+
+Benchmarks the DAG generation pipeline and verifies the catalogue matches
+Table III's counts exactly.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.scenarios import Scenario, all_scenarios
+from repro.experiments.tables import table2_clusters, table3_scenarios
+from repro.platforms.grid5000 import CHTI, GRELON, GRILLON
+
+from conftest import emit
+
+
+def test_table2_and_table3(benchmark):
+    scenarios = benchmark(all_scenarios)
+    assert len(scenarios) == 557
+    by_family: dict[str, int] = {}
+    for sc in scenarios:
+        by_family[sc.family] = by_family.get(sc.family, 0) + 1
+    assert by_family == {"layered": 108, "irregular": 324,
+                         "fft": 100, "strassen": 25}
+    emit("table2", table2_clusters([CHTI, GRELON, GRILLON]))
+    emit("table3", table3_scenarios())
+
+
+def test_dag_generation_speed(benchmark):
+    """Building the largest random DAG configuration."""
+    sc = Scenario(family="irregular", n_tasks=100, width=0.8, density=0.8,
+                  regularity=0.8, jump=4, sample=0)
+    g = benchmark(sc.build)
+    assert g.num_tasks == 100

@@ -1,0 +1,47 @@
+"""Table IV — tuned (mindelta, maxdelta, minrho) per application type × cluster.
+
+Runs the §IV-C tuning procedure (delta sweep arg-min + rho sweep arg-min)
+on a reduced grid/scenario budget and prints the resulting table next to
+the paper's.  Absolute arg-mins depend on the substrate; the comparison to
+check is qualitative (maxdelta tends high, packing budgets non-trivial).
+"""
+
+from __future__ import annotations
+
+from repro.core.params import PAPER_TUNED_PARAMS
+from repro.experiments.scenarios import scenarios_by_family, subsample
+from repro.experiments.tables import table4_tuned_params
+from repro.experiments.tuning import tune_parameters
+from repro.platforms.grid5000 import GRILLON
+
+from conftest import emit, run_once, scale_fraction
+
+
+def test_table4(benchmark, runner):
+    fraction = scale_fraction()
+    full = fraction >= 1.0
+    by_family = {
+        family: subsample(group, max(fraction * (1.0 if full else 0.3),
+                                     2 / len(group)))
+        for family, group in scenarios_by_family().items()
+    }
+    # quick mode sweeps a reduced grid; REPRO_FULL uses the paper's §IV-C grid
+    grids = {} if full else {
+        "mindeltas": (0.0, -0.5),
+        "maxdeltas": (0.0, 0.5, 1.0),
+        "minrhos": (0.2, 0.5, 1.0),
+    }
+    clusters = [GRILLON]  # quick mode tunes the paper's headline cluster
+
+    def campaign():
+        return tune_parameters(by_family, clusters, runner=runner, **grids)
+
+    table = run_once(benchmark, campaign)
+
+    ours = table4_tuned_params(table)
+    paper = table4_tuned_params(PAPER_TUNED_PARAMS)
+    emit("table4", ours + "\n\npaper's Table IV for reference:\n" + paper)
+
+    for (cluster, family), (mind, maxd, rho) in table.items():
+        assert mind <= 0 <= maxd
+        assert 0 < rho <= 1

@@ -1,0 +1,84 @@
+"""Shared infrastructure for the table/figure benchmarks.
+
+Scale control
+-------------
+Every experiment bench runs on a *stratified subsample* of the paper's 557
+application configurations so the default ``pytest benchmarks/`` finishes in
+minutes.  Set ``REPRO_FULL=1`` for the full-scale runs (tens of minutes) or
+``REPRO_FRACTION=0.25`` for anything in between.
+
+All benches share one :class:`~repro.experiments.runner.ExperimentRunner`
+per session, so task graphs and HCPA allocations are built once and reused
+across tables and figures — exactly like the paper's single experimental
+campaign.
+
+Rendered tables/figures are printed and also written to
+``benchmarks/results/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.scenarios import all_scenarios, subsample
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: default subsample of the 557 configurations for quick benchmarking
+DEFAULT_FRACTION = 0.06
+
+
+def scale_fraction() -> float:
+    if os.environ.get("REPRO_FULL") == "1":
+        return 1.0
+    return float(os.environ.get("REPRO_FRACTION", DEFAULT_FRACTION))
+
+
+@pytest.fixture(scope="session")
+def fraction() -> float:
+    return scale_fraction()
+
+
+@pytest.fixture(scope="session")
+def scenario_suite(fraction):
+    """The (sub)sampled scenario set used by the comparison benches."""
+    return subsample(all_scenarios(), fraction)
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner()
+
+
+@pytest.fixture(scope="session")
+def tuned_three_cluster_results(runner, scenario_suite):
+    """The tuned RATS vs HCPA campaign on all three clusters (§IV-D).
+
+    Shared by the Table V and Table VI benches (the paper computes both
+    from the same 557-experiment campaign).
+    """
+    from repro.experiments.runner import baseline_spec, rats_spec
+    from repro.platforms.grid5000 import CHTI, GRELON, GRILLON
+
+    specs = [
+        baseline_spec("hcpa", label="HCPA"),
+        rats_spec(tuned=True, strategy="delta", label="delta"),
+        rats_spec(tuned=True, strategy="timecost", label="time-cost"),
+    ]
+    return runner.run_matrix(scenario_suite, [CHTI, GRILLON, GRELON], specs)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered table/figure and persist it under results/."""
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,69 @@
+"""Automatic parameter tuning (the paper's §V future work).
+
+Compares, per application, three parameterisations of each RATS strategy:
+the paper's naive 0.5 settings, the zero-cost feature-based suggestion,
+and the coordinate-descent autotuner — all against the HCPA baseline.
+
+Run:  python examples/autotune_params.py
+"""
+
+from __future__ import annotations
+
+from repro import GRILLON, simulate, spawn_rng
+from repro.core.autotune import autotune, extract_features, suggest_params
+from repro.core.params import RATSParams
+from repro.core.rats import RATSScheduler
+from repro.dag.generator import DagShape, random_irregular_dag
+from repro.dag.kernels import fft_dag
+from repro.scheduling.allocation import hcpa_allocation
+from repro.scheduling.mapping import ListScheduler
+
+
+def simulated(graph, cluster, model, alloc, params=None) -> float:
+    if params is None:
+        sched = ListScheduler(graph, cluster, model, alloc)
+    else:
+        sched = RATSScheduler(graph, cluster, model, alloc, params)
+    return simulate(sched.run()).makespan
+
+
+def main() -> None:
+    cluster = GRILLON
+    model = cluster.performance_model()
+    apps = {
+        "fft-16": fft_dag(16, spawn_rng("autotune-ex", "fft")),
+        "irregular-50": random_irregular_dag(
+            DagShape(n_tasks=50, width=0.5, regularity=0.8, density=0.2,
+                     jump=2),
+            spawn_rng("autotune-ex", "irr")),
+        "wide-30": random_irregular_dag(
+            DagShape(n_tasks=30, width=0.9, regularity=0.5, density=0.8),
+            spawn_rng("autotune-ex", "wide")),
+    }
+
+    for name, graph in apps.items():
+        feats = extract_features(graph, cluster)
+        print(f"== {name}: {feats.describe()}")
+        alloc = hcpa_allocation(graph, model, cluster.num_procs).allocation
+        base = simulated(graph, cluster, model, alloc)
+        print(f"   HCPA baseline: {base:.2f}s")
+        for strategy in ("delta", "timecost"):
+            naive = simulated(graph, cluster, model, alloc,
+                              RATSParams(strategy))
+            hint = suggest_params(graph, cluster, strategy)
+            hinted = simulated(graph, cluster, model, alloc, hint)
+            tuned = autotune(graph, cluster, strategy, allocation=alloc)
+            tuned_ms = simulated(graph, cluster, model, alloc,
+                                 tuned.best_params)
+            print(f"   {strategy:<9} naive {naive / base:6.3f} | "
+                  f"suggested {hinted / base:6.3f} ({hint.describe()}) | "
+                  f"autotuned {tuned_ms / base:6.3f} "
+                  f"({tuned.best_params.describe()}, "
+                  f"{tuned.evaluations} evals)")
+        print()
+
+    print("(values are makespan ratios vs HCPA; lower is better)")
+
+
+if __name__ == "__main__":
+    main()

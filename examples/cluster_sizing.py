@@ -1,0 +1,58 @@
+"""Cluster sizing: the paper's small-vs-large cluster observation.
+
+§IV-D notes that the time-cost strategy achieves better results as the
+cluster grows (its redistribution estimates ignore contention, which is
+relatively stronger on small clusters), while delta is strongest on small
+and medium clusters.  This example runs one workload family across the
+three Grid'5000 clusters of Table II and prints the per-cluster ranking.
+
+Run:  python examples/cluster_sizing.py
+"""
+
+from __future__ import annotations
+
+from repro import CHTI, GRELON, GRILLON, simulate, spawn_rng
+from repro.core.params import NAIVE_DELTA, NAIVE_TIMECOST
+from repro.core.rats import RATSScheduler
+from repro.dag.generator import DagShape, random_irregular_dag
+from repro.scheduling.allocation import hcpa_allocation
+from repro.scheduling.mapping import ListScheduler
+
+SAMPLES = 6
+
+
+def main() -> None:
+    print("Workload: 50-task irregular DAGs (width .5, density .2, jump 2)\n")
+    header = f"{'cluster':<10}{'procs':>6}{'HCPA (s)':>10}" \
+             f"{'delta':>8}{'t-cost':>8}{'winner':>10}"
+    print(header)
+
+    for cluster in (CHTI, GRILLON, GRELON):
+        model = cluster.performance_model()
+        sums = {"hcpa": 0.0, "delta": 0.0, "timecost": 0.0}
+        for s in range(SAMPLES):
+            g = random_irregular_dag(
+                DagShape(n_tasks=50, width=0.5, regularity=0.8, density=0.2,
+                         jump=2),
+                spawn_rng("cluster-sizing", s))
+            alloc = hcpa_allocation(g, model, cluster.num_procs).allocation
+            sums["hcpa"] += simulate(
+                ListScheduler(g, cluster, model, alloc).run()).makespan
+            for key, params in (("delta", NAIVE_DELTA),
+                                ("timecost", NAIVE_TIMECOST)):
+                sched = RATSScheduler(g, cluster, model, alloc, params).run()
+                sums[key] += simulate(sched).makespan
+        base = sums["hcpa"] / SAMPLES
+        d = sums["delta"] / SAMPLES / base
+        t = sums["timecost"] / SAMPLES / base
+        winner = min((("HCPA", 1.0), ("delta", d), ("time-cost", t)),
+                     key=lambda kv: kv[1])[0]
+        print(f"{cluster.name:<10}{cluster.num_procs:>6}{base:>10.2f}"
+              f"{d:>8.3f}{t:>8.3f}{winner:>10}")
+
+    print("\n(ratios relative to HCPA on the same cluster; the paper "
+          "observes time-cost improving with cluster size)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""FFT kernel study: how RATS behaves as the FFT size grows.
+
+The FFT task graph (paper §IV-A) is the friendliest case for
+redistribution-aware mapping: every path is critical and tasks of one
+level share costs, so parent-set reuse is frequently applicable.  This
+example sweeps k = 2..16 data points and reports per-size gains, plus the
+effect of the Table IV tuned parameters.
+
+Run:  python examples/fft_study.py
+"""
+
+from __future__ import annotations
+
+from repro import GRILLON, fft_dag, simulate, spawn_rng, tuned_params
+from repro.core.params import NAIVE_DELTA, NAIVE_TIMECOST
+from repro.core.rats import RATSScheduler
+from repro.scheduling.allocation import hcpa_allocation
+from repro.scheduling.mapping import ListScheduler
+
+SAMPLES = 5
+
+
+def run_algo(graph, cluster, model, alloc, params=None):
+    if params is None:
+        scheduler = ListScheduler(graph, cluster, model, alloc)
+    else:
+        scheduler = RATSScheduler(graph, cluster, model, alloc, params)
+    return simulate(scheduler.run()).makespan
+
+
+def main() -> None:
+    cluster = GRILLON
+    model = cluster.performance_model()
+    print(f"FFT study on {cluster.describe()}\n")
+    print(f"{'k':>3}{'tasks':>7}{'HCPA (s)':>10}{'delta':>8}{'t-cost':>8}"
+          f"{'delta-tuned':>12}{'tc-tuned':>10}")
+
+    tuned_d = tuned_params(cluster.name, "fft", "delta")
+    tuned_t = tuned_params(cluster.name, "fft", "timecost")
+
+    for k in (2, 4, 8, 16):
+        sums = {"hcpa": 0.0, "d": 0.0, "t": 0.0, "dt": 0.0, "tt": 0.0}
+        n_tasks = 0
+        for s in range(SAMPLES):
+            g = fft_dag(k, spawn_rng("fft-study", k, s))
+            n_tasks = g.num_tasks
+            alloc = hcpa_allocation(g, model, cluster.num_procs).allocation
+            sums["hcpa"] += run_algo(g, cluster, model, alloc)
+            sums["d"] += run_algo(g, cluster, model, alloc, NAIVE_DELTA)
+            sums["t"] += run_algo(g, cluster, model, alloc, NAIVE_TIMECOST)
+            sums["dt"] += run_algo(g, cluster, model, alloc, tuned_d)
+            sums["tt"] += run_algo(g, cluster, model, alloc, tuned_t)
+        base = sums["hcpa"] / SAMPLES
+
+        def ratio(key: str) -> str:
+            return f"{sums[key] / SAMPLES / base:8.3f}"
+
+        print(f"{k:>3}{n_tasks:>7}{base:>10.2f}{ratio('d')}{ratio('t')}"
+              f"{ratio('dt'):>12}{ratio('tt'):>10}")
+
+    print("\n(ratios relative to HCPA; < 1 means RATS is faster — the "
+          "paper tunes (mindelta, maxdelta, minrho) to (-0.5, 1, 0.2) "
+          "for FFT on grillon)")
+
+
+if __name__ == "__main__":
+    main()

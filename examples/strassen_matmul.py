@@ -1,0 +1,77 @@
+"""Strassen matrix multiplication: inspecting RATS's adaptation decisions.
+
+The 25-task Strassen DAG (10 operand additions, 7 sub-products, 8
+combination additions) is small enough to inspect every decision RATS
+takes: which tasks got packed or stretched onto a parent's processor set,
+and what that did to the redistribution volume crossing the network.
+
+Run:  python examples/strassen_matmul.py
+"""
+
+from __future__ import annotations
+
+from repro import GRILLON, ascii_gantt, simulate, spawn_rng, strassen_dag
+from repro.core.params import NAIVE_TIMECOST
+from repro.core.rats import RATSScheduler
+from repro.redistribution.cost import RedistributionCost
+from repro.scheduling.allocation import hcpa_allocation
+from repro.scheduling.mapping import ListScheduler
+
+
+def network_bytes(graph, schedule, cluster) -> float:
+    """Bytes that actually cross the network under a schedule's mapping."""
+    rc = RedistributionCost(cluster)
+    return sum(
+        rc.remote_bytes(schedule[u].procs, schedule[v].procs, data)
+        for u, v, data in graph.edges()
+    )
+
+
+def main() -> None:
+    cluster = GRILLON
+    model = cluster.performance_model()
+    graph = strassen_dag(spawn_rng("strassen-example"))
+    print(graph.subgraph_summary())
+    print(f"entries: {graph.entry_tasks()}")
+    print(f"exits  : {graph.exit_tasks()}\n")
+
+    alloc = hcpa_allocation(graph, model, cluster.num_procs)
+    print("HCPA allocation per task:")
+    for name in graph.topological_order():
+        print(f"  {name:<4} -> {alloc[name]:>2} procs", end="")
+        if graph.task(name).name.startswith("M"):
+            print("   (sub-product)")
+        else:
+            print()
+
+    base = ListScheduler(graph, cluster, model, alloc.allocation).run()
+    rats = RATSScheduler(graph, cluster, model, alloc.allocation,
+                         NAIVE_TIMECOST)
+    adapted = rats.run()
+
+    print("\nRATS time-cost adaptations:")
+    if not rats.adaptations:
+        print("  (none fired)")
+    for rec in rats.adaptations:
+        print(f"  {rec.task:<4} {rec.kind:<7} {rec.from_procs} -> "
+              f"{rec.to_procs} procs on {rec.pred}'s set")
+
+    base_sim = simulate(base)
+    rats_sim = simulate(adapted)
+    base_bytes = network_bytes(graph, base, cluster)
+    rats_bytes = network_bytes(graph, adapted, cluster)
+
+    print(f"\n{'':<14}{'HCPA':>12}{'RATS tc':>12}")
+    print(f"{'makespan (s)':<14}{base_sim.makespan:>12.2f}"
+          f"{rats_sim.makespan:>12.2f}")
+    print(f"{'work (proc-s)':<14}{base.total_work(model):>12.1f}"
+          f"{adapted.total_work(model):>12.1f}")
+    print(f"{'net bytes (GB)':<14}{base_bytes / 1e9:>12.2f}"
+          f"{rats_bytes / 1e9:>12.2f}")
+
+    print("\nRATS schedule as executed:")
+    print(ascii_gantt(rats_sim.as_executed_schedule(adapted), max_procs=20))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: lets ``python setup.py develop`` work in offline
+environments that lack the ``wheel`` package (PEP 660 editable installs
+need it). Configuration lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,129 @@
+"""repro — Redistribution Aware Two-Step Scheduling for Mixed-Parallel Applications.
+
+A full reproduction of Hunold, Rauber & Suter, *"Redistribution Aware
+Two-Step Scheduling for Mixed-Parallel Applications"* (IEEE Cluster 2008):
+
+* the application model (DAGs of moldable Amdahl tasks, 1-D block
+  redistribution) — :mod:`repro.dag`, :mod:`repro.model`,
+  :mod:`repro.redistribution`;
+* the platform model (Grid'5000 clusters, bounded multi-port network,
+  Max-Min fair sharing) — :mod:`repro.platforms`, :mod:`repro.network`;
+* the two-step baselines (CPA / MCPA / HCPA allocation + list-scheduling
+  mapping) — :mod:`repro.scheduling`;
+* the paper's contribution, RATS (delta and time-cost redistribution-aware
+  mapping) — :mod:`repro.core`;
+* the SimGrid-like fluid simulator used for evaluation —
+  :mod:`repro.simulation`;
+* the experiment harness regenerating every table and figure —
+  :mod:`repro.experiments`.
+
+Quickstart
+----------
+>>> from repro import (DagShape, random_layered_dag, GRILLON, RATSParams,
+...                    rats_schedule, simulate, spawn_rng)
+>>> graph = random_layered_dag(DagShape(n_tasks=25), spawn_rng("demo"))
+>>> schedule = rats_schedule(graph, GRILLON, RATSParams("timecost"))
+>>> result = simulate(schedule)
+>>> result.makespan > 0
+True
+"""
+
+from repro.core import (
+    NAIVE_DELTA,
+    NAIVE_TIMECOST,
+    PAPER_TUNED_PARAMS,
+    RATSParams,
+    RATSScheduler,
+    rats_schedule,
+    tuned_params,
+)
+from repro.dag import (
+    ComputeCostConfig,
+    DagShape,
+    Task,
+    TaskGraph,
+    annotate_costs,
+    fft_dag,
+    random_irregular_dag,
+    random_layered_dag,
+    strassen_dag,
+)
+from repro.model import AmdahlModel
+from repro.platforms import CHTI, GRELON, GRILLON, Cluster, get_cluster
+from repro.redistribution import (
+    RedistributionCost,
+    align_receivers,
+    communication_matrix,
+    redistribution_flows,
+)
+from repro.scheduling import (
+    ListScheduler,
+    Schedule,
+    cpa_allocation,
+    hcpa_allocation,
+    mcpa_allocation,
+)
+from repro.platforms.multicluster import MultiClusterPlatform
+from repro.scheduling.multicluster import (
+    MultiClusterListScheduler,
+    MultiClusterRATSScheduler,
+    reference_allocation,
+)
+from repro.simulation import FluidSimulator, simulate
+from repro.utils import scenario_seed, spawn_rng
+from repro.viz import ascii_curves, ascii_gantt, ascii_surface
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core (RATS)
+    "RATSParams",
+    "RATSScheduler",
+    "rats_schedule",
+    "NAIVE_DELTA",
+    "NAIVE_TIMECOST",
+    "PAPER_TUNED_PARAMS",
+    "tuned_params",
+    # application model
+    "Task",
+    "TaskGraph",
+    "DagShape",
+    "ComputeCostConfig",
+    "annotate_costs",
+    "random_layered_dag",
+    "random_irregular_dag",
+    "fft_dag",
+    "strassen_dag",
+    "AmdahlModel",
+    # platform
+    "Cluster",
+    "CHTI",
+    "GRILLON",
+    "GRELON",
+    "get_cluster",
+    "MultiClusterPlatform",
+    "MultiClusterListScheduler",
+    "MultiClusterRATSScheduler",
+    "reference_allocation",
+    # redistribution
+    "communication_matrix",
+    "redistribution_flows",
+    "align_receivers",
+    "RedistributionCost",
+    # scheduling
+    "Schedule",
+    "ListScheduler",
+    "cpa_allocation",
+    "hcpa_allocation",
+    "mcpa_allocation",
+    # simulation
+    "FluidSimulator",
+    "simulate",
+    # utils & viz
+    "scenario_seed",
+    "spawn_rng",
+    "ascii_gantt",
+    "ascii_curves",
+    "ascii_surface",
+]

@@ -1,0 +1,146 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands
+-----------
+``demo``
+    Schedule a random application with HCPA and both RATS variants and
+    print the comparison plus a Gantt chart.
+``tables``
+    Print the static tables (I, II, III) without running experiments.
+``campaign``
+    Alias for ``python -m repro.experiments.campaign`` (full reproduction).
+``autotune``
+    Auto-tune RATS parameters for a random application on a cluster.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main"]
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro import (
+        NAIVE_DELTA,
+        NAIVE_TIMECOST,
+        DagShape,
+        ListScheduler,
+        ascii_gantt,
+        get_cluster,
+        hcpa_allocation,
+        random_layered_dag,
+        rats_schedule,
+        simulate,
+        spawn_rng,
+    )
+
+    cluster = get_cluster(args.cluster)
+    graph = random_layered_dag(
+        DagShape(n_tasks=args.tasks, width=0.5, regularity=0.8, density=0.2),
+        spawn_rng("cli-demo", args.seed))
+    model = cluster.performance_model()
+    print(graph.subgraph_summary())
+    print(cluster.describe())
+    alloc = hcpa_allocation(graph, model, cluster.num_procs).allocation
+    rows = {
+        "HCPA": ListScheduler(graph, cluster, model, alloc).run(),
+        "RATS delta": rats_schedule(graph, cluster, NAIVE_DELTA,
+                                    allocation=alloc),
+        "RATS time-cost": rats_schedule(graph, cluster, NAIVE_TIMECOST,
+                                        allocation=alloc),
+    }
+    print(f"\n{'algorithm':<16}{'estimated':>11}{'simulated':>11}")
+    best, best_ms = None, float("inf")
+    for name, schedule in rows.items():
+        ms = simulate(schedule).makespan
+        print(f"{name:<16}{schedule.makespan:>11.2f}{ms:>11.2f}")
+        if ms < best_ms:
+            best, best_ms = name, ms
+    print(f"\nbest: {best}")
+    if args.gantt:
+        print(ascii_gantt(rows[best], max_procs=20))
+    return 0
+
+
+def _cmd_tables(_args: argparse.Namespace) -> int:
+    from repro.experiments.tables import (
+        table1_communication_matrix,
+        table2_clusters,
+        table3_scenarios,
+    )
+    from repro.platforms.grid5000 import CHTI, GRELON, GRILLON
+
+    print(table1_communication_matrix())
+    print()
+    print(table2_clusters([CHTI, GRELON, GRILLON]))
+    print()
+    print(table3_scenarios())
+    return 0
+
+
+def _cmd_autotune(args: argparse.Namespace) -> int:
+    from repro import DagShape, get_cluster, random_irregular_dag, spawn_rng
+    from repro.core.autotune import autotune, extract_features
+
+    cluster = get_cluster(args.cluster)
+    graph = random_irregular_dag(
+        DagShape(n_tasks=args.tasks, width=0.5, regularity=0.8, density=0.2,
+                 jump=2),
+        spawn_rng("cli-autotune", args.seed))
+    print(graph.subgraph_summary())
+    print("features:", extract_features(graph, cluster).describe())
+    for strategy in ("delta", "timecost"):
+        res = autotune(graph, cluster, strategy,
+                       simulate_candidates=args.simulate)
+        print(f"\n{strategy}: best {res.best_params.describe()}")
+        print(f"  estimated makespan {res.best_makespan:.2f}s "
+              f"({res.improvement * 100:+.1f}% vs naive 0.5 settings, "
+              f"{res.evaluations} schedules evaluated)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # forward `campaign ...` before argparse: REMAINDER positionals do not
+    # reliably capture leading --options inside subparsers
+    if argv and argv[0] == "campaign":
+        from repro.experiments.campaign import main as campaign_main
+
+        return campaign_main(argv[1:])
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_demo = sub.add_parser("demo", help="schedule one random application")
+    p_demo.add_argument("--cluster", default="grillon")
+    p_demo.add_argument("--tasks", type=int, default=25)
+    p_demo.add_argument("--seed", type=int, default=0)
+    p_demo.add_argument("--gantt", action="store_true")
+    p_demo.set_defaults(func=_cmd_demo)
+
+    p_tables = sub.add_parser("tables", help="print the static tables")
+    p_tables.set_defaults(func=_cmd_tables)
+
+    sub.add_parser("campaign",
+                   help="run the reproduction campaign "
+                        "(args forwarded to repro.experiments.campaign)")
+
+    p_tune = sub.add_parser("autotune", help="auto-tune RATS parameters")
+    p_tune.add_argument("--cluster", default="grillon")
+    p_tune.add_argument("--tasks", type=int, default=25)
+    p_tune.add_argument("--seed", type=int, default=0)
+    p_tune.add_argument("--simulate", action="store_true",
+                        help="score candidates with the fluid simulator")
+    p_tune.set_defaults(func=_cmd_autotune)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

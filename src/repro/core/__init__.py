@@ -1,0 +1,45 @@
+"""RATS — Redistribution Aware Two-Step scheduling (the paper's contribution)."""
+
+from repro.core.params import (
+    NAIVE_DELTA,
+    NAIVE_TIMECOST,
+    PAPER_TUNED_PARAMS,
+    RATSParams,
+    tuned_params,
+)
+from repro.core.strategies import (
+    AdaptationRecord,
+    DeltaStrategy,
+    TimeCostStrategy,
+    make_strategy,
+)
+from repro.core.sorting import delta_sort_value, gain_sort_value
+from repro.core.rats import RATSScheduler, rats_schedule
+from repro.core.autotune import (
+    ApplicationFeatures,
+    AutotuneResult,
+    autotune,
+    extract_features,
+    suggest_params,
+)
+
+__all__ = [
+    "ApplicationFeatures",
+    "AutotuneResult",
+    "autotune",
+    "extract_features",
+    "suggest_params",
+    "RATSParams",
+    "NAIVE_DELTA",
+    "NAIVE_TIMECOST",
+    "PAPER_TUNED_PARAMS",
+    "tuned_params",
+    "AdaptationRecord",
+    "DeltaStrategy",
+    "TimeCostStrategy",
+    "make_strategy",
+    "delta_sort_value",
+    "gain_sort_value",
+    "RATSScheduler",
+    "rats_schedule",
+]

@@ -1,0 +1,220 @@
+"""Automatic RATS parameter tuning — the paper's §V future work.
+
+"We also plan to further analyze the relationships between applications
+and platform characteristics and our tunable parameters to allow the
+automatic tuning of our scheduling algorithm."
+
+Two mechanisms are provided:
+
+* :func:`suggest_params` — a zero-cost, feature-based heuristic distilled
+  from the patterns of Table IV: ``maxdelta`` wants to be large everywhere;
+  communication-dominated applications tolerate low ``minrho`` (stretch
+  aggressively — redistribution avoidance pays for the extra work); wide
+  DAGs benefit from deeper packing budgets (more potential concurrency to
+  protect).
+* :func:`autotune` — per-application coordinate descent over the §IV-C
+  grids, evaluating candidate parameter sets by *scheduling* the
+  application (estimate-based by default, optionally simulation-based) and
+  keeping the best.  This is the automated version of the paper's manual
+  sweeps, at a per-application budget of a few dozen schedules instead of
+  a full campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.params import RATSParams
+from repro.core.rats import RATSScheduler
+from repro.dag.analysis import dag_levels, dag_width
+from repro.dag.task import TaskGraph
+from repro.platforms.cluster import Cluster
+from repro.redistribution.cost import RedistributionCost
+from repro.scheduling.allocation import hcpa_allocation
+
+__all__ = [
+    "ApplicationFeatures",
+    "extract_features",
+    "suggest_params",
+    "AutotuneResult",
+    "autotune",
+]
+
+#: §IV-C grids (the search space of the paper's manual tuning)
+MINDELTA_GRID = (0.0, -0.25, -0.5, -0.75)
+MAXDELTA_GRID = (0.0, 0.25, 0.5, 0.75, 1.0)
+MINRHO_GRID = (0.2, 0.4, 0.5, 0.6, 0.8, 1.0)
+
+
+@dataclass(frozen=True)
+class ApplicationFeatures:
+    """Structural/cost features driving the parameter heuristic."""
+
+    n_tasks: int
+    depth: int                   # number of precedence levels
+    width: int                   # max tasks per level
+    parallelism: float           # width / depth balance in [0, 1]
+    ccr: float                   # communication-to-computation time ratio
+    procs_per_task: float        # cluster size / task count
+
+    def describe(self) -> str:
+        return (f"{self.n_tasks} tasks, depth {self.depth}, width "
+                f"{self.width}, CCR {self.ccr:.2f}, "
+                f"{self.procs_per_task:.2f} procs/task")
+
+
+def extract_features(graph: TaskGraph, cluster: Cluster) -> ApplicationFeatures:
+    """Compute the features of one application on one cluster."""
+    levels = dag_levels(graph)
+    depth = max(levels.values()) + 1
+    width = dag_width(graph)
+    model = cluster.performance_model()
+    redist = RedistributionCost(cluster)
+    compute = sum(model.time(t, 1) for t in graph.tasks())
+    comm = sum(redist.average_edge_time(d) for _, _, d in graph.edges())
+    return ApplicationFeatures(
+        n_tasks=graph.num_tasks,
+        depth=depth,
+        width=width,
+        parallelism=width / max(1, graph.num_tasks),
+        ccr=comm / compute if compute > 0 else float("inf"),
+        procs_per_task=cluster.num_procs / graph.num_tasks,
+    )
+
+
+def suggest_params(graph: TaskGraph, cluster: Cluster,
+                   strategy: str = "timecost") -> RATSParams:
+    """Feature-based parameter suggestion (no scheduling performed).
+
+    Rules distilled from Table IV:
+
+    * ``maxdelta = 1`` unless processors are scarce relative to tasks
+      (``procs_per_task < 1``), where over-stretching starves siblings;
+    * ``mindelta`` deepens with available parallelism — wide DAGs have
+      concurrency worth protecting by packing;
+    * ``minrho`` drops as the application becomes communication-dominated
+      (avoiding a redistribution is worth more wasted work).
+    """
+    f = extract_features(graph, cluster)
+    maxdelta = 1.0 if f.procs_per_task >= 1.0 else 0.5
+    if f.parallelism >= 0.3:
+        mindelta = -0.75
+    elif f.parallelism >= 0.1:
+        mindelta = -0.5
+    else:
+        mindelta = -0.25
+    if f.ccr >= 2.0:
+        minrho = 0.2
+    elif f.ccr >= 0.5:
+        minrho = 0.4
+    else:
+        minrho = 0.6
+    return RATSParams(strategy=strategy, mindelta=mindelta,
+                      maxdelta=maxdelta, minrho=minrho, allow_pack=True)
+
+
+@dataclass
+class AutotuneResult:
+    """Outcome of a per-application parameter search."""
+
+    best_params: RATSParams
+    best_makespan: float
+    baseline_makespan: float   # the strategy at its naive 0.5 settings
+    evaluations: int
+    history: list[tuple[RATSParams, float]] = field(default_factory=list)
+
+    @property
+    def improvement(self) -> float:
+        """Fractional makespan reduction vs the naive parameterisation."""
+        if self.baseline_makespan <= 0:
+            return 0.0
+        return 1.0 - self.best_makespan / self.baseline_makespan
+
+
+def autotune(
+    graph: TaskGraph,
+    cluster: Cluster,
+    strategy: str = "timecost",
+    *,
+    allocation: dict[str, int] | None = None,
+    evaluate: Callable[[RATSParams], float] | None = None,
+    simulate_candidates: bool = False,
+    max_rounds: int = 3,
+) -> AutotuneResult:
+    """Coordinate-descent search for the best RATS parameters.
+
+    Starting from :func:`suggest_params`, each round sweeps one parameter's
+    §IV-C grid while holding the others, keeping improvements; the search
+    stops after ``max_rounds`` rounds or when a round changes nothing.
+
+    ``evaluate`` overrides the objective entirely (it receives a candidate
+    :class:`RATSParams` and returns a makespan-like score).  By default a
+    candidate is scored by the *scheduler's estimated* makespan — cheap and
+    contention-blind like every decision in the paper; pass
+    ``simulate_candidates=True`` to score with the fluid simulator.
+    """
+    model = cluster.performance_model()
+    if allocation is None:
+        allocation = hcpa_allocation(graph, model,
+                                     cluster.num_procs).allocation
+    redist = RedistributionCost(cluster)
+    cache: dict[RATSParams, float] = {}
+    evaluations = 0
+
+    def default_evaluate(params: RATSParams) -> float:
+        schedule = RATSScheduler(graph, cluster, model, allocation, params,
+                                 redist=redist).run()
+        if simulate_candidates:
+            from repro.simulation.simulator import simulate
+
+            return simulate(schedule).makespan
+        return schedule.makespan
+
+    score = evaluate or default_evaluate
+
+    def scored(params: RATSParams) -> float:
+        nonlocal evaluations
+        if params not in cache:
+            cache[params] = score(params)
+            evaluations += 1
+        return cache[params]
+
+    current = suggest_params(graph, cluster, strategy)
+    history: list[tuple[RATSParams, float]] = [(current, scored(current))]
+
+    if strategy == "delta":
+        axes: list[tuple[str, tuple[float, ...]]] = [
+            ("mindelta", MINDELTA_GRID), ("maxdelta", MAXDELTA_GRID)]
+    else:
+        axes = [("minrho", MINRHO_GRID)]
+
+    for _ in range(max_rounds):
+        changed = False
+        for attr, grid in axes:
+            best_v, best_s = getattr(current, attr), scored(current)
+            for v in grid:
+                cand = current.with_(**{attr: v})
+                s = scored(cand)
+                history.append((cand, s))
+                if s < best_s - 1e-12:
+                    best_v, best_s = v, s
+            if best_v != getattr(current, attr):
+                current = current.with_(**{attr: best_v})
+                changed = True
+        if not changed:
+            break
+
+    naive = RATSParams(strategy=strategy)  # every knob at its 0.5 default
+    baseline = scored(naive)
+    best_params, best_score = min(
+        ((p, s) for p, s in history), key=lambda ps: ps[1])
+    if baseline <= best_score:
+        best_params, best_score = naive, baseline
+    return AutotuneResult(
+        best_params=best_params,
+        best_makespan=best_score,
+        baseline_makespan=baseline,
+        evaluations=evaluations,
+        history=history,
+    )

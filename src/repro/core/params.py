@@ -1,0 +1,113 @@
+"""RATS tunable parameters (paper §III and Table IV).
+
+* ``mindelta ∈ R⁻`` — fraction of a task's allocation that *packing* may
+  remove: a task allocated ``n`` processors may shrink to
+  ``n + mindelta·n`` (e.g. ``n = 6``, ``mindelta = −0.5`` → at least 3).
+* ``maxdelta ∈ R⁺`` — fraction *stretching* may add: ``n = 6``,
+  ``maxdelta = 0.5`` → at most 9 processors (``δmax = 3``).
+* ``minrho ∈ (0, 1]`` — time-cost stretch threshold on the work ratio
+  ``ρ = (T(t,n_t)·n_t) / (T(t,n_p)·n_p)``; the closer to 1, the better the
+  balance between execution-time reduction and extra work.
+* ``allow_pack`` — time-cost packing toggle (§IV-C found enabling it always
+  produces shorter schedules).
+* ``guard_stretch`` — time-cost only: also require a stretch's *estimated
+  finish time* not to exceed the default mapping's.  §III-A motivates the
+  whole mapping step with "it is thus possible to estimate accurately the
+  respective finish time of a task using several modified allocations",
+  and this guard is what makes time-cost "rely on performance estimations"
+  (§IV-D) for stretching as well as packing.  On by default; disable for
+  the pure-ρ ablation.
+
+The paper's first comparison (§IV-B) uses the *naive* value 0.5 everywhere;
+§IV-C tunes per application type and cluster, giving Table IV, reproduced
+here as :data:`PAPER_TUNED_PARAMS`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Literal
+
+__all__ = [
+    "RATSParams",
+    "NAIVE_DELTA",
+    "NAIVE_TIMECOST",
+    "PAPER_TUNED_PARAMS",
+    "tuned_params",
+]
+
+Strategy = Literal["delta", "timecost"]
+
+
+@dataclass(frozen=True)
+class RATSParams:
+    """Parameter set for one RATS run."""
+
+    strategy: Strategy = "timecost"
+    mindelta: float = -0.5
+    maxdelta: float = 0.5
+    minrho: float = 0.5
+    allow_pack: bool = True
+    guard_stretch: bool = True
+
+    def __post_init__(self) -> None:
+        if self.strategy not in ("delta", "timecost"):
+            raise ValueError(f"unknown strategy {self.strategy!r}")
+        if self.mindelta > 0:
+            raise ValueError("mindelta takes values in R- (<= 0)")
+        if self.maxdelta < 0:
+            raise ValueError("maxdelta takes values in R+ (>= 0)")
+        if not 0.0 < self.minrho <= 1.0:
+            raise ValueError("minrho takes values in ]0, 1]")
+
+    def with_(self, **changes) -> "RATSParams":
+        """Functional update helper."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        if self.strategy == "delta":
+            return (f"delta(mindelta={self.mindelta:g}, "
+                    f"maxdelta={self.maxdelta:g})")
+        pack = "packing" if self.allow_pack else "no packing"
+        return f"time-cost(minrho={self.minrho:g}, {pack})"
+
+
+#: §IV-B naive parameterisations (every knob at 0.5, packing allowed).
+NAIVE_DELTA = RATSParams(strategy="delta", mindelta=-0.5, maxdelta=0.5)
+NAIVE_TIMECOST = RATSParams(strategy="timecost", minrho=0.5, allow_pack=True)
+
+#: Table IV — tuned (mindelta, maxdelta, minrho) per cluster × application
+#: type.  Application families: "fft", "strassen", "layered", "irregular"
+#: (the paper's "Random" column refers to the irregular random DAGs of the
+#: Figure 5 sweep).
+PAPER_TUNED_PARAMS: dict[tuple[str, str], tuple[float, float, float]] = {
+    ("chti", "fft"): (-0.5, 1.0, 0.2),
+    ("chti", "strassen"): (-0.25, 0.5, 0.5),
+    ("chti", "layered"): (-0.5, 1.0, 0.2),
+    ("chti", "irregular"): (-0.75, 1.0, 0.5),
+    ("grillon", "fft"): (-0.5, 1.0, 0.2),
+    ("grillon", "strassen"): (0.0, 1.0, 0.4),
+    ("grillon", "layered"): (-0.25, 1.0, 0.2),
+    ("grillon", "irregular"): (-0.75, 1.0, 0.5),
+    ("grelon", "fft"): (-0.25, 0.75, 0.4),
+    ("grelon", "strassen"): (-0.25, 1.0, 0.5),
+    ("grelon", "layered"): (-0.5, 1.0, 0.2),
+    ("grelon", "irregular"): (-0.75, 1.0, 0.4),
+}
+
+
+def tuned_params(cluster_name: str, family: str,
+                 strategy: Strategy) -> RATSParams:
+    """Table IV parameters for a cluster × application-family pair.
+
+    >>> tuned_params("grillon", "fft", "delta").maxdelta
+    1.0
+    """
+    try:
+        mindelta, maxdelta, minrho = PAPER_TUNED_PARAMS[(cluster_name, family)]
+    except KeyError:
+        raise KeyError(
+            f"no tuned parameters for cluster={cluster_name!r}, "
+            f"family={family!r}") from None
+    return RATSParams(strategy=strategy, mindelta=mindelta,
+                      maxdelta=maxdelta, minrho=minrho, allow_pack=True)

@@ -1,0 +1,68 @@
+"""Ready-list secondary sorting strategies (paper §III-C).
+
+Ready tasks are primarily ordered by decreasing bottom level.  Among tasks
+of equal priority a *stable* secondary sort applies:
+
+* **delta sort** — increasing ``δ(t) = min(δ⁺, −δ⁻)``: tasks requiring the
+  smallest modification of their initial allocation go first;
+* **time-cost sort** — decreasing
+  ``gain(t) = max_i (T(t, Np(t)) − T(t, Np(pred_i))))``: tasks with the most
+  execution time to gain from a parent's allocation go first.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.scheduling.mapping import ListScheduler
+
+__all__ = ["delta_sort_value", "gain_sort_value", "pred_size_diffs"]
+
+_INF = float("inf")
+
+
+def pred_size_diffs(scheduler: "ListScheduler", name: str) -> list[tuple[int, str]]:
+    """``(Np(pred) − Np(t), pred)`` for every already-mapped predecessor."""
+    n_t = scheduler.allocation[name]
+    out: list[tuple[int, str]] = []
+    for pred in scheduler.graph.predecessors(name):
+        if pred in scheduler.schedule:
+            out.append((scheduler.schedule[pred].nprocs - n_t, pred))
+    return out
+
+
+def delta_sort_value(scheduler: "ListScheduler", name: str) -> float:
+    """``δ(t) = min(δ⁺, −δ⁻)`` — the smallest allocation modification.
+
+    ``δ⁺`` is the minimal non-negative predecessor size difference and
+    ``δ⁻`` the maximal negative one.  Tasks with no mapped predecessor get
+    ``+inf`` (no adaptation possible, lowest priority among ties).
+    """
+    diffs = [d for d, _ in pred_size_diffs(scheduler, name)]
+    if not diffs:
+        return _INF
+    d_plus = min((d for d in diffs if d >= 0), default=None)
+    d_minus = max((d for d in diffs if d < 0), default=None)
+    candidates = []
+    if d_plus is not None:
+        candidates.append(float(d_plus))
+    if d_minus is not None:
+        candidates.append(float(-d_minus))
+    return min(candidates) if candidates else _INF
+
+
+def gain_sort_value(scheduler: "ListScheduler", name: str) -> float:
+    """``gain(t) = max_i (T(t, Np(t)) − T(t, Np(pred_i)))`` (Eq. 2).
+
+    Positive when some predecessor runs on more processors than ``t`` was
+    allocated.  Tasks with no mapped predecessor get ``−inf`` (no gain
+    available, lowest priority among ties).
+    """
+    n_t = scheduler.allocation[name]
+    t_own = scheduler.exec_time_count(name, n_t)
+    best = -_INF
+    for _diff, pred in pred_size_diffs(scheduler, name):
+        procs = scheduler.schedule[pred].procs
+        best = max(best, t_own - scheduler.exec_time(name, procs))
+    return best

@@ -1,0 +1,214 @@
+"""The two redistribution-aware mapping strategies of §III-A / §III-B.
+
+Both strategies consider, for a ready task ``t``, the processor sets of its
+already-mapped predecessors.  Mapping ``t`` on the *exact ordered set* of a
+predecessor makes that edge's redistribution free (§II-A), at the price of
+changing the task's first-step allocation:
+
+* **stretching** (predecessor has *more* processors) also shortens the
+  task's execution time but uses more resources;
+* **packing** (predecessor has *fewer* processors) lengthens the execution
+  but can start earlier and leaves room for concurrent tasks.
+
+``DeltaStrategy`` accepts the closest predecessor set whose size difference
+is within the ``mindelta`` / ``maxdelta`` budget — purely structural, no
+performance estimation.  ``TimeCostStrategy`` stretches only when the work
+ratio ``ρ`` (Eq. 1) stays above ``minrho`` and packs only when the estimated
+finish time does not degrade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.scheduling.mapping import MappingDecision
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.params import RATSParams
+    from repro.scheduling.mapping import ListScheduler
+
+__all__ = [
+    "AdaptationRecord",
+    "DeltaStrategy",
+    "TimeCostStrategy",
+    "make_strategy",
+]
+
+
+@dataclass(frozen=True)
+class AdaptationRecord:
+    """One allocation adaptation performed while mapping."""
+
+    task: str
+    pred: str
+    kind: str  # "stretch" | "pack" | "same"
+    from_procs: int
+    to_procs: int
+
+    @property
+    def delta(self) -> int:
+        return self.to_procs - self.from_procs
+
+
+def _kind_of(diff: int) -> str:
+    if diff > 0:
+        return "stretch"
+    if diff < 0:
+        return "pack"
+    return "same"
+
+
+def _mapped_pred_sets(scheduler: "ListScheduler",
+                      name: str) -> list[tuple[str, tuple[int, ...]]]:
+    """(pred, ordered procs) for each *claimable* mapped predecessor.
+
+    Predecessors whose allocation was already claimed by a sibling's
+    adaptation are excluded: Algorithm 1 (line 11) recomputes the
+    delta / execution-time values of ready nodes "computed using this
+    parent allocation" once a node has been mapped onto it — reusing the
+    same parent set for many ready siblings would serialize them on the
+    same processors and destroy task parallelism (§III-C).
+    """
+    consumed = getattr(scheduler, "consumed_parents", frozenset())
+    return [
+        (p, scheduler.schedule[p].procs)
+        for p in scheduler.graph.predecessors(name)
+        if p in scheduler.schedule and p not in consumed
+    ]
+
+
+def _pick_pred(scheduler: "ListScheduler", name: str,
+               preds: list[tuple[str, tuple[int, ...]]]) -> tuple[str, tuple[int, ...]]:
+    """Among equivalent predecessors prefer the heaviest edge (most data
+    saved from redistribution), then the name for determinism."""
+    return max(preds,
+               key=lambda pp: (scheduler.graph.edge_bytes(pp[0], name), pp[0]))
+
+
+class DeltaStrategy:
+    """§III-A / §III-B *delta* mapping: bounded structural adaptation.
+
+    For a ready task ``t`` with first-step allocation ``n_t``:
+
+    * ``δ⁺ = min_i (Np(pred_i) − n_t)`` over predecessors with at least
+      ``n_t`` processors; acceptable when ``δ⁺ ≤ maxdelta·n_t``;
+    * ``δ⁻ = max_i (Np(pred_i) − n_t)`` over predecessors with fewer
+      processors; acceptable when ``δ⁻ ≥ mindelta·n_t``;
+    * the smaller modification wins (ties prefer stretching, which also
+      reduces the execution time); the task is mapped on the selected
+      predecessor's exact processor set.
+    """
+
+    name = "delta"
+
+    def __init__(self, params: "RATSParams") -> None:
+        self.params = params
+
+    def decide(self, scheduler: "ListScheduler", name: str,
+               ) -> tuple[MappingDecision, AdaptationRecord | None]:
+        n_t = scheduler.allocation[name]
+        preds = _mapped_pred_sets(scheduler, name)
+
+        grow = [(p, procs) for p, procs in preds if len(procs) >= n_t]
+        shrink = [(p, procs) for p, procs in preds if len(procs) < n_t]
+
+        options: list[tuple[int, int, str, tuple[int, ...]]] = []
+        if grow:
+            d_plus = min(len(procs) - n_t for _, procs in grow)
+            if d_plus <= self.params.maxdelta * n_t:
+                cands = [pp for pp in grow if len(pp[1]) - n_t == d_plus]
+                p, procs = _pick_pred(scheduler, name, cands)
+                # (modification magnitude, tie-rank 0 = stretch preferred)
+                options.append((d_plus, 0, p, procs))
+        if shrink:
+            d_minus = max(len(procs) - n_t for _, procs in shrink)
+            if d_minus >= self.params.mindelta * n_t:
+                cands = [pp for pp in shrink if len(pp[1]) - n_t == d_minus]
+                p, procs = _pick_pred(scheduler, name, cands)
+                options.append((-d_minus, 1, p, procs))
+
+        if not options:
+            return scheduler.best_decision(name, n_t), None
+
+        options.sort(key=lambda o: (o[0], o[1]))
+        _, _, pred, procs = options[0]
+        decision = scheduler.decision_for_procs(name, procs)
+        record = AdaptationRecord(task=name, pred=pred,
+                                  kind=_kind_of(len(procs) - n_t),
+                                  from_procs=n_t, to_procs=len(procs))
+        return decision, record
+
+
+class TimeCostStrategy:
+    """§III-A / §III-B *time-cost* mapping: work- and finish-time-aware.
+
+    Stretching uses the work ratio (Eq. 1)
+
+        ``ρ_i = (T(t, n_t)·n_t) / (T(t, Np(pred_i))·Np(pred_i))``
+
+    over predecessors with ``Np(pred_i) ≥ n_t``; the best (largest) ratio
+    must reach ``minrho`` (and, with ``guard_stretch``, the stretch's
+    estimated finish time must not exceed the default mapping's — §III-A's
+    finish-time estimation).  Packing (when enabled) maps ``t`` on a
+    smaller predecessor set only if its estimated finish time is not worse
+    than the default HCPA mapping.  When both qualify, the earlier
+    estimated finish wins.
+    """
+
+    name = "timecost"
+
+    def __init__(self, params: "RATSParams") -> None:
+        self.params = params
+
+    def decide(self, scheduler: "ListScheduler", name: str,
+               ) -> tuple[MappingDecision, AdaptationRecord | None]:
+        n_t = scheduler.allocation[name]
+        default = scheduler.best_decision(name, n_t)
+        preds = _mapped_pred_sets(scheduler, name)
+
+        candidates: list[tuple[MappingDecision, AdaptationRecord]] = []
+
+        grow = [(p, procs) for p, procs in preds if len(procs) >= n_t]
+        if grow:
+            own_work = n_t * scheduler.exec_time_count(name, n_t)
+
+            def rho(procs: tuple[int, ...]) -> float:
+                return own_work / scheduler.work_of(name, procs)
+
+            best_rho = max(rho(procs) for _, procs in grow)
+            if best_rho >= self.params.minrho:
+                cands = [pp for pp in grow if rho(pp[1]) >= best_rho - 1e-12]
+                p, procs = _pick_pred(scheduler, name, cands)
+                decision = scheduler.decision_for_procs(name, procs)
+                if not (self.params.guard_stretch
+                        and decision.finish > default.finish):
+                    candidates.append((decision, AdaptationRecord(
+                        task=name, pred=p, kind=_kind_of(len(procs) - n_t),
+                        from_procs=n_t, to_procs=len(procs))))
+
+        if self.params.allow_pack:
+            shrink = [(p, procs) for p, procs in preds if len(procs) < n_t]
+            best_pack: tuple[MappingDecision, str, tuple[int, ...]] | None = None
+            for p, procs in shrink:
+                d = scheduler.decision_for_procs(name, procs)
+                if d.finish <= default.finish and (
+                        best_pack is None or d.finish < best_pack[0].finish):
+                    best_pack = (d, p, procs)
+            if best_pack is not None:
+                d, p, procs = best_pack
+                candidates.append((d, AdaptationRecord(
+                    task=name, pred=p, kind="pack",
+                    from_procs=n_t, to_procs=len(procs))))
+
+        if not candidates:
+            return default, None
+        decision, record = min(candidates, key=lambda c: c[0].finish)
+        return decision, record
+
+
+def make_strategy(params: "RATSParams"):
+    """Instantiate the strategy selected by ``params.strategy``."""
+    if params.strategy == "delta":
+        return DeltaStrategy(params)
+    return TimeCostStrategy(params)

@@ -1,0 +1,46 @@
+"""Application model: DAGs of moldable data-parallel tasks.
+
+The sub-package provides
+
+* :mod:`repro.dag.task` — the :class:`~repro.dag.task.Task` payload and the
+  :class:`~repro.dag.task.TaskGraph` container (a thin, validated wrapper
+  around :class:`networkx.DiGraph`),
+* :mod:`repro.dag.analysis` — structural analyses (levels, bottom/top
+  levels, critical path, width),
+* :mod:`repro.dag.generator` — the layered / irregular random DAG
+  generators of the paper's §IV-A (Table III),
+* :mod:`repro.dag.kernels` — FFT and Strassen task graphs,
+* :mod:`repro.dag.costs` — the cost model of §II-A (``m`` doubles,
+  ``a·m`` flops, Amdahl ``α``).
+"""
+
+from repro.dag.task import DOUBLE_BYTES, Task, TaskGraph
+from repro.dag.analysis import (
+    bottom_levels,
+    critical_path,
+    dag_levels,
+    dag_width,
+    top_levels,
+)
+from repro.dag.costs import ComputeCostConfig, annotate_costs
+from repro.dag.generator import DagShape, random_irregular_dag, random_layered_dag
+from repro.dag.kernels import fft_dag, fft_task_count, strassen_dag
+
+__all__ = [
+    "DOUBLE_BYTES",
+    "Task",
+    "TaskGraph",
+    "bottom_levels",
+    "top_levels",
+    "critical_path",
+    "dag_levels",
+    "dag_width",
+    "ComputeCostConfig",
+    "annotate_costs",
+    "DagShape",
+    "random_layered_dag",
+    "random_irregular_dag",
+    "fft_dag",
+    "fft_task_count",
+    "strassen_dag",
+]

@@ -1,0 +1,132 @@
+"""Structural analyses on task graphs.
+
+All functions are parameterised by *cost callables* so the same machinery
+serves the allocation step (which evaluates execution times under a tentative
+allocation, §II-C) and the mapping step (which orders ready tasks by
+*bottom level* — the distance to the graph exit, §III-C).
+
+Conventions
+-----------
+* ``node_time(name) -> float`` gives the execution time of a task under the
+  current allocation.
+* ``edge_time(src, dst) -> float`` gives the estimated communication time of
+  an edge; the zero function reproduces the classic CPA behaviour of
+  ignoring redistributions during allocation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.dag.task import TaskGraph
+
+__all__ = [
+    "dag_levels",
+    "dag_width",
+    "bottom_levels",
+    "top_levels",
+    "critical_path",
+    "critical_path_length",
+]
+
+NodeTime = Callable[[str], float]
+EdgeTime = Callable[[str, str], float]
+
+
+def _zero_edge(_u: str, _v: str) -> float:
+    return 0.0
+
+
+def dag_levels(graph: TaskGraph) -> dict[str, int]:
+    """Assign each task its *precedence level*.
+
+    The level of a task is the length (in hops) of the longest path from any
+    entry task, i.e. entry tasks are level 0 and every task sits one level
+    below its deepest predecessor.  This is the level notion used by the
+    generator parameters (width / regularity / density) and by MCPA.
+    """
+    levels: dict[str, int] = {}
+    for name in graph.topological_order():
+        preds = graph.predecessors(name)
+        levels[name] = 0 if not preds else 1 + max(levels[p] for p in preds)
+    return levels
+
+
+def dag_width(graph: TaskGraph) -> int:
+    """Maximum number of tasks sharing a precedence level (max parallelism)."""
+    levels = dag_levels(graph)
+    counts: dict[int, int] = {}
+    for lvl in levels.values():
+        counts[lvl] = counts.get(lvl, 0) + 1
+    return max(counts.values())
+
+
+def bottom_levels(graph: TaskGraph, node_time: NodeTime,
+                  edge_time: EdgeTime | None = None) -> dict[str, float]:
+    """Bottom level ``b(t)``: longest node+edge weighted path from ``t`` to an exit.
+
+    ``b(t) = node_time(t) + max over children c of (edge_time(t,c) + b(c))``,
+    with ``b(exit) = node_time(exit)``.  Ready tasks are mapped in order of
+    decreasing bottom level (§II-C, §III-C).
+    """
+    edge_time = edge_time or _zero_edge
+    bl: dict[str, float] = {}
+    for name in reversed(graph.topological_order()):
+        succs = graph.successors(name)
+        tail = max((edge_time(name, s) + bl[s] for s in succs), default=0.0)
+        bl[name] = node_time(name) + tail
+    return bl
+
+
+def top_levels(graph: TaskGraph, node_time: NodeTime,
+               edge_time: EdgeTime | None = None) -> dict[str, float]:
+    """Top level: longest weighted path from an entry up to (excluding) ``t``.
+
+    ``top(t) = max over parents p of (top(p) + node_time(p) + edge_time(p,t))``
+    with ``top(entry) = 0``.  ``top(t) + b(t)`` is the length of the longest
+    path through ``t``.
+    """
+    edge_time = edge_time or _zero_edge
+    tl: dict[str, float] = {}
+    for name in graph.topological_order():
+        preds = graph.predecessors(name)
+        tl[name] = max(
+            (tl[p] + node_time(p) + edge_time(p, name) for p in preds),
+            default=0.0,
+        )
+    return tl
+
+
+def critical_path_length(graph: TaskGraph, node_time: NodeTime,
+                         edge_time: EdgeTime | None = None) -> float:
+    """``C∞`` — the length of the critical path under the given costs."""
+    bl = bottom_levels(graph, node_time, edge_time)
+    return max((bl[e] for e in graph.entry_tasks()), default=0.0)
+
+
+def critical_path(graph: TaskGraph, node_time: NodeTime,
+                  edge_time: EdgeTime | None = None) -> list[str]:
+    """Return one critical path as a list of task names (entry → exit).
+
+    Ties are broken deterministically by task name so repeated calls under
+    identical costs return the same path.
+    """
+    edge_time = edge_time or _zero_edge
+    bl = bottom_levels(graph, node_time, edge_time)
+    entries = graph.entry_tasks()
+    if not entries:
+        return []
+    current = max(entries, key=lambda n: (bl[n], n))
+    path = [current]
+    while True:
+        succs = graph.successors(current)
+        if not succs:
+            break
+        # the critical successor continues the longest path
+        def tail(s: str) -> float:
+            return edge_time(current, s) + bl[s]
+
+        best = max(succs, key=lambda s: (tail(s), s))
+        path.append(best)
+        current = best
+    return path

@@ -1,0 +1,104 @@
+"""Cost annotation for task graphs (paper §II-A).
+
+A data-parallel task operates on a dataset of ``m`` double-precision
+elements with ``4M ≤ m ≤ 121M`` (at most 1 GByte).  Its computational
+complexity is ``a·m`` operations, ``a`` drawn randomly in ``[2^6, 2^9]``
+(see DESIGN.md on the superscript-extraction caveat — the literal
+``[26, 29]`` reading is available by configuring ``a_min``/``a_max``).
+The non-parallelizable Amdahl fraction ``α`` is uniform in ``[0, 0.25]``.
+
+The data volume a task communicates to *each* of its children is its whole
+dataset ``m`` (``8·m`` bytes).
+
+*Layered* DAGs share one ``(m, a, α)`` triple per precedence level so all
+tasks of a level have the same cost; *irregular* DAGs draw per task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dag.analysis import dag_levels
+from repro.dag.task import TaskGraph
+
+__all__ = ["ComputeCostConfig", "annotate_costs"]
+
+
+@dataclass(frozen=True)
+class ComputeCostConfig:
+    """Random cost-model parameters of §II-A.
+
+    Defaults follow the paper: ``m ∈ [4·10^6, 121·10^6]`` doubles,
+    ``a ∈ [2^6, 2^9]``, ``α ∈ [0, 0.25]``.
+    """
+
+    m_min: float = 4.0e6
+    m_max: float = 121.0e6
+    a_min: float = 2.0 ** 6
+    a_max: float = 2.0 ** 9
+    alpha_min: float = 0.0
+    alpha_max: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0 < self.m_min <= self.m_max:
+            raise ValueError("require 0 < m_min <= m_max")
+        if not 0 < self.a_min <= self.a_max:
+            raise ValueError("require 0 < a_min <= a_max")
+        if not 0.0 <= self.alpha_min <= self.alpha_max <= 1.0:
+            raise ValueError("require 0 <= alpha_min <= alpha_max <= 1")
+
+    def draw(self, rng: np.random.Generator) -> tuple[float, float, float]:
+        """Draw one ``(m, a, alpha)`` triple."""
+        m = rng.uniform(self.m_min, self.m_max)
+        a = rng.uniform(self.a_min, self.a_max)
+        alpha = rng.uniform(self.alpha_min, self.alpha_max)
+        return m, a, alpha
+
+
+def annotate_costs(graph: TaskGraph, rng: np.random.Generator,
+                   config: ComputeCostConfig | None = None,
+                   *, per_level: bool = False) -> TaskGraph:
+    """Draw ``(m, a, α)`` costs for every task and reset edge weights.
+
+    Parameters
+    ----------
+    graph:
+        Graph whose structure is already built.  Task payloads are mutated
+        in place (``data_elements``, ``flops``, ``alpha``) and every edge
+        weight is re-derived as the producer's ``8·m`` bytes.
+    per_level:
+        When true all tasks of one precedence level share the same cost
+        triple (the *layered* convention, also used for FFT and Strassen
+        kernels where "computation or communication tasks in a given level
+        have the same cost").
+    """
+    config = config or ComputeCostConfig()
+    if per_level:
+        levels = dag_levels(graph)
+        draws: dict[int, tuple[float, float, float]] = {}
+        for lvl in sorted(set(levels.values())):
+            draws[lvl] = config.draw(rng)
+
+        def triple(name: str) -> tuple[float, float, float]:
+            return draws[levels[name]]
+    else:
+        cache: dict[str, tuple[float, float, float]] = {
+            name: config.draw(rng) for name in graph.task_names()
+        }
+
+        def triple(name: str) -> tuple[float, float, float]:
+            return cache[name]
+
+    for name in graph.task_names():
+        m, a, alpha = triple(name)
+        task = graph.task(name)
+        task.data_elements = m
+        task.flops = a * m
+        task.alpha = alpha
+
+    # edge weight = producer's full dataset, in bytes
+    for u, v, _ in list(graph.edges()):
+        graph.nx_graph.edges[u, v]["data_bytes"] = graph.task(u).data_bytes
+    return graph

@@ -1,0 +1,156 @@
+"""Random DAG generators for the paper's §IV-A workloads (Table III).
+
+Two families of randomly generated application DAGs are used:
+
+* **layered** — all tasks of a precedence level share the same cost, hence
+  all transfers between the same two levels share the same communication
+  cost;
+* **irregular** — per-task costs, plus random *jump edges* from level ``l``
+  to level ``l + jump`` (``jump = 1`` adds no extra edges).
+
+Three shape parameters in ``[0, 1]`` control the structure (semantics follow
+the paper and Suter's ``daggen`` program [12]):
+
+* ``width`` — maximum parallelism: small → "chain" graphs, large →
+  "fork-join" graphs.  We use a mean level width of ``round(n^width)``.
+* ``regularity`` — uniformity of the number of tasks per level: level sizes
+  are drawn as ``round(mean · U[regularity, 2 − regularity])``.
+* ``density`` — number of edges between two consecutive levels: each task
+  draws ``1 + Binomial(min(|previous level| − 1, max_extra_parents),
+  density)`` parents.  The fan-in cap (default 5) keeps the edge count of
+  wide DAGs in the realistic few-times-``n`` regime of workflow generators
+  such as ``daggen``; without it a width-0.8 / density-0.8 DAG degenerates
+  into a near-complete bipartite stack whose every task waits on dozens of
+  redistributions.
+
+Every generated DAG has a single entry and a single exit task (§II-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dag.costs import ComputeCostConfig, annotate_costs
+from repro.dag.task import Task, TaskGraph
+
+__all__ = ["DagShape", "random_layered_dag", "random_irregular_dag"]
+
+
+@dataclass(frozen=True)
+class DagShape:
+    """Shape parameters of a random application DAG.
+
+    ``n_tasks`` counts *all* tasks including the single entry and exit.
+    ``jump`` is only meaningful for irregular DAGs (``jump = 1`` means no
+    level is jumped over).
+    """
+
+    n_tasks: int
+    width: float = 0.5
+    regularity: float = 0.5
+    density: float = 0.5
+    jump: int = 1
+    max_extra_parents: int = 5
+
+    def __post_init__(self) -> None:
+        if self.n_tasks < 3:
+            raise ValueError("need at least 3 tasks (entry, middle, exit)")
+        for field_name in ("width", "regularity", "density"):
+            v = getattr(self, field_name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{field_name} must be in [0, 1], got {v}")
+        if self.jump < 1:
+            raise ValueError("jump must be >= 1")
+        if self.max_extra_parents < 0:
+            raise ValueError("max_extra_parents must be >= 0")
+
+
+def _level_sizes(shape: DagShape, rng: np.random.Generator) -> list[int]:
+    """Draw internal level sizes (entry and exit levels are size 1)."""
+    budget = shape.n_tasks - 2
+    mean = max(1.0, round(float(shape.n_tasks) ** shape.width))
+    sizes: list[int] = []
+    while budget > 0:
+        lo, hi = shape.regularity, 2.0 - shape.regularity
+        size = int(round(mean * rng.uniform(lo, hi)))
+        size = max(1, min(size, budget))
+        sizes.append(size)
+        budget -= size
+    if not sizes:  # n_tasks == 3 handled by the loop, but be safe
+        sizes = [shape.n_tasks - 2]
+    return sizes
+
+
+def _build_structure(shape: DagShape, rng: np.random.Generator,
+                     name: str) -> tuple[TaskGraph, list[list[str]]]:
+    """Build the level/edge structure (costs not yet annotated)."""
+    graph = TaskGraph(name=name)
+    levels: list[list[str]] = [["entry"]]
+    graph.add_task(Task("entry"))
+    for li, size in enumerate(_level_sizes(shape, rng), start=1):
+        level = []
+        for i in range(size):
+            tname = f"t{li}_{i}"
+            graph.add_task(Task(tname))
+            level.append(tname)
+        levels.append(level)
+    graph.add_task(Task("exit"))
+    levels.append(["exit"])
+
+    # forward edges: each task picks 1 + Binomial(|prev|-1, density) parents
+    for li in range(1, len(levels)):
+        prev = levels[li - 1]
+        for tname in levels[li]:
+            fan_in = min(len(prev) - 1, shape.max_extra_parents)
+            n_parents = 1 + int(rng.binomial(fan_in, shape.density))
+            parents = rng.choice(len(prev), size=n_parents, replace=False)
+            for p in parents:
+                graph.add_edge(prev[int(p)], tname)
+        # guarantee every task of the previous level has a child
+        for pname in prev:
+            if not graph.successors(pname):
+                child = levels[li][int(rng.integers(len(levels[li])))]
+                graph.add_edge(pname, child)
+    return graph, levels
+
+
+def _add_jump_edges(graph: TaskGraph, levels: list[list[str]],
+                    shape: DagShape, rng: np.random.Generator) -> None:
+    """Add edges from level ``l`` to level ``l + jump`` (irregular DAGs).
+
+    Each task of the target level independently gains one extra parent from
+    level ``l`` with probability ``density``; duplicates are skipped.
+    """
+    if shape.jump <= 1:
+        return
+    for li in range(0, len(levels) - shape.jump):
+        src_level = levels[li]
+        dst_level = levels[li + shape.jump]
+        for tname in dst_level:
+            if rng.random() < shape.density:
+                src = src_level[int(rng.integers(len(src_level)))]
+                if not graph.nx_graph.has_edge(src, tname):
+                    graph.add_edge(src, tname)
+
+
+def random_layered_dag(shape: DagShape, rng: np.random.Generator,
+                       cost_config: ComputeCostConfig | None = None,
+                       name: str = "layered") -> TaskGraph:
+    """Generate a layered random DAG: per-*level* uniform costs."""
+    graph, _levels = _build_structure(shape, rng, name)
+    annotate_costs(graph, rng, cost_config, per_level=True)
+    graph.validate(require_single_entry=True, require_single_exit=True)
+    return graph
+
+
+def random_irregular_dag(shape: DagShape, rng: np.random.Generator,
+                         cost_config: ComputeCostConfig | None = None,
+                         name: str = "irregular") -> TaskGraph:
+    """Generate an irregular random DAG: per-task costs and jump edges."""
+    graph, levels = _build_structure(shape, rng, name)
+    _add_jump_edges(graph, levels, shape, rng)
+    annotate_costs(graph, rng, cost_config, per_level=False)
+    graph.validate(require_single_entry=True, require_single_exit=True)
+    return graph

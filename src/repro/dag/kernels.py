@@ -1,0 +1,148 @@
+"""Task graphs of the two HPC kernels used in §IV-A.
+
+FFT
+---
+For ``k`` data points the task graph has ``2k − 1`` *recursive call* tasks
+(a binary tree of depth ``log2 k``) followed by ``k · log2 k`` *butterfly*
+tasks (``log2 k`` stages of ``k`` tasks).  The paper uses
+``k ∈ {2, 4, 8, 16}`` giving 5, 15, 39 and 95 tasks.  Every path from the
+entry (tree root) to any exit is a critical path, because all tasks of a
+level share the same cost.
+
+Strassen
+--------
+One level of Strassen's matrix multiplication ``C = A·B``: 10 operand
+additions (``S1..S10``), 7 sub-products (``M1..M7``) and 8 combination
+additions forming the four quadrants of ``C`` — 25 tasks in total, matching
+§IV-A.  All entry tasks lie on a critical path by the same per-level cost
+convention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dag.costs import ComputeCostConfig, annotate_costs
+from repro.dag.task import Task, TaskGraph
+
+__all__ = ["fft_task_count", "fft_dag", "strassen_dag", "STRASSEN_TASK_COUNT"]
+
+#: Number of tasks in the Strassen DAG (paper §IV-A).
+STRASSEN_TASK_COUNT = 25
+
+
+def fft_task_count(k: int) -> int:
+    """Number of tasks of the FFT DAG for ``k`` data points.
+
+    ``2k − 1`` recursive-call tasks plus ``k · log2 k`` butterfly tasks.
+
+    >>> [fft_task_count(k) for k in (2, 4, 8, 16)]
+    [5, 15, 39, 95]
+    """
+    _check_power_of_two(k)
+    d = k.bit_length() - 1
+    return (2 * k - 1) + k * d
+
+
+def _check_power_of_two(k: int) -> None:
+    if k < 2 or (k & (k - 1)) != 0:
+        raise ValueError(f"k must be a power of two >= 2, got {k}")
+
+
+def fft_dag(k: int, rng: np.random.Generator,
+            cost_config: ComputeCostConfig | None = None) -> TaskGraph:
+    """Build the FFT task graph for ``k`` data points with per-level costs."""
+    _check_power_of_two(k)
+    depth = k.bit_length() - 1
+    graph = TaskGraph(name=f"fft_{k}")
+
+    # recursive-call binary tree: level t has 2^t tasks, t = 0..depth
+    tree: list[list[str]] = []
+    for t in range(depth + 1):
+        level = []
+        for i in range(2 ** t):
+            name = f"call_{t}_{i}"
+            graph.add_task(Task(name))
+            level.append(name)
+        tree.append(level)
+    for t in range(depth):
+        for i in range(2 ** t):
+            graph.add_edge(tree[t][i], tree[t + 1][2 * i])
+            graph.add_edge(tree[t][i], tree[t + 1][2 * i + 1])
+
+    # butterfly stages: stage s (1..depth) has k tasks; task i of stage s
+    # depends on tasks i and i XOR 2^(s-1) of the previous stage (the k
+    # leaves of the call tree act as stage 0).
+    prev = tree[depth]
+    for s in range(1, depth + 1):
+        stage = []
+        for i in range(k):
+            name = f"bfly_{s}_{i}"
+            graph.add_task(Task(name))
+            stage.append(name)
+        stride = 2 ** (s - 1)
+        for i in range(k):
+            graph.add_edge(prev[i], stage[i])
+            partner = i ^ stride
+            graph.add_edge(prev[partner], stage[i])
+        prev = stage
+
+    annotate_costs(graph, rng, cost_config, per_level=True)
+    graph.validate(require_single_entry=True)
+    assert graph.num_tasks == fft_task_count(k)
+    return graph
+
+
+# Strassen dataflow: S-task -> list of M-products it feeds, and M-product ->
+# post-addition tasks.  Following the classic seven-product formulation:
+#   M1 = (A11+A22)(B11+B22)   M2 = (A21+A22) B11      M3 = A11 (B12-B22)
+#   M4 = A22 (B21-B11)        M5 = (A11+A12) B22      M6 = (A21-A11)(B11+B12)
+#   M7 = (A12-A22)(B21+B22)
+#   C11 = M1+M4-M5+M7   C12 = M3+M5   C21 = M2+M4   C22 = M1-M2+M3+M6
+_STRASSEN_M_PARENTS: dict[str, list[str]] = {
+    "M1": ["S1", "S2"],   # S1 = A11+A22, S2 = B11+B22
+    "M2": ["S3"],         # S3 = A21+A22          (B11 is an input, no task)
+    "M3": ["S4"],         # S4 = B12-B22
+    "M4": ["S5"],         # S5 = B21-B11
+    "M5": ["S6"],         # S6 = A11+A12
+    "M6": ["S7", "S8"],   # S7 = A21-A11, S8 = B11+B12
+    "M7": ["S9", "S10"],  # S9 = A12-A22, S10 = B21+B22
+}
+
+# 8 post-addition tasks (4-operand quadrants decomposed into binary adds):
+#   U1 = M1+M4,  U2 = M7-M5,  C11 = U1+U2
+#   V1 = M1-M2,  V2 = M3+M6,  C22 = V1+V2
+#   C12 = M3+M5,  C21 = M2+M4
+_STRASSEN_POST_PARENTS: dict[str, list[str]] = {
+    "U1": ["M1", "M4"],
+    "U2": ["M7", "M5"],
+    "C11": ["U1", "U2"],
+    "V1": ["M1", "M2"],
+    "V2": ["M3", "M6"],
+    "C22": ["V1", "V2"],
+    "C12": ["M3", "M5"],
+    "C21": ["M2", "M4"],
+}
+
+
+def strassen_dag(rng: np.random.Generator,
+                 cost_config: ComputeCostConfig | None = None) -> TaskGraph:
+    """Build the 25-task Strassen matrix-multiplication DAG."""
+    graph = TaskGraph(name="strassen")
+    for i in range(1, 11):
+        graph.add_task(Task(f"S{i}"))
+    for m in _STRASSEN_M_PARENTS:
+        graph.add_task(Task(m))
+    for p in _STRASSEN_POST_PARENTS:
+        graph.add_task(Task(p))
+    for m, parents in _STRASSEN_M_PARENTS.items():
+        for s in parents:
+            graph.add_edge(s, m)
+    for p, parents in _STRASSEN_POST_PARENTS.items():
+        for m in parents:
+            graph.add_edge(m, p)
+
+    annotate_costs(graph, rng, cost_config, per_level=True)
+    graph.validate()
+    assert graph.num_tasks == STRASSEN_TASK_COUNT
+    return graph

@@ -1,0 +1,41 @@
+"""Experiment harness reproducing the paper's evaluation (§IV)."""
+
+from repro.experiments.scenarios import (
+    Scenario,
+    all_scenarios,
+    scenarios_by_family,
+    subsample,
+)
+from repro.experiments.runner import (
+    AlgorithmSpec,
+    ExperimentRunner,
+    RunResult,
+    baseline_spec,
+    rats_spec,
+)
+from repro.experiments.metrics import (
+    combined_comparison,
+    degradation_from_best,
+    pairwise_comparison,
+    relative_series,
+    series_stats,
+)
+from repro.experiments.campaign import run_campaign
+
+__all__ = [
+    "run_campaign",
+    "Scenario",
+    "all_scenarios",
+    "scenarios_by_family",
+    "subsample",
+    "AlgorithmSpec",
+    "ExperimentRunner",
+    "RunResult",
+    "baseline_spec",
+    "rats_spec",
+    "relative_series",
+    "series_stats",
+    "pairwise_comparison",
+    "combined_comparison",
+    "degradation_from_best",
+]

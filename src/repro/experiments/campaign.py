@@ -1,0 +1,155 @@
+"""One-shot reproduction campaign: regenerate the paper's evaluation.
+
+Run as a module::
+
+    python -m repro.experiments.campaign --fraction 0.06
+    python -m repro.experiments.campaign --full --out report.txt
+    python -m repro.experiments.campaign --clusters grillon --skip-sweeps
+
+The campaign executes, in order: Tables I–III (static), Figures 2–3 (naive
+parameters on grillon), Figures 4–5 (parameter sweeps), Figures 6–7 (tuned
+parameters), and Tables V–VI (three-cluster pairwise/degradation study),
+writing one consolidated text report and optionally the raw results as
+JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.figures import (
+    figure2_3_naive,
+    figure4_delta_surface,
+    figure5_rho_curves,
+    figure6_7_tuned,
+)
+from repro.experiments.runner import ExperimentRunner, baseline_spec, rats_spec
+from repro.experiments.scenarios import (
+    all_scenarios,
+    scenarios_by_family,
+    subsample,
+)
+from repro.experiments.tables import (
+    table1_communication_matrix,
+    table2_clusters,
+    table3_scenarios,
+    table5_pairwise,
+    table6_degradation,
+)
+from repro.platforms.grid5000 import GRID5000_CLUSTERS, GRILLON, get_cluster
+from repro.scheduling.serialize import save_results
+
+__all__ = ["run_campaign", "main"]
+
+
+def run_campaign(
+    fraction: float = 0.06,
+    clusters: list[str] | None = None,
+    *,
+    skip_sweeps: bool = False,
+    progress: bool = True,
+) -> tuple[str, list]:
+    """Execute the reproduction campaign; returns (report text, results)."""
+    cluster_objs = [get_cluster(c) for c in
+                    (clusters or list(GRID5000_CLUSTERS))]
+    headline = GRILLON if GRILLON in cluster_objs else cluster_objs[0]
+    runner = ExperimentRunner(progress=progress)
+    scenarios = subsample(all_scenarios(), fraction)
+    sections: list[str] = [
+        f"RATS reproduction campaign — {len(scenarios)} of 557 "
+        f"configurations (fraction {fraction:g}), clusters: "
+        f"{', '.join(c.name for c in cluster_objs)}",
+    ]
+    t0 = time.time()
+
+    def log(msg: str) -> None:
+        if progress:
+            print(f"[{time.time() - t0:7.1f}s] {msg}", file=sys.stderr,
+                  flush=True)
+
+    sections.append(table1_communication_matrix())
+    sections.append(table2_clusters(cluster_objs))
+    sections.append(table3_scenarios())
+
+    log(f"figures 2-3: naive RATS vs HCPA on {headline.name}")
+    fig2, fig3, _ = figure2_3_naive(scenarios, headline, runner=runner)
+    sections.extend([fig2.render(), fig3.render()])
+
+    if not skip_sweeps:
+        by_family = scenarios_by_family()
+        ffts = subsample(by_family["fft"], max(fraction, 6 / 100))
+        log(f"figure 4: delta sweep over {len(ffts)} FFT DAGs")
+        fig4, _ = figure4_delta_surface(ffts, headline, runner=runner)
+        sections.append(fig4.render())
+
+        irr = subsample(by_family["irregular"], max(fraction * 0.5, 8 / 324))
+        log(f"figure 5: rho sweep over {len(irr)} irregular DAGs")
+        fig5, _ = figure5_rho_curves(irr, headline, runner=runner)
+        sections.append(fig5.render())
+
+    log(f"figures 6-7: tuned RATS vs HCPA on {headline.name}")
+    fig6, fig7, _ = figure6_7_tuned(scenarios, headline, runner=runner)
+    sections.extend([fig6.render(), fig7.render()])
+
+    log("tables V-VI: tuned campaign on all clusters")
+    specs = [
+        baseline_spec("hcpa", label="HCPA"),
+        rats_spec(tuned=True, strategy="delta", label="delta"),
+        rats_spec(tuned=True, strategy="timecost", label="time-cost"),
+    ]
+    results = runner.run_matrix(scenarios, cluster_objs, specs)
+    algos = [s.label for s in specs]
+    names = [c.name for c in cluster_objs]
+    sections.append(table5_pairwise(results, algos, names))
+    sections.append(table6_degradation(results, algos, names))
+
+    log("done")
+    report = ("\n\n" + "=" * 78 + "\n\n").join(sections)
+    return report, results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.campaign",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--fraction", type=float, default=0.06,
+                        help="stratified fraction of the 557 configurations")
+    parser.add_argument("--full", action="store_true",
+                        help="run the full 557 configurations")
+    parser.add_argument("--clusters", nargs="*", default=None,
+                        metavar="NAME",
+                        help="subset of chti/grillon/grelon")
+    parser.add_argument("--skip-sweeps", action="store_true",
+                        help="skip the Figure 4/5 parameter sweeps")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the report to this file")
+    parser.add_argument("--results-json", type=Path, default=None,
+                        help="persist raw RunResults as JSON")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    fraction = 1.0 if args.full else args.fraction
+    report, results = run_campaign(
+        fraction,
+        args.clusters,
+        skip_sweeps=args.skip_sweeps,
+        progress=not args.quiet,
+    )
+    if args.out:
+        args.out.write_text(report + "\n")
+        if not args.quiet:
+            print(f"report written to {args.out}", file=sys.stderr)
+    else:
+        print(report)
+    if args.results_json:
+        save_results(results, args.results_json)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

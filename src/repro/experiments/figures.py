@@ -1,0 +1,178 @@
+"""Figure data builders for the paper's evaluation (Figures 2–7).
+
+Each function returns a :class:`FigureData` holding the raw series plus a
+``render()`` producing an ASCII rendition; the benchmark harness prints the
+numbers the paper's plots encode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.params import NAIVE_DELTA, NAIVE_TIMECOST
+from repro.experiments.metrics import relative_series, series_stats
+from repro.experiments.runner import (
+    AlgorithmSpec,
+    ExperimentRunner,
+    RunResult,
+    baseline_spec,
+    rats_spec,
+)
+from repro.experiments.scenarios import Scenario
+from repro.experiments.tuning import SweepResult, delta_sweep, rho_sweep
+from repro.platforms.cluster import Cluster
+from repro.viz.ascii_plot import ascii_curves, ascii_surface
+
+__all__ = [
+    "FigureData",
+    "figure2_3_naive",
+    "figure4_delta_surface",
+    "figure5_rho_curves",
+    "figure6_7_tuned",
+    "relative_figure",
+]
+
+
+@dataclass
+class FigureData:
+    """Series of one figure plus a terminal renderer."""
+
+    name: str
+    description: str
+    series: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+    stats: dict[str, str] = field(default_factory=dict)
+    kind: str = "curves"  # "curves" | "surface"
+    surface: dict[tuple[float, float], float] = field(default_factory=dict)
+    axis_names: tuple[str, str] = ("x", "y")
+
+    def render(self) -> str:
+        title = f"{self.name}: {self.description}"
+        if self.kind == "surface":
+            body = ascii_surface(self.surface, x_name=self.axis_names[0],
+                                 y_name=self.axis_names[1], title=title)
+        else:
+            body = ascii_curves(self.series, title=title,
+                                y_label=self.axis_names[1])
+        stat_lines = [f"  {label}: {text}" for label, text in self.stats.items()]
+        return "\n".join([body] + stat_lines)
+
+
+def relative_figure(
+    results: list[RunResult],
+    labels: list[str],
+    baseline: str,
+    metric: str,
+    name: str,
+    description: str,
+) -> FigureData:
+    """Build a sorted relative-ratio figure (the Figure 2/3/6/7 shape)."""
+    fig = FigureData(name=name, description=description,
+                     axis_names=("DAG rank", f"{metric} relative to {baseline}"))
+    for label in labels:
+        ratios = relative_series(results, label, baseline, metric, sort=True)
+        fig.series[label] = [(float(i), v) for i, v in enumerate(ratios)]
+        fig.stats[label] = series_stats(ratios).describe()
+    return fig
+
+
+def figure2_3_naive(
+    scenarios: list[Scenario],
+    cluster: Cluster,
+    runner: ExperimentRunner | None = None,
+) -> tuple[FigureData, FigureData, list[RunResult]]:
+    """Figures 2 and 3: naive-parameter RATS vs HCPA on one cluster.
+
+    Returns (figure2, figure3, raw results) — figure 2 is the relative
+    makespan, figure 3 the relative work, both sorted independently.
+    """
+    runner = runner or ExperimentRunner()
+    base = baseline_spec("hcpa", label="HCPA")
+    specs = [
+        base,
+        rats_spec(NAIVE_DELTA, label="Delta"),
+        rats_spec(NAIVE_TIMECOST, label="Time-cost"),
+    ]
+    results = runner.run_matrix(scenarios, [cluster], specs)
+    fig2 = relative_figure(
+        results, ["Delta", "Time-cost"], "HCPA", "makespan",
+        "Figure 2", f"relative makespan, naive parameters, {cluster.name}")
+    fig3 = relative_figure(
+        results, ["Delta", "Time-cost"], "HCPA", "work",
+        "Figure 3", f"relative work, naive parameters, {cluster.name}")
+    return fig2, fig3, results
+
+
+def figure4_delta_surface(
+    scenarios: list[Scenario],
+    cluster: Cluster,
+    runner: ExperimentRunner | None = None,
+    **sweep_kwargs,
+) -> tuple[FigureData, SweepResult]:
+    """Figure 4: (mindelta, maxdelta) surface of average relative makespan."""
+    sweep = delta_sweep(scenarios, cluster, runner=runner, **sweep_kwargs)
+    fig = FigureData(
+        name="Figure 4",
+        description=(f"avg makespan relative to {sweep.baseline} over "
+                     f"(mindelta, maxdelta), {cluster.name}"),
+        kind="surface",
+        surface=dict(sweep.averages),
+        axis_names=("mindelta", "maxdelta"),
+    )
+    best = sweep.best_point()
+    fig.stats["best"] = (f"mindelta={best[0]:g}, maxdelta={best[1]:g} "
+                         f"-> avg ratio {sweep.averages[best]:.3f}")
+    return fig, sweep
+
+
+def figure5_rho_curves(
+    scenarios: list[Scenario],
+    cluster: Cluster,
+    runner: ExperimentRunner | None = None,
+    **sweep_kwargs,
+) -> tuple[FigureData, SweepResult]:
+    """Figure 5: average relative makespan vs minrho, packing on/off."""
+    sweep = rho_sweep(scenarios, cluster, runner=runner, **sweep_kwargs)
+    fig = FigureData(
+        name="Figure 5",
+        description=(f"avg makespan relative to {sweep.baseline} vs minrho, "
+                     f"{cluster.name}"),
+        axis_names=("minrho", "avg relative makespan"),
+    )
+    for allow_pack in (True, False):
+        pts = sorted(
+            (rho, avg) for (rho, pack), avg in sweep.averages.items()
+            if pack == allow_pack
+        )
+        if pts:
+            label = "packing allowed" if allow_pack else "no packing allowed"
+            fig.series[label] = pts
+    best = sweep.best_point()
+    fig.stats["best"] = (f"minrho={best[0]:g} "
+                         f"({'packing' if best[1] else 'no packing'}) "
+                         f"-> avg ratio {sweep.averages[best]:.3f}")
+    return fig, sweep
+
+
+def figure6_7_tuned(
+    scenarios: list[Scenario],
+    cluster: Cluster,
+    runner: ExperimentRunner | None = None,
+    specs: tuple[AlgorithmSpec, ...] | None = None,
+) -> tuple[FigureData, FigureData, list[RunResult]]:
+    """Figures 6 and 7: Table IV-tuned RATS vs HCPA on one cluster."""
+    runner = runner or ExperimentRunner()
+    base = baseline_spec("hcpa", label="HCPA")
+    if specs is None:
+        specs = (
+            rats_spec(tuned=True, strategy="delta", label="Delta"),
+            rats_spec(tuned=True, strategy="timecost", label="Time-cost"),
+        )
+    results = runner.run_matrix(scenarios, [cluster], [base, *specs])
+    labels = [s.label for s in specs]
+    fig6 = relative_figure(
+        results, labels, "HCPA", "makespan",
+        "Figure 6", f"relative makespan, tuned parameters, {cluster.name}")
+    fig7 = relative_figure(
+        results, labels, "HCPA", "work",
+        "Figure 7", f"relative work, tuned parameters, {cluster.name}")
+    return fig6, fig7, results

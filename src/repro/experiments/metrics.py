@@ -1,0 +1,203 @@
+"""Metrics of the paper's evaluation: relative series, pairwise win counts
+and degradation from best (§IV-B, §IV-D, Tables V and VI).
+
+All functions consume flat lists of :class:`~repro.experiments.runner.RunResult`
+and pair runs by ``(scenario_id, cluster)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.runner import RunResult
+
+__all__ = [
+    "index_results",
+    "relative_series",
+    "series_stats",
+    "SeriesStats",
+    "pairwise_comparison",
+    "combined_comparison",
+    "degradation_from_best",
+    "DegradationStats",
+]
+
+#: Relative tolerance under which two makespans count as "equal" in the
+#: pairwise comparisons (identical schedules give exactly equal values; the
+#: tolerance only absorbs float noise).
+EQUAL_RTOL = 1e-9
+
+
+def index_results(results: list[RunResult]
+                  ) -> dict[tuple[str, str], dict[str, RunResult]]:
+    """Group results: ``(scenario_id, cluster) → {algorithm label → run}``."""
+    out: dict[tuple[str, str], dict[str, RunResult]] = {}
+    for r in results:
+        key = (r.scenario_id, r.cluster)
+        bucket = out.setdefault(key, {})
+        if r.algorithm in bucket:
+            raise ValueError(
+                f"duplicate run for {key} / {r.algorithm!r}")
+        bucket[r.algorithm] = r
+    return out
+
+
+def _metric(r: RunResult, metric: str) -> float:
+    if metric == "makespan":
+        return r.makespan
+    if metric == "work":
+        return r.work
+    if metric == "estimated_makespan":
+        return r.estimated_makespan
+    raise ValueError(f"unknown metric {metric!r}")
+
+
+def relative_series(results: list[RunResult], algorithm: str,
+                    baseline: str, metric: str = "makespan",
+                    sort: bool = True) -> list[float]:
+    """Per-configuration ``algorithm / baseline`` ratios (Figures 2/3/6/7).
+
+    The paper sorts each data set independently by increasing ratio;
+    ``sort=False`` keeps configuration order for paired analyses.
+    """
+    series: list[float] = []
+    for bucket in index_results(results).values():
+        if algorithm not in bucket or baseline not in bucket:
+            continue
+        base = _metric(bucket[baseline], metric)
+        if base <= 0:
+            raise ValueError("baseline metric must be positive")
+        series.append(_metric(bucket[algorithm], metric) / base)
+    return sorted(series) if sort else series
+
+
+@dataclass(frozen=True)
+class SeriesStats:
+    """Aggregates of one relative series."""
+
+    count: int
+    mean: float
+    median: float
+    frac_better: float   # ratio < 1 (strictly)
+    frac_equal: float
+    frac_worse: float
+
+    def describe(self) -> str:
+        return (f"n={self.count}, mean ratio={self.mean:.3f} "
+                f"({(1 - self.mean) * 100:+.1f}% vs baseline), "
+                f"better in {self.frac_better * 100:.0f}% of scenarios")
+
+
+def series_stats(series: list[float]) -> SeriesStats:
+    if not series:
+        raise ValueError("empty series")
+    s = sorted(series)
+    n = len(s)
+    median = (s[n // 2] if n % 2 else 0.5 * (s[n // 2 - 1] + s[n // 2]))
+    better = sum(1 for v in s if v < 1.0 - EQUAL_RTOL)
+    equal = sum(1 for v in s if abs(v - 1.0) <= EQUAL_RTOL)
+    return SeriesStats(
+        count=n,
+        mean=sum(s) / n,
+        median=median,
+        frac_better=better / n,
+        frac_equal=equal / n,
+        frac_worse=(n - better - equal) / n,
+    )
+
+
+def pairwise_comparison(
+    results: list[RunResult],
+    algorithms: list[str],
+    metric: str = "makespan",
+) -> dict[tuple[str, str], dict[str, int]]:
+    """Table V core: per ordered pair ``(a, b)``, count the configurations
+    where ``a`` is better / equal / worse than ``b``."""
+    counts = {
+        (a, b): {"better": 0, "equal": 0, "worse": 0}
+        for a in algorithms for b in algorithms if a != b
+    }
+    for bucket in index_results(results).values():
+        if any(a not in bucket for a in algorithms):
+            continue
+        for a in algorithms:
+            for b in algorithms:
+                if a == b:
+                    continue
+                va, vb = _metric(bucket[a], metric), _metric(bucket[b], metric)
+                if abs(va - vb) <= EQUAL_RTOL * max(abs(va), abs(vb)):
+                    counts[(a, b)]["equal"] += 1
+                elif va < vb:
+                    counts[(a, b)]["better"] += 1
+                else:
+                    counts[(a, b)]["worse"] += 1
+    return counts
+
+
+def combined_comparison(
+    results: list[RunResult],
+    algorithms: list[str],
+    metric: str = "makespan",
+) -> dict[str, dict[str, float]]:
+    """Table V's *combined* column: share of pairwise outcomes in which each
+    algorithm beats / ties / loses to all others combined (in %)."""
+    pairwise = pairwise_comparison(results, algorithms, metric)
+    out: dict[str, dict[str, float]] = {}
+    for a in algorithms:
+        agg = {"better": 0, "equal": 0, "worse": 0}
+        for b in algorithms:
+            if a == b:
+                continue
+            for k in agg:
+                agg[k] += pairwise[(a, b)][k]
+        total = sum(agg.values())
+        out[a] = {k: (100.0 * v / total if total else 0.0)
+                  for k, v in agg.items()}
+    return out
+
+
+@dataclass(frozen=True)
+class DegradationStats:
+    """Table VI row triple for one algorithm."""
+
+    avg_over_all: float      # mean % above the best, over all experiments
+    not_best_count: int      # experiments where the algorithm was not best
+    avg_over_not_best: float  # mean % above the best, over those only
+
+
+def degradation_from_best(
+    results: list[RunResult],
+    algorithms: list[str],
+    metric: str = "makespan",
+) -> dict[str, DegradationStats]:
+    """Table VI: average percent degradation from the best heuristic.
+
+    Two averaging methods (§IV-D): over *all* experiments (zeros included
+    when the algorithm was the best) and over only the experiments where the
+    algorithm was *not* the best.
+    """
+    per_algo: dict[str, list[float]] = {a: [] for a in algorithms}
+    for bucket in index_results(results).values():
+        if any(a not in bucket for a in algorithms):
+            continue
+        values = {a: _metric(bucket[a], metric) for a in algorithms}
+        best = min(values.values())
+        if best <= 0:
+            raise ValueError("metric must be positive")
+        for a in algorithms:
+            per_algo[a].append(100.0 * (values[a] - best) / best)
+
+    out: dict[str, DegradationStats] = {}
+    for a, degs in per_algo.items():
+        if not degs:
+            out[a] = DegradationStats(0.0, 0, 0.0)
+            continue
+        not_best = [d for d in degs
+                    if d > 100.0 * EQUAL_RTOL]
+        out[a] = DegradationStats(
+            avg_over_all=sum(degs) / len(degs),
+            not_best_count=len(not_best),
+            avg_over_not_best=(sum(not_best) / len(not_best)
+                               if not_best else 0.0),
+        )
+    return out

@@ -1,0 +1,224 @@
+"""Scenario × cluster × algorithm execution engine.
+
+For every run the pipeline is:
+
+1. build the scenario's task graph (cached per scenario);
+2. compute the first-step allocation (cached per ``(scenario, cluster,
+   allocator)`` — HCPA and both RATS variants share the same HCPA
+   allocation, exactly as in the paper);
+3. map with the requested second step (plain list scheduling or RATS);
+4. *simulate* the mapped schedule on the cluster's fluid network model —
+   the simulated makespan is what the paper's metrics use;
+5. report makespan, total work ``Σ n_t·T(t, n_t)`` and adaptation counts.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.core.params import RATSParams, tuned_params
+from repro.core.rats import RATSScheduler
+from repro.dag.task import TaskGraph
+from repro.experiments.scenarios import Scenario
+from repro.platforms.cluster import Cluster
+from repro.redistribution.cost import RedistributionCost
+from repro.scheduling.allocation import (
+    cpa_allocation,
+    hcpa_allocation,
+    mcpa_allocation,
+)
+from repro.scheduling.mapping import ListScheduler
+from repro.simulation.simulator import simulate
+
+__all__ = ["AlgorithmSpec", "RunResult", "ExperimentRunner",
+           "baseline_spec", "rats_spec"]
+
+ParamsResolver = Callable[[str, str], RATSParams]  # (cluster, family) -> params
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """One scheduling algorithm configuration.
+
+    ``kind`` selects the pipeline: ``"cpa"``, ``"mcpa"`` and ``"hcpa"`` run
+    the respective allocation followed by plain list-scheduling mapping;
+    ``"rats"`` runs the HCPA allocation followed by the RATS mapping with
+    ``params`` (a fixed :class:`RATSParams` or a per-(cluster, family)
+    resolver, used for the paper's *tuned* runs).
+    """
+
+    label: str
+    kind: str
+    params: RATSParams | None = None
+    params_resolver: ParamsResolver | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("cpa", "mcpa", "hcpa", "rats"):
+            raise ValueError(f"unknown algorithm kind {self.kind!r}")
+        if self.kind == "rats" and self.params is None \
+                and self.params_resolver is None:
+            raise ValueError("rats spec needs params or params_resolver")
+
+    def resolve_params(self, cluster_name: str, family: str) -> RATSParams | None:
+        if self.kind != "rats":
+            return None
+        if self.params_resolver is not None:
+            return self.params_resolver(cluster_name, family)
+        return self.params
+
+
+def baseline_spec(kind: str = "hcpa", label: str | None = None) -> AlgorithmSpec:
+    """Spec for one of the two-step baselines (default: the paper's HCPA)."""
+    return AlgorithmSpec(label=label or kind, kind=kind)
+
+
+def rats_spec(params: RATSParams | None = None, *, label: str | None = None,
+              strategy: str | None = None, tuned: bool = False) -> AlgorithmSpec:
+    """Spec for a RATS variant.
+
+    ``tuned=True`` resolves Table IV parameters per (cluster, family) —
+    ``strategy`` is then required.  Otherwise pass explicit ``params``.
+    """
+    if tuned:
+        if strategy not in ("delta", "timecost"):
+            raise ValueError("tuned rats_spec needs strategy='delta'|'timecost'")
+
+        def resolver(cluster_name: str, family: str) -> RATSParams:
+            return tuned_params(cluster_name, family, strategy)  # type: ignore[arg-type]
+
+        return AlgorithmSpec(label=label or f"{strategy}-tuned", kind="rats",
+                             params_resolver=resolver)
+    if params is None:
+        raise ValueError("rats_spec needs params when not tuned")
+    return AlgorithmSpec(label=label or params.describe(), kind="rats",
+                         params=params)
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one (scenario, cluster, algorithm) run."""
+
+    scenario_id: str
+    family: str
+    cluster: str
+    algorithm: str
+    makespan: float            # simulated (what the paper reports)
+    estimated_makespan: float  # the scheduler's own estimate
+    work: float                # Σ n_t · T(t, n_t) of the final allocation
+    n_tasks: int
+    stretches: int = 0
+    packs: int = 0
+    sames: int = 0
+    wall_time_s: float = 0.0
+
+
+class ExperimentRunner:
+    """Runs experiments with graph / allocation / redistribution caching."""
+
+    def __init__(self, *, simulate_schedules: bool = True,
+                 progress: bool = False) -> None:
+        self.simulate_schedules = simulate_schedules
+        self.progress = progress
+        self._graphs: dict[str, TaskGraph] = {}
+        self._allocations: dict[tuple[str, str, str], dict[str, int]] = {}
+        self._redists: dict[str, RedistributionCost] = {}
+
+    # ------------------------------------------------------------------ #
+    def graph_for(self, scenario: Scenario) -> TaskGraph:
+        g = self._graphs.get(scenario.scenario_id)
+        if g is None:
+            g = scenario.build()
+            self._graphs[scenario.scenario_id] = g
+        return g
+
+    def allocation_for(self, scenario: Scenario, cluster: Cluster,
+                       allocator: str) -> dict[str, int]:
+        key = (scenario.scenario_id, cluster.name, allocator)
+        alloc = self._allocations.get(key)
+        if alloc is None:
+            graph = self.graph_for(scenario)
+            model = cluster.performance_model()
+            fn = {"cpa": cpa_allocation, "mcpa": mcpa_allocation,
+                  "hcpa": hcpa_allocation}[allocator]
+            alloc = fn(graph, model, cluster.num_procs).allocation
+            self._allocations[key] = alloc
+        return alloc
+
+    def redist_for(self, cluster: Cluster) -> RedistributionCost:
+        rc = self._redists.get(cluster.name)
+        if rc is None:
+            rc = RedistributionCost(cluster)
+            self._redists[cluster.name] = rc
+        return rc
+
+    # ------------------------------------------------------------------ #
+    def run(self, scenario: Scenario, cluster: Cluster,
+            spec: AlgorithmSpec) -> RunResult:
+        t0 = time.perf_counter()
+        graph = self.graph_for(scenario)
+        model = cluster.performance_model()
+        redist = self.redist_for(cluster)
+
+        allocator = "hcpa" if spec.kind == "rats" else spec.kind
+        allocation = self.allocation_for(scenario, cluster, allocator)
+
+        stretches = packs = sames = 0
+        if spec.kind == "rats":
+            params = spec.resolve_params(cluster.name, scenario.family)
+            assert params is not None
+            scheduler: ListScheduler = RATSScheduler(
+                graph, cluster, model, allocation, params, redist=redist)
+        else:
+            scheduler = ListScheduler(graph, cluster, model, allocation,
+                                      redist=redist)
+        schedule = scheduler.run()
+        if isinstance(scheduler, RATSScheduler):
+            counts = scheduler.adaptation_summary()
+            stretches, packs, sames = (counts["stretch"], counts["pack"],
+                                       counts["same"])
+
+        estimated = schedule.makespan
+        if self.simulate_schedules:
+            makespan = simulate(schedule).makespan
+        else:
+            makespan = estimated
+        work = schedule.total_work(model)
+
+        return RunResult(
+            scenario_id=scenario.scenario_id,
+            family=scenario.family,
+            cluster=cluster.name,
+            algorithm=spec.label,
+            makespan=makespan,
+            estimated_makespan=estimated,
+            work=work,
+            n_tasks=graph.num_tasks,
+            stretches=stretches,
+            packs=packs,
+            sames=sames,
+            wall_time_s=time.perf_counter() - t0,
+        )
+
+    def run_matrix(
+        self,
+        scenarios: Iterable[Scenario],
+        clusters: Sequence[Cluster],
+        specs: Sequence[AlgorithmSpec],
+    ) -> list[RunResult]:
+        """Cartesian product of scenarios × clusters × algorithm specs."""
+        scenarios = list(scenarios)
+        results: list[RunResult] = []
+        total = len(scenarios) * len(clusters) * len(specs)
+        done = 0
+        for scenario in scenarios:
+            for cluster in clusters:
+                for spec in specs:
+                    results.append(self.run(scenario, cluster, spec))
+                    done += 1
+                    if self.progress and done % 25 == 0:
+                        print(f"  [{done}/{total}] runs complete",
+                              file=sys.stderr, flush=True)
+        return results

@@ -1,0 +1,168 @@
+"""The 557 application configurations of the paper's evaluation (Table III).
+
+==============  =======================================================
+family          parameters
+==============  =======================================================
+layered (108)   25/50/100 tasks × width {.2,.5,.8} × density {.2,.8}
+                × regularity {.2,.8} × 3 samples
+irregular (324) layered grid × jump {1,2,4}
+fft (100)       k ∈ {2,4,8,16} data points × 25 samples
+strassen (25)   25 samples
+==============  =======================================================
+
+Every scenario is identified by a stable string id; building it twice gives
+the exact same task graph (costs included) through
+:func:`repro.utils.rng.scenario_seed`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dag.generator import DagShape, random_irregular_dag, random_layered_dag
+from repro.dag.kernels import fft_dag, strassen_dag
+from repro.dag.task import TaskGraph
+from repro.utils.rng import spawn_rng
+
+__all__ = [
+    "Scenario",
+    "all_scenarios",
+    "scenarios_by_family",
+    "subsample",
+    "FAMILIES",
+    "TASK_COUNTS",
+    "WIDTHS",
+    "DENSITIES",
+    "REGULARITIES",
+    "JUMPS",
+    "FFT_POINTS",
+]
+
+FAMILIES = ("layered", "irregular", "fft", "strassen")
+TASK_COUNTS = (25, 50, 100)
+WIDTHS = (0.2, 0.5, 0.8)
+DENSITIES = (0.2, 0.8)
+REGULARITIES = (0.2, 0.8)
+JUMPS = (1, 2, 4)
+FFT_POINTS = (2, 4, 8, 16)
+RANDOM_SAMPLES = 3
+KERNEL_SAMPLES = 25
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One application configuration (identifies a unique task graph)."""
+
+    family: str
+    sample: int
+    n_tasks: int = 0        # random families
+    width: float = 0.0
+    regularity: float = 0.0
+    density: float = 0.0
+    jump: int = 1           # irregular only
+    k: int = 0              # fft only
+
+    @property
+    def scenario_id(self) -> str:
+        if self.family == "layered":
+            return (f"layered-n{self.n_tasks}-w{self.width}-d{self.density}"
+                    f"-r{self.regularity}-s{self.sample}")
+        if self.family == "irregular":
+            return (f"irregular-n{self.n_tasks}-w{self.width}-d{self.density}"
+                    f"-r{self.regularity}-j{self.jump}-s{self.sample}")
+        if self.family == "fft":
+            return f"fft-k{self.k}-s{self.sample}"
+        if self.family == "strassen":
+            return f"strassen-s{self.sample}"
+        raise ValueError(f"unknown family {self.family!r}")
+
+    def build(self) -> TaskGraph:
+        """Deterministically build the scenario's task graph."""
+        rng = spawn_rng(self.scenario_id)
+        if self.family == "layered":
+            shape = DagShape(n_tasks=self.n_tasks, width=self.width,
+                             regularity=self.regularity, density=self.density)
+            g = random_layered_dag(shape, rng, name=self.scenario_id)
+        elif self.family == "irregular":
+            shape = DagShape(n_tasks=self.n_tasks, width=self.width,
+                             regularity=self.regularity, density=self.density,
+                             jump=self.jump)
+            g = random_irregular_dag(shape, rng, name=self.scenario_id)
+        elif self.family == "fft":
+            g = fft_dag(self.k, rng)
+        elif self.family == "strassen":
+            g = strassen_dag(rng)
+        else:
+            raise ValueError(f"unknown family {self.family!r}")
+        return g
+
+
+def _layered() -> list[Scenario]:
+    return [
+        Scenario(family="layered", n_tasks=n, width=w, density=d,
+                 regularity=r, sample=s)
+        for n in TASK_COUNTS for w in WIDTHS for d in DENSITIES
+        for r in REGULARITIES for s in range(RANDOM_SAMPLES)
+    ]
+
+
+def _irregular() -> list[Scenario]:
+    return [
+        Scenario(family="irregular", n_tasks=n, width=w, density=d,
+                 regularity=r, jump=j, sample=s)
+        for n in TASK_COUNTS for w in WIDTHS for d in DENSITIES
+        for r in REGULARITIES for j in JUMPS for s in range(RANDOM_SAMPLES)
+    ]
+
+
+def _fft() -> list[Scenario]:
+    return [Scenario(family="fft", k=k, sample=s)
+            for k in FFT_POINTS for s in range(KERNEL_SAMPLES)]
+
+
+def _strassen() -> list[Scenario]:
+    return [Scenario(family="strassen", sample=s)
+            for s in range(KERNEL_SAMPLES)]
+
+
+def scenarios_by_family() -> dict[str, list[Scenario]]:
+    """All scenarios grouped by family (108 / 324 / 100 / 25)."""
+    return {
+        "layered": _layered(),
+        "irregular": _irregular(),
+        "fft": _fft(),
+        "strassen": _strassen(),
+    }
+
+
+def all_scenarios() -> list[Scenario]:
+    """The paper's full set of 557 application configurations."""
+    by_family = scenarios_by_family()
+    out: list[Scenario] = []
+    for family in FAMILIES:
+        out.extend(by_family[family])
+    return out
+
+
+def subsample(scenarios: list[Scenario], fraction: float) -> list[Scenario]:
+    """Deterministic, family-stratified, evenly-spaced subsample.
+
+    Used by the default benchmark scale so each family keeps proportional
+    representation; ``fraction = 1`` returns the input unchanged.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in ]0, 1]")
+    if fraction == 1.0:
+        return list(scenarios)
+    by_family: dict[str, list[Scenario]] = {}
+    for sc in scenarios:
+        by_family.setdefault(sc.family, []).append(sc)
+    out: list[Scenario] = []
+    for family in sorted(by_family):
+        group = by_family[family]
+        count = max(1, round(len(group) * fraction))
+        step = len(group) / count
+        picked = [group[min(int(i * step), len(group) - 1)]
+                  for i in range(count)]
+        out.extend(picked)
+    return out

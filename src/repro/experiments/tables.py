@@ -1,0 +1,162 @@
+"""Renderers for the paper's tables (I–VI)."""
+
+from __future__ import annotations
+
+from repro.dag.kernels import STRASSEN_TASK_COUNT, fft_task_count
+from repro.experiments.metrics import (
+    DegradationStats,
+    combined_comparison,
+    degradation_from_best,
+    pairwise_comparison,
+)
+from repro.experiments.runner import RunResult
+from repro.experiments.scenarios import (
+    DENSITIES,
+    FFT_POINTS,
+    JUMPS,
+    REGULARITIES,
+    TASK_COUNTS,
+    WIDTHS,
+    scenarios_by_family,
+)
+from repro.platforms.cluster import Cluster
+from repro.redistribution.matrix import communication_matrix
+
+__all__ = [
+    "table1_communication_matrix",
+    "table2_clusters",
+    "table3_scenarios",
+    "table4_tuned_params",
+    "table5_pairwise",
+    "table6_degradation",
+]
+
+
+def table1_communication_matrix(m: float = 10, p: int = 4, q: int = 5) -> str:
+    """Table I: the redistribution matrix of ``m`` units from p=4 to q=5."""
+    mat = communication_matrix(m, p, q)
+    header = "      " + "".join(f"{f'q{j + 1}':>7}" for j in range(q))
+    lines = [f"Table I: communication matrix, {m:g} units, "
+             f"p={p} senders -> q={q} receivers", header]
+    for i in range(p):
+        cells = []
+        for j in range(q):
+            v = mat.get((i, j))
+            cells.append(f"{v:7.2g}" if v else "       ")
+        lines.append(f"  p{i + 1:<3}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def table2_clusters(clusters: list[Cluster]) -> str:
+    """Table II: cluster characteristics."""
+    lines = ["Table II: cluster characteristics",
+             f"  {'cluster':<10}{'#proc':>7}{'GFlop/s':>10}{'network':>26}"]
+    for c in clusters:
+        net = (f"{c.cabinets}x{c.cabinet_size} cabinets"
+               if c.is_hierarchical else "flat switched")
+        lines.append(f"  {c.name:<10}{c.num_procs:>7}"
+                     f"{c.speed_flops / 1e9:>10.3f}{net:>26}")
+    return "\n".join(lines)
+
+
+def table3_scenarios() -> str:
+    """Table III: DAG generation parameters and scenario counts."""
+    by_family = scenarios_by_family()
+    counts = {f: len(s) for f, s in by_family.items()}
+    total = sum(counts.values())
+    lines = [
+        "Table III: random DAG generation parameters and values",
+        f"  #computation tasks : {', '.join(map(str, TASK_COUNTS))}",
+        "  non-parallelizable : [0.0, 0.25]",
+        f"  width              : {', '.join(map(str, WIDTHS))}",
+        f"  density            : {', '.join(map(str, DENSITIES))}",
+        f"  regularity         : {', '.join(map(str, REGULARITIES))}",
+        f"  jump (irregular)   : {', '.join(map(str, JUMPS))}",
+        "  #samples           : 3 (random), 25 (kernels)",
+        (f"  totals             : layered={counts['layered']}, "
+         f"irregular={counts['irregular']}, fft={counts['fft']}, "
+         f"strassen={counts['strassen']}  (sum {total})"),
+        (f"  fft sizes          : " + ", ".join(
+            f"k={k} -> {fft_task_count(k)} tasks" for k in FFT_POINTS)),
+        f"  strassen           : {STRASSEN_TASK_COUNT} tasks",
+    ]
+    return "\n".join(lines)
+
+
+def table4_tuned_params(
+    table: dict[tuple[str, str], tuple[float, float, float]],
+    clusters: list[str] | None = None,
+    families: list[str] | None = None,
+) -> str:
+    """Table IV: (mindelta, maxdelta, minrho) per application type × cluster."""
+    clusters = clusters or sorted({k[0] for k in table})
+    families = families or sorted({k[1] for k in table})
+    col_w = 18
+    lines = ["Table IV: tuned RATS parameters (mindelta, maxdelta, minrho)",
+             "  " + f"{'cluster':<10}" + "".join(f"{f:>{col_w}}" for f in families)]
+    for c in clusters:
+        cells = []
+        for f in families:
+            v = table.get((c, f))
+            cells.append("-".rjust(col_w) if v is None else
+                         f"({v[0]:g}, {v[1]:g}, {v[2]:g})".rjust(col_w))
+        lines.append(f"  {c:<10}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def table5_pairwise(results: list[RunResult], algorithms: list[str],
+                    clusters: list[str]) -> str:
+    """Table V: pairwise better/equal/worse counts per cluster, plus the
+    combined percentage column."""
+    per_cluster = {
+        c: pairwise_comparison([r for r in results if r.cluster == c],
+                               algorithms)
+        for c in clusters
+    }
+    combined = {
+        c: combined_comparison([r for r in results if r.cluster == c],
+                               algorithms)
+        for c in clusters
+    }
+    col_w = 20
+    header = ("  " + f"{'':<12}{'':<8}"
+              + "".join(f"{b:>{col_w}}" for b in algorithms)
+              + f"{'combined (%)':>{col_w}}")
+    lines = [f"Table V: pairwise comparison "
+             f"(cells: {' / '.join(clusters)})", header]
+    for a in algorithms:
+        for outcome in ("better", "equal", "worse"):
+            cells = []
+            for b in algorithms:
+                if a == b:
+                    cells.append("XXX".rjust(col_w))
+                    continue
+                vals = [per_cluster[c][(a, b)][outcome] for c in clusters]
+                cells.append(" / ".join(f"{v}" for v in vals).rjust(col_w))
+            comb = [combined[c][a][outcome] for c in clusters]
+            cells.append(" / ".join(f"{v:.1f}" for v in comb).rjust(col_w))
+            lead = a if outcome == "better" else ""
+            lines.append(f"  {lead:<12}{outcome:<8}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def table6_degradation(results: list[RunResult], algorithms: list[str],
+                       clusters: list[str]) -> str:
+    """Table VI: average degradation from best, both averaging methods."""
+    lines = ["Table VI: average degradation from best",
+             "  " + f"{'cluster':<10}{'metric':<22}"
+             + "".join(f"{a:>14}" for a in algorithms)]
+    for c in clusters:
+        stats: dict[str, DegradationStats] = degradation_from_best(
+            [r for r in results if r.cluster == c], algorithms)
+        rows = [
+            ("avg over all exp.", lambda s: f"{s.avg_over_all:.2f}%"),
+            ("# not best", lambda s: f"{s.not_best_count}"),
+            ("avg over # not best", lambda s: f"{s.avg_over_not_best:.2f}%"),
+        ]
+        for i, (label, fmt) in enumerate(rows):
+            lead = c if i == 0 else ""
+            lines.append(
+                "  " + f"{lead:<10}{label:<22}"
+                + "".join(f"{fmt(stats[a]):>14}" for a in algorithms))
+    return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""Parameter tuning sweeps (paper §IV-C: Figures 4–5, Table IV).
+
+* :func:`delta_sweep` — grid of (mindelta, maxdelta) pairs → average
+  makespan relative to the baseline (Figure 4's surface);
+* :func:`rho_sweep` — minrho values × packing on/off (Figure 5's curves);
+* :func:`tune_parameters` — arg-min over both sweeps per (cluster,
+  application family), the procedure that produced Table IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.params import RATSParams
+from repro.experiments.metrics import relative_series
+from repro.experiments.runner import (
+    AlgorithmSpec,
+    ExperimentRunner,
+    baseline_spec,
+    rats_spec,
+)
+from repro.experiments.scenarios import Scenario
+from repro.platforms.cluster import Cluster
+
+__all__ = [
+    "SweepResult",
+    "delta_sweep",
+    "rho_sweep",
+    "tune_parameters",
+    "DEFAULT_MINDELTAS",
+    "DEFAULT_MAXDELTAS",
+    "DEFAULT_MINRHOS",
+]
+
+#: §IV-C tested values: mindelta ∈ {0, −.25, −.5, −.75},
+#: maxdelta ∈ {0, .25, .5, .75, 1}, minrho ∈ {.2, .4, .5, .6, .8, 1}.
+DEFAULT_MINDELTAS = (0.0, -0.25, -0.5, -0.75)
+DEFAULT_MAXDELTAS = (0.0, 0.25, 0.5, 0.75, 1.0)
+DEFAULT_MINRHOS = (0.2, 0.4, 0.5, 0.6, 0.8, 1.0)
+
+
+@dataclass
+class SweepResult:
+    """Average relative makespans over a parameter grid."""
+
+    cluster: str
+    baseline: str
+    #: parameter point → average makespan relative to the baseline
+    averages: dict[tuple, float] = field(default_factory=dict)
+
+    def best_point(self) -> tuple:
+        """Grid point with the smallest average relative makespan."""
+        return min(self.averages, key=lambda k: (self.averages[k], k))
+
+
+def _average_relative(runner: ExperimentRunner, scenarios: list[Scenario],
+                      cluster: Cluster, spec: AlgorithmSpec,
+                      base: AlgorithmSpec) -> float:
+    results = runner.run_matrix(scenarios, [cluster], [base, spec])
+    series = relative_series(results, spec.label, base.label, "makespan")
+    return sum(series) / len(series)
+
+
+def delta_sweep(
+    scenarios: list[Scenario],
+    cluster: Cluster,
+    *,
+    mindeltas: tuple[float, ...] = DEFAULT_MINDELTAS,
+    maxdeltas: tuple[float, ...] = DEFAULT_MAXDELTAS,
+    runner: ExperimentRunner | None = None,
+    baseline: AlgorithmSpec | None = None,
+) -> SweepResult:
+    """Figure 4: average relative makespan over the (mindelta, maxdelta) grid."""
+    runner = runner or ExperimentRunner()
+    base = baseline or baseline_spec("hcpa")
+    sweep = SweepResult(cluster=cluster.name, baseline=base.label)
+    for mind in mindeltas:
+        for maxd in maxdeltas:
+            spec = rats_spec(
+                RATSParams(strategy="delta", mindelta=mind, maxdelta=maxd),
+                label=f"delta({mind:g},{maxd:g})")
+            sweep.averages[(mind, maxd)] = _average_relative(
+                runner, scenarios, cluster, spec, base)
+    return sweep
+
+
+def rho_sweep(
+    scenarios: list[Scenario],
+    cluster: Cluster,
+    *,
+    minrhos: tuple[float, ...] = DEFAULT_MINRHOS,
+    packing_options: tuple[bool, ...] = (True, False),
+    runner: ExperimentRunner | None = None,
+    baseline: AlgorithmSpec | None = None,
+) -> SweepResult:
+    """Figure 5: average relative makespan as minrho varies, with and
+    without packing allowed."""
+    runner = runner or ExperimentRunner()
+    base = baseline or baseline_spec("hcpa")
+    sweep = SweepResult(cluster=cluster.name, baseline=base.label)
+    for allow_pack in packing_options:
+        for rho in minrhos:
+            spec = rats_spec(
+                RATSParams(strategy="timecost", minrho=rho,
+                           allow_pack=allow_pack),
+                label=f"timecost({rho:g},{'pack' if allow_pack else 'nopack'})")
+            sweep.averages[(rho, allow_pack)] = _average_relative(
+                runner, scenarios, cluster, spec, base)
+    return sweep
+
+
+def tune_parameters(
+    scenarios_by_family: dict[str, list[Scenario]],
+    clusters: list[Cluster],
+    *,
+    mindeltas: tuple[float, ...] = DEFAULT_MINDELTAS,
+    maxdeltas: tuple[float, ...] = DEFAULT_MAXDELTAS,
+    minrhos: tuple[float, ...] = DEFAULT_MINRHOS,
+    runner: ExperimentRunner | None = None,
+) -> dict[tuple[str, str], tuple[float, float, float]]:
+    """Reproduce Table IV: best (mindelta, maxdelta, minrho) per
+    (cluster, family).
+
+    The delta pair comes from the delta sweep's arg-min and minrho from the
+    rho sweep's arg-min (packing enabled, as §IV-C found it always helps).
+    """
+    runner = runner or ExperimentRunner()
+    table: dict[tuple[str, str], tuple[float, float, float]] = {}
+    for cluster in clusters:
+        for family, scenarios in sorted(scenarios_by_family.items()):
+            dsweep = delta_sweep(scenarios, cluster, mindeltas=mindeltas,
+                                 maxdeltas=maxdeltas, runner=runner)
+            mind, maxd = dsweep.best_point()
+            rsweep = rho_sweep(scenarios, cluster, minrhos=minrhos,
+                               packing_options=(True,), runner=runner)
+            rho, _ = rsweep.best_point()
+            table[(cluster.name, family)] = (mind, maxd, rho)
+    return table

@@ -1,0 +1,5 @@
+"""Performance models for moldable tasks."""
+
+from repro.model.amdahl import AmdahlModel, PerformanceModel
+
+__all__ = ["AmdahlModel", "PerformanceModel"]

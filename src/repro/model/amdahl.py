@@ -1,0 +1,75 @@
+"""Amdahl speedup model for moldable data-parallel tasks (paper §II-A).
+
+A fraction ``α`` of a task's sequential execution time is non-parallelizable
+[Amdahl 1967]:
+
+    ``T(t, p) = T_seq(t) · (α + (1 − α) / p)``
+
+with ``T_seq(t) = flops(t) / speed`` on a homogeneous cluster whose nodes
+deliver ``speed`` Flop/s.  The model is *monotonically decreasing* in ``p``
+(strictly, whenever ``α < 1``) and the work ``ω = p · T(t, p)`` is
+*monotonically increasing* in ``p`` (strictly, whenever ``α > 0``) — the two
+monotonicity properties the RATS strategies rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.dag.task import Task
+
+__all__ = ["PerformanceModel", "AmdahlModel"]
+
+
+class PerformanceModel(Protocol):
+    """Anything that can predict a moldable task's parallel execution time."""
+
+    def time(self, task: Task, nprocs: int) -> float:
+        """Predicted execution time of ``task`` on ``nprocs`` processors."""
+        ...
+
+    def work(self, task: Task, nprocs: int) -> float:
+        """Predicted work ``ω = nprocs · time``."""
+        ...
+
+
+class AmdahlModel:
+    """Amdahl's-law performance model bound to a processor speed.
+
+    Parameters
+    ----------
+    speed_flops:
+        Per-node processing speed in Flop/s (e.g. ``3.379e9`` for the
+        grillon cluster of Table II).
+    """
+
+    def __init__(self, speed_flops: float) -> None:
+        if speed_flops <= 0:
+            raise ValueError("speed_flops must be > 0")
+        self.speed_flops = float(speed_flops)
+
+    def sequential_time(self, task: Task) -> float:
+        """``T(t, 1)`` — the single-processor execution time."""
+        return task.flops / self.speed_flops
+
+    def time(self, task: Task, nprocs: int) -> float:
+        """``T(t, p) = T_seq · (α + (1 − α)/p)``; requires ``p ≥ 1``."""
+        if nprocs < 1:
+            raise ValueError(f"nprocs must be >= 1, got {nprocs}")
+        seq = self.sequential_time(task)
+        return seq * (task.alpha + (1.0 - task.alpha) / nprocs)
+
+    def work(self, task: Task, nprocs: int) -> float:
+        """``ω(t, p) = p · T(t, p)`` — processor-seconds consumed."""
+        return nprocs * self.time(task, nprocs)
+
+    def speedup(self, task: Task, nprocs: int) -> float:
+        """``T(t,1) / T(t,p)``."""
+        return self.sequential_time(task) / self.time(task, nprocs)
+
+    def time_gain(self, task: Task, from_procs: int, to_procs: int) -> float:
+        """``T(t, from) − T(t, to)`` — positive when growing helps."""
+        return self.time(task, from_procs) - self.time(task, to_procs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AmdahlModel(speed_flops={self.speed_flops:g})"

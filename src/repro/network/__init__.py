@@ -1,0 +1,6 @@
+"""Flow-level network model: Max-Min fair bandwidth sharing (paper §II-B, §IV-A)."""
+
+from repro.network.maxmin import maxmin_rates
+from repro.network.flows import FlowSpec, bottleneck_time_estimate
+
+__all__ = ["maxmin_rates", "FlowSpec", "bottleneck_time_estimate"]

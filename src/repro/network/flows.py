@@ -1,0 +1,64 @@
+"""Flow descriptions and the contention-free time estimate used by schedulers.
+
+Scheduling algorithms must price a redistribution *before* it happens and
+without knowledge of concurrent traffic — exactly the situation discussed in
+§IV-D ("the estimations of the redistribution time made in the time-cost
+version do not take network contention into account").  The estimator here
+considers the redistribution's own flows *in isolation* and charges its
+bottleneck link:
+
+    ``t ≈ max_link (bytes through link / capacity) + max route latency``
+
+which is the completion time of the redistribution alone under fluid
+Max-Min sharing when one link dominates, and a lower bound otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.platforms.cluster import Cluster
+
+__all__ = ["FlowSpec", "bottleneck_time_estimate"]
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """A point-to-point transfer of ``data_bytes`` from ``src`` to ``dst``."""
+
+    src: int
+    dst: int
+    data_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.data_bytes < 0:
+            raise ValueError("data_bytes must be >= 0")
+
+
+def bottleneck_time_estimate(flows: list[FlowSpec], cluster: Cluster) -> float:
+    """Contention-free estimate of the completion time of a flow set.
+
+    Self-communications (``src == dst``) are free.  Per-flow TCP rate caps
+    are honoured: a flow can never finish faster than
+    ``bytes / rate_cap``, so the estimate is the max of the link bottleneck
+    and the slowest individual flow.
+    """
+    topo = cluster.topology
+    link_bytes: dict[tuple[str, int], float] = {}
+    max_latency = 0.0
+    slowest_flow = 0.0
+    for f in flows:
+        if f.src == f.dst or f.data_bytes == 0:
+            continue
+        route = topo.route(f.src, f.dst)
+        max_latency = max(max_latency, route.latency_s)
+        if route.rate_cap_Bps > 0:
+            slowest_flow = max(slowest_flow, f.data_bytes / route.rate_cap_Bps)
+        for link in route.links:
+            link_bytes[link] = link_bytes.get(link, 0.0) + f.data_bytes
+    if not link_bytes:
+        return 0.0
+    bottleneck = max(
+        bytes_ / topo.link_capacity(link) for link, bytes_ in link_bytes.items()
+    )
+    return max(bottleneck, slowest_flow) + max_latency

@@ -1,0 +1,18 @@
+"""Cluster platform models (paper §II-B and Table II)."""
+
+from repro.platforms.cluster import Cluster
+from repro.platforms.topology import Route, Topology
+from repro.platforms.grid5000 import CHTI, GRELON, GRILLON, GRID5000_CLUSTERS, get_cluster
+from repro.platforms.multicluster import MultiClusterPlatform
+
+__all__ = [
+    "Cluster",
+    "MultiClusterPlatform",
+    "Topology",
+    "Route",
+    "CHTI",
+    "GRILLON",
+    "GRELON",
+    "GRID5000_CLUSTERS",
+    "get_cluster",
+]

@@ -1,0 +1,112 @@
+"""Homogeneous commodity cluster model (paper §II-B).
+
+A cluster is a set of ``P`` identical single-processor nodes.  Each node has
+a private full-duplex network link to a switch; communications follow the
+*bounded multi-port* model — a node may exchange data with several peers
+simultaneously, but the flows share its private link bandwidth.
+
+Small clusters hang off one switch; larger ones (like grelon) are organised
+in *cabinets*, each with its own switch, the cabinet switches being
+interconnected by a top switch — a two-level hierarchical network whose
+cabinet uplinks are additional shared resources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.model.amdahl import AmdahlModel
+from repro.platforms.topology import Topology
+
+__all__ = ["Cluster"]
+
+#: 1 Gb/s expressed in bytes per second.
+GIGABIT_BPS = 1e9 / 8
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A homogeneous cluster.
+
+    Parameters
+    ----------
+    name:
+        Identifier (``"grillon"``...).
+    num_procs:
+        Number of single-processor nodes ``P``.
+    speed_flops:
+        Per-node compute speed in Flop/s (Table II reports GFlop/s).
+    latency_s:
+        One-way network latency of the switched interconnect
+        (100 µs in §IV-A).
+    bandwidth_Bps:
+        Nominal link bandwidth in *bytes* per second (1 Gb/s in §IV-A).
+    cabinets:
+        Number of cabinets for hierarchical clusters (``None`` or 1 for a
+        flat, single-switch cluster).  Nodes are assigned to cabinets
+        round-robin-free: node ``i`` belongs to cabinet ``i // cabinet_size``.
+    cabinet_size:
+        Nodes per cabinet; required when ``cabinets`` is set.
+    tcp_window_bytes:
+        Maximal TCP window ``Wmax`` for the SimGrid empirical bandwidth
+        ``β' = min(β, Wmax / RTT)`` (§IV-A).  The default 4 MiB makes the
+        correction inactive on LAN latencies, as in the paper's setting.
+    """
+
+    name: str
+    num_procs: int
+    speed_flops: float
+    latency_s: float = 100e-6
+    bandwidth_Bps: float = GIGABIT_BPS
+    cabinets: int | None = None
+    cabinet_size: int | None = None
+    tcp_window_bytes: float = 4 * 1024 * 1024
+    _topology: Topology | None = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.num_procs < 1:
+            raise ValueError("num_procs must be >= 1")
+        if self.speed_flops <= 0:
+            raise ValueError("speed_flops must be > 0")
+        if self.latency_s < 0 or self.bandwidth_Bps <= 0:
+            raise ValueError("invalid network parameters")
+        if self.cabinets is not None and self.cabinets > 1:
+            if not self.cabinet_size or self.cabinet_size < 1:
+                raise ValueError("cabinet_size required for hierarchical clusters")
+            if self.cabinets * self.cabinet_size < self.num_procs:
+                raise ValueError("cabinets * cabinet_size must cover all nodes")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_hierarchical(self) -> bool:
+        return bool(self.cabinets and self.cabinets > 1)
+
+    def cabinet_of(self, proc: int) -> int:
+        """Cabinet index of node ``proc`` (0 for flat clusters)."""
+        if not self.is_hierarchical:
+            return 0
+        assert self.cabinet_size is not None
+        return proc // self.cabinet_size
+
+    @property
+    def topology(self) -> Topology:
+        """Lazily-built network topology of the cluster."""
+        if self._topology is None:
+            object.__setattr__(self, "_topology", Topology(self))
+        assert self._topology is not None
+        return self._topology
+
+    def performance_model(self) -> AmdahlModel:
+        """The Amdahl model bound to this cluster's node speed."""
+        return AmdahlModel(self.speed_flops)
+
+    def processors(self) -> range:
+        return range(self.num_procs)
+
+    def describe(self) -> str:
+        net = (f"{self.cabinets}x{self.cabinet_size} hierarchical"
+               if self.is_hierarchical else "flat switched")
+        return (f"{self.name}: {self.num_procs} procs @ "
+                f"{self.speed_flops / 1e9:.3f} GFlop/s, "
+                f"{self.bandwidth_Bps * 8 / 1e9:g} Gb/s, "
+                f"{self.latency_s * 1e6:g} us, {net}")

@@ -1,0 +1,44 @@
+"""The three Grid'5000 clusters of the paper's evaluation (Table II).
+
+======== ======= ===========
+cluster  #procs  GFlop/s
+======== ======= ===========
+chti       20     4.311
+grelon    120     3.185
+grillon    47     3.379
+======== ======= ===========
+
+All use a Gigabit switched interconnect (100 µs latency, 1 Gb/s bandwidth).
+grelon is divided into five cabinets of 24 nodes each, giving it a
+hierarchical network (§IV-A).
+"""
+
+from __future__ import annotations
+
+from repro.platforms.cluster import Cluster
+
+__all__ = ["CHTI", "GRILLON", "GRELON", "GRID5000_CLUSTERS", "get_cluster"]
+
+CHTI = Cluster(name="chti", num_procs=20, speed_flops=4.311e9)
+GRILLON = Cluster(name="grillon", num_procs=47, speed_flops=3.379e9)
+GRELON = Cluster(name="grelon", num_procs=120, speed_flops=3.185e9,
+                 cabinets=5, cabinet_size=24)
+
+#: The paper's three target clusters, keyed by name.
+GRID5000_CLUSTERS: dict[str, Cluster] = {
+    c.name: c for c in (CHTI, GRILLON, GRELON)
+}
+
+
+def get_cluster(name: str) -> Cluster:
+    """Look up one of the paper's clusters by name.
+
+    >>> get_cluster("grillon").num_procs
+    47
+    """
+    try:
+        return GRID5000_CLUSTERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown cluster {name!r}; choose from {sorted(GRID5000_CLUSTERS)}"
+        ) from None

@@ -1,0 +1,20 @@
+"""1-D block data redistribution (paper §II-A, Table I)."""
+
+from repro.redistribution.block import block_interval, block_intervals
+from repro.redistribution.matrix import (
+    communication_matrix,
+    communication_matrix_dense,
+    redistribution_flows,
+)
+from repro.redistribution.remap import align_receivers
+from repro.redistribution.cost import RedistributionCost
+
+__all__ = [
+    "block_interval",
+    "block_intervals",
+    "communication_matrix",
+    "communication_matrix_dense",
+    "redistribution_flows",
+    "align_receivers",
+    "RedistributionCost",
+]

@@ -1,0 +1,37 @@
+"""1-D block data distributions.
+
+Data is always distributed following a one-dimensional block distribution
+(§II-A): a task working on ``m`` units mapped onto ``p`` processors gives
+rank ``r`` the half-open interval ``[r·m/p, (r+1)·m/p)``.  Intervals are
+continuous quantities (the paper's own example splits 10 units over 4
+processors into 2.5-unit blocks).
+"""
+
+from __future__ import annotations
+
+__all__ = ["block_interval", "block_intervals"]
+
+
+def block_interval(m: float, p: int, rank: int) -> tuple[float, float]:
+    """Interval ``[rank·m/p, (rank+1)·m/p)`` owned by ``rank`` among ``p``.
+
+    >>> block_interval(10, 4, 0)
+    (0.0, 2.5)
+    """
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    if not 0 <= rank < p:
+        raise ValueError(f"rank {rank} out of range for p={p}")
+    if m < 0:
+        raise ValueError("m must be >= 0")
+    step = m / p
+    return (rank * step, (rank + 1) * step)
+
+
+def block_intervals(m: float, p: int) -> list[tuple[float, float]]:
+    """All ``p`` block intervals of an ``m``-unit dataset.
+
+    >>> block_intervals(10, 5)
+    [(0.0, 2.0), (2.0, 4.0), (4.0, 6.0), (6.0, 8.0), (8.0, 10.0)]
+    """
+    return [block_interval(m, p, r) for r in range(p)]

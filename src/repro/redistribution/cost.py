@@ -1,0 +1,69 @@
+"""Redistribution cost estimation for the scheduling algorithms.
+
+This is the *contention-free* price a scheduler attaches to an edge when it
+evaluates candidate mappings: zero when producer and consumer share the same
+ordered processor set (§II-A), otherwise the bottleneck estimate of the
+redistribution's own flows over the cluster topology.
+
+The simulated makespan (:mod:`repro.simulation`) recomputes the same flows
+*with* contention; the gap between the two is the estimation error discussed
+in §IV-D.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.network.flows import FlowSpec, bottleneck_time_estimate
+from repro.platforms.cluster import Cluster
+from repro.redistribution.matrix import redistribution_flows
+
+__all__ = ["RedistributionCost"]
+
+
+class RedistributionCost:
+    """Estimator bound to one cluster.
+
+    Results are memoised on ``(src_procs, dst_procs, data_bytes)`` — list
+    scheduling probes the same predecessor/candidate pairs repeatedly.
+    """
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+        self._cache: dict[tuple[tuple[int, ...], tuple[int, ...], float], float] = {}
+
+    def flows(self, src_procs: Sequence[int], dst_procs: Sequence[int],
+              data_bytes: float) -> list[FlowSpec]:
+        """Concrete flows of the redistribution (self-comms dropped)."""
+        return redistribution_flows(src_procs, dst_procs, data_bytes)
+
+    def time(self, src_procs: Sequence[int], dst_procs: Sequence[int],
+             data_bytes: float) -> float:
+        """Estimated duration; 0 for identical ordered sets or no data."""
+        if data_bytes == 0:
+            return 0.0
+        key = (tuple(src_procs), tuple(dst_procs), data_bytes)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        flows = self.flows(src_procs, dst_procs, data_bytes)
+        t = bottleneck_time_estimate(flows, self.cluster) if flows else 0.0
+        self._cache[key] = t
+        return t
+
+    def remote_bytes(self, src_procs: Sequence[int], dst_procs: Sequence[int],
+                     data_bytes: float) -> float:
+        """Bytes that actually cross the network (excludes self-comm)."""
+        return sum(f.data_bytes
+                   for f in self.flows(src_procs, dst_procs, data_bytes))
+
+    def average_edge_time(self, data_bytes: float) -> float:
+        """Platform-level a-priori estimate of an edge's communication time.
+
+        Used for the bottom-level priorities before any mapping exists:
+        ships the full dataset once across one NIC at effective bandwidth.
+        """
+        if data_bytes == 0:
+            return 0.0
+        bw = self.cluster.bandwidth_Bps
+        return data_bytes / bw + self.cluster.latency_s

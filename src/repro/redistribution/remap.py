@@ -1,0 +1,83 @@
+"""Receiver-rank ordering that maximises self-communication (paper §II-A).
+
+"When these sets have elements in common, our redistribution algorithm
+tries to maximize the amount of self communications."  With 1-D block
+layouts, *which* bytes stay local is entirely determined by the rank order
+of the receiving processor set.  A processor at sender rank ``i`` (of
+``p``) keeps the most data when its receiver rank is near ``i·q/p``, where
+its sender interval sits inside the receiver layout.
+
+:func:`align_receivers` implements a greedy assignment: shared processors
+claim their preferred receiver rank (nearest free slot on conflict, larger
+overlaps first), remaining processors fill the leftover slots in sorted
+order.  When the receiver set equals the sender set and sizes match, the
+result is the sender order itself — making the redistribution entirely
+free, the property RATS exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["align_receivers"]
+
+
+def _overlap(a: tuple[float, float], b: tuple[float, float]) -> float:
+    return max(0.0, min(a[1], b[1]) - max(a[0], b[0]))
+
+
+def align_receivers(src_procs: Sequence[int],
+                    dst_procs: Iterable[int]) -> tuple[int, ...]:
+    """Order ``dst_procs`` to maximise bytes kept local w.r.t. ``src_procs``.
+
+    Parameters
+    ----------
+    src_procs:
+        The producer's *ordered* processor set (defines the source layout).
+    dst_procs:
+        The processors chosen for the consumer; the order of this input is
+        irrelevant (it is what this function decides).
+
+    Returns
+    -------
+    The receiver set as an ordered tuple.
+    """
+    dst_list = sorted(set(dst_procs))
+    p, q = len(src_procs), len(dst_list)
+    if q == 0:
+        raise ValueError("empty receiver set")
+    src_rank = {proc: r for r, proc in enumerate(src_procs)}
+
+    shared = [proc for proc in dst_list if proc in src_rank]
+    others = [proc for proc in dst_list if proc not in src_rank]
+
+    slots: list[int | None] = [None] * q
+    # normalised sender intervals: rank i owns [i/p, (i+1)/p)
+    recv_ivals = [(j / q, (j + 1) / q) for j in range(q)]
+
+    # process shared processors in sender-rank order (deterministic; block
+    # shares are uniform, so rank order is also largest-overlap-first)
+    shared_sorted = sorted(shared, key=lambda proc: src_rank[proc])
+    for proc in shared_sorted:
+        i = src_rank[proc]
+        ival = (i / p, (i + 1) / p)
+        preferred = min(int(i * q / p), q - 1)
+        # probe preferred slot, then nearest free slots by overlap
+        best_j, best_ov = None, -1.0
+        for j in range(q):
+            if slots[j] is not None:
+                continue
+            ov = _overlap(ival, recv_ivals[j])
+            # prefer higher overlap, then proximity to the preferred slot
+            key = (ov, -abs(j - preferred))
+            if best_j is None or key > (best_ov, -abs(best_j - preferred)):
+                best_j, best_ov = j, ov
+        assert best_j is not None
+        slots[best_j] = proc
+
+    it = iter(others)
+    for j in range(q):
+        if slots[j] is None:
+            slots[j] = next(it)
+    assert all(s is not None for s in slots)
+    return tuple(s for s in slots if s is not None)

@@ -1,0 +1,38 @@
+"""Two-step scheduling: allocation procedures and list-scheduling mapping."""
+
+from repro.scheduling.schedule import Schedule, ScheduleEntry
+from repro.scheduling.bounds import average_area, critical_path_bound
+from repro.scheduling.allocation import (
+    AllocationResult,
+    cpa_allocation,
+    hcpa_allocation,
+    mcpa_allocation,
+)
+from repro.scheduling.mapping import ListScheduler, MappingDecision
+from repro.scheduling.serialize import (
+    load_results,
+    load_schedule,
+    save_results,
+    save_schedule,
+)
+# NOTE: repro.scheduling.multicluster is intentionally NOT imported here —
+# it subclasses repro.core.rats.RATSScheduler, and core itself imports
+# repro.scheduling.mapping; import it directly (or from the top-level
+# ``repro`` package, which loads core first).
+
+__all__ = [
+    "save_schedule",
+    "load_schedule",
+    "save_results",
+    "load_results",
+    "Schedule",
+    "ScheduleEntry",
+    "average_area",
+    "critical_path_bound",
+    "AllocationResult",
+    "cpa_allocation",
+    "hcpa_allocation",
+    "mcpa_allocation",
+    "ListScheduler",
+    "MappingDecision",
+]

@@ -1,0 +1,167 @@
+"""Step one of two-step scheduling: moldable-task allocation (paper §II-C).
+
+All three procedures share the CPA iteration [Radulescu & van Gemund 2001]:
+start from one processor per task; while the critical path ``C∞`` exceeds
+the average area ``W̄``, give one more processor to the critical-path task
+that benefits the most.  ``C∞ = W̄`` is the optimal trade-off because both
+quantities lower-bound the makespan.
+
+* :func:`cpa_allocation` — plain CPA (``P_eff = P``).
+* :func:`hcpa_allocation` — HCPA's allocation [N'takpé, Suter & Casanova
+  2007]: identical loop with the average-area bias fix ``P_eff = min(P, N)``
+  ("a modified definition of W to remove the bias induced by a large number
+  of available processors", §II-C).  This is the allocator RATS builds on.
+* :func:`mcpa_allocation` — MCPA [Bansal, Kumar & Singh 2006]: additionally
+  caps each precedence level's total allocation at ``P`` so all tasks of a
+  level can run concurrently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.dag.analysis import bottom_levels, dag_levels, top_levels
+from repro.dag.task import TaskGraph
+from repro.model.amdahl import PerformanceModel
+from repro.scheduling.bounds import effective_processor_count
+
+__all__ = [
+    "AllocationResult",
+    "cpa_allocation",
+    "hcpa_allocation",
+    "mcpa_allocation",
+]
+
+_TOL = 1e-9
+
+
+@dataclass
+class AllocationResult:
+    """Outcome of an allocation procedure.
+
+    ``converged`` is true when the stopping condition ``C∞ ≤ W̄`` was
+    reached (as opposed to running out of grantable processors).
+    """
+
+    allocation: dict[str, int]
+    iterations: int
+    cp_length: float
+    avg_area: float
+    converged: bool
+    trace: list[tuple[str, int]] = field(default_factory=list, repr=False)
+
+    def __getitem__(self, task: str) -> int:
+        return self.allocation[task]
+
+    def total_procs_allocated(self) -> int:
+        return sum(self.allocation.values())
+
+
+def _cpa_core(
+    graph: TaskGraph,
+    model: PerformanceModel,
+    total_procs: int,
+    *,
+    area_policy: str,
+    level_cap: bool,
+    edge_time: Callable[[str, str], float] | None = None,
+    max_iterations: int | None = None,
+    keep_trace: bool = False,
+) -> AllocationResult:
+    """The shared CPA allocation loop."""
+    if total_procs < 1:
+        raise ValueError("total_procs must be >= 1")
+    names = graph.task_names()
+    alloc: dict[str, int] = {n: 1 for n in names}
+    levels = dag_levels(graph) if level_cap else None
+    level_tasks: dict[int, list[str]] = {}
+    if levels is not None:
+        for n, lvl in levels.items():
+            level_tasks.setdefault(lvl, []).append(n)
+
+    p_eff = effective_processor_count(graph, total_procs, area_policy)
+    total_work = sum(model.work(graph.task(n), 1) for n in names)
+    if max_iterations is None:
+        # each task can grow at most to P processors
+        max_iterations = graph.num_tasks * total_procs
+
+    trace: list[tuple[str, int]] = []
+    iterations = 0
+    cp_len = 0.0
+    area = 0.0
+    converged = False
+
+    def node_time(n: str) -> float:
+        return model.time(graph.task(n), alloc[n])
+
+    def can_grow(n: str) -> bool:
+        if alloc[n] >= total_procs:
+            return False
+        if levels is not None:
+            used = sum(alloc[m] for m in level_tasks[levels[n]])
+            if used + 1 > total_procs:
+                return False
+        return True
+
+    while iterations < max_iterations:
+        bl = bottom_levels(graph, node_time, edge_time)
+        tl = top_levels(graph, node_time, edge_time)
+        cp_len = max((bl[e] for e in graph.entry_tasks()), default=0.0)
+        area = total_work / p_eff
+        if cp_len <= area + _TOL:
+            converged = True
+            break
+
+        # tasks on a critical path that may still grow
+        candidates = [
+            n for n in names
+            if tl[n] + bl[n] >= cp_len - _TOL * max(1.0, cp_len) and can_grow(n)
+        ]
+        if not candidates:
+            break
+
+        # benefit of one extra processor: largest execution-time reduction
+        def benefit(n: str) -> float:
+            t = graph.task(n)
+            return model.time(t, alloc[n]) - model.time(t, alloc[n] + 1)
+
+        best = max(candidates, key=lambda n: (benefit(n), node_time(n), n))
+        old_work = model.work(graph.task(best), alloc[best])
+        alloc[best] += 1
+        total_work += model.work(graph.task(best), alloc[best]) - old_work
+        if keep_trace:
+            trace.append((best, alloc[best]))
+        iterations += 1
+
+    return AllocationResult(
+        allocation=alloc,
+        iterations=iterations,
+        cp_length=cp_len,
+        avg_area=area,
+        converged=converged,
+        trace=trace,
+    )
+
+
+def cpa_allocation(graph: TaskGraph, model: PerformanceModel,
+                   total_procs: int, **kwargs) -> AllocationResult:
+    """Plain CPA allocation (``P_eff = P``)."""
+    return _cpa_core(graph, model, total_procs,
+                     area_policy="total", level_cap=False, **kwargs)
+
+
+def hcpa_allocation(graph: TaskGraph, model: PerformanceModel,
+                    total_procs: int, *, area_policy: str = "ntasks",
+                    **kwargs) -> AllocationResult:
+    """HCPA allocation: CPA with the average-area bias fix (default
+    ``P_eff = min(P, N)``)."""
+    return _cpa_core(graph, model, total_procs,
+                     area_policy=area_policy, level_cap=False, **kwargs)
+
+
+def mcpa_allocation(graph: TaskGraph, model: PerformanceModel,
+                    total_procs: int, **kwargs) -> AllocationResult:
+    """MCPA allocation: CPA with per-level concurrency budgets."""
+    return _cpa_core(graph, model, total_procs,
+                     area_policy="total", level_cap=True, **kwargs)

@@ -1,0 +1,84 @@
+"""The two lower bounds balanced by CPA-family allocation (paper §II-C).
+
+Under an allocation ``n : tasks → processor counts``:
+
+* ``C∞`` — the critical-path length, i.e. the longest node-weighted path
+  (optionally including estimated edge costs);
+* ``W̄ = (1/P_eff) · Σ_t n_t · T(t, n_t)`` — the *average area*: total work
+  divided by the (effective) processor count.
+
+Both are lower bounds on the makespan; CPA stops growing allocations when
+``C∞ ≤ W̄`` — the "optimal trade-off".  HCPA fixes CPA's bias on large
+clusters by clamping the effective processor count (see
+:func:`effective_processor_count`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.dag.analysis import critical_path_length, dag_width
+from repro.dag.task import TaskGraph
+from repro.model.amdahl import PerformanceModel
+
+__all__ = [
+    "critical_path_bound",
+    "average_area",
+    "effective_processor_count",
+]
+
+
+def critical_path_bound(
+    graph: TaskGraph,
+    model: PerformanceModel,
+    allocation: Mapping[str, int],
+    edge_time: Callable[[str, str], float] | None = None,
+) -> float:
+    """``C∞`` under ``allocation`` (edge costs default to zero, as in CPA)."""
+    def node_time(name: str) -> float:
+        return model.time(graph.task(name), allocation[name])
+
+    return critical_path_length(graph, node_time, edge_time)
+
+
+def effective_processor_count(graph: TaskGraph, total_procs: int,
+                              policy: str = "total") -> int:
+    """Effective ``P`` for the average area.
+
+    Policies
+    --------
+    ``"total"``
+        CPA's plain ``P``.
+    ``"ntasks"``
+        HCPA's bias fix: ``min(P, N)`` — with far more processors than
+        tasks, plain CPA's average area stays tiny and allocations explode;
+        clamping to the task count removes that bias (§II-C).
+    ``"width"``
+        Clamp to ``min(P, N, P·width(G)/...)`` — a stricter variant using
+        the DAG's maximum parallelism; offered for ablation studies.
+    """
+    if total_procs < 1:
+        raise ValueError("total_procs must be >= 1")
+    if policy == "total":
+        return total_procs
+    if policy == "ntasks":
+        return min(total_procs, graph.num_tasks)
+    if policy == "width":
+        return max(1, min(total_procs, graph.num_tasks, dag_width(graph)))
+    raise ValueError(f"unknown effective processor policy {policy!r}")
+
+
+def average_area(
+    graph: TaskGraph,
+    model: PerformanceModel,
+    allocation: Mapping[str, int],
+    total_procs: int,
+    policy: str = "total",
+) -> float:
+    """``W̄ = Σ n_t · T(t, n_t) / P_eff``."""
+    p_eff = effective_processor_count(graph, total_procs, policy)
+    total_work = sum(
+        model.work(graph.task(name), allocation[name])
+        for name in graph.task_names()
+    )
+    return total_work / p_eff

@@ -1,0 +1,152 @@
+"""Schedule representation: task → (ordered processor set, start, finish).
+
+A :class:`Schedule` is what a scheduling algorithm *promises*: estimated
+start/finish instants for every task on a concrete ordered processor set.
+Whether the promise holds under network contention is decided by the fluid
+simulator (:mod:`repro.simulation`), which replays the mapping and the
+per-processor task order while recomputing communications.
+
+Validity invariants (checked by :meth:`Schedule.validate`):
+
+* every task scheduled exactly once, on a non-empty duplicate-free
+  processor set within the cluster;
+* precedence: a task never starts before any predecessor finishes;
+* exclusivity: entries sharing a processor never overlap in time (only one
+  task per processing unit at a time, §II-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dag.task import TaskGraph
+from repro.model.amdahl import PerformanceModel
+from repro.platforms.cluster import Cluster
+
+__all__ = ["ScheduleEntry", "Schedule"]
+
+_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class ScheduleEntry:
+    """One task's placement."""
+
+    task: str
+    procs: tuple[int, ...]
+    start: float
+    finish: float
+
+    def __post_init__(self) -> None:
+        if not self.procs:
+            raise ValueError(f"task {self.task!r}: empty processor set")
+        if len(set(self.procs)) != len(self.procs):
+            raise ValueError(f"task {self.task!r}: duplicate processors")
+        if self.finish < self.start - _TOL:
+            raise ValueError(f"task {self.task!r}: finish < start")
+
+    @property
+    def nprocs(self) -> int:
+        return len(self.procs)
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+@dataclass
+class Schedule:
+    """A complete mapping of a task graph onto a cluster."""
+
+    graph: TaskGraph
+    cluster: Cluster
+    entries: dict[str, ScheduleEntry] = field(default_factory=dict)
+
+    def add(self, entry: ScheduleEntry) -> None:
+        if entry.task in self.entries:
+            raise ValueError(f"task {entry.task!r} already scheduled")
+        if entry.task not in self.graph:
+            raise KeyError(f"unknown task {entry.task!r}")
+        for p in entry.procs:
+            if not 0 <= p < self.cluster.num_procs:
+                raise ValueError(f"processor {p} out of range")
+        self.entries[entry.task] = entry
+
+    def __contains__(self, task: str) -> bool:
+        return task in self.entries
+
+    def __getitem__(self, task: str) -> ScheduleEntry:
+        return self.entries[task]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # ------------------------------------------------------------------ #
+    # metrics
+    # ------------------------------------------------------------------ #
+    @property
+    def makespan(self) -> float:
+        """Estimated makespan (earliest start is the origin, §II-A)."""
+        if not self.entries:
+            return 0.0
+        start = min(e.start for e in self.entries.values())
+        end = max(e.finish for e in self.entries.values())
+        return end - start
+
+    def total_work(self, model: PerformanceModel | None = None) -> float:
+        """``W = Σ ω_i`` — processor-seconds consumed (paper §II-C, §IV-B).
+
+        With a performance model the work is ``Σ n_t · T(t, n_t)`` from the
+        model (the paper's definition); otherwise the scheduled durations
+        are used (identical when entries were built from the model).
+        """
+        if model is None:
+            return sum(e.nprocs * e.duration for e in self.entries.values())
+        return sum(
+            e.nprocs * model.time(self.graph.task(name), e.nprocs)
+            for name, e in self.entries.items()
+        )
+
+    def allocation(self) -> dict[str, int]:
+        """Processor count per task (the first-step view of this schedule)."""
+        return {name: e.nprocs for name, e in self.entries.items()}
+
+    def proc_timeline(self) -> dict[int, list[ScheduleEntry]]:
+        """Entries per processor, ordered by start time."""
+        timeline: dict[int, list[ScheduleEntry]] = {}
+        for e in self.entries.values():
+            for p in e.procs:
+                timeline.setdefault(p, []).append(e)
+        for p in timeline:
+            timeline[p].sort(key=lambda e: (e.start, e.finish, e.task))
+        return timeline
+
+    # ------------------------------------------------------------------ #
+    # validation
+    # ------------------------------------------------------------------ #
+    def validate(self, tol: float = 1e-6) -> None:
+        """Raise :class:`ValueError` on any violated invariant."""
+        missing = [t for t in self.graph.task_names() if t not in self.entries]
+        if missing:
+            raise ValueError(f"unscheduled tasks: {missing[:5]}"
+                             f"{'...' if len(missing) > 5 else ''}")
+        for u, v, _ in self.graph.edges():
+            if self.entries[v].start < self.entries[u].finish - tol:
+                raise ValueError(
+                    f"precedence violated: {v!r} starts at "
+                    f"{self.entries[v].start:g} before {u!r} finishes at "
+                    f"{self.entries[u].finish:g}"
+                )
+        for p, seq in self.proc_timeline().items():
+            for a, b in zip(seq, seq[1:]):
+                if b.start < a.finish - tol:
+                    raise ValueError(
+                        f"processor {p} double-booked: {a.task!r} "
+                        f"[{a.start:g},{a.finish:g}) overlaps {b.task!r} "
+                        f"[{b.start:g},{b.finish:g})"
+                    )
+
+    def summary(self) -> str:
+        return (f"Schedule({self.graph.name!r} on {self.cluster.name!r}: "
+                f"{len(self.entries)} tasks, makespan={self.makespan:.3f}s, "
+                f"work={self.total_work():.1f} proc-s)")

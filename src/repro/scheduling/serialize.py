@@ -1,0 +1,103 @@
+"""JSON (de)serialisation of schedules and experiment results.
+
+Full-scale campaigns (557 configurations × 3 clusters × 3 algorithms) are
+expensive to recompute; these helpers let harnesses persist schedules and
+:class:`~repro.experiments.runner.RunResult` rows and reload them for
+post-hoc analysis without re-running the simulator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+from repro.dag.task import TaskGraph
+from repro.platforms.cluster import Cluster
+from repro.scheduling.schedule import Schedule, ScheduleEntry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.runner import RunResult
+
+__all__ = [
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "save_schedule",
+    "load_schedule",
+    "results_to_json",
+    "results_from_json",
+    "save_results",
+    "load_results",
+]
+
+
+def schedule_to_dict(schedule: Schedule) -> dict:
+    """Plain-dict form of a schedule (graph/cluster referenced by name)."""
+    return {
+        "graph": schedule.graph.name,
+        "cluster": schedule.cluster.name,
+        "entries": [
+            {
+                "task": e.task,
+                "procs": list(e.procs),
+                "start": e.start,
+                "finish": e.finish,
+            }
+            for e in schedule.entries.values()
+        ],
+    }
+
+
+def schedule_from_dict(data: dict, graph: TaskGraph,
+                       cluster: Cluster) -> Schedule:
+    """Rebuild a schedule against its graph and cluster.
+
+    The caller provides the graph/cluster (rebuilt deterministically from a
+    scenario id, or constructed directly); names are cross-checked.
+    """
+    if data.get("graph") != graph.name:
+        raise ValueError(
+            f"schedule was for graph {data.get('graph')!r}, got {graph.name!r}")
+    if data.get("cluster") != cluster.name:
+        raise ValueError(
+            f"schedule was for cluster {data.get('cluster')!r}, "
+            f"got {cluster.name!r}")
+    schedule = Schedule(graph=graph, cluster=cluster)
+    for row in data["entries"]:
+        schedule.add(ScheduleEntry(
+            task=row["task"],
+            procs=tuple(row["procs"]),
+            start=float(row["start"]),
+            finish=float(row["finish"]),
+        ))
+    return schedule
+
+
+def save_schedule(schedule: Schedule, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(schedule_to_dict(schedule), indent=1))
+
+
+def load_schedule(path: str | Path, graph: TaskGraph,
+                  cluster: Cluster) -> Schedule:
+    return schedule_from_dict(json.loads(Path(path).read_text()),
+                              graph, cluster)
+
+
+def results_to_json(results: Iterable["RunResult"]) -> str:
+    """Serialise experiment rows to a JSON array string."""
+    return json.dumps([dataclasses.asdict(r) for r in results], indent=1)
+
+
+def results_from_json(text: str) -> list["RunResult"]:
+    from repro.experiments.runner import RunResult
+
+    return [RunResult(**row) for row in json.loads(text)]
+
+
+def save_results(results: Iterable["RunResult"], path: str | Path) -> None:
+    Path(path).write_text(results_to_json(results))
+
+
+def load_results(path: str | Path) -> list["RunResult"]:
+    return results_from_json(Path(path).read_text())

@@ -1,0 +1,31 @@
+"""Fluid discrete-event simulation of mapped schedules (paper §IV).
+
+The paper evaluates schedules with SimGrid v3.3; this package provides the
+equivalent substrate: computations run for their Amdahl durations while
+redistribution flows share the network under bounded multi-port Max-Min
+fairness.  The simulated makespan — not the scheduler's estimate — is what
+all experiments report.
+"""
+
+from repro.simulation.simulator import FluidSimulator, SimulationResult, simulate
+from repro.simulation.trace import FlowTrace, TaskTrace
+from repro.simulation.stats import (
+    EdgeCommStats,
+    edge_communication_times,
+    estimation_errors,
+    link_traffic,
+    total_network_bytes,
+)
+
+__all__ = [
+    "FluidSimulator",
+    "SimulationResult",
+    "simulate",
+    "TaskTrace",
+    "FlowTrace",
+    "EdgeCommStats",
+    "edge_communication_times",
+    "estimation_errors",
+    "link_traffic",
+    "total_network_bytes",
+]

@@ -1,0 +1,72 @@
+"""Small discrete-event primitives.
+
+The fluid simulator keeps its own specialised loop for speed; this module
+provides the generic pieces (a stable event queue and a virtual clock) for
+extensions and tests that need classic discrete-event behaviour.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["EventQueue", "VirtualClock"]
+
+
+@dataclass
+class VirtualClock:
+    """A monotonically advancing simulated time."""
+
+    now: float = 0.0
+
+    def advance_to(self, t: float) -> None:
+        if t < self.now - 1e-12:
+            raise ValueError(f"time cannot move backwards: {t} < {self.now}")
+        self.now = max(self.now, t)
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    action: Callable[[], Any] = field(compare=False)
+
+
+class EventQueue:
+    """A time-ordered queue of callbacks with stable FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[_Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, action: Callable[[], Any]) -> None:
+        heapq.heappush(self._heap, _Event(time, next(self._counter), action))
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    @property
+    def next_time(self) -> float | None:
+        return self._heap[0].time if self._heap else None
+
+    def pop(self) -> tuple[float, Callable[[], Any]]:
+        ev = heapq.heappop(self._heap)
+        return ev.time, ev.action
+
+    def run_until_empty(self, clock: VirtualClock,
+                        max_events: int = 1_000_000) -> int:
+        """Drain the queue, advancing ``clock``; returns events processed."""
+        processed = 0
+        while self._heap:
+            if processed >= max_events:
+                raise RuntimeError("event budget exhausted (runaway loop?)")
+            t, action = self.pop()
+            clock.advance_to(t)
+            action()
+            processed += 1
+        return processed

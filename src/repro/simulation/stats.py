@@ -1,0 +1,103 @@
+"""Post-hoc analysis of simulation traces.
+
+These helpers answer the questions the paper's discussion raises (§IV-D):
+how much data actually crossed the network, how long each redistribution
+really took compared to its contention-free estimate, and how loaded the
+individual links were.  They require the simulation to have been run with
+``collect_flow_traces=True``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.platforms.cluster import Cluster
+from repro.simulation.simulator import SimulationResult
+
+__all__ = [
+    "EdgeCommStats",
+    "edge_communication_times",
+    "total_network_bytes",
+    "link_traffic",
+    "estimation_errors",
+]
+
+
+@dataclass(frozen=True)
+class EdgeCommStats:
+    """Observed timing of one edge's redistribution."""
+
+    edge: tuple[str, str]
+    flows: int
+    data_bytes: float
+    start: float   # first flow release
+    finish: float  # last flow completion
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+def _require_traces(result: SimulationResult) -> None:
+    if not result.flow_traces:
+        raise ValueError(
+            "no flow traces: run the simulation with "
+            "FluidSimulator(schedule, collect_flow_traces=True)")
+
+
+def edge_communication_times(result: SimulationResult) -> dict[tuple[str, str],
+                                                               EdgeCommStats]:
+    """Aggregate flow traces per application edge."""
+    _require_traces(result)
+    agg: dict[tuple[str, str], list] = {}
+    for ft in result.flow_traces:
+        agg.setdefault(ft.edge, []).append(ft)
+    return {
+        edge: EdgeCommStats(
+            edge=edge,
+            flows=len(fts),
+            data_bytes=sum(f.data_bytes for f in fts),
+            start=min(f.release for f in fts),
+            finish=max(f.finish for f in fts),
+        )
+        for edge, fts in agg.items()
+    }
+
+
+def total_network_bytes(result: SimulationResult) -> float:
+    """Bytes that crossed the network (self-communications excluded)."""
+    _require_traces(result)
+    return sum(f.data_bytes for f in result.flow_traces)
+
+
+def link_traffic(result: SimulationResult,
+                 cluster: Cluster) -> dict[tuple[str, int], float]:
+    """Bytes carried by each link over the whole execution."""
+    _require_traces(result)
+    topo = cluster.topology
+    out: dict[tuple[str, int], float] = {}
+    for ft in result.flow_traces:
+        for link in topo.route(ft.src, ft.dst).links:
+            out[link] = out.get(link, 0.0) + ft.data_bytes
+    return out
+
+
+def estimation_errors(result: SimulationResult, schedule,
+                      redist=None) -> dict[tuple[str, str], float]:
+    """Per-edge ratio of observed redistribution time to the scheduler's
+    contention-free estimate (≥ 1 means contention slowed it down).
+
+    Edges whose estimate is zero (same ordered set) are skipped.
+    """
+    from repro.redistribution.cost import RedistributionCost
+
+    _require_traces(result)
+    rc = redist or RedistributionCost(schedule.cluster)
+    observed = edge_communication_times(result)
+    out: dict[tuple[str, str], float] = {}
+    for (u, v), stats in observed.items():
+        est = rc.time(schedule[u].procs, schedule[v].procs,
+                      schedule.graph.edge_bytes(u, v))
+        if est > 0:
+            out[(u, v)] = stats.duration / est
+    return out

@@ -1,0 +1,37 @@
+"""Execution trace records produced by the fluid simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TaskTrace", "FlowTrace"]
+
+
+@dataclass(frozen=True)
+class TaskTrace:
+    """As-executed timing of one task."""
+
+    task: str
+    procs: tuple[int, ...]
+    start: float
+    finish: float
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+@dataclass(frozen=True)
+class FlowTrace:
+    """As-executed timing of one redistribution flow."""
+
+    edge: tuple[str, str]
+    src: int
+    dst: int
+    data_bytes: float
+    release: float
+    finish: float
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.release

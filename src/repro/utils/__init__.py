@@ -1,0 +1,5 @@
+"""Shared utilities: deterministic RNG seeding and validation helpers."""
+
+from repro.utils.rng import scenario_seed, spawn_rng
+
+__all__ = ["scenario_seed", "spawn_rng"]

@@ -1,0 +1,36 @@
+"""Deterministic random-number generation.
+
+Every random draw in the library flows from a :class:`numpy.random.Generator`
+seeded through :func:`scenario_seed`, so any experiment (a DAG sample, a
+parameter sweep point, a full table) can be regenerated bit-for-bit from its
+textual identifier.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["scenario_seed", "spawn_rng"]
+
+
+def scenario_seed(*parts: object) -> int:
+    """Derive a stable 64-bit seed from an arbitrary tuple of identifiers.
+
+    The parts are stringified, joined and hashed with SHA-256, making the
+    seed independent of Python's per-process hash randomisation.
+
+    >>> scenario_seed("layered", 25, 0.2) == scenario_seed("layered", 25, 0.2)
+    True
+    >>> scenario_seed("layered", 25) != scenario_seed("irregular", 25)
+    True
+    """
+    text = "\x1f".join(str(p) for p in parts)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def spawn_rng(*parts: object) -> np.random.Generator:
+    """Create a :class:`numpy.random.Generator` seeded from identifier parts."""
+    return np.random.default_rng(scenario_seed(*parts))

@@ -1,0 +1,6 @@
+"""Terminal visualisation: ASCII Gantt charts and plots."""
+
+from repro.viz.ascii_plot import ascii_curves, ascii_surface
+from repro.viz.gantt import ascii_gantt
+
+__all__ = ["ascii_curves", "ascii_surface", "ascii_gantt"]

@@ -1,0 +1,95 @@
+"""Minimal ASCII plotting for the paper's figures in a terminal.
+
+Two primitives cover everything the evaluation needs:
+
+* :func:`ascii_curves` — one or more ``(x, y)`` series on a shared canvas
+  (Figures 2/3/5/6/7 are sorted-ratio or threshold curves);
+* :func:`ascii_surface` — a labelled value grid (Figure 4 is a surface over
+  the (mindelta, maxdelta) plane).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_curves", "ascii_surface"]
+
+_MARKS = "*o+x#@%&"
+
+
+def ascii_curves(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render ``label → [(x, y), ...]`` curves on one canvas.
+
+    Each series gets its own marker; axes are annotated with the data
+    ranges.  Intended for quick terminal inspection, not publication.
+    """
+    pts = [(x, y) for s in series.values() for x, y in s]
+    if not pts:
+        return "(no data)"
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (label, s) in enumerate(series.items()):
+        mark = _MARKS[si % len(_MARKS)]
+        for x, y in s:
+            col = int((x - x_min) / x_span * (width - 1))
+            row = height - 1 - int((y - y_min) / y_span * (height - 1))
+            grid[row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        y_val = y_max - i * y_span / (height - 1)
+        lines.append(f"{y_val:10.3f} |" + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(" " * 12 + f"{x_min:<12g}{'':^{max(0, width - 24)}}{x_max:>12g}")
+    legend = "   ".join(f"{_MARKS[i % len(_MARKS)]} {label}"
+                        for i, label in enumerate(series))
+    lines.append("  legend: " + legend)
+    if y_label:
+        lines.append("  y: " + y_label)
+    return "\n".join(lines)
+
+
+def ascii_surface(
+    values: Mapping[tuple[float, float], float],
+    *,
+    x_name: str = "x",
+    y_name: str = "y",
+    title: str = "",
+    fmt: str = "{:7.3f}",
+) -> str:
+    """Render a ``(x, y) → value`` grid as an aligned table.
+
+    Rows are distinct ``x`` values, columns distinct ``y`` values, both in
+    sorted order — matching Figure 4's (mindelta, maxdelta) surface.
+    """
+    if not values:
+        return "(no data)"
+    xs = sorted({k[0] for k in values})
+    ys = sorted({k[1] for k in values})
+    col_w = max(len(fmt.format(0.0)), 8)
+    head = f"{x_name + chr(92) + y_name:>10} " + "".join(
+        f"{y:>{col_w}g}" for y in ys)
+    lines = [title, head] if title else [head]
+    for x in xs:
+        cells = []
+        for y in ys:
+            v = values.get((x, y))
+            cells.append(" " * (col_w - 1) + "-" if v is None
+                         else f"{fmt.format(v):>{col_w}}")
+        lines.append(f"{x:>10g} " + "".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""ASCII Gantt charts of schedules and simulation traces."""
+
+from __future__ import annotations
+
+from repro.scheduling.schedule import Schedule
+
+__all__ = ["ascii_gantt"]
+
+
+def ascii_gantt(schedule: Schedule, *, width: int = 78,
+                max_procs: int | None = None) -> str:
+    """Render the per-processor timeline of a schedule.
+
+    Each task is drawn with a single character (cycling through an
+    alphabet); idle time is ``.``.  ``max_procs`` truncates tall clusters
+    for readability.
+    """
+    if not schedule.entries:
+        return "(empty schedule)"
+    makespan = max(e.finish for e in schedule.entries.values())
+    if makespan <= 0:
+        return "(zero-length schedule)"
+    t0 = min(e.start for e in schedule.entries.values())
+    span = makespan - t0 or 1.0
+
+    alphabet = ("ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+                "abcdefghijklmnopqrstuvwxyz0123456789")
+    symbols = {
+        name: alphabet[i % len(alphabet)]
+        for i, name in enumerate(sorted(schedule.entries))
+    }
+
+    timeline = schedule.proc_timeline()
+    procs = sorted(timeline)
+    if max_procs is not None:
+        procs = procs[:max_procs]
+
+    lines = [f"Gantt: {schedule.graph.name} on {schedule.cluster.name} "
+             f"(makespan {schedule.makespan:.3f}s)"]
+    for p in procs:
+        row = ["."] * width
+        for e in timeline[p]:
+            c0 = int((e.start - t0) / span * (width - 1))
+            c1 = max(c0 + 1, int((e.finish - t0) / span * (width - 1)) + 1)
+            for c in range(c0, min(c1, width)):
+                row[c] = symbols[e.task]
+        lines.append(f"p{p:<4d}|" + "".join(row) + "|")
+    if max_procs is not None and len(timeline) > max_procs:
+        lines.append(f"... ({len(timeline) - max_procs} more processors)")
+    legend_items = [f"{sym}={name}" for name, sym in list(symbols.items())[:12]]
+    lines.append("legend: " + " ".join(legend_items)
+                 + (" ..." if len(symbols) > 12 else ""))
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Shared fixtures: small clusters and task graphs used across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag.generator import DagShape, random_layered_dag
+from repro.dag.task import Task, TaskGraph
+from repro.model.amdahl import AmdahlModel
+from repro.platforms.cluster import Cluster
+from repro.utils.rng import spawn_rng
+
+
+@pytest.fixture
+def tiny_cluster() -> Cluster:
+    """8 nodes, 1 GFlop/s, flat gigabit switch."""
+    return Cluster(name="tiny", num_procs=8, speed_flops=1e9)
+
+
+@pytest.fixture
+def hier_cluster() -> Cluster:
+    """12 nodes in 3 cabinets of 4 — exercises the hierarchical network."""
+    return Cluster(name="hier", num_procs=12, speed_flops=1e9,
+                   cabinets=3, cabinet_size=4)
+
+
+@pytest.fixture
+def model(tiny_cluster: Cluster) -> AmdahlModel:
+    return tiny_cluster.performance_model()
+
+
+def make_diamond(m: float = 1e6, flops: float = 1e9,
+                 alpha: float = 0.1) -> TaskGraph:
+    """entry -> (left, right) -> exit diamond with uniform costs."""
+    g = TaskGraph(name="diamond")
+    for name in ("entry", "left", "right", "exit"):
+        g.add_task(Task(name, data_elements=m, flops=flops, alpha=alpha))
+    g.add_edge("entry", "left")
+    g.add_edge("entry", "right")
+    g.add_edge("left", "exit")
+    g.add_edge("right", "exit")
+    return g
+
+
+def make_chain(n: int = 4, m: float = 1e6, flops: float = 1e9,
+               alpha: float = 0.1) -> TaskGraph:
+    """A linear chain t0 -> t1 -> ... -> t{n-1} with uniform costs."""
+    g = TaskGraph(name=f"chain{n}")
+    prev = None
+    for i in range(n):
+        t = g.add_task(Task(f"t{i}", data_elements=m, flops=flops, alpha=alpha))
+        if prev is not None:
+            g.add_edge(prev.name, t.name)
+        prev = t
+    return g
+
+
+@pytest.fixture
+def diamond() -> TaskGraph:
+    return make_diamond()
+
+
+@pytest.fixture
+def chain() -> TaskGraph:
+    return make_chain()
+
+
+@pytest.fixture
+def small_random() -> TaskGraph:
+    """A deterministic 25-task layered DAG with paper-scale costs."""
+    return random_layered_dag(
+        DagShape(n_tasks=25, width=0.5, regularity=0.5, density=0.5),
+        spawn_rng("conftest-small-random"),
+    )

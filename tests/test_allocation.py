@@ -1,0 +1,147 @@
+"""Tests for CPA / HCPA / MCPA allocation procedures and bounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag.analysis import dag_levels
+from repro.scheduling.allocation import (
+    cpa_allocation,
+    hcpa_allocation,
+    mcpa_allocation,
+)
+from repro.scheduling.bounds import (
+    average_area,
+    critical_path_bound,
+    effective_processor_count,
+)
+
+from conftest import make_chain, make_diamond
+
+
+class TestBounds:
+    def test_cp_bound_chain(self, model):
+        g = make_chain(3, flops=1e9, alpha=0.0)  # 1s sequential each
+        alloc = {n: 1 for n in g.task_names()}
+        assert critical_path_bound(g, model, alloc) == pytest.approx(3.0)
+
+    def test_cp_bound_shrinks_with_allocation(self, model):
+        g = make_chain(3, flops=1e9, alpha=0.0)
+        one = {n: 1 for n in g.task_names()}
+        four = {n: 4 for n in g.task_names()}
+        assert critical_path_bound(g, model, four) == pytest.approx(
+            critical_path_bound(g, model, one) / 4)
+
+    def test_average_area(self, model):
+        g = make_diamond(flops=1e9, alpha=0.0)  # 4 tasks x 1s work
+        alloc = {n: 1 for n in g.task_names()}
+        assert average_area(g, model, alloc, total_procs=8) == pytest.approx(0.5)
+
+    def test_effective_processor_policies(self):
+        g = make_diamond()
+        assert effective_processor_count(g, 100, "total") == 100
+        assert effective_processor_count(g, 100, "ntasks") == 4
+        assert effective_processor_count(g, 100, "width") == 2
+        assert effective_processor_count(g, 3, "ntasks") == 3
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            effective_processor_count(make_diamond(), 4, "bogus")
+
+
+class TestCPAAllocation:
+    def test_stops_at_tradeoff(self, tiny_cluster, model):
+        g = make_chain(4, flops=4e9, alpha=0.05)
+        res = cpa_allocation(g, model, tiny_cluster.num_procs)
+        assert res.converged
+        assert res.cp_length <= res.avg_area + 1e-6
+
+    def test_allocations_within_bounds(self, model):
+        g = make_diamond(flops=8e9, alpha=0.1)
+        res = cpa_allocation(g, model, 8)
+        assert all(1 <= n <= 8 for n in res.allocation.values())
+
+    def test_chain_gets_everything_it_needs(self, model):
+        """On a pure chain with alpha=0, W̄ = total/P stays below C∞ until
+        tasks are heavily parallelised."""
+        g = make_chain(3, flops=8e9, alpha=0.0)
+        res = cpa_allocation(g, model, 8)
+        assert res.converged
+        # chain: every task on the critical path, allocations grow
+        assert all(n > 1 for n in res.allocation.values())
+
+    def test_trace_records_growth(self, model):
+        g = make_diamond(flops=8e9, alpha=0.1)
+        res = cpa_allocation(g, model, 8, keep_trace=True)
+        assert len(res.trace) == res.iterations
+
+    def test_max_iterations_cap(self, model):
+        g = make_chain(3, flops=8e9, alpha=0.0)
+        res = cpa_allocation(g, model, 8, max_iterations=2)
+        assert res.iterations == 2
+        assert not res.converged
+
+    def test_single_proc_cluster_trivial(self, model):
+        g = make_diamond()
+        res = cpa_allocation(g, model, 1)
+        assert all(n == 1 for n in res.allocation.values())
+
+
+class TestHCPAAllocation:
+    def test_hcpa_never_allocates_more_than_cpa(self, model):
+        """The bias fix can only raise W̄, so HCPA stops no later than CPA
+        in total processors granted."""
+        g = make_diamond(flops=50e9, alpha=0.02)
+        cpa = cpa_allocation(g, model, 8)
+        hcpa = hcpa_allocation(g, model, 8)
+        assert hcpa.total_procs_allocated() <= cpa.total_procs_allocated()
+
+    def test_equal_when_procs_below_ntasks(self, model):
+        """P <= N makes min(P, N) = P: HCPA degenerates to CPA."""
+        g = make_diamond(flops=20e9, alpha=0.05)  # 4 tasks >= 4 procs? use P=4
+        cpa = cpa_allocation(g, model, 4)
+        hcpa = hcpa_allocation(g, model, 4)
+        assert cpa.allocation == hcpa.allocation
+
+    def test_large_cluster_bias_fix(self, model, small_random):
+        """On a 120-proc cluster with 25 tasks, HCPA must allocate far less
+        total work than CPA (the §II-C motivation)."""
+        cpa = cpa_allocation(small_random, model, 120)
+        hcpa = hcpa_allocation(small_random, model, 120)
+        assert hcpa.total_procs_allocated() < cpa.total_procs_allocated()
+
+    def test_area_policy_override(self, model):
+        g = make_diamond(flops=20e9, alpha=0.05)
+        res = hcpa_allocation(g, model, 8, area_policy="width")
+        assert all(1 <= n <= 8 for n in res.allocation.values())
+
+
+class TestMCPAAllocation:
+    def test_level_budget_respected(self, model, small_random):
+        res = mcpa_allocation(small_random, model, 8)
+        levels = dag_levels(small_random)
+        per_level: dict[int, int] = {}
+        for name, n in res.allocation.items():
+            per_level[levels[name]] = per_level.get(levels[name], 0) + n
+        assert all(total <= 8 for total in per_level.values())
+
+    def test_wide_level_limits_growth(self, model):
+        """A 6-task level on 8 procs leaves at most 2 spare increments."""
+        from repro.dag.task import Task, TaskGraph
+
+        g = TaskGraph(name="wide")
+        g.add_task(Task("src", data_elements=1e6, flops=1e9, alpha=0.0))
+        for i in range(6):
+            g.add_task(Task(f"mid{i}", data_elements=1e6, flops=50e9, alpha=0.0))
+            g.add_edge("src", f"mid{i}")
+        g.add_task(Task("sink", data_elements=1e6, flops=1e9, alpha=0.0))
+        for i in range(6):
+            g.add_edge(f"mid{i}", "sink")
+
+        res = mcpa_allocation(g, model, 8)
+        mid_total = sum(res.allocation[f"mid{i}"] for i in range(6))
+        assert mid_total <= 8
+
+    def test_invalid_total_procs(self, model):
+        with pytest.raises(ValueError):
+            mcpa_allocation(make_diamond(), model, 0)

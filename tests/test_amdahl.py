@@ -1,0 +1,100 @@
+"""Tests for the Amdahl performance model, incl. the monotonicity
+invariants the RATS strategies rely on (property-based)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dag.task import Task
+from repro.model.amdahl import AmdahlModel
+
+task_strategy = st.builds(
+    Task,
+    name=st.just("t"),
+    data_elements=st.floats(1e3, 1e9),
+    flops=st.floats(1e6, 1e13),
+    alpha=st.floats(0.0, 0.25),
+)
+
+
+class TestBasics:
+    def test_sequential_time(self):
+        m = AmdahlModel(speed_flops=1e9)
+        t = Task("t", flops=2e9, alpha=0.0)
+        assert m.sequential_time(t) == pytest.approx(2.0)
+        assert m.time(t, 1) == pytest.approx(2.0)
+
+    def test_perfect_scaling_when_alpha_zero(self):
+        m = AmdahlModel(1e9)
+        t = Task("t", flops=8e9, alpha=0.0)
+        assert m.time(t, 8) == pytest.approx(1.0)
+        assert m.work(t, 8) == pytest.approx(m.work(t, 1))
+
+    def test_serial_fraction_floor(self):
+        m = AmdahlModel(1e9)
+        t = Task("t", flops=1e9, alpha=0.25)
+        # infinite processors would still cost alpha * seq
+        assert m.time(t, 10 ** 6) == pytest.approx(0.25, rel=1e-3)
+
+    def test_paper_formula(self):
+        # T(t,p) = T_seq (alpha + (1-alpha)/p)
+        m = AmdahlModel(1e9)
+        t = Task("t", flops=3e9, alpha=0.2)
+        assert m.time(t, 4) == pytest.approx(3.0 * (0.2 + 0.8 / 4))
+
+    def test_speedup(self):
+        m = AmdahlModel(1e9)
+        t = Task("t", flops=1e9, alpha=0.0)
+        assert m.speedup(t, 4) == pytest.approx(4.0)
+
+    def test_time_gain_sign(self):
+        m = AmdahlModel(1e9)
+        t = Task("t", flops=1e9, alpha=0.1)
+        assert m.time_gain(t, 1, 4) > 0
+        assert m.time_gain(t, 4, 1) < 0
+
+    def test_invalid_speed(self):
+        with pytest.raises(ValueError):
+            AmdahlModel(0.0)
+
+    def test_invalid_nprocs(self):
+        m = AmdahlModel(1e9)
+        with pytest.raises(ValueError):
+            m.time(Task("t", flops=1.0), 0)
+
+
+class TestMonotonicityProperties:
+    """The §II-A model properties: T decreasing, work increasing in p."""
+
+    @given(task_strategy, st.integers(1, 256))
+    def test_time_monotonically_decreasing(self, task, p):
+        m = AmdahlModel(3.3e9)
+        assert m.time(task, p + 1) <= m.time(task, p) + 1e-12
+
+    @given(task_strategy, st.integers(1, 256))
+    def test_work_monotonically_increasing(self, task, p):
+        m = AmdahlModel(3.3e9)
+        assert m.work(task, p + 1) >= m.work(task, p) - 1e-9
+
+    @given(task_strategy, st.integers(1, 256))
+    def test_time_strictly_positive(self, task, p):
+        m = AmdahlModel(3.3e9)
+        assert m.time(task, p) > 0
+
+    @given(task_strategy, st.integers(2, 256))
+    def test_speedup_bounded_by_p_and_amdahl_limit(self, task, p):
+        m = AmdahlModel(3.3e9)
+        s = m.speedup(task, p)
+        assert s <= p + 1e-9
+        if task.alpha > 0:
+            assert s <= 1.0 / task.alpha + 1e-9
+
+    @given(task_strategy, st.integers(1, 128), st.integers(1, 128))
+    def test_work_ratio_rho_at_most_one_when_growing(self, task, p, extra):
+        """Eq. 1's rho = work(p)/work(p+extra) is in (0, 1] — stretching
+        never decreases work."""
+        m = AmdahlModel(3.3e9)
+        rho = m.work(task, p) / m.work(task, p + extra)
+        assert 0 < rho <= 1.0 + 1e-12

@@ -1,0 +1,104 @@
+"""Tests for DAG structural analyses (levels, bottom/top levels, CP)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag.analysis import (
+    bottom_levels,
+    critical_path,
+    critical_path_length,
+    dag_levels,
+    dag_width,
+    top_levels,
+)
+from repro.dag.task import Task, TaskGraph
+
+from conftest import make_chain, make_diamond
+
+
+def unit_time(_name: str) -> float:
+    return 1.0
+
+
+class TestLevels:
+    def test_chain_levels(self):
+        g = make_chain(4)
+        assert dag_levels(g) == {"t0": 0, "t1": 1, "t2": 2, "t3": 3}
+
+    def test_diamond_levels(self):
+        assert dag_levels(make_diamond()) == {
+            "entry": 0, "left": 1, "right": 1, "exit": 2}
+
+    def test_level_is_longest_path(self):
+        # a->b->d and a->d: d must sit at level 2, not 1
+        g = TaskGraph()
+        for n in "abd":
+            g.add_task(Task(n))
+        g.add_edge("a", "b")
+        g.add_edge("b", "d")
+        g.add_edge("a", "d")
+        assert dag_levels(g)["d"] == 2
+
+    def test_width(self):
+        assert dag_width(make_diamond()) == 2
+        assert dag_width(make_chain(5)) == 1
+
+
+class TestBottomTopLevels:
+    def test_chain_bottom_levels_unit(self):
+        g = make_chain(4)
+        bl = bottom_levels(g, unit_time)
+        assert bl == {"t0": 4.0, "t1": 3.0, "t2": 2.0, "t3": 1.0}
+
+    def test_chain_top_levels_unit(self):
+        g = make_chain(4)
+        tl = top_levels(g, unit_time)
+        assert tl == {"t0": 0.0, "t1": 1.0, "t2": 2.0, "t3": 3.0}
+
+    def test_top_plus_bottom_constant_on_chain(self):
+        g = make_chain(6)
+        bl = bottom_levels(g, unit_time)
+        tl = top_levels(g, unit_time)
+        assert all(tl[n] + bl[n] == 6.0 for n in g.task_names())
+
+    def test_edge_costs_included(self):
+        g = make_chain(3)
+        bl = bottom_levels(g, unit_time, lambda u, v: 10.0)
+        # t0: 1 + 10 + (1 + 10 + 1)
+        assert bl["t0"] == pytest.approx(23.0)
+
+    def test_diamond_max_branch(self):
+        g = make_diamond()
+
+        def node_time(n: str) -> float:
+            return 5.0 if n == "left" else 1.0
+
+        bl = bottom_levels(g, node_time)
+        assert bl["entry"] == pytest.approx(1 + 5 + 1)
+
+
+class TestCriticalPath:
+    def test_chain_is_its_own_cp(self):
+        g = make_chain(4)
+        assert critical_path(g, unit_time) == ["t0", "t1", "t2", "t3"]
+        assert critical_path_length(g, unit_time) == pytest.approx(4.0)
+
+    def test_diamond_follows_heavy_branch(self):
+        g = make_diamond()
+
+        def node_time(n: str) -> float:
+            return 5.0 if n == "right" else 1.0
+
+        assert critical_path(g, node_time) == ["entry", "right", "exit"]
+
+    def test_deterministic_tie_break(self):
+        g = make_diamond()
+        p1 = critical_path(g, unit_time)
+        p2 = critical_path(g, unit_time)
+        assert p1 == p2
+        assert p1[0] == "entry" and p1[-1] == "exit"
+
+    def test_empty_graph(self):
+        assert critical_path(TaskGraph(), unit_time) == []
+        assert critical_path_length(TaskGraph(), unit_time) == 0.0

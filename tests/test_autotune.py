@@ -1,0 +1,115 @@
+"""Tests for the automatic parameter tuning extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.autotune import (
+    AutotuneResult,
+    autotune,
+    extract_features,
+    suggest_params,
+)
+from repro.core.params import RATSParams
+from repro.dag.generator import DagShape, random_irregular_dag
+from repro.platforms.cluster import Cluster
+from repro.utils.rng import spawn_rng
+
+from conftest import make_chain, make_diamond
+
+
+class TestFeatures:
+    def test_chain_features(self, tiny_cluster):
+        g = make_chain(5, m=1e6, flops=1e9)
+        f = extract_features(g, tiny_cluster)
+        assert f.n_tasks == 5
+        assert f.depth == 5
+        assert f.width == 1
+        assert f.parallelism == pytest.approx(0.2)
+
+    def test_diamond_features(self, tiny_cluster):
+        f = extract_features(make_diamond(), tiny_cluster)
+        assert (f.depth, f.width) == (3, 2)
+
+    def test_ccr_scales_with_data(self, tiny_cluster):
+        light = extract_features(make_chain(3, m=1e3, flops=50e9),
+                                 tiny_cluster)
+        heavy = extract_features(make_chain(3, m=100e6, flops=50e9),
+                                 tiny_cluster)
+        assert heavy.ccr > light.ccr
+
+    def test_describe(self, tiny_cluster):
+        assert "CCR" in extract_features(make_diamond(),
+                                         tiny_cluster).describe()
+
+
+class TestSuggestParams:
+    def test_returns_valid_params(self, tiny_cluster, small_random):
+        for strategy in ("delta", "timecost"):
+            p = suggest_params(small_random, tiny_cluster, strategy)
+            assert isinstance(p, RATSParams)
+            assert p.strategy == strategy
+
+    def test_comm_dominated_gets_low_minrho(self, tiny_cluster):
+        heavy = make_chain(4, m=121e6, flops=1e6)  # pure communication
+        p = suggest_params(heavy, tiny_cluster)
+        assert p.minrho <= 0.4
+
+    def test_compute_dominated_gets_high_minrho(self, tiny_cluster):
+        light = make_chain(4, m=4e6, flops=1e13)
+        p = suggest_params(light, tiny_cluster)
+        assert p.minrho >= 0.6
+
+    def test_wide_dag_packs_deeper(self, tiny_cluster):
+        wide = random_irregular_dag(
+            DagShape(n_tasks=40, width=0.9, density=0.2, regularity=0.8),
+            spawn_rng("autotune-wide"))
+        narrow = make_chain(40, m=10e6, flops=10e9)
+        assert suggest_params(wide, tiny_cluster).mindelta <= \
+               suggest_params(narrow, tiny_cluster).mindelta
+
+    def test_scarce_processors_limit_stretch(self, small_random):
+        tiny = Cluster(name="tiny2", num_procs=4, speed_flops=1e9)
+        big = Cluster(name="big", num_procs=64, speed_flops=1e9)
+        assert suggest_params(small_random, tiny).maxdelta <= \
+               suggest_params(small_random, big).maxdelta
+
+
+class TestAutotune:
+    def test_never_worse_than_naive(self, tiny_cluster, small_random):
+        for strategy in ("delta", "timecost"):
+            res = autotune(small_random, tiny_cluster, strategy)
+            assert isinstance(res, AutotuneResult)
+            assert res.best_makespan <= res.baseline_makespan + 1e-9
+            assert res.improvement >= -1e-9
+
+    def test_history_and_evaluations_recorded(self, tiny_cluster,
+                                              small_random):
+        res = autotune(small_random, tiny_cluster, "timecost")
+        assert res.evaluations >= 2
+        assert len(res.history) >= res.evaluations - 1
+        assert all(s > 0 for _, s in res.history)
+
+    def test_custom_objective(self, tiny_cluster, small_random):
+        """A constant objective must terminate and keep the suggestion."""
+        calls = []
+
+        def flat(params: RATSParams) -> float:
+            calls.append(params)
+            return 42.0
+
+        res = autotune(small_random, tiny_cluster, "delta", evaluate=flat)
+        assert res.best_makespan == 42.0
+        assert calls  # objective actually used
+
+    def test_simulated_objective(self, tiny_cluster, small_random):
+        res = autotune(small_random, tiny_cluster, "timecost",
+                       simulate_candidates=True, max_rounds=1)
+        assert res.best_makespan > 0
+
+    def test_best_params_on_grid_or_suggestion(self, tiny_cluster,
+                                               small_random):
+        from repro.core.autotune import MINRHO_GRID
+
+        res = autotune(small_random, tiny_cluster, "timecost")
+        assert res.best_params.minrho in MINRHO_GRID + (0.5, 0.4, 0.2, 0.6)

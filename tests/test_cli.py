@@ -1,0 +1,42 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "Table II" in out and "Table III" in out
+        assert "557" in out
+
+    def test_demo_small(self, capsys):
+        assert main(["demo", "--tasks", "8", "--cluster", "chti"]) == 0
+        out = capsys.readouterr().out
+        assert "HCPA" in out and "RATS" in out and "best:" in out
+
+    def test_demo_gantt(self, capsys):
+        assert main(["demo", "--tasks", "6", "--cluster", "chti",
+                     "--gantt"]) == 0
+        assert "Gantt" in capsys.readouterr().out
+
+    def test_autotune_command(self, capsys):
+        assert main(["autotune", "--tasks", "10", "--cluster", "chti"]) == 0
+        out = capsys.readouterr().out
+        assert "features:" in out
+        assert "delta" in out and "timecost" in out
+
+    def test_campaign_forwarding(self, capsys, tmp_path):
+        out_file = tmp_path / "r.txt"
+        rc = main(["campaign", "--fraction", "0.004", "--clusters", "chti",
+                   "--skip-sweeps", "--quiet", "--out", str(out_file)])
+        assert rc == 0
+        assert "Table VI" in out_file.read_text()
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])

@@ -1,0 +1,80 @@
+"""Tests for the generic discrete-event primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.engine import EventQueue, VirtualClock
+
+
+class TestVirtualClock:
+    def test_advances_forward(self):
+        c = VirtualClock()
+        c.advance_to(5.0)
+        assert c.now == 5.0
+
+    def test_rejects_backwards(self):
+        c = VirtualClock(now=10.0)
+        with pytest.raises(ValueError):
+            c.advance_to(9.0)
+
+    def test_idempotent_same_time(self):
+        c = VirtualClock(now=3.0)
+        c.advance_to(3.0)
+        assert c.now == 3.0
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        out: list[str] = []
+        q.push(2.0, lambda: out.append("b"))
+        q.push(1.0, lambda: out.append("a"))
+        q.push(3.0, lambda: out.append("c"))
+        q.run_until_empty(VirtualClock())
+        assert out == ["a", "b", "c"]
+
+    def test_fifo_tie_break(self):
+        q = EventQueue()
+        out: list[int] = []
+        for i in range(5):
+            q.push(1.0, lambda i=i: out.append(i))
+        q.run_until_empty(VirtualClock())
+        assert out == [0, 1, 2, 3, 4]
+
+    def test_next_time(self):
+        q = EventQueue()
+        assert q.next_time is None
+        q.push(7.0, lambda: None)
+        assert q.next_time == 7.0
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q and len(q) == 0
+        q.push(1.0, lambda: None)
+        assert q and len(q) == 1
+
+    def test_events_can_schedule_events(self):
+        q = EventQueue()
+        out: list[str] = []
+
+        def first():
+            out.append("first")
+            q.push(2.0, lambda: out.append("second"))
+
+        q.push(1.0, first)
+        clock = VirtualClock()
+        n = q.run_until_empty(clock)
+        assert out == ["first", "second"]
+        assert n == 2
+        assert clock.now == 2.0
+
+    def test_event_budget(self):
+        q = EventQueue()
+
+        def rearm():
+            q.push(q.next_time or 1.0, rearm) if False else q.push(1.0, rearm)
+
+        q.push(1.0, rearm)
+        with pytest.raises(RuntimeError, match="budget"):
+            q.run_until_empty(VirtualClock(), max_events=100)

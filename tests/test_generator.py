@@ -1,0 +1,153 @@
+"""Tests for the random DAG generators (layered / irregular)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag.analysis import dag_levels, dag_width
+from repro.dag.costs import ComputeCostConfig
+from repro.dag.generator import DagShape, random_irregular_dag, random_layered_dag
+from repro.utils.rng import spawn_rng
+
+shape_strategy = st.builds(
+    DagShape,
+    n_tasks=st.integers(3, 60),
+    width=st.floats(0.0, 1.0),
+    regularity=st.floats(0.0, 1.0),
+    density=st.floats(0.0, 1.0),
+    jump=st.integers(1, 4),
+)
+
+
+class TestDagShape:
+    def test_rejects_too_few_tasks(self):
+        with pytest.raises(ValueError):
+            DagShape(n_tasks=2)
+
+    @pytest.mark.parametrize("field,value", [
+        ("width", -0.1), ("width", 1.1),
+        ("regularity", 2.0), ("density", -1.0),
+    ])
+    def test_rejects_out_of_range(self, field, value):
+        with pytest.raises(ValueError):
+            DagShape(n_tasks=10, **{field: value})
+
+    def test_rejects_bad_jump(self):
+        with pytest.raises(ValueError):
+            DagShape(n_tasks=10, jump=0)
+
+
+class TestLayeredGenerator:
+    def test_task_count_exact(self):
+        for n in (3, 10, 25, 50, 100):
+            g = random_layered_dag(DagShape(n_tasks=n), spawn_rng("count", n))
+            assert g.num_tasks == n
+
+    def test_single_entry_and_exit(self):
+        g = random_layered_dag(DagShape(n_tasks=30), spawn_rng("se"))
+        assert g.entry_tasks() == ["entry"]
+        assert g.exit_tasks() == ["exit"]
+
+    def test_deterministic(self):
+        shape = DagShape(n_tasks=25, width=0.5, regularity=0.2, density=0.8)
+        g1 = random_layered_dag(shape, spawn_rng("det"))
+        g2 = random_layered_dag(shape, spawn_rng("det"))
+        assert sorted(g1.edges()) == sorted(g2.edges())
+        assert [(t.name, t.flops, t.alpha) for t in g1.tasks()] == \
+               [(t.name, t.flops, t.alpha) for t in g2.tasks()]
+
+    def test_per_level_cost_uniformity(self):
+        """Layered DAGs: all tasks of one level share (m, flops, alpha)."""
+        g = random_layered_dag(DagShape(n_tasks=40, width=0.8),
+                               spawn_rng("levels"))
+        levels = dag_levels(g)
+        per_level: dict[int, set[tuple]] = {}
+        for t in g.tasks():
+            per_level.setdefault(levels[t.name], set()).add(
+                (t.data_elements, t.flops, t.alpha))
+        assert all(len(costs) == 1 for costs in per_level.values())
+
+    def test_wide_vs_narrow(self):
+        """width=0.8 must give substantially more parallelism than 0.2."""
+        narrow = random_layered_dag(
+            DagShape(n_tasks=60, width=0.2), spawn_rng("narrow"))
+        wide = random_layered_dag(
+            DagShape(n_tasks=60, width=0.8), spawn_rng("wide"))
+        assert dag_width(wide) > dag_width(narrow)
+
+    def test_cost_ranges_follow_paper(self):
+        g = random_layered_dag(DagShape(n_tasks=30), spawn_rng("ranges"))
+        cfg = ComputeCostConfig()
+        for t in g.tasks():
+            assert cfg.m_min <= t.data_elements <= cfg.m_max
+            assert cfg.alpha_min <= t.alpha <= cfg.alpha_max
+            a = t.flops / t.data_elements
+            assert cfg.a_min - 1e-9 <= a <= cfg.a_max + 1e-9
+
+    def test_edges_carry_producer_dataset(self):
+        g = random_layered_dag(DagShape(n_tasks=20), spawn_rng("edges"))
+        for u, v, d in g.edges():
+            assert d == pytest.approx(g.task(u).data_bytes)
+
+
+class TestIrregularGenerator:
+    def test_task_count_and_validity(self):
+        g = random_irregular_dag(
+            DagShape(n_tasks=50, jump=2, density=0.8), spawn_rng("ir"))
+        assert g.num_tasks == 50
+        g.validate(require_single_entry=True, require_single_exit=True)
+
+    def test_jump_edges_can_skip_levels(self):
+        """With jump=2 and high density, some edge must span >= 2 levels."""
+        found = False
+        for s in range(8):
+            g = random_irregular_dag(
+                DagShape(n_tasks=60, width=0.6, density=0.8, jump=2),
+                spawn_rng("jump", s))
+            levels = dag_levels(g)
+            if any(levels[v] - levels[u] >= 2 for u, v, _ in g.edges()):
+                found = True
+                break
+        assert found, "no jump edge found across 8 samples"
+
+    def test_jump_one_never_skips(self):
+        g = random_irregular_dag(
+            DagShape(n_tasks=40, density=0.8, jump=1), spawn_rng("noskip"))
+        levels = dag_levels(g)
+        assert all(levels[v] - levels[u] == 1 for u, v, _ in g.edges())
+
+    def test_per_task_costs_vary_within_levels(self):
+        g = random_irregular_dag(
+            DagShape(n_tasks=60, width=0.8), spawn_rng("pertask"))
+        levels = dag_levels(g)
+        per_level: dict[int, set[float]] = {}
+        for t in g.tasks():
+            per_level.setdefault(levels[t.name], set()).add(t.flops)
+        # at least one level with >= 2 tasks has differing costs
+        assert any(len(costs) > 1 for costs in per_level.values())
+
+
+class TestGeneratorProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(shape_strategy, st.integers(0, 1000))
+    def test_structural_invariants(self, shape, seed):
+        g = random_irregular_dag(shape, spawn_rng("prop", seed))
+        assert g.num_tasks == shape.n_tasks
+        g.validate(require_single_entry=True, require_single_exit=True)
+        # every non-entry task has a parent; every non-exit task a child
+        for name in g.task_names():
+            if name != "entry":
+                assert g.predecessors(name), f"{name} has no parent"
+            if name != "exit":
+                assert g.successors(name), f"{name} has no child"
+
+    @settings(max_examples=20, deadline=None)
+    @given(shape_strategy, st.integers(0, 1000))
+    def test_costs_always_in_range(self, shape, seed):
+        g = random_layered_dag(shape, spawn_rng("prop-costs", seed))
+        cfg = ComputeCostConfig()
+        for t in g.tasks():
+            assert cfg.m_min <= t.data_elements <= cfg.m_max
+            assert 0 <= t.alpha <= 0.25

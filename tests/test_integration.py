@@ -1,0 +1,138 @@
+"""End-to-end integration tests across the whole pipeline, including
+property-based checks that random scenarios always produce valid,
+deterministic, simulatable schedules."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import NAIVE_DELTA, NAIVE_TIMECOST, RATSParams
+from repro.core.rats import RATSScheduler
+from repro.dag.generator import DagShape, random_irregular_dag
+from repro.experiments.runner import ExperimentRunner, baseline_spec, rats_spec
+from repro.experiments.scenarios import Scenario
+from repro.platforms.cluster import Cluster
+from repro.platforms.grid5000 import GRELON
+from repro.scheduling.allocation import hcpa_allocation
+from repro.scheduling.mapping import ListScheduler
+from repro.simulation.simulator import simulate
+from repro.utils.rng import spawn_rng
+
+
+class TestFullPipeline:
+    @pytest.mark.parametrize("family,kwargs", [
+        ("layered", dict(n_tasks=25, width=0.5, density=0.2,
+                         regularity=0.8)),
+        ("irregular", dict(n_tasks=25, width=0.5, density=0.8,
+                           regularity=0.2, jump=2)),
+        ("fft", dict(k=8)),
+        ("strassen", dict()),
+    ])
+    def test_every_family_end_to_end(self, tiny_cluster, family, kwargs):
+        scenario = Scenario(family=family, sample=0, **kwargs)
+        runner = ExperimentRunner()
+        for spec in (baseline_spec("hcpa"),
+                     rats_spec(NAIVE_DELTA, label="d"),
+                     rats_spec(NAIVE_TIMECOST, label="t")):
+            r = runner.run(scenario, tiny_cluster, spec)
+            assert r.makespan >= r.estimated_makespan * (1 - 1e-9)
+            assert r.work > 0
+
+    def test_hierarchical_cluster_end_to_end(self):
+        """grelon's cabinet topology through the whole pipeline."""
+        scenario = Scenario(family="fft", k=8, sample=3)
+        runner = ExperimentRunner()
+        r = runner.run(scenario, GRELON, rats_spec(NAIVE_TIMECOST))
+        assert r.makespan > 0
+
+    def test_run_results_fully_deterministic(self, tiny_cluster):
+        scenario = Scenario(family="strassen", sample=7)
+        rows = []
+        for _ in range(2):
+            runner = ExperimentRunner()  # fresh caches each time
+            rows.append(runner.run(scenario, tiny_cluster,
+                                   rats_spec(NAIVE_DELTA)))
+        a, b = rows
+        assert (a.makespan, a.estimated_makespan, a.work) == \
+               (b.makespan, b.estimated_makespan, b.work)
+
+    def test_estimate_tracks_simulation_without_contention(self):
+        """A chain has no concurrent transfers: the simulated makespan must
+        match the scheduler's estimate almost exactly."""
+        from conftest import make_chain
+
+        cluster = Cluster(name="seq", num_procs=4, speed_flops=1e9)
+        model = cluster.performance_model()
+        g = make_chain(5, m=10e6, flops=5e9, alpha=0.1)
+        alloc = hcpa_allocation(g, model, cluster.num_procs).allocation
+        schedule = ListScheduler(g, cluster, model, alloc).run()
+        res = simulate(schedule)
+        assert res.makespan == pytest.approx(schedule.makespan, rel=1e-3)
+
+
+class TestPipelineProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n_tasks=st.integers(5, 30),
+        width=st.sampled_from([0.2, 0.5, 0.8]),
+        density=st.sampled_from([0.2, 0.8]),
+        jump=st.sampled_from([1, 2]),
+        strategy=st.sampled_from(["delta", "timecost"]),
+        mindelta=st.sampled_from([0.0, -0.5, -1.0]),
+        maxdelta=st.sampled_from([0.0, 0.5, 1.0]),
+        procs=st.integers(2, 16),
+        seed=st.integers(0, 10 ** 6),
+    )
+    def test_random_configs_schedule_and_simulate(
+            self, n_tasks, width, density, jump, strategy, mindelta,
+            maxdelta, procs, seed):
+        """Any generator/parameter/platform combination must yield a valid
+        schedule whose simulation terminates no earlier than the estimate
+        and whose adapted sizes respect the delta budget."""
+        g = random_irregular_dag(
+            DagShape(n_tasks=n_tasks, width=width, density=density,
+                     regularity=0.5, jump=jump),
+            spawn_rng("pipeline-prop", seed))
+        cluster = Cluster(name=f"c{procs}", num_procs=procs,
+                          speed_flops=2e9)
+        model = cluster.performance_model()
+        alloc = hcpa_allocation(g, model, procs).allocation
+        params = RATSParams(strategy, mindelta=mindelta, maxdelta=maxdelta)
+        scheduler = RATSScheduler(g, cluster, model, alloc, params)
+        schedule = scheduler.run()
+        schedule.validate()
+
+        # delta budget respected by every adaptation
+        if strategy == "delta":
+            for rec in scheduler.adaptations:
+                n0 = alloc[rec.task]
+                if rec.delta > 0:
+                    assert rec.delta <= maxdelta * n0 + 1e-9
+                elif rec.delta < 0:
+                    assert rec.delta >= mindelta * n0 - 1e-9
+
+        res = simulate(schedule)
+        assert res.makespan >= schedule.makespan * (1 - 1e-9)
+        executed = res.as_executed_schedule(schedule)
+        executed.validate()
+
+
+class TestCampaign:
+    def test_campaign_mini_run(self, tmp_path):
+        from repro.experiments.campaign import main
+
+        out = tmp_path / "report.txt"
+        rc = main(["--fraction", "0.004", "--clusters", "chti",
+                   "--skip-sweeps", "--quiet", "--out", str(out),
+                   "--results-json", str(tmp_path / "rows.json")])
+        assert rc == 0
+        text = out.read_text()
+        assert "Table I" in text
+        assert "Figure 2" in text and "Figure 6" in text
+        assert "Table V" in text and "Table VI" in text
+        from repro.scheduling.serialize import load_results
+
+        rows = load_results(tmp_path / "rows.json")
+        assert rows and all(r.cluster == "chti" for r in rows)

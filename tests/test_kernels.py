@@ -1,0 +1,109 @@
+"""Tests for the FFT and Strassen kernel task graphs (§IV-A)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag.analysis import bottom_levels, dag_levels, top_levels
+from repro.dag.kernels import (
+    STRASSEN_TASK_COUNT,
+    fft_dag,
+    fft_task_count,
+    strassen_dag,
+)
+from repro.utils.rng import spawn_rng
+
+
+class TestFFTCounts:
+    @pytest.mark.parametrize("k,expected", [(2, 5), (4, 15), (8, 39), (16, 95)])
+    def test_paper_task_counts(self, k, expected):
+        """§IV-A: k in {2,4,8,16} gives 5, 15, 39, 95 tasks."""
+        assert fft_task_count(k) == expected
+        assert fft_dag(k, spawn_rng("fft", k)).num_tasks == expected
+
+    @pytest.mark.parametrize("k", [0, 1, 3, 6, 12])
+    def test_rejects_non_powers_of_two(self, k):
+        with pytest.raises(ValueError):
+            fft_task_count(k)
+
+
+class TestFFTStructure:
+    def test_single_entry_k_exits(self):
+        k = 8
+        g = fft_dag(k, spawn_rng("fft-structure"))
+        assert g.entry_tasks() == ["call_0_0"]
+        assert len(g.exit_tasks()) == k
+
+    def test_every_path_is_critical(self):
+        """§IV-A: every entry→exit path of the FFT DAG is a critical path
+        (per-level uniform costs make top+bottom constant on all tasks)."""
+        g = fft_dag(8, spawn_rng("fft-critical"))
+
+        def node_time(n: str) -> float:
+            return g.task(n).flops  # any speed, structure is what matters
+
+        bl = bottom_levels(g, node_time)
+        tl = top_levels(g, node_time)
+        totals = [tl[n] + bl[n] for n in g.task_names()]
+        assert max(totals) - min(totals) <= 1e-9 * max(totals)
+
+    def test_butterfly_in_degree_two(self):
+        g = fft_dag(8, spawn_rng("fft-bfly"))
+        for name in g.task_names():
+            if name.startswith("bfly_"):
+                assert len(g.predecessors(name)) == 2
+
+    def test_level_costs_uniform(self):
+        g = fft_dag(16, spawn_rng("fft-levels"))
+        levels = dag_levels(g)
+        per_level: dict[int, set[float]] = {}
+        for t in g.tasks():
+            per_level.setdefault(levels[t.name], set()).add(t.flops)
+        assert all(len(v) == 1 for v in per_level.values())
+
+    def test_deterministic(self):
+        g1 = fft_dag(4, spawn_rng("fft-det"))
+        g2 = fft_dag(4, spawn_rng("fft-det"))
+        assert sorted(g1.edges()) == sorted(g2.edges())
+
+
+class TestStrassen:
+    def test_25_tasks(self):
+        g = strassen_dag(spawn_rng("strassen"))
+        assert g.num_tasks == STRASSEN_TASK_COUNT == 25
+
+    def test_ten_entries_four_exits(self):
+        g = strassen_dag(spawn_rng("strassen-io"))
+        entries = g.entry_tasks()
+        assert len(entries) == 10
+        assert all(e.startswith("S") for e in entries)
+        assert sorted(g.exit_tasks()) == ["C11", "C12", "C21", "C22"]
+
+    def test_seven_products(self):
+        g = strassen_dag(spawn_rng("strassen-m"))
+        products = [n for n in g.task_names() if n.startswith("M")]
+        assert len(products) == 7
+
+    def test_every_entry_reaches_an_exit(self):
+        """§IV-A: all Strassen entry tasks lie on paths to the output."""
+        import networkx as nx
+
+        g = strassen_dag(spawn_rng("strassen-paths"))
+        exits = set(g.exit_tasks())
+        for e in g.entry_tasks():
+            reach = nx.descendants(g.nx_graph, e)
+            assert reach & exits, f"{e} reaches no exit"
+
+    def test_dataflow_examples(self):
+        g = strassen_dag(spawn_rng("strassen-df"))
+        assert set(g.predecessors("M1")) == {"S1", "S2"}
+        assert set(g.predecessors("C12")) == {"M3", "M5"}
+        assert set(g.predecessors("C11")) == {"U1", "U2"}
+
+    def test_level_costs_uniform(self):
+        g = strassen_dag(spawn_rng("strassen-levels"))
+        levels = dag_levels(g)
+        per_level: dict[int, set[float]] = {}
+        for t in g.tasks():
+            per_level.setdefault(levels[t.name], set()).add(t.flops)
+        assert all(len(v) == 1 for v in per_level.values())

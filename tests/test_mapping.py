@@ -1,0 +1,126 @@
+"""Tests for the list-scheduling mapping step."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scheduling.allocation import hcpa_allocation
+from repro.scheduling.mapping import ListScheduler
+
+from conftest import make_chain, make_diamond
+
+
+def uniform_alloc(graph, n=1):
+    return {name: n for name in graph.task_names()}
+
+
+class TestListSchedulerBasics:
+    def test_produces_valid_schedule(self, tiny_cluster, model, small_random):
+        alloc = hcpa_allocation(small_random, model,
+                                tiny_cluster.num_procs).allocation
+        sched = ListScheduler(small_random, tiny_cluster, model, alloc).run()
+        sched.validate()  # would raise
+        assert len(sched) == small_random.num_tasks
+
+    def test_respects_allocation_sizes(self, tiny_cluster, model, diamond):
+        alloc = {"entry": 1, "left": 2, "right": 3, "exit": 4}
+        sched = ListScheduler(diamond, tiny_cluster, model, alloc).run()
+        assert sched.allocation() == alloc
+
+    def test_missing_allocation_rejected(self, tiny_cluster, model, diamond):
+        with pytest.raises(ValueError, match="missing task"):
+            ListScheduler(diamond, tiny_cluster, model, {"entry": 1})
+
+    def test_out_of_range_allocation_rejected(self, tiny_cluster, model, diamond):
+        alloc = uniform_alloc(diamond)
+        alloc["left"] = 999
+        with pytest.raises(ValueError, match="out of range"):
+            ListScheduler(diamond, tiny_cluster, model, alloc)
+
+    def test_invalid_candidate_policy(self, tiny_cluster, model, diamond):
+        with pytest.raises(ValueError, match="candidate policy"):
+            ListScheduler(diamond, tiny_cluster, model,
+                          uniform_alloc(diamond), candidates="bogus")
+
+    def test_deterministic(self, tiny_cluster, model, small_random):
+        alloc = hcpa_allocation(small_random, model,
+                                tiny_cluster.num_procs).allocation
+        s1 = ListScheduler(small_random, tiny_cluster, model, alloc).run()
+        s2 = ListScheduler(small_random, tiny_cluster, model, alloc).run()
+        for name in small_random.task_names():
+            assert s1[name].procs == s2[name].procs
+            assert s1[name].start == s2[name].start
+
+
+class TestMappingBehaviour:
+    def test_independent_tasks_run_concurrently(self, tiny_cluster, model,
+                                                diamond):
+        sched = ListScheduler(diamond, tiny_cluster, model,
+                              uniform_alloc(diamond)).run()
+        left, right = sched["left"], sched["right"]
+        assert set(left.procs) != set(right.procs)
+        # they overlap in time (task parallelism exploited)
+        assert left.start < right.finish and right.start < left.finish
+
+    def test_chain_start_includes_redistribution(self, tiny_cluster, model):
+        """t1 on different procs than t0 must wait for the redistribution."""
+        g = make_chain(2, m=1.25e8 / 8, flops=1e9, alpha=0.0)  # 1s transfer
+        alloc = {"t0": 1, "t1": 1}
+        sched = ListScheduler(g, tiny_cluster, model, alloc).run()
+        if sched["t1"].procs != sched["t0"].procs:
+            assert sched["t1"].start >= sched["t0"].finish + 0.9
+        else:  # same procs: free redistribution
+            assert sched["t1"].start == pytest.approx(sched["t0"].finish)
+
+    def test_priorities_by_bottom_level(self, tiny_cluster, model):
+        """Of two ready siblings, the one heading the longer remaining path
+        maps first (gets the earlier slot when competing)."""
+        from repro.dag.task import Task, TaskGraph
+
+        g = TaskGraph(name="prio")
+        g.add_task(Task("src", data_elements=1e3, flops=1e9, alpha=0.0))
+        # heavy branch: b -> c; light branch: a alone
+        for n, f in (("a", 1e9), ("b", 1e9), ("c", 50e9)):
+            g.add_task(Task(n, data_elements=1e3, flops=f, alpha=0.0))
+        g.add_edge("src", "a")
+        g.add_edge("src", "b")
+        g.add_edge("b", "c")
+        # 1-proc cluster forces total serialisation: priority = order
+        from repro.platforms.cluster import Cluster
+
+        c1 = Cluster(name="c1", num_procs=1, speed_flops=1e9)
+        sched = ListScheduler(g, c1, c1.performance_model(),
+                              uniform_alloc(g)).run()
+        assert sched["b"].start < sched["a"].start
+
+    def test_rich_policy_reuses_parent_procs(self, tiny_cluster, model):
+        """With equal allocation and big data, the rich policy maps the
+        child on its parent's exact set (free redistribution)."""
+        g = make_chain(2, m=120e6, flops=1e9, alpha=0.0)
+        alloc = {"t0": 4, "t1": 4}
+        rich = ListScheduler(g, tiny_cluster, model, alloc,
+                             candidates="rich").run()
+        assert rich["t1"].procs == rich["t0"].procs
+
+    def test_earliest_policy_single_candidate(self, tiny_cluster, model,
+                                              diamond):
+        ls = ListScheduler(diamond, tiny_cluster, model,
+                           uniform_alloc(diamond, 2))
+        assert len(ls.candidate_sets("entry", 2)) == 1
+
+    def test_rich_policy_more_candidates(self, tiny_cluster, model, diamond):
+        ls = ListScheduler(diamond, tiny_cluster, model,
+                           uniform_alloc(diamond, 2), candidates="rich")
+        ls.map_task("entry")
+        cands = ls.candidate_sets("left", 2)
+        assert len(cands) >= 2  # earliest + parent-derived
+
+    def test_estimated_makespan_at_least_cp(self, tiny_cluster, model,
+                                            small_random):
+        from repro.scheduling.bounds import critical_path_bound
+
+        alloc = hcpa_allocation(small_random, model,
+                                tiny_cluster.num_procs).allocation
+        sched = ListScheduler(small_random, tiny_cluster, model, alloc).run()
+        cp = critical_path_bound(small_random, model, alloc)
+        assert sched.makespan >= cp - 1e-6

@@ -1,0 +1,170 @@
+"""Tests for the multi-cluster extension (paper §V future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import NAIVE_DELTA, NAIVE_TIMECOST
+from repro.platforms.cluster import Cluster
+from repro.platforms.multicluster import MultiClusterPlatform
+from repro.scheduling.multicluster import (
+    MultiClusterListScheduler,
+    MultiClusterRATSScheduler,
+    reference_allocation,
+)
+from repro.simulation.simulator import simulate
+
+from conftest import make_chain
+
+
+@pytest.fixture
+def platform() -> MultiClusterPlatform:
+    fast = Cluster(name="fast", num_procs=8, speed_flops=4e9)
+    slow = Cluster(name="slow", num_procs=12, speed_flops=2e9)
+    return MultiClusterPlatform(clusters=(fast, slow), name="duo")
+
+
+@pytest.fixture
+def hier_platform() -> MultiClusterPlatform:
+    a = Cluster(name="a", num_procs=8, speed_flops=3e9,
+                cabinets=2, cabinet_size=4)
+    b = Cluster(name="b", num_procs=4, speed_flops=3e9)
+    return MultiClusterPlatform(clusters=(a, b))
+
+
+class TestPlatformBasics:
+    def test_global_indexing(self, platform):
+        assert platform.num_procs == 20
+        assert platform.offsets == (0, 8)
+        assert platform.locate(0) == (0, 0)
+        assert platform.locate(7) == (0, 7)
+        assert platform.locate(8) == (1, 0)
+        assert platform.locate(19) == (1, 11)
+
+    def test_locate_out_of_range(self, platform):
+        with pytest.raises(ValueError):
+            platform.locate(20)
+
+    def test_speeds(self, platform):
+        assert platform.speed_of(0) == 4e9
+        assert platform.speed_of(15) == 2e9
+        assert platform.reference_speed == 4e9
+
+    def test_translation(self, platform):
+        # 4 reference (fast) procs need 8 slow ones (2x speed ratio)
+        assert platform.translate_allocation(4, 0) == 4
+        assert platform.translate_allocation(4, 1) == 8
+        # clamped at the cluster size
+        assert platform.translate_allocation(100, 1) == 12
+
+    def test_duplicate_names_rejected(self):
+        c = Cluster(name="x", num_procs=2, speed_flops=1e9)
+        with pytest.raises(ValueError, match="duplicate"):
+            MultiClusterPlatform(clusters=(c, c))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MultiClusterPlatform(clusters=())
+
+    def test_describe(self, platform):
+        assert "fast" in platform.describe() and "WAN" in platform.describe()
+
+
+class TestRouting:
+    def test_intra_cluster_route(self, platform):
+        r = platform.topology.route(0, 3)
+        assert r.links == (("nic_up", 0), ("nic_down", 3))
+        assert r.latency_s == pytest.approx(100e-6)
+
+    def test_inter_cluster_route_crosses_wan(self, platform):
+        r = platform.topology.route(0, 10)
+        assert ("wan_up", 0) in r.links and ("wan_down", 1) in r.links
+        # 100us (fast) + 10ms WAN + 100us (slow)
+        assert r.latency_s == pytest.approx(10e-3 + 2 * 100e-6)
+
+    def test_wan_tcp_cap_binds(self, platform):
+        """RTT ~20.4 ms with a 4 MiB window caps a WAN flow at ~206 MB/s…
+        above 1 Gb/s link speed here, so test with a slower window."""
+        small = MultiClusterPlatform(clusters=platform.clusters,
+                                     tcp_window_bytes=65536)
+        r = small.topology.route(0, 10)
+        rtt = 2 * r.latency_s
+        assert r.rate_cap_Bps == pytest.approx(65536 / rtt)
+        assert r.rate_cap_Bps < 1e7  # well below the 1 Gb/s links
+
+    def test_hierarchical_member_routes(self, hier_platform):
+        # inter-cabinet inside cluster a (global procs 0 and 7)
+        r = hier_platform.topology.route(0, 7)
+        assert ("cab_up", 0) in r.links and ("cab_down", 1) in r.links
+        # leaving cluster a crosses its cabinet uplink then the WAN
+        r2 = hier_platform.topology.route(0, 8 + 1)
+        kinds = [k for k, _ in r2.links]
+        assert kinds == ["nic_up", "cab_up", "wan_up", "wan_down", "nic_down"]
+
+    def test_self_route_free(self, platform):
+        assert platform.topology.route(5, 5).is_local
+
+    def test_capacity_array_consistent(self, platform):
+        topo = platform.topology
+        for lid, idx in topo.link_index.items():
+            assert topo.capacity_array[idx] == topo.capacities[lid]
+
+
+class TestMultiClusterScheduling:
+    def test_schedule_valid_and_single_cluster_tasks(self, platform,
+                                                     small_random):
+        alloc = reference_allocation(small_random, platform).allocation
+        schedule = MultiClusterListScheduler(small_random, platform,
+                                             alloc).run()
+        schedule.validate()
+        for name in small_random.task_names():
+            clusters = {platform.locate(p)[0]
+                        for p in schedule[name].procs}
+            assert len(clusters) == 1, f"{name} spans clusters"
+
+    def test_slow_cluster_gets_translated_counts(self, platform):
+        """A task mapped on the slow cluster runs on ~2x the processors or
+        takes correspondingly longer."""
+        g = make_chain(2, m=1e6, flops=40e9, alpha=0.0)
+        alloc = {"t0": 4, "t1": 4}
+        sched = MultiClusterListScheduler(g, platform, alloc)
+        cands = sched.candidate_sets("t0", 4)
+        sizes = {len(c) for c in cands}
+        assert sizes == {4, 8}  # 4 on fast, 8 on slow
+
+    def test_exec_time_uses_cluster_speed(self, platform):
+        g = make_chain(2, m=1e6, flops=8e9, alpha=0.0)
+        sched = MultiClusterListScheduler(g, platform, {"t0": 2, "t1": 2})
+        fast_procs = (0, 1)
+        slow_procs = (8, 9)
+        assert sched.exec_time("t0", fast_procs) == pytest.approx(1.0)
+        assert sched.exec_time("t0", slow_procs) == pytest.approx(2.0)
+
+    def test_rats_on_multicluster(self, platform, small_random):
+        alloc = reference_allocation(small_random, platform).allocation
+        for params in (NAIVE_DELTA, NAIVE_TIMECOST):
+            sched = MultiClusterRATSScheduler(small_random, platform, alloc,
+                                              params)
+            schedule = sched.run()
+            schedule.validate()
+            for rec in sched.adaptations:
+                assert schedule[rec.task].procs == schedule[rec.pred].procs
+
+    def test_simulation_on_multicluster(self, platform, small_random):
+        alloc = reference_allocation(small_random, platform).allocation
+        schedule = MultiClusterListScheduler(small_random, platform,
+                                             alloc).run()
+        res = simulate(schedule)
+        assert res.makespan >= schedule.makespan * (1 - 1e-9)
+        res.as_executed_schedule(schedule).validate()
+
+    def test_wan_avoidance_pays_off(self, platform):
+        """A data-heavy chain should not ping-pong across the WAN: the
+        simulated makespan with RATS (set reuse) must not exceed the
+        baseline's."""
+        g = make_chain(4, m=100e6, flops=10e9, alpha=0.05)
+        alloc = reference_allocation(g, platform).allocation
+        base = MultiClusterListScheduler(g, platform, alloc).run()
+        rats = MultiClusterRATSScheduler(g, platform, alloc,
+                                         NAIVE_TIMECOST).run()
+        assert simulate(rats).makespan <= simulate(base).makespan * 1.05

@@ -1,0 +1,137 @@
+"""Tests for the cluster model, topology/routing and Grid'5000 presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platforms.cluster import GIGABIT_BPS, Cluster
+from repro.platforms.grid5000 import (
+    CHTI,
+    GRELON,
+    GRID5000_CLUSTERS,
+    GRILLON,
+    get_cluster,
+)
+
+
+class TestClusterValidation:
+    def test_rejects_zero_procs(self):
+        with pytest.raises(ValueError):
+            Cluster(name="x", num_procs=0, speed_flops=1e9)
+
+    def test_rejects_zero_speed(self):
+        with pytest.raises(ValueError):
+            Cluster(name="x", num_procs=2, speed_flops=0)
+
+    def test_hierarchical_requires_cabinet_size(self):
+        with pytest.raises(ValueError, match="cabinet_size"):
+            Cluster(name="x", num_procs=8, speed_flops=1e9, cabinets=2)
+
+    def test_cabinets_must_cover_nodes(self):
+        with pytest.raises(ValueError, match="cover"):
+            Cluster(name="x", num_procs=10, speed_flops=1e9,
+                    cabinets=2, cabinet_size=4)
+
+    def test_cabinet_of(self):
+        c = Cluster(name="x", num_procs=8, speed_flops=1e9,
+                    cabinets=2, cabinet_size=4)
+        assert [c.cabinet_of(i) for i in range(8)] == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_flat_cluster_single_cabinet(self):
+        c = Cluster(name="x", num_procs=4, speed_flops=1e9)
+        assert not c.is_hierarchical
+        assert c.cabinet_of(3) == 0
+
+    def test_performance_model_speed(self):
+        c = Cluster(name="x", num_procs=4, speed_flops=2.5e9)
+        assert c.performance_model().speed_flops == 2.5e9
+
+
+class TestGrid5000Presets:
+    """Table II constants."""
+
+    @pytest.mark.parametrize("cluster,procs,gflops", [
+        (CHTI, 20, 4.311), (GRELON, 120, 3.185), (GRILLON, 47, 3.379),
+    ])
+    def test_table2_characteristics(self, cluster, procs, gflops):
+        assert cluster.num_procs == procs
+        assert cluster.speed_flops == pytest.approx(gflops * 1e9)
+
+    def test_gigabit_100us(self):
+        for c in GRID5000_CLUSTERS.values():
+            assert c.bandwidth_Bps == pytest.approx(GIGABIT_BPS)
+            assert c.latency_s == pytest.approx(100e-6)
+
+    def test_grelon_is_hierarchical_5x24(self):
+        assert GRELON.is_hierarchical
+        assert (GRELON.cabinets, GRELON.cabinet_size) == (5, 24)
+        assert not CHTI.is_hierarchical and not GRILLON.is_hierarchical
+
+    def test_get_cluster(self):
+        assert get_cluster("chti") is CHTI
+        with pytest.raises(KeyError):
+            get_cluster("nope")
+
+    def test_describe_mentions_shape(self):
+        assert "5x24" in GRELON.describe()
+        assert "flat" in GRILLON.describe()
+
+
+class TestTopologyRoutes:
+    def test_self_route_is_free(self, tiny_cluster):
+        r = tiny_cluster.topology.route(3, 3)
+        assert r.is_local and r.links == () and r.latency_s == 0.0
+
+    def test_flat_route_two_links(self, tiny_cluster):
+        r = tiny_cluster.topology.route(0, 5)
+        assert r.links == (("nic_up", 0), ("nic_down", 5))
+        assert r.latency_s == pytest.approx(tiny_cluster.latency_s)
+
+    def test_hierarchical_intra_cabinet(self, hier_cluster):
+        r = hier_cluster.topology.route(0, 3)  # both cabinet 0
+        assert r.links == (("nic_up", 0), ("nic_down", 3))
+        assert r.latency_s == pytest.approx(hier_cluster.latency_s)
+
+    def test_hierarchical_inter_cabinet(self, hier_cluster):
+        r = hier_cluster.topology.route(0, 11)  # cabinets 0 -> 2
+        assert r.links == (("nic_up", 0), ("cab_up", 0),
+                           ("cab_down", 2), ("nic_down", 11))
+        assert r.latency_s == pytest.approx(2 * hier_cluster.latency_s)
+
+    def test_route_out_of_range(self, tiny_cluster):
+        with pytest.raises(ValueError):
+            tiny_cluster.topology.route(0, 99)
+
+    def test_route_cache_stable(self, tiny_cluster):
+        t = tiny_cluster.topology
+        assert t.route(1, 2) is t.route(1, 2)
+
+    def test_tcp_cap_inactive_on_lan(self, tiny_cluster):
+        """4 MiB window / 200 us RTT >> 1 Gb/s: cap must not bind."""
+        r = tiny_cluster.topology.route(0, 1)
+        assert r.rate_cap_Bps == pytest.approx(tiny_cluster.bandwidth_Bps)
+
+    def test_tcp_cap_binds_on_high_latency(self):
+        c = Cluster(name="wan", num_procs=2, speed_flops=1e9,
+                    latency_s=0.05, tcp_window_bytes=1e6)
+        r = c.topology.route(0, 1)
+        # one-way latency 0.05 s -> RTT 0.1 s; beta' = 1e6 / 0.1 = 1e7 B/s
+        assert r.rate_cap_Bps == pytest.approx(1e6 / 0.1)
+
+    def test_capacity_array_alignment(self, hier_cluster):
+        topo = hier_cluster.topology
+        arr = topo.capacity_array
+        assert len(arr) == len(topo.link_ids)
+        for lid, idx in topo.link_index.items():
+            assert arr[idx] == topo.capacities[lid]
+
+    def test_route_indices_match_links(self, hier_cluster):
+        topo = hier_cluster.topology
+        r = topo.route(0, 11)
+        idx = topo.route_indices(0, 11)
+        assert tuple(topo.link_ids[i] for i in idx) == r.links
+
+    def test_link_count(self, hier_cluster):
+        # 2 per node + 2 per cabinet
+        expected = 2 * hier_cluster.num_procs + 2 * hier_cluster.cabinets
+        assert len(hier_cluster.topology.capacities) == expected

@@ -1,0 +1,141 @@
+"""Tests for the RATS scheduler (Algorithm 1) and ready-list sorting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import NAIVE_DELTA, NAIVE_TIMECOST, RATSParams
+from repro.core.rats import RATSScheduler, rats_schedule
+from repro.core.sorting import delta_sort_value, gain_sort_value
+from repro.dag.task import Task, TaskGraph
+from repro.scheduling.allocation import hcpa_allocation
+from repro.scheduling.mapping import ListScheduler
+
+
+class TestRATSEndToEnd:
+    @pytest.mark.parametrize("params", [NAIVE_DELTA, NAIVE_TIMECOST])
+    def test_valid_schedule(self, tiny_cluster, model, small_random, params):
+        alloc = hcpa_allocation(small_random, model,
+                                tiny_cluster.num_procs).allocation
+        sched = RATSScheduler(small_random, tiny_cluster, model, alloc,
+                              params)
+        schedule = sched.run()
+        schedule.validate()
+        assert len(schedule) == small_random.num_tasks
+
+    def test_deterministic(self, tiny_cluster, model, small_random):
+        alloc = hcpa_allocation(small_random, model,
+                                tiny_cluster.num_procs).allocation
+        runs = [
+            RATSScheduler(small_random, tiny_cluster, model, alloc,
+                          NAIVE_TIMECOST).run()
+            for _ in range(2)
+        ]
+        for name in small_random.task_names():
+            assert runs[0][name].procs == runs[1][name].procs
+
+    def test_adaptations_recorded(self, tiny_cluster, model, small_random):
+        alloc = hcpa_allocation(small_random, model,
+                                tiny_cluster.num_procs).allocation
+        sched = RATSScheduler(small_random, tiny_cluster, model, alloc,
+                              NAIVE_TIMECOST)
+        sched.run()
+        summary = sched.adaptation_summary()
+        assert set(summary) == {"stretch", "pack", "same"}
+        assert len(sched.adaptations) == sum(summary.values())
+        # every adaptation reuses the predecessor's exact processor set
+        for r in sched.adaptations:
+            assert sched.schedule[r.task].procs == sched.schedule[r.pred].procs
+
+    def test_adapted_allocation_differs_from_input(self, tiny_cluster, model,
+                                                   small_random):
+        alloc = hcpa_allocation(small_random, model,
+                                tiny_cluster.num_procs).allocation
+        sched = RATSScheduler(small_random, tiny_cluster, model, alloc,
+                              NAIVE_DELTA)
+        schedule = sched.run()
+        changed = [r for r in sched.adaptations if r.delta != 0]
+        for r in changed:
+            assert schedule[r.task].nprocs == r.to_procs != alloc[r.task]
+
+    def test_zero_budget_delta_equals_hcpa_sizes(self, tiny_cluster, model,
+                                                 small_random):
+        """mindelta=maxdelta=0 only allows same-size reuse: allocation
+        counts must match the first step exactly."""
+        alloc = hcpa_allocation(small_random, model,
+                                tiny_cluster.num_procs).allocation
+        params = RATSParams("delta", mindelta=0.0, maxdelta=0.0)
+        schedule = RATSScheduler(small_random, tiny_cluster, model, alloc,
+                                 params).run()
+        assert schedule.allocation() == alloc
+
+    def test_rats_schedule_convenience(self, tiny_cluster, small_random):
+        schedule = rats_schedule(small_random, tiny_cluster, NAIVE_TIMECOST)
+        schedule.validate()
+
+    def test_rats_free_redistributions_not_fewer(self, tiny_cluster, model,
+                                                 small_random):
+        """RATS must produce at least as many zero-redistribution edges as
+        plain HCPA mapping (that is its whole point)."""
+        alloc = hcpa_allocation(small_random, model,
+                                tiny_cluster.num_procs).allocation
+
+        def free_edges(schedule):
+            return sum(
+                1 for u, v, _ in small_random.edges()
+                if schedule[u].procs == schedule[v].procs
+            )
+
+        base = ListScheduler(small_random, tiny_cluster, model, alloc).run()
+        rats = RATSScheduler(small_random, tiny_cluster, model, alloc,
+                             NAIVE_TIMECOST).run()
+        assert free_edges(rats) >= free_edges(base)
+
+
+class TestReadySorting:
+    def _two_level_graph(self):
+        g = TaskGraph(name="sorting")
+        g.add_task(Task("src", data_elements=50e6, flops=10e9, alpha=0.1))
+        for n, f in (("a", 10e9), ("b", 10e9)):
+            g.add_task(Task(n, data_elements=50e6, flops=f, alpha=0.1))
+        g.add_edge("src", "a")
+        g.add_edge("src", "b")
+        return g
+
+    def test_delta_sort_prefers_small_modification(self, tiny_cluster):
+        g = self._two_level_graph()
+        model = tiny_cluster.performance_model()
+        # a: same size as parent (delta 0); b: needs +2 (delta 2)
+        alloc = {"src": 3, "a": 3, "b": 1}
+        s = RATSScheduler(g, tiny_cluster, model, alloc,
+                          RATSParams("delta"))
+        s.commit("src", s.decision_for_procs("src", (0, 1, 2)))
+        assert delta_sort_value(s, "a") == 0.0
+        assert delta_sort_value(s, "b") == 2.0
+
+    def test_gain_sort_value_positive_for_bigger_parent(self, tiny_cluster):
+        g = self._two_level_graph()
+        model = tiny_cluster.performance_model()
+        alloc = {"src": 4, "a": 1, "b": 4}
+        s = RATSScheduler(g, tiny_cluster, model, alloc,
+                          RATSParams("timecost"))
+        s.commit("src", s.decision_for_procs("src", (0, 1, 2, 3)))
+        assert gain_sort_value(s, "a") > 0  # would run 4x wider
+        assert gain_sort_value(s, "a") > gain_sort_value(s, "b")
+
+    def test_sort_primary_is_bottom_level(self, tiny_cluster, model,
+                                          small_random):
+        alloc = {n: 1 for n in small_random.task_names()}
+        s = RATSScheduler(small_random, tiny_cluster, model, alloc,
+                          NAIVE_DELTA)
+        ready = small_random.entry_tasks()
+        ordered = s.sort_ready(list(ready))
+        bls = [s.priorities[n] for n in ordered]
+        assert bls == sorted(bls, reverse=True)
+
+    def test_no_mapped_preds_sort_values(self, tiny_cluster, model, diamond):
+        s = RATSScheduler(diamond, tiny_cluster, model,
+                          {n: 1 for n in diamond.task_names()},
+                          NAIVE_DELTA)
+        assert delta_sort_value(s, "entry") == float("inf")
+        assert gain_sort_value(s, "entry") == float("-inf")

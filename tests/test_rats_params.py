@@ -1,0 +1,98 @@
+"""Tests for RATSParams validation and the Table IV presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import (
+    NAIVE_DELTA,
+    NAIVE_TIMECOST,
+    PAPER_TUNED_PARAMS,
+    RATSParams,
+    tuned_params,
+)
+
+
+class TestRATSParamsValidation:
+    def test_defaults_valid(self):
+        p = RATSParams()
+        assert p.strategy == "timecost"
+        assert p.allow_pack and p.guard_stretch
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="strategy"):
+            RATSParams(strategy="magic")
+
+    def test_positive_mindelta_rejected(self):
+        with pytest.raises(ValueError, match="mindelta"):
+            RATSParams(mindelta=0.5)
+
+    def test_negative_maxdelta_rejected(self):
+        with pytest.raises(ValueError, match="maxdelta"):
+            RATSParams(maxdelta=-0.5)
+
+    @pytest.mark.parametrize("rho", [0.0, -0.2, 1.5])
+    def test_minrho_interval(self, rho):
+        with pytest.raises(ValueError, match="minrho"):
+            RATSParams(minrho=rho)
+
+    def test_minrho_one_allowed(self):
+        assert RATSParams(minrho=1.0).minrho == 1.0
+
+    def test_with_helper(self):
+        p = NAIVE_DELTA.with_(maxdelta=1.0)
+        assert p.maxdelta == 1.0 and p.mindelta == NAIVE_DELTA.mindelta
+
+    def test_describe(self):
+        assert "delta" in NAIVE_DELTA.describe()
+        assert "packing" in NAIVE_TIMECOST.describe()
+
+
+class TestNaivePresets:
+    def test_naive_values_are_half(self):
+        """§IV-B: 'we use a naive value (0.5) for each parameter'."""
+        assert NAIVE_DELTA.mindelta == -0.5
+        assert NAIVE_DELTA.maxdelta == 0.5
+        assert NAIVE_TIMECOST.minrho == 0.5
+        assert NAIVE_TIMECOST.allow_pack
+
+
+class TestTableIV:
+    def test_all_12_cells_present(self):
+        assert len(PAPER_TUNED_PARAMS) == 12
+        clusters = {k[0] for k in PAPER_TUNED_PARAMS}
+        families = {k[1] for k in PAPER_TUNED_PARAMS}
+        assert clusters == {"chti", "grillon", "grelon"}
+        assert families == {"fft", "strassen", "layered", "irregular"}
+
+    @pytest.mark.parametrize("key,expected", [
+        (("chti", "fft"), (-0.5, 1.0, 0.2)),
+        (("grillon", "strassen"), (0.0, 1.0, 0.4)),
+        (("grelon", "fft"), (-0.25, 0.75, 0.4)),
+        (("grelon", "irregular"), (-0.75, 1.0, 0.4)),
+    ])
+    def test_spot_check_table_values(self, key, expected):
+        assert PAPER_TUNED_PARAMS[key] == expected
+
+    def test_tuned_params_builds_valid_params(self):
+        for (cluster, family) in PAPER_TUNED_PARAMS:
+            for strategy in ("delta", "timecost"):
+                p = tuned_params(cluster, family, strategy)
+                assert p.strategy == strategy
+                assert p.mindelta <= 0 <= p.maxdelta
+
+    def test_unknown_pair_raises(self):
+        with pytest.raises(KeyError):
+            tuned_params("grillon", "unknown-family", "delta")
+
+    def test_all_values_from_sweep_grid(self):
+        """Tuned values must come from the §IV-C tested grids."""
+        from repro.experiments.tuning import (
+            DEFAULT_MAXDELTAS,
+            DEFAULT_MINDELTAS,
+            DEFAULT_MINRHOS,
+        )
+        for mind, maxd, rho in PAPER_TUNED_PARAMS.values():
+            assert mind in DEFAULT_MINDELTAS
+            assert maxd in DEFAULT_MAXDELTAS
+            assert rho in DEFAULT_MINRHOS

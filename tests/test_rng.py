@@ -1,0 +1,45 @@
+"""Tests for deterministic seeding (repro.utils.rng)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.rng import scenario_seed, spawn_rng
+
+
+class TestScenarioSeed:
+    def test_deterministic(self):
+        assert scenario_seed("a", 1, 2.5) == scenario_seed("a", 1, 2.5)
+
+    def test_distinct_parts_distinct_seed(self):
+        assert scenario_seed("a") != scenario_seed("b")
+        assert scenario_seed("a", 1) != scenario_seed("a", 2)
+
+    def test_part_boundaries_matter(self):
+        # ("ab", "c") must differ from ("a", "bc")
+        assert scenario_seed("ab", "c") != scenario_seed("a", "bc")
+
+    def test_range(self):
+        s = scenario_seed("x")
+        assert 0 <= s < 2 ** 64
+
+    @given(st.lists(st.text(max_size=20), min_size=1, max_size=5))
+    def test_stable_under_repetition(self, parts):
+        assert scenario_seed(*parts) == scenario_seed(*parts)
+
+
+class TestSpawnRng:
+    def test_same_parts_same_stream(self):
+        a = spawn_rng("stream").random(8)
+        b = spawn_rng("stream").random(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_parts_different_stream(self):
+        a = spawn_rng("s1").random(8)
+        b = spawn_rng("s2").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_returns_generator(self):
+        assert isinstance(spawn_rng("x"), np.random.Generator)

@@ -1,0 +1,189 @@
+"""Tests for the experiment runner and the paper's metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import NAIVE_DELTA, NAIVE_TIMECOST
+from repro.experiments.metrics import (
+    combined_comparison,
+    degradation_from_best,
+    index_results,
+    pairwise_comparison,
+    relative_series,
+    series_stats,
+)
+from repro.experiments.runner import (
+    AlgorithmSpec,
+    ExperimentRunner,
+    RunResult,
+    baseline_spec,
+    rats_spec,
+)
+from repro.experiments.scenarios import Scenario
+from repro.platforms.cluster import Cluster
+
+SMALL = Scenario(family="strassen", sample=0)
+TINY_FFT = Scenario(family="fft", k=2, sample=0)
+
+
+@pytest.fixture(scope="module")
+def cluster() -> Cluster:
+    return Cluster(name="mod-tiny", num_procs=8, speed_flops=1e9)
+
+
+@pytest.fixture(scope="module")
+def run_results(cluster) -> list[RunResult]:
+    runner = ExperimentRunner()
+    specs = [
+        baseline_spec("hcpa", label="HCPA"),
+        rats_spec(NAIVE_DELTA, label="delta"),
+        rats_spec(NAIVE_TIMECOST, label="time-cost"),
+    ]
+    return runner.run_matrix([SMALL, TINY_FFT], [cluster], specs)
+
+
+class TestAlgorithmSpec:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            AlgorithmSpec(label="x", kind="magic")
+
+    def test_rats_needs_params(self):
+        with pytest.raises(ValueError):
+            AlgorithmSpec(label="x", kind="rats")
+        with pytest.raises(ValueError):
+            rats_spec()
+
+    def test_tuned_spec_resolves_table_iv(self):
+        spec = rats_spec(tuned=True, strategy="delta")
+        p = spec.resolve_params("grillon", "fft")
+        assert (p.mindelta, p.maxdelta) == (-0.5, 1.0)
+        p2 = spec.resolve_params("chti", "strassen")
+        assert (p2.mindelta, p2.maxdelta) == (-0.25, 0.5)
+
+    def test_tuned_needs_strategy(self):
+        with pytest.raises(ValueError):
+            rats_spec(tuned=True)
+
+    def test_baseline_kinds(self):
+        for kind in ("cpa", "mcpa", "hcpa"):
+            assert baseline_spec(kind).kind == kind
+
+
+class TestRunner:
+    def test_results_complete(self, run_results):
+        assert len(run_results) == 6  # 2 scenarios x 1 cluster x 3 algos
+        for r in run_results:
+            assert r.makespan > 0
+            assert r.work > 0
+            assert r.estimated_makespan > 0
+            assert r.n_tasks in (25, 5)
+
+    def test_simulated_at_least_estimated(self, run_results):
+        for r in run_results:
+            assert r.makespan >= r.estimated_makespan * (1 - 1e-9)
+
+    def test_rats_runs_record_adaptations(self, run_results):
+        rats_runs = [r for r in run_results if r.algorithm != "HCPA"]
+        assert any(r.stretches + r.packs + r.sames > 0 for r in rats_runs)
+
+    def test_baseline_runs_have_no_adaptations(self, run_results):
+        for r in run_results:
+            if r.algorithm == "HCPA":
+                assert r.stretches == r.packs == r.sames == 0
+
+    def test_caching_returns_same_objects(self, cluster):
+        runner = ExperimentRunner()
+        g1 = runner.graph_for(SMALL)
+        g2 = runner.graph_for(SMALL)
+        assert g1 is g2
+        a1 = runner.allocation_for(SMALL, cluster, "hcpa")
+        a2 = runner.allocation_for(SMALL, cluster, "hcpa")
+        assert a1 is a2
+
+    def test_no_simulation_mode(self, cluster):
+        runner = ExperimentRunner(simulate_schedules=False)
+        r = runner.run(TINY_FFT, cluster, baseline_spec("hcpa"))
+        assert r.makespan == r.estimated_makespan
+
+    def test_cpa_and_mcpa_kinds_run(self, cluster):
+        runner = ExperimentRunner(simulate_schedules=False)
+        for kind in ("cpa", "mcpa"):
+            r = runner.run(TINY_FFT, cluster, baseline_spec(kind))
+            assert r.makespan > 0
+
+
+class TestMetrics:
+    def test_index_results_groups(self, run_results):
+        idx = index_results(run_results)
+        assert len(idx) == 2
+        for bucket in idx.values():
+            assert set(bucket) == {"HCPA", "delta", "time-cost"}
+
+    def test_index_rejects_duplicates(self, run_results):
+        with pytest.raises(ValueError):
+            index_results(run_results + run_results[:1])
+
+    def test_relative_series_sorted(self, run_results):
+        s = relative_series(run_results, "delta", "HCPA")
+        assert len(s) == 2
+        assert s == sorted(s)
+        assert all(v > 0 for v in s)
+
+    def test_relative_series_self_is_ones(self, run_results):
+        s = relative_series(run_results, "HCPA", "HCPA")
+        assert all(v == pytest.approx(1.0) for v in s)
+
+    def test_series_stats(self):
+        st = series_stats([0.5, 1.0, 1.5, 2.0])
+        assert st.count == 4
+        assert st.mean == pytest.approx(1.25)
+        assert st.median == pytest.approx(1.25)
+        assert st.frac_better == pytest.approx(0.25)
+        assert st.frac_equal == pytest.approx(0.25)
+        assert st.frac_worse == pytest.approx(0.5)
+
+    def test_series_stats_empty(self):
+        with pytest.raises(ValueError):
+            series_stats([])
+
+    def test_pairwise_symmetry(self, run_results):
+        algos = ["HCPA", "delta", "time-cost"]
+        pw = pairwise_comparison(run_results, algos)
+        for a in algos:
+            for b in algos:
+                if a == b:
+                    continue
+                ab, ba = pw[(a, b)], pw[(b, a)]
+                assert ab["better"] == ba["worse"]
+                assert ab["equal"] == ba["equal"]
+                total = sum(ab.values())
+                assert total == 2  # one comparison per configuration
+
+    def test_combined_percentages_sum_to_100(self, run_results):
+        algos = ["HCPA", "delta", "time-cost"]
+        comb = combined_comparison(run_results, algos)
+        for a in algos:
+            assert sum(comb[a].values()) == pytest.approx(100.0)
+
+    def test_degradation_from_best(self, run_results):
+        algos = ["HCPA", "delta", "time-cost"]
+        deg = degradation_from_best(run_results, algos)
+        # at least one algorithm achieves the best in each config
+        assert min(d.avg_over_all for d in deg.values()) \
+            == pytest.approx(min(d.avg_over_all for d in deg.values()))
+        for d in deg.values():
+            assert d.avg_over_all >= 0
+            assert d.avg_over_not_best >= d.avg_over_all - 1e-9
+
+    def test_degradation_best_algo_has_zero_rows(self):
+        """Synthetic: algo A always best."""
+        rows = []
+        for i, (ma, mb) in enumerate([(1.0, 2.0), (3.0, 4.5)]):
+            rows.append(RunResult(f"s{i}", "f", "c", "A", ma, ma, 1, 5))
+            rows.append(RunResult(f"s{i}", "f", "c", "B", mb, mb, 1, 5))
+        deg = degradation_from_best(rows, ["A", "B"])
+        assert deg["A"].avg_over_all == 0.0
+        assert deg["A"].not_best_count == 0
+        assert deg["B"].avg_over_all == pytest.approx((100 + 50) / 2)
+        assert deg["B"].avg_over_not_best == pytest.approx(75.0)

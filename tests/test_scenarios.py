@@ -1,0 +1,88 @@
+"""Tests for the Table III scenario catalogue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scenarios import (
+    Scenario,
+    all_scenarios,
+    scenarios_by_family,
+    subsample,
+)
+
+
+class TestCatalogue:
+    def test_total_count_is_557(self):
+        """Table III: 108 layered + 324 irregular + 100 FFT + 25 Strassen."""
+        assert len(all_scenarios()) == 557
+
+    def test_family_counts(self):
+        by_family = scenarios_by_family()
+        assert len(by_family["layered"]) == 108
+        assert len(by_family["irregular"]) == 324
+        assert len(by_family["fft"]) == 100
+        assert len(by_family["strassen"]) == 25
+
+    def test_unique_ids(self):
+        ids = [s.scenario_id for s in all_scenarios()]
+        assert len(set(ids)) == len(ids)
+
+    def test_ids_stable(self):
+        a = [s.scenario_id for s in all_scenarios()]
+        b = [s.scenario_id for s in all_scenarios()]
+        assert a == b
+
+
+class TestScenarioBuild:
+    def test_build_deterministic(self):
+        sc = Scenario(family="layered", n_tasks=25, width=0.5, density=0.2,
+                      regularity=0.8, sample=1)
+        g1, g2 = sc.build(), sc.build()
+        assert sorted(g1.edges()) == sorted(g2.edges())
+        assert [t.flops for t in g1.tasks()] == [t.flops for t in g2.tasks()]
+
+    def test_different_samples_differ(self):
+        a = Scenario(family="fft", k=4, sample=0).build()
+        b = Scenario(family="fft", k=4, sample=1).build()
+        assert [t.flops for t in a.tasks()] != [t.flops for t in b.tasks()]
+
+    def test_task_counts_match_parameters(self):
+        assert Scenario(family="layered", n_tasks=50, width=0.5, density=0.2,
+                        regularity=0.2, sample=0).build().num_tasks == 50
+        assert Scenario(family="fft", k=8, sample=0).build().num_tasks == 39
+        assert Scenario(family="strassen", sample=0).build().num_tasks == 25
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError):
+            Scenario(family="mystery", sample=0).scenario_id
+        with pytest.raises(ValueError):
+            Scenario(family="mystery", sample=0).build()
+
+
+class TestSubsample:
+    def test_full_fraction_identity(self):
+        scen = all_scenarios()
+        assert subsample(scen, 1.0) == scen
+
+    def test_stratified_representation(self):
+        sub = subsample(all_scenarios(), 0.1)
+        families = {s.family for s in sub}
+        assert families == {"layered", "irregular", "fft", "strassen"}
+        # roughly proportional
+        assert len(sub) == pytest.approx(56, abs=6)
+
+    def test_minimum_one_per_family(self):
+        sub = subsample(all_scenarios(), 0.001)
+        assert {s.family for s in sub} == \
+               {"layered", "irregular", "fft", "strassen"}
+
+    def test_deterministic(self):
+        assert subsample(all_scenarios(), 0.07) == \
+               subsample(all_scenarios(), 0.07)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            subsample(all_scenarios(), 0.0)
+        with pytest.raises(ValueError):
+            subsample(all_scenarios(), 1.5)

@@ -1,0 +1,137 @@
+"""Tests for the Schedule representation and its validity invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scheduling.schedule import Schedule, ScheduleEntry
+
+from conftest import make_chain, make_diamond
+
+
+class TestScheduleEntry:
+    def test_basic(self):
+        e = ScheduleEntry("t", (0, 1), 1.0, 3.0)
+        assert e.nprocs == 2
+        assert e.duration == pytest.approx(2.0)
+
+    def test_empty_procs_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            ScheduleEntry("t", (), 0.0, 1.0)
+
+    def test_duplicate_procs_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ScheduleEntry("t", (1, 1), 0.0, 1.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError, match="finish"):
+            ScheduleEntry("t", (0,), 2.0, 1.0)
+
+
+class TestScheduleContainer:
+    def test_add_and_lookup(self, tiny_cluster):
+        g = make_chain(2)
+        s = Schedule(graph=g, cluster=tiny_cluster)
+        s.add(ScheduleEntry("t0", (0,), 0.0, 1.0))
+        assert "t0" in s and s["t0"].finish == 1.0
+        assert len(s) == 1
+
+    def test_duplicate_task_rejected(self, tiny_cluster):
+        g = make_chain(2)
+        s = Schedule(graph=g, cluster=tiny_cluster)
+        s.add(ScheduleEntry("t0", (0,), 0.0, 1.0))
+        with pytest.raises(ValueError, match="already"):
+            s.add(ScheduleEntry("t0", (1,), 0.0, 1.0))
+
+    def test_unknown_task_rejected(self, tiny_cluster):
+        s = Schedule(graph=make_chain(2), cluster=tiny_cluster)
+        with pytest.raises(KeyError):
+            s.add(ScheduleEntry("zz", (0,), 0.0, 1.0))
+
+    def test_proc_out_of_range_rejected(self, tiny_cluster):
+        s = Schedule(graph=make_chain(2), cluster=tiny_cluster)
+        with pytest.raises(ValueError, match="out of range"):
+            s.add(ScheduleEntry("t0", (99,), 0.0, 1.0))
+
+
+class TestScheduleMetrics:
+    def test_makespan_origin_is_earliest_start(self, tiny_cluster):
+        g = make_chain(2)
+        s = Schedule(graph=g, cluster=tiny_cluster)
+        s.add(ScheduleEntry("t0", (0,), 5.0, 7.0))
+        s.add(ScheduleEntry("t1", (0,), 7.0, 10.0))
+        assert s.makespan == pytest.approx(5.0)
+
+    def test_empty_makespan(self, tiny_cluster):
+        assert Schedule(graph=make_chain(2), cluster=tiny_cluster).makespan == 0.0
+
+    def test_total_work_from_durations(self, tiny_cluster):
+        g = make_diamond()
+        s = Schedule(graph=g, cluster=tiny_cluster)
+        s.add(ScheduleEntry("entry", (0, 1), 0.0, 2.0))  # 4 proc-s
+        assert s.total_work() == pytest.approx(4.0)
+
+    def test_total_work_from_model(self, tiny_cluster, model):
+        g = make_diamond(flops=1e9, alpha=0.0)
+        s = Schedule(graph=g, cluster=tiny_cluster)
+        s.add(ScheduleEntry("entry", (0, 1), 0.0, 99.0))  # duration ignored
+        # model: T(2 procs) = 0.5s -> work = 1.0 proc-s
+        assert s.total_work(model) == pytest.approx(1.0)
+
+    def test_allocation_view(self, tiny_cluster):
+        g = make_chain(2)
+        s = Schedule(graph=g, cluster=tiny_cluster)
+        s.add(ScheduleEntry("t0", (0, 1, 2), 0.0, 1.0))
+        s.add(ScheduleEntry("t1", (4,), 1.0, 2.0))
+        assert s.allocation() == {"t0": 3, "t1": 1}
+
+    def test_proc_timeline_sorted(self, tiny_cluster):
+        g = make_chain(3)
+        s = Schedule(graph=g, cluster=tiny_cluster)
+        s.add(ScheduleEntry("t0", (0,), 0.0, 1.0))
+        s.add(ScheduleEntry("t1", (0,), 1.0, 2.0))
+        s.add(ScheduleEntry("t2", (1,), 2.0, 3.0))
+        tl = s.proc_timeline()
+        assert [e.task for e in tl[0]] == ["t0", "t1"]
+        assert [e.task for e in tl[1]] == ["t2"]
+
+
+class TestScheduleValidate:
+    def _full_chain_schedule(self, cluster) -> Schedule:
+        g = make_chain(3)
+        s = Schedule(graph=g, cluster=cluster)
+        s.add(ScheduleEntry("t0", (0,), 0.0, 1.0))
+        s.add(ScheduleEntry("t1", (0, 1), 1.0, 2.0))
+        s.add(ScheduleEntry("t2", (1,), 2.0, 3.0))
+        return s
+
+    def test_valid_schedule_passes(self, tiny_cluster):
+        self._full_chain_schedule(tiny_cluster).validate()
+
+    def test_missing_task_detected(self, tiny_cluster):
+        g = make_chain(2)
+        s = Schedule(graph=g, cluster=tiny_cluster)
+        s.add(ScheduleEntry("t0", (0,), 0.0, 1.0))
+        with pytest.raises(ValueError, match="unscheduled"):
+            s.validate()
+
+    def test_precedence_violation_detected(self, tiny_cluster):
+        g = make_chain(2)
+        s = Schedule(graph=g, cluster=tiny_cluster)
+        s.add(ScheduleEntry("t0", (0,), 0.0, 2.0))
+        s.add(ScheduleEntry("t1", (1,), 1.0, 3.0))  # starts before t0 ends
+        with pytest.raises(ValueError, match="precedence"):
+            s.validate()
+
+    def test_double_booking_detected(self, tiny_cluster):
+        g = make_diamond()
+        s = Schedule(graph=g, cluster=tiny_cluster)
+        s.add(ScheduleEntry("entry", (0,), 0.0, 1.0))
+        s.add(ScheduleEntry("left", (1,), 1.0, 3.0))
+        s.add(ScheduleEntry("right", (1,), 2.0, 4.0))  # overlaps left on p1
+        s.add(ScheduleEntry("exit", (0,), 4.0, 5.0))
+        with pytest.raises(ValueError, match="double-booked"):
+            s.validate()
+
+    def test_touching_intervals_allowed(self, tiny_cluster):
+        self._full_chain_schedule(tiny_cluster).validate(tol=0.0)

@@ -1,0 +1,73 @@
+"""Tests for schedule / result JSON serialisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import NAIVE_TIMECOST
+from repro.core.rats import rats_schedule
+from repro.experiments.runner import RunResult
+from repro.scheduling.serialize import (
+    load_results,
+    load_schedule,
+    results_from_json,
+    results_to_json,
+    save_results,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+
+
+class TestScheduleRoundTrip:
+    def test_round_trip_preserves_entries(self, tiny_cluster, small_random):
+        schedule = rats_schedule(small_random, tiny_cluster, NAIVE_TIMECOST)
+        data = schedule_to_dict(schedule)
+        rebuilt = schedule_from_dict(data, small_random, tiny_cluster)
+        assert len(rebuilt) == len(schedule)
+        for name in small_random.task_names():
+            assert rebuilt[name].procs == schedule[name].procs
+            assert rebuilt[name].start == schedule[name].start
+            assert rebuilt[name].finish == schedule[name].finish
+        rebuilt.validate()
+
+    def test_file_round_trip(self, tmp_path, tiny_cluster, small_random):
+        schedule = rats_schedule(small_random, tiny_cluster, NAIVE_TIMECOST)
+        path = tmp_path / "schedule.json"
+        save_schedule(schedule, path)
+        rebuilt = load_schedule(path, small_random, tiny_cluster)
+        assert rebuilt.makespan == pytest.approx(schedule.makespan)
+
+    def test_graph_mismatch_rejected(self, tiny_cluster, small_random,
+                                     diamond):
+        schedule = rats_schedule(small_random, tiny_cluster, NAIVE_TIMECOST)
+        data = schedule_to_dict(schedule)
+        with pytest.raises(ValueError, match="graph"):
+            schedule_from_dict(data, diamond, tiny_cluster)
+
+    def test_cluster_mismatch_rejected(self, tiny_cluster, hier_cluster,
+                                       small_random):
+        schedule = rats_schedule(small_random, tiny_cluster, NAIVE_TIMECOST)
+        data = schedule_to_dict(schedule)
+        with pytest.raises(ValueError, match="cluster"):
+            schedule_from_dict(data, small_random, hier_cluster)
+
+
+class TestResultsRoundTrip:
+    def _rows(self) -> list[RunResult]:
+        return [
+            RunResult("s1", "fft", "grillon", "HCPA", 10.0, 8.0, 100.0, 25),
+            RunResult("s1", "fft", "grillon", "delta", 9.0, 7.5, 95.0, 25,
+                      stretches=3, packs=1, sames=2, wall_time_s=0.5),
+        ]
+
+    def test_json_round_trip(self):
+        rows = self._rows()
+        rebuilt = results_from_json(results_to_json(rows))
+        assert rebuilt == rows
+
+    def test_file_round_trip(self, tmp_path):
+        rows = self._rows()
+        path = tmp_path / "results.json"
+        save_results(rows, path)
+        assert load_results(path) == rows

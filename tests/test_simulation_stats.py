@@ -1,0 +1,84 @@
+"""Tests for the simulation trace statistics helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import NAIVE_TIMECOST
+from repro.core.rats import rats_schedule
+from repro.scheduling.allocation import hcpa_allocation
+from repro.scheduling.mapping import ListScheduler
+from repro.simulation.simulator import FluidSimulator, simulate
+from repro.simulation.stats import (
+    edge_communication_times,
+    estimation_errors,
+    link_traffic,
+    total_network_bytes,
+)
+
+from conftest import make_chain
+
+
+@pytest.fixture
+def traced_run(tiny_cluster, model, small_random):
+    alloc = hcpa_allocation(small_random, model,
+                            tiny_cluster.num_procs).allocation
+    schedule = ListScheduler(small_random, tiny_cluster, model, alloc).run()
+    result = FluidSimulator(schedule, collect_flow_traces=True).run()
+    return schedule, result
+
+
+class TestTraceStats:
+    def test_requires_traces(self, tiny_cluster, model, small_random):
+        schedule = rats_schedule(small_random, tiny_cluster, NAIVE_TIMECOST)
+        res = simulate(schedule)  # traces off
+        with pytest.raises(ValueError, match="flow traces"):
+            total_network_bytes(res)
+
+    def test_edge_stats_cover_remote_edges_only(self, traced_run,
+                                                small_random):
+        schedule, result = traced_run
+        stats = edge_communication_times(result)
+        all_edges = {(u, v) for u, v, _ in small_random.edges()}
+        assert set(stats) <= all_edges
+        for s in stats.values():
+            assert s.flows >= 1
+            assert s.duration >= 0
+            assert s.data_bytes > 0
+
+    def test_total_bytes_bounded_by_graph_traffic(self, traced_run,
+                                                  small_random):
+        _, result = traced_run
+        total = total_network_bytes(result)
+        assert 0 < total <= small_random.total_edge_bytes() + 1e-6
+
+    def test_link_traffic_conservation(self, traced_run, tiny_cluster):
+        """Each remote byte crosses exactly one nic_up and one nic_down on
+        a flat cluster."""
+        _, result = traced_run
+        traffic = link_traffic(result, tiny_cluster)
+        up = sum(v for (kind, _), v in traffic.items() if kind == "nic_up")
+        down = sum(v for (kind, _), v in traffic.items()
+                   if kind == "nic_down")
+        assert up == pytest.approx(down)
+        assert up == pytest.approx(total_network_bytes(result))
+
+    def test_estimation_errors_at_least_one(self, traced_run):
+        """Contention can only slow flows down relative to the isolated
+        estimate (modulo the latency accounting, hence the small slack)."""
+        schedule, result = traced_run
+        errors = estimation_errors(result, schedule)
+        assert errors
+        assert all(ratio > 0.6 for ratio in errors.values())
+
+    def test_chain_estimation_error_near_one(self, tiny_cluster, model):
+        """A single transfer with no contention: observed ≈ estimated."""
+        g = make_chain(2, m=1.25e8 / 8, flops=1e9, alpha=0.0)
+        from repro.scheduling.schedule import Schedule, ScheduleEntry
+
+        s = Schedule(graph=g, cluster=tiny_cluster)
+        s.add(ScheduleEntry("t0", (0,), 0.0, 1.0))
+        s.add(ScheduleEntry("t1", (1,), 3.0, 4.0))
+        result = FluidSimulator(s, collect_flow_traces=True).run()
+        errors = estimation_errors(result, s)
+        assert errors[("t0", "t1")] == pytest.approx(1.0, rel=0.01)

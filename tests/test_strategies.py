@@ -1,0 +1,197 @@
+"""Tests for the delta and time-cost adaptation strategies (§III-A/B)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import RATSParams
+from repro.core.rats import RATSScheduler
+from repro.core.strategies import DeltaStrategy, TimeCostStrategy, make_strategy
+from repro.dag.task import Task, TaskGraph
+
+
+def fork_graph(n_children=2, m=50e6, flops=20e9, alpha=0.1):
+    """src feeding n identical children."""
+    g = TaskGraph(name="fork")
+    g.add_task(Task("src", data_elements=m, flops=flops, alpha=alpha))
+    for i in range(n_children):
+        g.add_task(Task(f"c{i}", data_elements=m, flops=flops, alpha=alpha))
+        g.add_edge("src", f"c{i}")
+    return g
+
+
+def scheduler_with_mapped_src(cluster, params, src_procs, child_alloc,
+                              graph=None):
+    """Build a RATSScheduler with 'src' pre-mapped on ``src_procs``."""
+    g = graph or fork_graph()
+    model = cluster.performance_model()
+    alloc = {n: child_alloc for n in g.task_names()}
+    alloc["src"] = len(src_procs)
+    sched = RATSScheduler(g, cluster, model, alloc, params)
+    d = sched.decision_for_procs("src", tuple(src_procs))
+    sched.commit("src", d)
+    return sched
+
+
+class TestMakeStrategy:
+    def test_dispatch(self):
+        assert isinstance(make_strategy(RATSParams("delta")), DeltaStrategy)
+        assert isinstance(make_strategy(RATSParams("timecost")),
+                          TimeCostStrategy)
+
+
+class TestDeltaStrategy:
+    def test_equal_size_parent_reused(self, tiny_cluster):
+        params = RATSParams("delta", mindelta=-0.5, maxdelta=0.5)
+        s = scheduler_with_mapped_src(tiny_cluster, params, (2, 3), 2)
+        decision, record = s.strategy.decide(s, "c0")
+        assert record is not None and record.kind == "same"
+        assert decision.procs == (2, 3)
+
+    def test_stretch_within_maxdelta(self, tiny_cluster):
+        # child alloc 2, parent 3: delta+ = 1 <= 0.5*2
+        params = RATSParams("delta", mindelta=0.0, maxdelta=0.5)
+        s = scheduler_with_mapped_src(tiny_cluster, params, (1, 2, 3), 2)
+        decision, record = s.strategy.decide(s, "c0")
+        assert record is not None and record.kind == "stretch"
+        assert decision.procs == (1, 2, 3)
+
+    def test_stretch_beyond_maxdelta_rejected(self, tiny_cluster):
+        # child alloc 2, parent 4: delta+ = 2 > 0.5*2 = 1
+        params = RATSParams("delta", mindelta=0.0, maxdelta=0.5)
+        s = scheduler_with_mapped_src(tiny_cluster, params, (0, 1, 2, 3), 2)
+        _, record = s.strategy.decide(s, "c0")
+        assert record is None
+
+    def test_pack_within_mindelta(self, tiny_cluster):
+        # child alloc 4, parent 2: delta- = -2 >= -0.5*4
+        params = RATSParams("delta", mindelta=-0.5, maxdelta=0.0)
+        s = scheduler_with_mapped_src(tiny_cluster, params, (5, 6), 4)
+        decision, record = s.strategy.decide(s, "c0")
+        assert record is not None and record.kind == "pack"
+        assert decision.procs == (5, 6)
+
+    def test_pack_beyond_mindelta_rejected(self, tiny_cluster):
+        # child alloc 4, parent 1: delta- = -3 < -0.5*4 = -2
+        params = RATSParams("delta", mindelta=-0.5, maxdelta=0.0)
+        s = scheduler_with_mapped_src(tiny_cluster, params, (5,), 4)
+        _, record = s.strategy.decide(s, "c0")
+        assert record is None
+
+    def test_paper_example_maxdelta(self, tiny_cluster):
+        """Np(t)=6, maxdelta=0.5 -> stretched allocation at most 9."""
+        g = fork_graph()
+        params = RATSParams("delta", maxdelta=0.5, mindelta=0.0)
+        # parent has 9 procs -> delta+ = 3 <= 3: allowed
+        s = scheduler_with_mapped_src(
+            tiny_cluster.__class__(name="big", num_procs=16, speed_flops=1e9),
+            params, tuple(range(9)), 6, graph=g)
+        _, record = s.strategy.decide(s, "c0")
+        assert record is not None and record.to_procs == 9
+
+    def test_smaller_modification_wins(self, tiny_cluster):
+        """With one parent at +1 and another at -2, stretch (+1) wins."""
+        g = TaskGraph(name="two-parents")
+        for n in ("a", "b", "child"):
+            g.add_task(Task(n, data_elements=50e6, flops=20e9, alpha=0.1))
+        g.add_edge("a", "child")
+        g.add_edge("b", "child")
+        model = tiny_cluster.performance_model()
+        params = RATSParams("delta", mindelta=-1.0, maxdelta=1.0)
+        sched = RATSScheduler(g, tiny_cluster, model,
+                              {"a": 3, "b": 1, "child": 2}, params)
+        sched.commit("a", sched.decision_for_procs("a", (0, 1, 2)))
+        sched.commit("b", sched.decision_for_procs("b", (3,)))
+        decision, record = sched.strategy.decide(sched, "child")
+        assert record is not None
+        assert record.pred == "a" and record.delta == 1
+
+    def test_no_mapped_parent_keeps_default(self, tiny_cluster):
+        g = fork_graph()
+        params = RATSParams("delta")
+        sched = RATSScheduler(g, tiny_cluster,
+                              tiny_cluster.performance_model(),
+                              {n: 2 for n in g.task_names()}, params)
+        decision, record = sched.strategy.decide(sched, "src")
+        assert record is None and decision.nprocs == 2
+
+
+class TestTimeCostStrategy:
+    def test_equal_parent_rho_one_reused(self, tiny_cluster):
+        params = RATSParams("timecost", minrho=0.9)
+        s = scheduler_with_mapped_src(tiny_cluster, params, (2, 3), 2)
+        decision, record = s.strategy.decide(s, "c0")
+        assert record is not None and record.kind == "same"
+        assert decision.procs == (2, 3)
+
+    def test_low_rho_stretch_rejected(self, tiny_cluster):
+        """A highly serial task (alpha=0.9) wastes work when stretched:
+        rho < minrho keeps the original allocation."""
+        g = fork_graph(m=1e3, flops=20e9, alpha=0.9)
+        params = RATSParams("timecost", minrho=0.9)
+        s = scheduler_with_mapped_src(tiny_cluster, params, (0, 1, 2, 3, 4, 5),
+                                      1, graph=g)
+        _, record = s.strategy.decide(s, "c0")
+        assert record is None
+
+    def test_perfectly_parallel_stretch_accepted(self, tiny_cluster):
+        """alpha=0: stretching keeps work constant (rho=1) and kills the
+        redistribution: always beneficial."""
+        g = fork_graph(m=50e6, flops=20e9, alpha=0.0)
+        params = RATSParams("timecost", minrho=0.99)
+        s = scheduler_with_mapped_src(tiny_cluster, params, (0, 1, 2, 3), 2,
+                                      graph=g)
+        decision, record = s.strategy.decide(s, "c0")
+        assert record is not None and record.kind == "stretch"
+        assert decision.procs == (0, 1, 2, 3)
+
+    def test_pack_only_when_finish_not_worse(self, tiny_cluster):
+        """Packing a compute-heavy, tiny-data task doubles its execution
+        time for no redistribution gain: rejected."""
+        g = fork_graph(m=1e3, flops=40e9, alpha=0.0)  # negligible data
+        params = RATSParams("timecost", minrho=1.0, allow_pack=True)
+        s = scheduler_with_mapped_src(tiny_cluster, params, (7,), 4, graph=g)
+        _, record = s.strategy.decide(s, "c0")
+        assert record is None or record.kind != "pack"
+
+    def test_pack_accepted_when_data_dominates(self, tiny_cluster):
+        """Huge data, trivial compute: starting right away on the parent's
+        single proc beats waiting for a redistribution."""
+        g = fork_graph(m=121e6, flops=1e6, alpha=0.0)
+        params = RATSParams("timecost", minrho=1.0, allow_pack=True)
+        s = scheduler_with_mapped_src(tiny_cluster, params, (7,), 4, graph=g)
+        decision, record = s.strategy.decide(s, "c0")
+        assert record is not None and record.kind == "pack"
+        assert decision.procs == (7,)
+
+    def test_allow_pack_false_disables_packing(self, tiny_cluster):
+        g = fork_graph(m=121e6, flops=1e6, alpha=0.0)
+        params = RATSParams("timecost", minrho=1.0, allow_pack=False)
+        s = scheduler_with_mapped_src(tiny_cluster, params, (7,), 4, graph=g)
+        _, record = s.strategy.decide(s, "c0")
+        assert record is None
+
+    def test_guard_stretch_rejects_worse_finish(self, tiny_cluster):
+        """Parent procs busy far into the future: stretching onto them
+        (even at rho=1) must be rejected when guarded."""
+        g = fork_graph(n_children=2, m=1e3, flops=20e9, alpha=0.0)
+        params = RATSParams("timecost", minrho=0.2, guard_stretch=True)
+        s = scheduler_with_mapped_src(tiny_cluster, params, (0, 1, 2), 2,
+                                      graph=g)
+        # occupy the parent's procs for a long time
+        s.proc_avail[0] = s.proc_avail[1] = s.proc_avail[2] = 1e6
+        _, record = s.strategy.decide(s, "c0")
+        assert record is None or record.kind == "pack"
+
+
+class TestConsumedParents:
+    def test_second_sibling_cannot_reclaim_parent(self, tiny_cluster):
+        """Once c0 claims src's allocation, c1 must not pile onto it
+        (Algorithm 1, line 11)."""
+        params = RATSParams("delta", mindelta=-0.5, maxdelta=0.5)
+        s = scheduler_with_mapped_src(tiny_cluster, params, (2, 3), 2)
+        entry0 = s.map_task("c0")
+        assert entry0.procs == (2, 3)
+        assert "src" in s.consumed_parents
+        _, record = s.strategy.decide(s, "c1")
+        assert record is None  # no claimable parent left

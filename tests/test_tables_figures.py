@@ -1,0 +1,142 @@
+"""Tests for the table renderers, figure builders and tuning sweeps
+(small scenario sets: these exercise the full pipeline end to end)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import PAPER_TUNED_PARAMS
+from repro.experiments.figures import (
+    figure2_3_naive,
+    figure4_delta_surface,
+    figure5_rho_curves,
+    figure6_7_tuned,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.scenarios import Scenario
+from repro.experiments.tables import (
+    table1_communication_matrix,
+    table2_clusters,
+    table3_scenarios,
+    table4_tuned_params,
+    table5_pairwise,
+    table6_degradation,
+)
+from repro.experiments.tuning import delta_sweep, rho_sweep
+from repro.platforms.cluster import Cluster
+from repro.platforms.grid5000 import CHTI, GRELON, GRILLON
+
+TINY_SET = [
+    Scenario(family="fft", k=2, sample=0),
+    Scenario(family="strassen", sample=0),
+]
+
+
+@pytest.fixture(scope="module")
+def cluster() -> Cluster:
+    return Cluster(name="bench-tiny", num_procs=8, speed_flops=1e9)
+
+
+class TestStaticTables:
+    def test_table1_contains_paper_values(self):
+        out = table1_communication_matrix()
+        assert "p=4" in out and "q=5" in out
+        # the distinctive entries of Table I
+        for v in ("2", "0.5", "1.5", "1"):
+            assert v in out
+
+    def test_table2_lists_all_clusters(self):
+        out = table2_clusters([CHTI, GRELON, GRILLON])
+        assert "chti" in out and "grelon" in out and "grillon" in out
+        assert "4.311" in out and "3.185" in out and "3.379" in out
+        assert "5x24" in out
+
+    def test_table3_counts(self):
+        out = table3_scenarios()
+        assert "557" in out
+        assert "layered=108" in out and "irregular=324" in out
+
+    def test_table4_renders_paper_values(self):
+        out = table4_tuned_params(PAPER_TUNED_PARAMS)
+        assert "chti" in out and "grelon" in out
+        assert "(-0.5, 1, 0.2)" in out or "(-0.5, 1.0, 0.2)" in out \
+            or "(-0.5, 1, 0.2)".replace(" ", "") in out.replace(" ", "")
+
+
+class TestFigurePipelines:
+    def test_figure2_3(self, cluster):
+        fig2, fig3, results = figure2_3_naive(TINY_SET, cluster)
+        assert len(results) == len(TINY_SET) * 3
+        assert set(fig2.series) == {"Delta", "Time-cost"}
+        out2, out3 = fig2.render(), fig3.render()
+        assert "Figure 2" in out2 and "Figure 3" in out3
+        for series in fig2.series.values():
+            assert len(series) == len(TINY_SET)
+            ys = [y for _, y in series]
+            assert ys == sorted(ys)  # sorted independently
+
+    def test_figure6_7_tuned_on_paper_cluster(self):
+        fig6, fig7, results = figure6_7_tuned(TINY_SET, GRILLON)
+        assert "tuned" in fig6.description
+        assert len(results) == len(TINY_SET) * 3
+        assert "Figure 6" in fig6.render() and "Figure 7" in fig7.render()
+
+    def test_figure4_surface(self, cluster):
+        fig, sweep = figure4_delta_surface(
+            TINY_SET[:1], cluster,
+            mindeltas=(0.0, -0.5), maxdeltas=(0.0, 0.5))
+        assert len(sweep.averages) == 4
+        assert sweep.best_point() in sweep.averages
+        assert "Figure 4" in fig.render()
+
+    def test_figure5_curves(self, cluster):
+        fig, sweep = figure5_rho_curves(
+            TINY_SET[:1], cluster, minrhos=(0.5, 1.0))
+        assert len(sweep.averages) == 4  # 2 rho x packing on/off
+        assert "packing allowed" in fig.series
+        assert "no packing allowed" in fig.series
+        assert "Figure 5" in fig.render()
+
+
+class TestSweeps:
+    def test_delta_sweep_zero_budget_is_baseline(self, cluster):
+        """(0, 0) allows only same-size reuse; ratios stay close to 1 and
+        every sweep entry is positive."""
+        sweep = delta_sweep(TINY_SET[:1], cluster,
+                            mindeltas=(0.0,), maxdeltas=(0.0,))
+        assert list(sweep.averages) == [(0.0, 0.0)]
+        assert sweep.averages[(0.0, 0.0)] > 0
+
+    def test_rho_sweep_keys(self, cluster):
+        sweep = rho_sweep(TINY_SET[:1], cluster, minrhos=(0.4,),
+                          packing_options=(True,))
+        assert list(sweep.averages) == [(0.4, True)]
+
+    def test_sweeps_share_runner_cache(self, cluster):
+        runner = ExperimentRunner()
+        delta_sweep(TINY_SET[:1], cluster, mindeltas=(0.0,),
+                    maxdeltas=(0.5,), runner=runner)
+        assert runner._graphs  # cached graphs reused across sweeps
+        rho_sweep(TINY_SET[:1], cluster, minrhos=(0.5,),
+                  packing_options=(True,), runner=runner)
+
+
+class TestResultTables:
+    @pytest.fixture(scope="class")
+    def results(self, cluster):
+        _, _, results = figure2_3_naive(TINY_SET, cluster)
+        return results
+
+    def test_table5_pairwise_renders(self, results, cluster):
+        out = table5_pairwise(results, ["HCPA", "Delta", "Time-cost"],
+                              [cluster.name])
+        assert "Table V" in out
+        assert "XXX" in out  # diagonal
+        assert "better" in out and "worse" in out
+
+    def test_table6_degradation_renders(self, results, cluster):
+        out = table6_degradation(results, ["HCPA", "Delta", "Time-cost"],
+                                 [cluster.name])
+        assert "Table VI" in out
+        assert "avg over all exp." in out
+        assert "# not best" in out

@@ -1,0 +1,80 @@
+"""Tests for the ASCII visualisation helpers."""
+
+from __future__ import annotations
+
+from repro.scheduling.schedule import Schedule, ScheduleEntry
+from repro.viz.ascii_plot import ascii_curves, ascii_surface
+from repro.viz.gantt import ascii_gantt
+
+from conftest import make_chain
+
+
+class TestAsciiCurves:
+    def test_empty(self):
+        assert "(no data)" in ascii_curves({})
+
+    def test_contains_legend_and_title(self):
+        out = ascii_curves(
+            {"up": [(0, 0), (1, 1)], "down": [(0, 1), (1, 0)]},
+            title="two lines", y_label="ratio")
+        assert "two lines" in out
+        assert "up" in out and "down" in out
+        assert "ratio" in out
+
+    def test_flat_series_does_not_crash(self):
+        out = ascii_curves({"flat": [(0, 1.0), (1, 1.0), (2, 1.0)]})
+        assert "flat" in out
+
+    def test_single_point(self):
+        out = ascii_curves({"dot": [(5.0, 2.0)]})
+        assert "dot" in out
+
+
+class TestAsciiSurface:
+    def test_empty(self):
+        assert "(no data)" in ascii_surface({})
+
+    def test_grid_layout(self):
+        values = {(x, y): x + y for x in (0.0, 1.0) for y in (0.0, 0.5)}
+        out = ascii_surface(values, x_name="mind", y_name="maxd",
+                            title="surface")
+        assert "surface" in out
+        lines = out.splitlines()
+        assert len(lines) == 4  # title + header + 2 rows
+
+    def test_missing_cells_dashed(self):
+        out = ascii_surface({(0.0, 0.0): 1.0, (1.0, 1.0): 2.0})
+        assert "-" in out
+
+
+class TestGantt:
+    def _schedule(self, cluster):
+        g = make_chain(3)
+        s = Schedule(graph=g, cluster=cluster)
+        s.add(ScheduleEntry("t0", (0, 1), 0.0, 1.0))
+        s.add(ScheduleEntry("t1", (0,), 1.0, 2.5))
+        s.add(ScheduleEntry("t2", (2,), 2.5, 3.0))
+        return s
+
+    def test_empty_schedule(self, tiny_cluster):
+        from repro.dag.task import TaskGraph
+
+        s = Schedule(graph=TaskGraph(), cluster=tiny_cluster)
+        assert "empty" in ascii_gantt(s)
+
+    def test_rows_per_processor(self, tiny_cluster):
+        out = ascii_gantt(self._schedule(tiny_cluster))
+        assert "p0" in out and "p1" in out and "p2" in out
+        assert "legend:" in out
+        assert "makespan" in out
+
+    def test_max_procs_truncation(self, tiny_cluster):
+        out = ascii_gantt(self._schedule(tiny_cluster), max_procs=1)
+        assert "more processors" in out
+
+    def test_multi_proc_task_on_both_rows(self, tiny_cluster):
+        out = ascii_gantt(self._schedule(tiny_cluster))
+        rows = {ln.split("|")[0].strip(): ln for ln in out.splitlines()
+                if ln.startswith("p")}
+        sym_t0 = "A"  # t0 sorts first alphabetically
+        assert sym_t0 in rows["p0"] and sym_t0 in rows["p1"]
