@@ -55,3 +55,54 @@ def test_maxmin_solver_speed(benchmark):
     rates = benchmark(maxmin_rates_indexed, flows, capacities)
     assert len(rates) == n_flows
     assert (rates >= 0).all()
+
+
+def test_parallel_run_matrix_speedup(benchmark):
+    """Process-pool run_matrix vs serial on a >= 64-run matrix.
+
+    Guards the registry-era executor: the parallel path must return the
+    exact serial result list (modulo wall-clock stamps, disabled here) and
+    be measurably faster on multicore hosts.
+    """
+    import os
+    import time
+
+    from repro.core.params import NAIVE_DELTA, NAIVE_TIMECOST
+    from repro.experiments.runner import (
+        ExperimentRunner,
+        baseline_spec,
+        rats_spec,
+    )
+
+    scenarios = [
+        Scenario(family="layered", n_tasks=25, width=w, density=d,
+                 regularity=0.8, sample=s)
+        for w in (0.2, 0.5, 0.8) for d in (0.2, 0.8) for s in range(4)
+    ]  # 24 scenarios
+    specs = [baseline_spec("hcpa", label="HCPA"),
+             rats_spec(NAIVE_DELTA, label="delta"),
+             rats_spec(NAIVE_TIMECOST, label="time-cost")]
+    total_runs = len(scenarios) * len(specs)
+    assert total_runs >= 64
+
+    t0 = time.perf_counter()
+    serial = ExperimentRunner(record_timings=False).run_matrix(
+        scenarios, [GRILLON], specs)
+    t_serial = time.perf_counter() - t0
+
+    jobs = min(8, os.cpu_count() or 1)
+
+    def parallel_matrix():
+        return ExperimentRunner(record_timings=False).run_matrix(
+            scenarios, [GRILLON], specs, jobs=jobs)
+
+    parallel = benchmark.pedantic(parallel_matrix, rounds=1, iterations=1)
+    t_parallel = benchmark.stats.stats.mean
+
+    assert parallel == serial  # byte-identical, deterministic order
+    speedup = t_serial / t_parallel
+    print(f"\n{total_runs}-run matrix: serial {t_serial:.2f}s, "
+          f"parallel({jobs}) {t_parallel:.2f}s, speedup {speedup:.2f}x")
+    if jobs > 1:
+        assert speedup > 1.0, (
+            f"parallel run_matrix slower than serial ({speedup:.2f}x)")

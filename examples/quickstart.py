@@ -83,6 +83,21 @@ def main() -> None:
     print(ascii_gantt(results[best].as_executed_schedule(schedules[best]),
                       max_procs=16))
 
+    # 7. the same comparison, declaratively: the fluent Experiment builder
+    # resolves every component by registry name (see docs/api.md) and can
+    # fan the matrix out over a process pool with .parallel(N)
+    from repro import Experiment
+
+    outcome = (Experiment()
+               .on("grillon")
+               .workload(family="layered", n_tasks=25, width=0.5,
+                         regularity=0.8, density=0.2)
+               .compare("hcpa", "rats-delta", "rats-timecost")
+               .repeats(3)
+               .run())
+    print("\nExperiment builder over 3 sampled layered DAGs:")
+    print(outcome.summary())
+
 
 if __name__ == "__main__":
     main()

@@ -19,12 +19,42 @@ Two-Step Scheduling for Mixed-Parallel Applications"* (IEEE Cluster 2008):
 
 Quickstart
 ----------
+Declare a comparison with the fluent :class:`Experiment` builder — every
+component (platform, DAG family, allocator, mapping strategy) is resolved
+by name through the :mod:`repro.registry` registries:
+
+>>> from repro import Experiment
+>>> result = (Experiment()
+...           .on("grillon")
+...           .workload(family="strassen")
+...           .compare("hcpa", "rats-delta", "rats-timecost")
+...           .repeats(3)
+...           .run())
+>>> len(result)
+9
+>>> result.best_algorithm() in ("hcpa", "rats-delta", "rats-timecost")
+True
+
+Add ``.parallel(8)`` to execute the matrix on a process pool, and
+``python -m repro list`` to see every registered component.
+
+Extending
+---------
+Register your own components — no ``repro`` module needs editing:
+
+>>> from repro import register_allocator, register_mapping_strategy
+>>> from repro import register_dag_family, register_platform
+
+and they become available to :class:`Experiment`, the experiment runner
+and the CLI under the name you registered.  See ``docs/api.md``.
+
+One-off schedules keep the direct API:
+
 >>> from repro import (DagShape, random_layered_dag, GRILLON, RATSParams,
 ...                    rats_schedule, simulate, spawn_rng)
 >>> graph = random_layered_dag(DagShape(n_tasks=25), spawn_rng("demo"))
 >>> schedule = rats_schedule(graph, GRILLON, RATSParams("timecost"))
->>> result = simulate(schedule)
->>> result.makespan > 0
+>>> bool(simulate(schedule).makespan > 0)
 True
 """
 
@@ -72,11 +102,50 @@ from repro.scheduling.multicluster import (
 from repro.simulation import FluidSimulator, simulate
 from repro.utils import scenario_seed, spawn_rng
 from repro.viz import ascii_curves, ascii_gantt, ascii_surface
+# NOTE: the registry *instances* (allocators, mapping_strategies,
+# dag_families, platforms) stay namespaced under repro.registry — importing
+# `platforms` here would shadow the repro.platforms subpackage attribute.
+from repro import registry
+from repro.registry import (
+    Registry,
+    UnknownComponentError,
+    register_allocator,
+    register_dag_family,
+    register_mapping_strategy,
+    register_platform,
+)
+from repro.experiments import (
+    AlgorithmSpec,
+    Experiment,
+    ExperimentResult,
+    ExperimentRunner,
+    RunResult,
+    Scenario,
+    baseline_spec,
+    rats_spec,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    # registries & extension API
+    "registry",
+    "Registry",
+    "UnknownComponentError",
+    "register_allocator",
+    "register_mapping_strategy",
+    "register_dag_family",
+    "register_platform",
+    # experiment harness
+    "Experiment",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "AlgorithmSpec",
+    "RunResult",
+    "Scenario",
+    "baseline_spec",
+    "rats_spec",
     # core (RATS)
     "RATSParams",
     "RATSScheduler",

@@ -5,10 +5,14 @@ Subcommands
 ``demo``
     Schedule a random application with HCPA and both RATS variants and
     print the comparison plus a Gantt chart.
+``list``
+    Enumerate every registered component: allocators, mapping strategies,
+    DAG families and platforms.
 ``tables``
     Print the static tables (I, II, III) without running experiments.
 ``campaign``
-    Alias for ``python -m repro.experiments.campaign`` (full reproduction).
+    Run the reproduction campaign (same options as
+    ``python -m repro.experiments.campaign``).
 ``autotune``
     Auto-tune RATS parameters for a random application on a cluster.
 """
@@ -17,6 +21,8 @@ from __future__ import annotations
 
 import argparse
 import sys
+
+from repro.registry import UnknownComponentError
 
 __all__ = ["main"]
 
@@ -64,6 +70,19 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.registry import all_registries
+
+    for title, registry in all_registries().items():
+        print(f"{title}:")
+        for entry in registry.entries():
+            aliases = (f"  (aliases: {', '.join(entry.aliases)})"
+                       if entry.aliases else "")
+            print(f"  {entry.name:<12} {entry.description}{aliases}")
+        print()
+    return 0
+
+
 def _cmd_tables(_args: argparse.Namespace) -> int:
     from repro.experiments.tables import (
         table1_communication_matrix,
@@ -101,19 +120,24 @@ def _cmd_autotune(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: list[str] | None = None) -> int:
-    argv = list(sys.argv[1:] if argv is None else argv)
-    # forward `campaign ...` before argparse: REMAINDER positionals do not
-    # reliably capture leading --options inside subparsers
-    if argv and argv[0] == "campaign":
-        from repro.experiments.campaign import main as campaign_main
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.experiments.campaign import run_from_args
 
-        return campaign_main(argv[1:])
+    return run_from_args(args)
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro import __version__
+    from repro.experiments.campaign import add_campaign_arguments
+
+    argv = list(sys.argv[1:] if argv is None else argv)
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_demo = sub.add_parser("demo", help="schedule one random application")
@@ -123,12 +147,16 @@ def main(argv: list[str] | None = None) -> int:
     p_demo.add_argument("--gantt", action="store_true")
     p_demo.set_defaults(func=_cmd_demo)
 
+    p_list = sub.add_parser("list", help="list all registered components")
+    p_list.set_defaults(func=_cmd_list)
+
     p_tables = sub.add_parser("tables", help="print the static tables")
     p_tables.set_defaults(func=_cmd_tables)
 
-    sub.add_parser("campaign",
-                   help="run the reproduction campaign "
-                        "(args forwarded to repro.experiments.campaign)")
+    p_campaign = sub.add_parser("campaign",
+                                help="run the reproduction campaign")
+    add_campaign_arguments(p_campaign)
+    p_campaign.set_defaults(func=_cmd_campaign)
 
     p_tune = sub.add_parser("autotune", help="auto-tune RATS parameters")
     p_tune.add_argument("--cluster", default="grillon")
@@ -139,7 +167,10 @@ def main(argv: list[str] | None = None) -> int:
     p_tune.set_defaults(func=_cmd_autotune)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except UnknownComponentError as exc:
+        parser.error(str(exc))  # clean one-liner instead of a traceback
 
 
 if __name__ == "__main__":

@@ -26,7 +26,8 @@ here as :data:`PAPER_TUNED_PARAMS`.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Literal
+
+from repro.registry import mapping_strategies
 
 __all__ = [
     "RATSParams",
@@ -36,7 +37,9 @@ __all__ = [
     "tuned_params",
 ]
 
-Strategy = Literal["delta", "timecost"]
+#: Any name registered in :data:`repro.registry.mapping_strategies`
+#: (built-ins: ``"delta"`` and ``"timecost"``).
+Strategy = str
 
 
 @dataclass(frozen=True)
@@ -51,8 +54,9 @@ class RATSParams:
     guard_stretch: bool = True
 
     def __post_init__(self) -> None:
-        if self.strategy not in ("delta", "timecost"):
-            raise ValueError(f"unknown strategy {self.strategy!r}")
+        # raises UnknownComponentError (a ValueError) listing the registered
+        # strategies; custom strategies pass once registered
+        mapping_strategies.get(self.strategy)
         if self.mindelta > 0:
             raise ValueError("mindelta takes values in R- (<= 0)")
         if self.maxdelta < 0:

@@ -20,7 +20,6 @@ from __future__ import annotations
 from typing import Iterator, Mapping
 
 from repro.core.params import RATSParams
-from repro.core.sorting import delta_sort_value, gain_sort_value
 from repro.core.strategies import AdaptationRecord, make_strategy
 from repro.dag.task import TaskGraph
 from repro.model.amdahl import PerformanceModel
@@ -64,17 +63,17 @@ class RATSScheduler(ListScheduler):
     def sort_ready(self, ready: list[str]) -> list[str]:
         """Decreasing bottom level + stable strategy-specific secondary sort.
 
-        The input order is preserved among full ties (Python's sort is
-        stable), as required by §III-C.
+        The secondary key comes from the strategy object's
+        ``secondary_sort`` hook (delta: increasing ``δ(t)``; time-cost:
+        decreasing ``gain(t)``; custom strategies may omit it, falling back
+        to the name tie-break).  The input order is preserved among full
+        ties (Python's sort is stable), as required by §III-C.
         """
-        if self.params.strategy == "delta":
-            def secondary(n: str) -> float:
-                return delta_sort_value(self, n)  # increasing δ(t)
-        else:
-            def secondary(n: str) -> float:
-                return -gain_sort_value(self, n)  # decreasing gain(t)
-
-        return sorted(ready, key=lambda n: (-self.priorities[n], secondary(n)))
+        secondary = getattr(self.strategy, "secondary_sort", None)
+        if secondary is None:
+            return super().sort_ready(ready)
+        return sorted(ready,
+                      key=lambda n: (-self.priorities[n], secondary(self, n)))
 
     def iter_ready(self, ready: list[str]) -> Iterator[str]:
         """Pop ready tasks one at a time, re-sorting between mappings.

@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.core.sorting import delta_sort_value, gain_sort_value
+from repro.registry import mapping_strategies, register_mapping_strategy
 from repro.scheduling.mapping import MappingDecision
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -86,6 +88,9 @@ def _pick_pred(scheduler: "ListScheduler", name: str,
                key=lambda pp: (scheduler.graph.edge_bytes(pp[0], name), pp[0]))
 
 
+@register_mapping_strategy(
+    "delta",
+    description="bounded structural adaptation (mindelta / maxdelta)")
 class DeltaStrategy:
     """§III-A / §III-B *delta* mapping: bounded structural adaptation.
 
@@ -104,6 +109,10 @@ class DeltaStrategy:
 
     def __init__(self, params: "RATSParams") -> None:
         self.params = params
+
+    def secondary_sort(self, scheduler: "ListScheduler", name: str) -> float:
+        """§III-C delta sort: increasing ``δ(t)`` among priority ties."""
+        return delta_sort_value(scheduler, name)
 
     def decide(self, scheduler: "ListScheduler", name: str,
                ) -> tuple[MappingDecision, AdaptationRecord | None]:
@@ -140,6 +149,10 @@ class DeltaStrategy:
         return decision, record
 
 
+@register_mapping_strategy(
+    "timecost",
+    description="work- and finish-time-aware adaptation (minrho, packing)",
+    aliases=("time-cost",))
 class TimeCostStrategy:
     """§III-A / §III-B *time-cost* mapping: work- and finish-time-aware.
 
@@ -160,6 +173,10 @@ class TimeCostStrategy:
 
     def __init__(self, params: "RATSParams") -> None:
         self.params = params
+
+    def secondary_sort(self, scheduler: "ListScheduler", name: str) -> float:
+        """§III-C time-cost sort: decreasing ``gain(t)`` among ties."""
+        return -gain_sort_value(scheduler, name)
 
     def decide(self, scheduler: "ListScheduler", name: str,
                ) -> tuple[MappingDecision, AdaptationRecord | None]:
@@ -208,7 +225,9 @@ class TimeCostStrategy:
 
 
 def make_strategy(params: "RATSParams"):
-    """Instantiate the strategy selected by ``params.strategy``."""
-    if params.strategy == "delta":
-        return DeltaStrategy(params)
-    return TimeCostStrategy(params)
+    """Instantiate the strategy registered under ``params.strategy``.
+
+    Third-party strategies registered through
+    :func:`repro.registry.register_mapping_strategy` resolve here too.
+    """
+    return mapping_strategies.build(params.strategy, params)

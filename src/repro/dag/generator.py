@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.dag.costs import ComputeCostConfig, annotate_costs
 from repro.dag.task import Task, TaskGraph
+from repro.registry import register_dag_family
 
 __all__ = ["DagShape", "random_layered_dag", "random_irregular_dag"]
 
@@ -154,3 +155,39 @@ def random_irregular_dag(shape: DagShape, rng: np.random.Generator,
     annotate_costs(graph, rng, cost_config, per_level=False)
     graph.validate(require_single_entry=True, require_single_exit=True)
     return graph
+
+
+# --------------------------------------------------------------------- #
+# scenario-family registrations (the ids must stay byte-stable: they seed
+# the graph construction through repro.utils.rng.scenario_seed)
+# --------------------------------------------------------------------- #
+def _scenario_shape(scenario) -> DagShape:
+    return DagShape(n_tasks=scenario.n_tasks, width=scenario.width,
+                    regularity=scenario.regularity, density=scenario.density,
+                    jump=scenario.jump)
+
+
+def _layered_id(sc) -> str:
+    return (f"layered-n{sc.n_tasks}-w{sc.width}-d{sc.density}"
+            f"-r{sc.regularity}-s{sc.sample}")
+
+
+def _irregular_id(sc) -> str:
+    return (f"irregular-n{sc.n_tasks}-w{sc.width}-d{sc.density}"
+            f"-r{sc.regularity}-j{sc.jump}-s{sc.sample}")
+
+
+@register_dag_family(
+    "layered", scenario_id=_layered_id, extra_params=(),
+    description="layered random DAGs, per-level uniform costs (Table III)")
+def _build_layered(scenario, rng: np.random.Generator) -> TaskGraph:
+    return random_layered_dag(_scenario_shape(scenario), rng,
+                              name=scenario.scenario_id)
+
+
+@register_dag_family(
+    "irregular", scenario_id=_irregular_id, extra_params=(),
+    description="irregular random DAGs with jump edges, per-task costs")
+def _build_irregular(scenario, rng: np.random.Generator) -> TaskGraph:
+    return random_irregular_dag(_scenario_shape(scenario), rng,
+                                name=scenario.scenario_id)

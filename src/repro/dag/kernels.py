@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.dag.costs import ComputeCostConfig, annotate_costs
 from repro.dag.task import Task, TaskGraph
+from repro.registry import register_dag_family
 
 __all__ = ["fft_task_count", "fft_dag", "strassen_dag", "STRASSEN_TASK_COUNT"]
 
@@ -146,3 +147,29 @@ def strassen_dag(rng: np.random.Generator,
     graph.validate()
     assert graph.num_tasks == STRASSEN_TASK_COUNT
     return graph
+
+
+# --------------------------------------------------------------------- #
+# scenario-family registrations (ids must stay byte-stable: they seed the
+# graph construction through repro.utils.rng.scenario_seed)
+# --------------------------------------------------------------------- #
+def _fft_id(sc) -> str:
+    return f"fft-k{sc.k}-s{sc.sample}"
+
+
+def _strassen_id(sc) -> str:
+    return f"strassen-s{sc.sample}"
+
+
+@register_dag_family(
+    "fft", scenario_id=_fft_id, extra_params=(),
+    description="FFT kernel DAGs, k data points -> 2k-1 + k*log2(k) tasks")
+def _build_fft(scenario, rng: np.random.Generator) -> TaskGraph:
+    return fft_dag(scenario.k, rng)
+
+
+@register_dag_family(
+    "strassen", scenario_id=_strassen_id, extra_params=(),
+    description="one-level Strassen matrix multiplication (25 tasks)")
+def _build_strassen(scenario, rng: np.random.Generator) -> TaskGraph:
+    return strassen_dag(rng)

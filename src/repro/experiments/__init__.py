@@ -10,8 +10,14 @@ from repro.experiments.runner import (
     AlgorithmSpec,
     ExperimentRunner,
     RunResult,
+    TunedResolver,
     baseline_spec,
     rats_spec,
+)
+from repro.experiments.experiment import (
+    Experiment,
+    ExperimentResult,
+    as_algorithm_spec,
 )
 from repro.experiments.metrics import (
     combined_comparison,
@@ -24,6 +30,10 @@ from repro.experiments.campaign import run_campaign
 
 __all__ = [
     "run_campaign",
+    "Experiment",
+    "ExperimentResult",
+    "as_algorithm_spec",
+    "TunedResolver",
     "Scenario",
     "all_scenarios",
     "scenarios_by_family",

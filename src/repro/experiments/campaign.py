@@ -42,7 +42,7 @@ from repro.experiments.tables import (
 from repro.platforms.grid5000 import GRID5000_CLUSTERS, GRILLON, get_cluster
 from repro.scheduling.serialize import save_results
 
-__all__ = ["run_campaign", "main"]
+__all__ = ["run_campaign", "add_campaign_arguments", "run_from_args", "main"]
 
 
 def run_campaign(
@@ -51,12 +51,17 @@ def run_campaign(
     *,
     skip_sweeps: bool = False,
     progress: bool = True,
+    jobs: int = 1,
 ) -> tuple[str, list]:
-    """Execute the reproduction campaign; returns (report text, results)."""
+    """Execute the reproduction campaign; returns (report text, results).
+
+    ``jobs > 1`` (or ``-1`` for one worker per CPU) runs every experiment
+    matrix on a process pool; result ordering is unaffected.
+    """
     cluster_objs = [get_cluster(c) for c in
                     (clusters or list(GRID5000_CLUSTERS))]
     headline = GRILLON if GRILLON in cluster_objs else cluster_objs[0]
-    runner = ExperimentRunner(progress=progress)
+    runner = ExperimentRunner(progress=progress, jobs=jobs)
     scenarios = subsample(all_scenarios(), fraction)
     sections: list[str] = [
         f"RATS reproduction campaign — {len(scenarios)} of 557 "
@@ -111,34 +116,37 @@ def run_campaign(
     return report, results
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.experiments.campaign",
-        description=__doc__,
-        formatter_class=argparse.RawDescriptionHelpFormatter,
-    )
+def add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
+    """Register the campaign options (shared with ``python -m repro``)."""
     parser.add_argument("--fraction", type=float, default=0.06,
                         help="stratified fraction of the 557 configurations")
     parser.add_argument("--full", action="store_true",
                         help="run the full 557 configurations")
     parser.add_argument("--clusters", nargs="*", default=None,
                         metavar="NAME",
-                        help="subset of chti/grillon/grelon")
+                        help="subset of the registered platforms "
+                             "(default: chti grillon grelon)")
     parser.add_argument("--skip-sweeps", action="store_true",
                         help="skip the Figure 4/5 parameter sweeps")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="process-pool workers per experiment matrix "
+                             "(-1 = one per CPU; default: serial)")
     parser.add_argument("--out", type=Path, default=None,
                         help="write the report to this file")
     parser.add_argument("--results-json", type=Path, default=None,
                         help="persist raw RunResults as JSON")
     parser.add_argument("--quiet", action="store_true")
-    args = parser.parse_args(argv)
 
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute the campaign from parsed :func:`add_campaign_arguments`."""
     fraction = 1.0 if args.full else args.fraction
     report, results = run_campaign(
         fraction,
         args.clusters,
         skip_sweeps=args.skip_sweeps,
         progress=not args.quiet,
+        jobs=args.jobs,
     )
     if args.out:
         args.out.write_text(report + "\n")
@@ -149,6 +157,16 @@ def main(argv: list[str] | None = None) -> int:
     if args.results_json:
         save_results(results, args.results_json)
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.campaign",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    add_campaign_arguments(parser)
+    return run_from_args(parser.parse_args(argv))
 
 
 if __name__ == "__main__":

@@ -1,0 +1,266 @@
+"""Fluent ``Experiment`` builder: declarative scheduling comparisons.
+
+Compiles a chain of ``.on(...)`` / ``.workload(...)`` / ``.compare(...)``
+calls down to :meth:`~repro.experiments.runner.ExperimentRunner.run_matrix`::
+
+    from repro import Experiment, GRILLON
+
+    result = (Experiment()
+              .on(GRILLON)                       # or .on("grillon", "chti")
+              .workload(family="strassen", n_tasks=50)
+              .compare("hcpa", "rats-delta", "rats-timecost")
+              .repeats(5)
+              .parallel(4)
+              .run())
+    print(result.summary())
+
+Every component is resolved through the :mod:`repro.registry` registries,
+so third-party allocators, mapping strategies, DAG families and platforms
+participate without modifying any ``repro`` module.
+
+Algorithm names accepted by :meth:`Experiment.compare`:
+
+* an allocator name (``"cpa"``, ``"mcpa"``, ``"hcpa"``, …) — the two-step
+  baseline with plain list-scheduling mapping;
+* ``"rats-<strategy>"`` — HCPA allocation plus the named adaptation
+  strategy with its naive parameters;
+* ``"rats-<strategy>-tuned"`` (or ``"<strategy>-tuned"``) — same with the
+  paper's Table IV per-(cluster, family) tuned parameters;
+* any :class:`~repro.experiments.runner.AlgorithmSpec` or
+  :class:`~repro.core.params.RATSParams` instance.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, fields
+from typing import Any, Iterable, Iterator
+
+from repro.core.params import RATSParams
+from repro.experiments.runner import (
+    AlgorithmSpec,
+    ExperimentRunner,
+    RunResult,
+    rats_spec,
+)
+from repro.experiments.scenarios import Scenario
+from repro.platforms.cluster import Cluster
+from repro.registry import (
+    UnknownComponentError,
+    allocators,
+    dag_families,
+    mapping_strategies,
+    platforms,
+)
+
+__all__ = ["Experiment", "ExperimentResult", "as_algorithm_spec"]
+
+#: Scenario shape fields settable directly through ``workload(**params)``.
+_SCENARIO_FIELDS = frozenset(
+    f.name for f in fields(Scenario)) - {"family", "sample", "extras"}
+
+
+def as_algorithm_spec(algorithm: Any) -> AlgorithmSpec:
+    """Coerce a ``compare()`` argument into an :class:`AlgorithmSpec`."""
+    if isinstance(algorithm, AlgorithmSpec):
+        return algorithm
+    if isinstance(algorithm, RATSParams):
+        return rats_spec(algorithm)
+    if not isinstance(algorithm, str):
+        raise TypeError(
+            f"cannot interpret {algorithm!r} as an algorithm; pass a name, "
+            "an AlgorithmSpec or a RATSParams")
+
+    name = algorithm
+    if name in allocators:
+        return AlgorithmSpec(label=name, allocator=name)
+    strategy = name.removeprefix("rats-")
+    tuned = strategy.endswith("-tuned")
+    if tuned:
+        strategy = strategy.removesuffix("-tuned")
+    if strategy in mapping_strategies:
+        if tuned:
+            return rats_spec(tuned=True, strategy=strategy, label=name)
+        return AlgorithmSpec(label=name, strategy=strategy)
+
+    available = (allocators.names()
+                 + [f"rats-{s}" for s in mapping_strategies.names()]
+                 + [f"rats-{s}-tuned" for s in mapping_strategies.names()])
+    raise UnknownComponentError("algorithm", name, available)
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """The :class:`RunResult` list of one experiment, with summaries."""
+
+    results: tuple[RunResult, ...]
+
+    def __iter__(self) -> Iterator[RunResult]:
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, i):
+        return self.results[i]
+
+    def by_algorithm(self) -> dict[str, list[RunResult]]:
+        """Results grouped by algorithm label (insertion-ordered)."""
+        out: dict[str, list[RunResult]] = {}
+        for r in self.results:
+            out.setdefault(r.algorithm, []).append(r)
+        return out
+
+    def mean_makespan(self) -> dict[str, float]:
+        """Mean simulated makespan per algorithm label."""
+        return {label: statistics.fmean(r.makespan for r in rs)
+                for label, rs in self.by_algorithm().items()}
+
+    def best_algorithm(self) -> str:
+        """Label with the smallest mean simulated makespan."""
+        means = self.mean_makespan()
+        return min(means, key=lambda k: (means[k], k))
+
+    def summary(self) -> str:
+        """A small text table of per-algorithm makespan statistics."""
+        lines = [f"{'algorithm':<24}{'runs':>6}{'mean':>12}{'min':>12}"
+                 f"{'max':>12}"]
+        for label, rs in self.by_algorithm().items():
+            ms = [r.makespan for r in rs]
+            lines.append(f"{label:<24}{len(ms):>6}{statistics.fmean(ms):>12.2f}"
+                         f"{min(ms):>12.2f}{max(ms):>12.2f}")
+        lines.append(f"best: {self.best_algorithm()}")
+        return "\n".join(lines)
+
+
+class Experiment:
+    """Fluent builder compiling to ``ExperimentRunner.run_matrix``.
+
+    All chaining methods return ``self``; :meth:`build` exposes the
+    compiled ``(scenarios, clusters, specs)`` triple and :meth:`run`
+    executes it.
+    """
+
+    def __init__(self, runner: ExperimentRunner | None = None) -> None:
+        self._runner = runner
+        self._clusters: list[Cluster] = []
+        self._workloads: list[tuple[str, dict[str, Any], int | None]] = []
+        self._scenarios: list[Scenario] = []
+        self._specs: list[AlgorithmSpec] = []
+        self._repeats = 1
+        self._jobs: int | None = None
+        self._simulate = True
+
+    # ------------------------------------------------------------------ #
+    # fluent configuration
+    # ------------------------------------------------------------------ #
+    def on(self, *platform_list: str | Cluster) -> "Experiment":
+        """Add target platforms: registry names or Cluster instances."""
+        for p in platform_list:
+            self._clusters.append(platforms.build(p) if isinstance(p, str)
+                                  else p)
+        return self
+
+    def workload(self, family: str | None = None, *,
+                 scenarios: Iterable[Scenario] | None = None,
+                 samples: int | None = None, **params: Any) -> "Experiment":
+        """Add a workload: a DAG family (with shape parameters) or
+        explicit :class:`Scenario` objects.
+
+        Family parameters matching :class:`Scenario` fields (``n_tasks``,
+        ``width``, ``k``, …) are set directly; anything else lands in
+        ``Scenario.extras`` for custom families.  ``samples`` overrides the
+        experiment-wide :meth:`repeats` count for this workload.
+        """
+        if scenarios is not None:
+            self._scenarios.extend(scenarios)
+            if family is None and not params:
+                return self
+        if family is None:
+            raise ValueError("workload() needs a family name or scenarios")
+        entry = dag_families.get(family)  # raises listing available families
+        unknown = [k for k in params if k not in _SCENARIO_FIELDS]
+        allowed = getattr(entry.factory, "extra_params", None)
+        if unknown and allowed is not None:
+            bad = [k for k in unknown if k not in allowed]
+            if bad:  # a typo'd shape field must not become a silent extra
+                raise TypeError(
+                    f"unknown parameter(s) {bad} for DAG family "
+                    f"{family!r}; scenario fields: "
+                    f"{sorted(_SCENARIO_FIELDS)}"
+                    + (f", family extras: {sorted(allowed)}" if allowed
+                       else ""))
+        self._workloads.append((family, dict(params), samples))
+        return self
+
+    def compare(self, *algorithms: Any) -> "Experiment":
+        """Add algorithms: names, AlgorithmSpecs or RATSParams."""
+        self._specs.extend(as_algorithm_spec(a) for a in algorithms)
+        return self
+
+    def repeats(self, n: int) -> "Experiment":
+        """Samples generated per family workload (default 1)."""
+        if n < 1:
+            raise ValueError("repeats must be >= 1")
+        self._repeats = n
+        return self
+
+    def parallel(self, jobs: int = -1) -> "Experiment":
+        """Run the matrix on a process pool (``-1`` = one worker per CPU)."""
+        self._jobs = jobs
+        return self
+
+    def sequential(self) -> "Experiment":
+        """Force serial execution (the default)."""
+        self._jobs = 1
+        return self
+
+    def estimates_only(self) -> "Experiment":
+        """Skip the fluid simulation; report the scheduler's estimates."""
+        self._simulate = False
+        return self
+
+    def using(self, runner: ExperimentRunner) -> "Experiment":
+        """Execute with (and share the caches of) an existing runner."""
+        self._runner = runner
+        return self
+
+    # ------------------------------------------------------------------ #
+    # compilation & execution
+    # ------------------------------------------------------------------ #
+    def build(self) -> tuple[list[Scenario], list[Cluster], list[AlgorithmSpec]]:
+        """Compile to the ``run_matrix`` argument triple."""
+        scenarios = list(self._scenarios)
+        for family, params, samples in self._workloads:
+            shape = {k: v for k, v in params.items()
+                     if k in _SCENARIO_FIELDS}
+            extras = tuple(sorted(
+                (k, v) for k, v in params.items()
+                if k not in _SCENARIO_FIELDS))
+            for sample in range(samples if samples is not None
+                                else self._repeats):
+                scenarios.append(Scenario(family=family, sample=sample,
+                                          extras=extras, **shape))
+        if not scenarios:
+            raise ValueError("no workloads: call .workload(...) first")
+        if not self._clusters:
+            raise ValueError("no platforms: call .on(...) first")
+        if not self._specs:
+            raise ValueError("no algorithms: call .compare(...) first")
+        return scenarios, list(self._clusters), list(self._specs)
+
+    def run(self, runner: ExperimentRunner | None = None) -> ExperimentResult:
+        """Execute the compiled matrix and wrap the results."""
+        scenarios, clusters, specs = self.build()
+        runner = runner or self._runner
+        if runner is None:
+            runner = ExperimentRunner(simulate_schedules=self._simulate)
+        elif not self._simulate and runner.simulate_schedules:
+            # an injected runner carries its own simulation setting; a
+            # silently-simulated result would contradict estimates_only()
+            raise ValueError(
+                "estimates_only() conflicts with the injected runner; "
+                "construct it with simulate_schedules=False")
+        results = runner.run_matrix(scenarios, clusters, specs,
+                                    jobs=self._jobs)
+        return ExperimentResult(results=tuple(results))

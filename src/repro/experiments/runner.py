@@ -3,19 +3,31 @@
 For every run the pipeline is:
 
 1. build the scenario's task graph (cached per scenario);
-2. compute the first-step allocation (cached per ``(scenario, cluster,
-   allocator)`` — HCPA and both RATS variants share the same HCPA
-   allocation, exactly as in the paper);
-3. map with the requested second step (plain list scheduling or RATS);
+2. compute the first-step allocation with the spec's *allocator* — a
+   :data:`repro.registry.allocators` entry — cached per ``(scenario,
+   cluster, allocator)``; HCPA and both RATS variants share the same HCPA
+   allocation, exactly as in the paper;
+3. map with the requested second step: plain list scheduling, or RATS
+   adaptation when the spec names a *mapping strategy*
+   (:data:`repro.registry.mapping_strategies`);
 4. *simulate* the mapped schedule on the cluster's fluid network model —
    the simulated makespan is what the paper's metrics use;
 5. report makespan, total work ``Σ n_t·T(t, n_t)`` and adaptation counts.
+
+:meth:`ExperimentRunner.run_matrix` executes the cartesian product either
+serially or on a ``concurrent.futures`` process pool (``jobs > 1``): each
+worker owns a private :class:`ExperimentRunner` whose graph / allocation /
+redistribution caches persist across the scenarios it processes, and the
+result list is returned in the same deterministic order as the serial path.
 """
 
 from __future__ import annotations
 
+import pickle
 import sys
 import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
@@ -25,45 +37,99 @@ from repro.dag.task import TaskGraph
 from repro.experiments.scenarios import Scenario
 from repro.platforms.cluster import Cluster
 from repro.redistribution.cost import RedistributionCost
-from repro.scheduling.allocation import (
-    cpa_allocation,
-    hcpa_allocation,
-    mcpa_allocation,
-)
+from repro.registry import allocators, mapping_strategies
 from repro.scheduling.mapping import ListScheduler
 from repro.simulation.simulator import simulate
 
 __all__ = ["AlgorithmSpec", "RunResult", "ExperimentRunner",
-           "baseline_spec", "rats_spec"]
+           "TunedResolver", "baseline_spec", "rats_spec"]
 
 ParamsResolver = Callable[[str, str], RATSParams]  # (cluster, family) -> params
+
+
+@dataclass(frozen=True)
+class TunedResolver:
+    """Picklable per-(cluster, family) Table IV parameter resolver."""
+
+    strategy: str
+
+    def __call__(self, cluster_name: str, family: str) -> RATSParams:
+        return tuned_params(cluster_name, family, self.strategy)
 
 
 @dataclass(frozen=True)
 class AlgorithmSpec:
     """One scheduling algorithm configuration.
 
-    ``kind`` selects the pipeline: ``"cpa"``, ``"mcpa"`` and ``"hcpa"`` run
-    the respective allocation followed by plain list-scheduling mapping;
-    ``"rats"`` runs the HCPA allocation followed by the RATS mapping with
-    ``params`` (a fixed :class:`RATSParams` or a per-(cluster, family)
-    resolver, used for the paper's *tuned* runs).
+    ``allocator`` names a step-one procedure from
+    :data:`repro.registry.allocators` (``"cpa"``, ``"mcpa"``, ``"hcpa"``,
+    or any registered third-party allocator).  ``strategy`` selects the
+    second step: ``None`` runs plain list-scheduling mapping; a
+    :data:`repro.registry.mapping_strategies` name runs the RATS adaptation
+    with ``params`` (defaulting to naive parameters for that strategy) or a
+    per-(cluster, family) ``params_resolver`` (the paper's *tuned* runs).
+
+    The legacy ``kind`` keyword (``"cpa" | "mcpa" | "hcpa" | "rats"``) is
+    still accepted and normalised onto ``allocator`` / ``strategy``; after
+    construction ``spec.kind`` reads back as ``"rats"`` for adaptive specs
+    and the allocator name otherwise.
     """
 
     label: str
-    kind: str
+    allocator: str = "hcpa"
+    strategy: str | None = None
     params: RATSParams | None = None
     params_resolver: ParamsResolver | None = field(default=None, compare=False)
+    kind: str | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
-        if self.kind not in ("cpa", "mcpa", "hcpa", "rats"):
-            raise ValueError(f"unknown algorithm kind {self.kind!r}")
-        if self.kind == "rats" and self.params is None \
-                and self.params_resolver is None:
-            raise ValueError("rats spec needs params or params_resolver")
+        if self.kind is None and self.allocator == "rats" \
+                and "rats" not in allocators:
+            # legacy *positional* construction: the old field order was
+            # (label, kind, params), so "rats" lands in allocator and the
+            # params (if also positional) in strategy
+            object.__setattr__(self, "kind", "rats")
+            object.__setattr__(self, "allocator", "hcpa")
+            if isinstance(self.strategy, RATSParams):
+                object.__setattr__(self, "params", self.strategy)
+                object.__setattr__(self, "strategy", None)
+        if self.kind is not None:  # legacy constructor path
+            if self.kind in ("cpa", "mcpa", "hcpa"):
+                object.__setattr__(self, "allocator", self.kind)
+                object.__setattr__(self, "strategy", None)
+            elif self.kind == "rats":
+                object.__setattr__(self, "allocator", "hcpa")
+                if self.params is None and self.params_resolver is None:
+                    raise ValueError("rats spec needs params or "
+                                     "params_resolver")
+                strat = (self.params.strategy if self.params is not None
+                         else getattr(self.params_resolver, "strategy",
+                                      "timecost"))
+                object.__setattr__(self, "strategy", strat)
+            else:
+                raise ValueError(f"unknown algorithm kind {self.kind!r}")
+
+        allocators.get(self.allocator)  # raises listing available names
+        if self.strategy is not None:
+            mapping_strategies.get(self.strategy)
+            if self.params is None and self.params_resolver is None:
+                object.__setattr__(self, "params",
+                                   RATSParams(strategy=self.strategy))
+            elif self.params is not None \
+                    and self.params.strategy != self.strategy:
+                object.__setattr__(self, "params",
+                                   self.params.with_(strategy=self.strategy))
+        object.__setattr__(
+            self, "kind",
+            "rats" if self.strategy is not None else self.allocator)
+
+    @property
+    def is_adaptive(self) -> bool:
+        """Whether the second step runs a RATS adaptation strategy."""
+        return self.strategy is not None
 
     def resolve_params(self, cluster_name: str, family: str) -> RATSParams | None:
-        if self.kind != "rats":
+        if not self.is_adaptive:
             return None
         if self.params_resolver is not None:
             return self.params_resolver(cluster_name, family)
@@ -71,30 +137,34 @@ class AlgorithmSpec:
 
 
 def baseline_spec(kind: str = "hcpa", label: str | None = None) -> AlgorithmSpec:
-    """Spec for one of the two-step baselines (default: the paper's HCPA)."""
-    return AlgorithmSpec(label=label or kind, kind=kind)
+    """Spec for a pure two-step baseline (deprecation shim).
+
+    Equivalent to ``AlgorithmSpec(label=kind, allocator=kind)``; kept so
+    pre-registry call sites keep working.
+    """
+    return AlgorithmSpec(label=label or kind, allocator=kind)
 
 
 def rats_spec(params: RATSParams | None = None, *, label: str | None = None,
               strategy: str | None = None, tuned: bool = False) -> AlgorithmSpec:
-    """Spec for a RATS variant.
+    """Spec for a RATS variant (deprecation shim).
 
     ``tuned=True`` resolves Table IV parameters per (cluster, family) —
     ``strategy`` is then required.  Otherwise pass explicit ``params``.
+    Equivalent to ``AlgorithmSpec(label=..., strategy=..., params=...)``.
     """
     if tuned:
-        if strategy not in ("delta", "timecost"):
-            raise ValueError("tuned rats_spec needs strategy='delta'|'timecost'")
-
-        def resolver(cluster_name: str, family: str) -> RATSParams:
-            return tuned_params(cluster_name, family, strategy)  # type: ignore[arg-type]
-
-        return AlgorithmSpec(label=label or f"{strategy}-tuned", kind="rats",
-                             params_resolver=resolver)
+        if strategy is None or strategy not in mapping_strategies:
+            raise ValueError(
+                "tuned rats_spec needs strategy from "
+                f"{mapping_strategies.names()}")
+        return AlgorithmSpec(label=label or f"{strategy}-tuned",
+                             strategy=strategy,
+                             params_resolver=TunedResolver(strategy))
     if params is None:
         raise ValueError("rats_spec needs params when not tuned")
-    return AlgorithmSpec(label=label or params.describe(), kind="rats",
-                         params=params)
+    return AlgorithmSpec(label=label or params.describe(),
+                         strategy=params.strategy, params=params)
 
 
 @dataclass(frozen=True)
@@ -116,12 +186,21 @@ class RunResult:
 
 
 class ExperimentRunner:
-    """Runs experiments with graph / allocation / redistribution caching."""
+    """Runs experiments with graph / allocation / redistribution caching.
+
+    ``jobs`` sets the default parallelism of :meth:`run_matrix` (1 =
+    serial; ``n > 1`` = a process pool of ``n`` workers; ``-1`` = one per
+    CPU).  ``record_timings=False`` zeroes ``RunResult.wall_time_s`` so
+    serial and parallel runs of the same matrix compare byte-identical.
+    """
 
     def __init__(self, *, simulate_schedules: bool = True,
-                 progress: bool = False) -> None:
+                 progress: bool = False, jobs: int = 1,
+                 record_timings: bool = True) -> None:
         self.simulate_schedules = simulate_schedules
         self.progress = progress
+        self.jobs = jobs
+        self.record_timings = record_timings
         self._graphs: dict[str, TaskGraph] = {}
         self._allocations: dict[tuple[str, str, str], dict[str, int]] = {}
         self._redists: dict[str, RedistributionCost] = {}
@@ -141,9 +220,8 @@ class ExperimentRunner:
         if alloc is None:
             graph = self.graph_for(scenario)
             model = cluster.performance_model()
-            fn = {"cpa": cpa_allocation, "mcpa": mcpa_allocation,
-                  "hcpa": hcpa_allocation}[allocator]
-            alloc = fn(graph, model, cluster.num_procs).allocation
+            alloc = allocators.build(
+                allocator, graph, model, cluster.num_procs).allocation
             self._allocations[key] = alloc
         return alloc
 
@@ -162,11 +240,10 @@ class ExperimentRunner:
         model = cluster.performance_model()
         redist = self.redist_for(cluster)
 
-        allocator = "hcpa" if spec.kind == "rats" else spec.kind
-        allocation = self.allocation_for(scenario, cluster, allocator)
+        allocation = self.allocation_for(scenario, cluster, spec.allocator)
 
         stretches = packs = sames = 0
-        if spec.kind == "rats":
+        if spec.is_adaptive:
             params = spec.resolve_params(cluster.name, scenario.family)
             assert params is not None
             scheduler: ListScheduler = RATSScheduler(
@@ -199,17 +276,51 @@ class ExperimentRunner:
             stretches=stretches,
             packs=packs,
             sames=sames,
-            wall_time_s=time.perf_counter() - t0,
+            wall_time_s=(time.perf_counter() - t0
+                         if self.record_timings else 0.0),
         )
 
+    # ------------------------------------------------------------------ #
     def run_matrix(
         self,
         scenarios: Iterable[Scenario],
         clusters: Sequence[Cluster],
         specs: Sequence[AlgorithmSpec],
+        *,
+        jobs: int | None = None,
     ) -> list[RunResult]:
-        """Cartesian product of scenarios × clusters × algorithm specs."""
+        """Cartesian product of scenarios × clusters × algorithm specs.
+
+        Results are ordered scenario-major, cluster, then spec — identical
+        for the serial and parallel paths.  ``jobs`` overrides the runner's
+        default parallelism for this call.
+
+        Note: each parallel call spins up (and tears down) its own process
+        pool, so worker caches do not persist across ``run_matrix`` calls
+        the way this runner's own caches do serially — parallelism pays off
+        on large matrices, not on many small ones.
+        """
         scenarios = list(scenarios)
+        clusters = list(clusters)
+        specs = list(specs)
+        jobs = self.jobs if jobs is None else jobs
+        if jobs is not None and jobs < 0:
+            import os
+            jobs = os.cpu_count() or 1
+        if jobs and jobs > 1 and len(scenarios) > 1:
+            # snapshot the registries so runtime-registered components
+            # reach the workers even under spawn/forkserver start methods
+            snapshot = _registry_snapshot()
+            try:
+                pickle.dumps((scenarios, clusters, specs, snapshot))
+            except Exception as exc:  # unpicklable custom components
+                warnings.warn(
+                    f"falling back to serial run_matrix: {exc}",
+                    RuntimeWarning, stacklevel=2)
+            else:
+                return self._run_matrix_parallel(
+                    scenarios, clusters, specs, jobs, snapshot)
+
         results: list[RunResult] = []
         total = len(scenarios) * len(clusters) * len(specs)
         done = 0
@@ -222,3 +333,89 @@ class ExperimentRunner:
                         print(f"  [{done}/{total}] runs complete",
                               file=sys.stderr, flush=True)
         return results
+
+    def _run_matrix_parallel(
+        self,
+        scenarios: list[Scenario],
+        clusters: list[Cluster],
+        specs: list[AlgorithmSpec],
+        jobs: int,
+        registry_snapshot: list[tuple[str, object]],
+    ) -> list[RunResult]:
+        """Process-pool execution, one chunk per scenario.
+
+        Each worker keeps a module-global :class:`ExperimentRunner`, so its
+        caches survive across the scenarios it is handed; chunk results are
+        collected in submission order, preserving the serial ordering.
+        """
+        total = len(scenarios) * len(clusters) * len(specs)
+        results: list[RunResult] = []
+        done = 0
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(scenarios)),
+            initializer=_init_worker_runner,
+            initargs=(self.simulate_schedules, self.record_timings,
+                      registry_snapshot),
+        ) as pool:
+            futures = [pool.submit(_run_scenario_chunk, sc, clusters, specs)
+                       for sc in scenarios]
+            for fut in futures:
+                results.extend(fut.result())
+                done += len(clusters) * len(specs)
+                if self.progress:
+                    print(f"  [{done}/{total}] runs complete",
+                          file=sys.stderr, flush=True)
+        return results
+
+
+# --------------------------------------------------------------------- #
+# process-pool worker plumbing (module level: must be picklable by name)
+# --------------------------------------------------------------------- #
+_WORKER_RUNNER: ExperimentRunner | None = None
+
+
+def _registry_snapshot() -> list[tuple[str, object]]:
+    """Every picklable registry entry as ``(section, entry)`` pairs.
+
+    Shipped to pool workers so components registered at runtime in the
+    driver process exist there too — under ``spawn``/``forkserver`` start
+    methods a fresh worker only re-imports the built-ins.  Entries whose
+    factory cannot be pickled (e.g. lambdas) are skipped rather than
+    forcing the whole matrix serial: under ``fork`` the worker inherits
+    them anyway, and under ``spawn`` a missing component surfaces as a
+    clear (picklable) :class:`~repro.registry.UnknownComponentError`.
+    """
+    from repro.registry import all_registries
+
+    snapshot = []
+    for section, registry in all_registries().items():
+        for entry in registry.entries():
+            try:
+                pickle.dumps(entry)
+            except Exception:
+                continue
+            snapshot.append((section, entry))
+    return snapshot
+
+
+def _init_worker_runner(simulate_schedules: bool, record_timings: bool,
+                        registry_snapshot: list[tuple[str, object]]) -> None:
+    from repro.registry import all_registries
+
+    global _WORKER_RUNNER
+    registries = all_registries()
+    for section, entry in registry_snapshot:
+        registries[section].register(
+            entry.name, entry.factory, description=entry.description,
+            aliases=entry.aliases, replace=True)
+    _WORKER_RUNNER = ExperimentRunner(simulate_schedules=simulate_schedules,
+                                      record_timings=record_timings)
+
+
+def _run_scenario_chunk(scenario: Scenario, clusters: Sequence[Cluster],
+                        specs: Sequence[AlgorithmSpec]) -> list[RunResult]:
+    runner = _WORKER_RUNNER
+    if runner is None:  # pragma: no cover - initializer always runs
+        runner = ExperimentRunner()
+    return [runner.run(scenario, cluster, spec)
+            for cluster in clusters for spec in specs]

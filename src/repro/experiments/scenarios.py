@@ -17,11 +17,11 @@ the exact same task graph (costs included) through
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
+from typing import Any
 
-from repro.dag.generator import DagShape, random_irregular_dag, random_layered_dag
-from repro.dag.kernels import fft_dag, strassen_dag
 from repro.dag.task import TaskGraph
+from repro.registry import dag_families
 from repro.utils.rng import spawn_rng
 
 __all__ = [
@@ -51,7 +51,15 @@ KERNEL_SAMPLES = 25
 
 @dataclass(frozen=True)
 class Scenario:
-    """One application configuration (identifies a unique task graph)."""
+    """One application configuration (identifies a unique task graph).
+
+    The ``family`` names an entry of
+    :data:`repro.registry.dag_families`; building the scenario delegates
+    to the family's registered ``build(scenario, rng)`` callable, so
+    third-party families plug in without touching this module.  Custom
+    families may carry additional parameters in ``extras`` (a hashable
+    tuple of ``(key, value)`` pairs, see :meth:`extra`).
+    """
 
     family: str
     sample: int
@@ -61,40 +69,44 @@ class Scenario:
     density: float = 0.0
     jump: int = 1           # irregular only
     k: int = 0              # fft only
+    extras: tuple[tuple[str, Any], ...] = ()  # custom-family parameters
+
+    def extra(self, key: str, default: Any = None) -> Any:
+        """A custom-family parameter from :attr:`extras`."""
+        for k, v in self.extras:
+            if k == key:
+                return v
+        return default
 
     @property
     def scenario_id(self) -> str:
-        if self.family == "layered":
-            return (f"layered-n{self.n_tasks}-w{self.width}-d{self.density}"
-                    f"-r{self.regularity}-s{self.sample}")
-        if self.family == "irregular":
-            return (f"irregular-n{self.n_tasks}-w{self.width}-d{self.density}"
-                    f"-r{self.regularity}-j{self.jump}-s{self.sample}")
-        if self.family == "fft":
-            return f"fft-k{self.k}-s{self.sample}"
-        if self.family == "strassen":
-            return f"strassen-s{self.sample}"
-        raise ValueError(f"unknown family {self.family!r}")
+        """Stable identifier (seeds the graph construction).
+
+        The registered family's ``scenario_id`` formatter wins; families
+        registered without one get a generic ``family-…-s{sample}`` id
+        built from the non-default shape fields and the extras.
+        """
+        # duck-typed: families registered through the plain Registry API
+        # (a bare build callable, no DagFamily wrapper) get the generic id
+        id_fn = getattr(dag_families.get(self.family).factory,
+                        "scenario_id", None)
+        if id_fn is not None:
+            return id_fn(self)
+        parts = [self.family]
+        for f in fields(self):
+            if f.name in ("family", "sample", "extras"):
+                continue
+            value = getattr(self, f.name)
+            if value != f.default:
+                parts.append(f"{f.name[0]}{value}")
+        parts.extend(f"{k}{v}" for k, v in self.extras)
+        parts.append(f"s{self.sample}")
+        return "-".join(parts)
 
     def build(self) -> TaskGraph:
         """Deterministically build the scenario's task graph."""
-        rng = spawn_rng(self.scenario_id)
-        if self.family == "layered":
-            shape = DagShape(n_tasks=self.n_tasks, width=self.width,
-                             regularity=self.regularity, density=self.density)
-            g = random_layered_dag(shape, rng, name=self.scenario_id)
-        elif self.family == "irregular":
-            shape = DagShape(n_tasks=self.n_tasks, width=self.width,
-                             regularity=self.regularity, density=self.density,
-                             jump=self.jump)
-            g = random_irregular_dag(shape, rng, name=self.scenario_id)
-        elif self.family == "fft":
-            g = fft_dag(self.k, rng)
-        elif self.family == "strassen":
-            g = strassen_dag(rng)
-        else:
-            raise ValueError(f"unknown family {self.family!r}")
-        return g
+        scenario_id = self.scenario_id  # also validates the family name
+        return dag_families.build(self.family, self, spawn_rng(scenario_id))
 
 
 def _layered() -> list[Scenario]:

@@ -16,13 +16,21 @@ hierarchical network (§IV-A).
 from __future__ import annotations
 
 from repro.platforms.cluster import Cluster
+from repro.registry import platforms, register_platform
 
 __all__ = ["CHTI", "GRILLON", "GRELON", "GRID5000_CLUSTERS", "get_cluster"]
 
-CHTI = Cluster(name="chti", num_procs=20, speed_flops=4.311e9)
-GRILLON = Cluster(name="grillon", num_procs=47, speed_flops=3.379e9)
-GRELON = Cluster(name="grelon", num_procs=120, speed_flops=3.185e9,
-                 cabinets=5, cabinet_size=24)
+CHTI = register_platform(
+    Cluster(name="chti", num_procs=20, speed_flops=4.311e9),
+    description="Grid'5000 chti: 20 procs @ 4.311 GFlop/s, flat switch")
+GRILLON = register_platform(
+    Cluster(name="grillon", num_procs=47, speed_flops=3.379e9),
+    description="Grid'5000 grillon: 47 procs @ 3.379 GFlop/s, flat switch")
+GRELON = register_platform(
+    Cluster(name="grelon", num_procs=120, speed_flops=3.185e9,
+            cabinets=5, cabinet_size=24),
+    description="Grid'5000 grelon: 120 procs @ 3.185 GFlop/s, 5x24 "
+                "hierarchical")
 
 #: The paper's three target clusters, keyed by name.
 GRID5000_CLUSTERS: dict[str, Cluster] = {
@@ -31,14 +39,14 @@ GRID5000_CLUSTERS: dict[str, Cluster] = {
 
 
 def get_cluster(name: str) -> Cluster:
-    """Look up one of the paper's clusters by name.
+    """Look up a registered platform by name.
+
+    Resolves through :data:`repro.registry.platforms`, so clusters added
+    with :func:`repro.registry.register_platform` are found too.  Raises
+    :class:`~repro.registry.UnknownComponentError` (a ``KeyError``) for
+    unknown names.
 
     >>> get_cluster("grillon").num_procs
     47
     """
-    try:
-        return GRID5000_CLUSTERS[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown cluster {name!r}; choose from {sorted(GRID5000_CLUSTERS)}"
-        ) from None
+    return platforms.build(name)

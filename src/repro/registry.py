@@ -1,0 +1,336 @@
+"""Pluggable component registries — the extension API of :mod:`repro`.
+
+Every swappable building block of the reproduction is published in one of
+four registries so that third-party code can add its own without touching
+any ``repro`` module:
+
+* :data:`allocators` — step-one moldable-task allocation procedures
+  (``cpa`` / ``mcpa`` / ``hcpa``); a factory
+  ``(graph, model, total_procs, **kw) -> AllocationResult``;
+* :data:`mapping_strategies` — step-two redistribution-aware adaptation
+  strategies (``delta`` / ``timecost``); a factory
+  ``(params: RATSParams) -> strategy`` where the strategy exposes
+  ``decide(scheduler, task) -> (MappingDecision, AdaptationRecord | None)``
+  and, optionally, ``secondary_sort(scheduler, task) -> float`` for the
+  §III-C ready-list tie-break;
+* :data:`dag_families` — scenario DAG families (``layered`` / ``irregular``
+  / ``fft`` / ``strassen``); a :class:`DagFamily` bundling
+  ``build(scenario, rng) -> TaskGraph`` with an optional stable
+  ``scenario_id(scenario) -> str`` formatter;
+* :data:`platforms` — named cluster platforms (``chti`` / ``grillon`` /
+  ``grelon``); a zero-argument factory returning a
+  :class:`~repro.platforms.cluster.Cluster`.
+
+Registering is a one-liner::
+
+    from repro import register_allocator
+
+    @register_allocator("greedy", description="one processor per task")
+    def greedy_allocation(graph, model, total_procs, **kwargs):
+        ...
+
+Built-in components self-register when their defining module is imported;
+each registry lazily imports those modules on first lookup, so
+``allocators.get("hcpa")`` works without any prior ``import repro.…``.
+
+Lookup failures raise :class:`UnknownComponentError`, which subclasses
+both :class:`KeyError` and :class:`ValueError` (historical call sites
+caught either) and lists the available names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from importlib import import_module
+from typing import Any, Callable, Iterator, Sequence
+
+__all__ = [
+    "Registry",
+    "RegistryEntry",
+    "DagFamily",
+    "UnknownComponentError",
+    "DuplicateComponentError",
+    "allocators",
+    "mapping_strategies",
+    "dag_families",
+    "platforms",
+    "register_allocator",
+    "register_mapping_strategy",
+    "register_dag_family",
+    "register_platform",
+    "all_registries",
+]
+
+
+class UnknownComponentError(KeyError, ValueError):
+    """A name was not found in a registry.
+
+    Subclasses both ``KeyError`` (``get_cluster`` historically raised it)
+    and ``ValueError`` (``RATSParams`` / ``AlgorithmSpec`` validation did).
+    """
+
+    def __init__(self, kind: str, name: str, available: Sequence[str]):
+        self.kind = kind
+        self.name = name
+        self.available = tuple(available)
+        # args must mirror __init__ so the exception survives pickling
+        # (process-pool workers propagate errors by pickle round-trip)
+        super().__init__(kind, name, self.available)
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        shown = ", ".join(self.available) if self.available else "(none)"
+        return f"unknown {self.kind} {self.name!r}; available: {shown}"
+
+
+class DuplicateComponentError(ValueError):
+    """A name (or alias) is already registered."""
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One registered component: a named, described factory."""
+
+    name: str
+    factory: Callable[..., Any]
+    description: str = ""
+    aliases: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class DagFamily:
+    """A scenario DAG family: graph builder plus id formatter.
+
+    ``build(scenario, rng)`` receives the (duck-typed)
+    :class:`~repro.experiments.scenarios.Scenario` and a seeded
+    ``numpy.random.Generator`` and returns the task graph.
+    ``scenario_id(scenario)`` formats the stable identifier that seeds the
+    graph construction; families registered without one get a generic
+    ``<family>-…-s<sample>`` id.  ``extra_params`` names the
+    ``Scenario.extras`` keys the family understands: ``None`` accepts
+    anything, ``()`` (the built-ins) rejects all extras — which turns a
+    misspelled shape parameter in ``Experiment.workload()`` into an
+    immediate error instead of a silently-wrong experiment.
+    """
+
+    build: Callable[[Any, Any], Any]
+    scenario_id: Callable[[Any], str] | None = None
+    extra_params: tuple[str, ...] | None = None
+
+    def __call__(self, scenario: Any, rng: Any) -> Any:
+        return self.build(scenario, rng)
+
+
+class Registry:
+    """A name → factory mapping with aliases and lazy built-in loading."""
+
+    def __init__(self, kind: str, *, bootstrap: Sequence[str] = ()) -> None:
+        self.kind = kind
+        self._bootstrap = tuple(bootstrap)
+        self._bootstrapped = False
+        self._entries: dict[str, RegistryEntry] = {}
+        self._aliases: dict[str, str] = {}
+
+    # ------------------------------------------------------------------ #
+    def _ensure_bootstrapped(self) -> None:
+        if not self._bootstrapped:
+            self._bootstrapped = True  # set first: the modules call register()
+            for module in self._bootstrap:
+                import_module(module)
+
+    # ------------------------------------------------------------------ #
+    def register(
+        self,
+        name: str,
+        factory: Callable[..., Any] | None = None,
+        *,
+        description: str = "",
+        aliases: Sequence[str] = (),
+        replace: bool = False,
+    ):
+        """Register ``factory`` under ``name``; usable as a decorator.
+
+        Raises :class:`DuplicateComponentError` when the name or one of the
+        aliases is taken, unless ``replace=True``.
+        """
+        if factory is None:
+            def decorator(obj: Callable[..., Any]):
+                self.register(name, obj, description=description,
+                              aliases=aliases, replace=replace)
+                return obj
+            return decorator
+
+        self._ensure_bootstrapped()
+        for key in (name, *aliases):
+            owner = key if key in self._entries else self._aliases.get(key)
+            if owner is None:
+                continue
+            if owner != name:
+                # taken by a *different* entry; replace=True must not
+                # shadow it (an alias lookup would still win over the
+                # replacement, leaving it unreachable)
+                raise DuplicateComponentError(
+                    f"{self.kind} {key!r} is already registered "
+                    f"(by {owner!r})")
+            if not replace:
+                raise DuplicateComponentError(
+                    f"{self.kind} {key!r} is already registered")
+        old = self._entries.get(name)
+        if old is not None:  # replacing: drop the old entry's aliases
+            for alias in old.aliases:
+                self._aliases.pop(alias, None)
+        entry = RegistryEntry(name=name, factory=factory,
+                              description=description, aliases=tuple(aliases))
+        self._entries[name] = entry
+        for alias in entry.aliases:
+            self._aliases[alias] = name
+        return factory
+
+    def unregister(self, name: str) -> None:
+        """Remove an entry (and its aliases); silent when absent."""
+        entry = self._entries.pop(name, None)
+        if entry is not None:
+            for alias in entry.aliases:
+                self._aliases.pop(alias, None)
+
+    # ------------------------------------------------------------------ #
+    def get(self, name: str) -> RegistryEntry:
+        """The entry registered under ``name`` (or one of its aliases)."""
+        self._ensure_bootstrapped()
+        canonical = self._aliases.get(name, name)
+        try:
+            return self._entries[canonical]
+        except KeyError:
+            raise UnknownComponentError(self.kind, name, self.names()) \
+                from None
+
+    def build(self, name: str, *args: Any, **kwargs: Any) -> Any:
+        """Look up ``name`` and invoke its factory."""
+        return self.get(name).factory(*args, **kwargs)
+
+    def names(self) -> list[str]:
+        """Sorted canonical names (aliases excluded)."""
+        self._ensure_bootstrapped()
+        return sorted(self._entries)
+
+    def entries(self) -> list[RegistryEntry]:
+        """All entries, sorted by name."""
+        return [self._entries[n] for n in self.names()]
+
+    def __contains__(self, name: str) -> bool:
+        self._ensure_bootstrapped()
+        return name in self._entries or name in self._aliases
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        self._ensure_bootstrapped()
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Registry({self.kind!r}, {self.names()!r})"
+
+
+# --------------------------------------------------------------------- #
+# the four public registries (built-ins self-register on first lookup)
+# --------------------------------------------------------------------- #
+allocators = Registry(
+    "allocator", bootstrap=("repro.scheduling.allocation",))
+mapping_strategies = Registry(
+    "mapping strategy", bootstrap=("repro.core.strategies",))
+dag_families = Registry(
+    "DAG family", bootstrap=("repro.dag.generator", "repro.dag.kernels"))
+platforms = Registry(
+    "platform", bootstrap=("repro.platforms.grid5000",))
+
+
+def all_registries() -> dict[str, Registry]:
+    """The four registries keyed by a human-readable section title."""
+    return {
+        "allocators": allocators,
+        "mapping strategies": mapping_strategies,
+        "dag families": dag_families,
+        "platforms": platforms,
+    }
+
+
+# --------------------------------------------------------------------- #
+# convenience decorators
+# --------------------------------------------------------------------- #
+def register_allocator(name: str, *, description: str = "",
+                       aliases: Sequence[str] = (), replace: bool = False):
+    """Decorator registering a step-one allocation procedure.
+
+    The callable must accept ``(graph, model, total_procs, **kwargs)`` and
+    return an :class:`~repro.scheduling.allocation.AllocationResult`.
+    """
+    return allocators.register(name, description=description,
+                               aliases=aliases, replace=replace)
+
+
+def register_mapping_strategy(name: str, *, description: str = "",
+                              aliases: Sequence[str] = (),
+                              replace: bool = False):
+    """Decorator registering a step-two adaptation strategy factory.
+
+    The factory is called with a :class:`~repro.core.params.RATSParams`
+    and must return an object with
+    ``decide(scheduler, task) -> (MappingDecision, AdaptationRecord | None)``.
+    """
+    return mapping_strategies.register(name, description=description,
+                                       aliases=aliases, replace=replace)
+
+
+def register_dag_family(name: str, *, description: str = "",
+                        scenario_id: Callable[[Any], str] | None = None,
+                        extra_params: Sequence[str] | None = None,
+                        aliases: Sequence[str] = (), replace: bool = False):
+    """Decorator registering a scenario DAG family builder.
+
+    Apply to a ``build(scenario, rng) -> TaskGraph`` callable; pass
+    ``scenario_id`` to control the stable identifier format (the id seeds
+    the RNG, so changing it changes every generated graph) and
+    ``extra_params`` to declare which non-``Scenario``-field parameters the
+    family accepts (``None`` = any, ``()`` = none).
+    """
+    def decorator(build: Callable[[Any, Any], Any]):
+        dag_families.register(
+            name, DagFamily(build=build, scenario_id=scenario_id,
+                            extra_params=(None if extra_params is None
+                                          else tuple(extra_params))),
+            description=description, aliases=aliases, replace=replace)
+        return build
+    return decorator
+
+
+@dataclass(frozen=True)
+class _ConstantFactory:
+    """Zero-arg factory returning a fixed value (picklable, unlike a
+    closure — registry snapshots travel to process-pool workers)."""
+
+    value: Any
+
+    def __call__(self) -> Any:
+        return self.value
+
+
+def register_platform(platform, name: str | None = None, *,
+                      description: str = "", aliases: Sequence[str] = (),
+                      replace: bool = False):
+    """Register a platform: a Cluster instance or a zero-arg factory.
+
+    Returns the registered platform, so it can be used inline::
+
+        MINI = register_platform(Cluster("mini", 4, 1e9))
+    """
+    if callable(platform):
+        factory = platform
+        if name is None:
+            raise ValueError("name is required when registering a factory")
+    else:
+        factory = _ConstantFactory(platform)
+        if name is None:
+            name = platform.name
+    platforms.register(name, factory, description=description,
+                       aliases=aliases, replace=replace)
+    return platform

@@ -24,6 +24,7 @@ from typing import Callable
 from repro.dag.analysis import bottom_levels, dag_levels, top_levels
 from repro.dag.task import TaskGraph
 from repro.model.amdahl import PerformanceModel
+from repro.registry import register_allocator
 from repro.scheduling.bounds import effective_processor_count
 
 __all__ = [
@@ -144,6 +145,7 @@ def _cpa_core(
     )
 
 
+@register_allocator("cpa", description="plain CPA (P_eff = P)")
 def cpa_allocation(graph: TaskGraph, model: PerformanceModel,
                    total_procs: int, **kwargs) -> AllocationResult:
     """Plain CPA allocation (``P_eff = P``)."""
@@ -151,6 +153,9 @@ def cpa_allocation(graph: TaskGraph, model: PerformanceModel,
                      area_policy="total", level_cap=False, **kwargs)
 
 
+@register_allocator("hcpa",
+                    description="HCPA: CPA with the average-area bias fix "
+                                "(the allocator RATS builds on)")
 def hcpa_allocation(graph: TaskGraph, model: PerformanceModel,
                     total_procs: int, *, area_policy: str = "ntasks",
                     **kwargs) -> AllocationResult:
@@ -160,6 +165,8 @@ def hcpa_allocation(graph: TaskGraph, model: PerformanceModel,
                      area_policy=area_policy, level_cap=False, **kwargs)
 
 
+@register_allocator("mcpa",
+                    description="MCPA: CPA with per-level concurrency budgets")
 def mcpa_allocation(graph: TaskGraph, model: PerformanceModel,
                     total_procs: int, **kwargs) -> AllocationResult:
     """MCPA allocation: CPA with per-level concurrency budgets."""

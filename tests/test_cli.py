@@ -30,12 +30,51 @@ class TestCli:
         assert "features:" in out
         assert "delta" in out and "timecost" in out
 
-    def test_campaign_forwarding(self, capsys, tmp_path):
+    def test_campaign_subcommand(self, capsys, tmp_path):
         out_file = tmp_path / "r.txt"
         rc = main(["campaign", "--fraction", "0.004", "--clusters", "chti",
                    "--skip-sweeps", "--quiet", "--out", str(out_file)])
         assert rc == 0
         assert "Table VI" in out_file.read_text()
+
+    def test_campaign_help_lists_options(self, capsys):
+        with pytest.raises(SystemExit) as ei:
+            main(["campaign", "--help"])
+        assert ei.value.code == 0
+        out = capsys.readouterr().out
+        assert "--fraction" in out and "--jobs" in out
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for section in ("allocators:", "mapping strategies:",
+                        "dag families:", "platforms:"):
+            assert section in out
+        for name in ("cpa", "mcpa", "hcpa", "delta", "timecost", "layered",
+                     "irregular", "fft", "strassen", "chti", "grillon",
+                     "grelon"):
+            assert name in out
+
+    def test_list_includes_custom_registrations(self, capsys):
+        from repro.platforms.cluster import Cluster
+        from repro.registry import platforms, register_platform
+
+        register_platform(Cluster(name="cli-test", num_procs=4,
+                                  speed_flops=1e9),
+                          description="cli test platform")
+        try:
+            main(["list"])
+            assert "cli-test" in capsys.readouterr().out
+        finally:
+            platforms.unregister("cli-test")
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as ei:
+            main(["--version"])
+        assert ei.value.code == 0
+        assert __version__ in capsys.readouterr().out
 
     def test_unknown_command(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,409 @@
+"""Tests for the fluent Experiment builder and parallel run_matrix.
+
+Includes the "third-party extension" acceptance path: a custom allocator,
+mapping strategy, DAG family and platform registered from *outside*
+``src/repro`` and executed end-to-end through :class:`Experiment`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.params import RATSParams
+from repro.experiments.experiment import (
+    Experiment,
+    ExperimentResult,
+    as_algorithm_spec,
+)
+from repro.experiments.runner import (
+    AlgorithmSpec,
+    ExperimentRunner,
+    baseline_spec,
+    rats_spec,
+)
+from repro.experiments.scenarios import Scenario
+from repro.platforms.cluster import Cluster
+from repro.registry import (
+    DagFamily,
+    UnknownComponentError,
+    dag_families,
+    register_allocator,
+    register_dag_family,
+    register_mapping_strategy,
+    register_platform,
+)
+from repro.scheduling.allocation import AllocationResult
+
+TINY = Cluster(name="exp-tiny", num_procs=8, speed_flops=1e9)
+
+
+# --------------------------------------------------------------------- #
+# third-party components (module level: the process pool pickles by name)
+# --------------------------------------------------------------------- #
+@register_allocator("test-uniform2",
+                    description="two processors for every task")
+def uniform2_allocation(graph, model, total_procs, **kwargs):
+    n = min(2, total_procs)
+    alloc = {name: n for name in graph.task_names()}
+    return AllocationResult(allocation=alloc, iterations=0, cp_length=0.0,
+                           avg_area=0.0, converged=True)
+
+
+@register_mapping_strategy("test-reuse",
+                           description="always reuse the heaviest parent set")
+class ReuseHeaviestParent:
+    def __init__(self, params):
+        self.params = params
+
+    def decide(self, scheduler, name):
+        preds = [(p, scheduler.schedule[p].procs)
+                 for p in scheduler.graph.predecessors(name)
+                 if p in scheduler.schedule]
+        if not preds:
+            return scheduler.best_decision(
+                name, scheduler.allocation[name]), None
+        pred, procs = max(
+            preds, key=lambda pp: (scheduler.graph.edge_bytes(pp[0], name),
+                                   pp[0]))
+        from repro.core.strategies import AdaptationRecord
+        decision = scheduler.decision_for_procs(name, procs)
+        kind = ("stretch" if len(procs) > scheduler.allocation[name]
+                else "pack" if len(procs) < scheduler.allocation[name]
+                else "same")
+        return decision, AdaptationRecord(
+            task=name, pred=pred, kind=kind,
+            from_procs=scheduler.allocation[name], to_procs=len(procs))
+
+
+def _chain_id(sc):
+    return f"test-chain-n{sc.n_tasks}-s{sc.sample}"
+
+
+@register_dag_family("test-chain", scenario_id=_chain_id,
+                     description="linear chain of uniform tasks")
+def build_chain(scenario, rng):
+    from repro.dag.task import Task, TaskGraph
+
+    g = TaskGraph(name=scenario.scenario_id)
+    prev = None
+    for i in range(max(scenario.n_tasks, 2)):
+        t = g.add_task(Task(f"t{i}", data_elements=1e6,
+                            flops=float(rng.uniform(5e8, 2e9)), alpha=0.1))
+        if prev is not None:
+            g.add_edge(prev.name, t.name)
+        prev = t
+    return g
+
+
+MINI = register_platform(
+    Cluster(name="test-mini", num_procs=6, speed_flops=2e9),
+    description="test platform")
+
+
+class TestAsAlgorithmSpec:
+    def test_allocator_names(self):
+        for name in ("cpa", "mcpa", "hcpa"):
+            spec = as_algorithm_spec(name)
+            assert spec.allocator == name and not spec.is_adaptive
+
+    def test_rats_names(self):
+        spec = as_algorithm_spec("rats-delta")
+        assert spec.strategy == "delta"
+        assert spec.params.strategy == "delta"
+
+    def test_tuned_names(self):
+        spec = as_algorithm_spec("rats-timecost-tuned")
+        assert spec.strategy == "timecost"
+        assert spec.params_resolver is not None
+        assert spec.resolve_params("grillon", "fft").minrho == 0.2
+
+    def test_params_coerced(self):
+        spec = as_algorithm_spec(RATSParams("delta"))
+        assert spec.strategy == "delta"
+
+    def test_spec_passthrough(self):
+        spec = baseline_spec("hcpa")
+        assert as_algorithm_spec(spec) is spec
+
+    def test_unknown_name_lists_options(self):
+        with pytest.raises(UnknownComponentError) as ei:
+            as_algorithm_spec("rats-magic")
+        msg = str(ei.value)
+        assert "hcpa" in msg and "rats-delta" in msg
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            as_algorithm_spec(42)
+
+
+class TestExperimentBuilder:
+    def test_fluent_chain_returns_self(self):
+        e = Experiment()
+        assert e.on(TINY) is e
+        assert e.workload(family="strassen") is e
+        assert e.compare("hcpa") is e
+        assert e.repeats(2) is e
+        assert e.parallel(2) is e
+        assert e.sequential() is e
+
+    def test_build_matrix_shape(self):
+        scenarios, clusters, specs = (
+            Experiment().on(TINY, "test-mini")
+            .workload(family="strassen")
+            .compare("hcpa", "rats-delta")
+            .repeats(3)
+            .build())
+        assert len(scenarios) == 3
+        assert [c.name for c in clusters] == ["exp-tiny", "test-mini"]
+        assert [s.label for s in specs] == ["hcpa", "rats-delta"]
+
+    def test_platform_by_registry_name(self):
+        (_, clusters, _) = (Experiment().on("test-mini")
+                            .workload(family="strassen").compare("hcpa")
+                            .build())
+        assert clusters[0] is MINI
+
+    def test_workload_samples_override_repeats(self):
+        scenarios, _, _ = (Experiment().on(TINY)
+                           .workload(family="strassen", samples=2)
+                           .workload(family="fft", k=2)
+                           .compare("hcpa").repeats(4).build())
+        assert sum(s.family == "strassen" for s in scenarios) == 2
+        assert sum(s.family == "fft" for s in scenarios) == 4
+
+    def test_explicit_scenarios(self):
+        scs = [Scenario(family="fft", k=2, sample=0)]
+        scenarios, _, _ = (Experiment().on(TINY)
+                           .workload(scenarios=scs).compare("hcpa").build())
+        assert scenarios == scs
+
+    def test_unknown_family_rejected_early(self):
+        with pytest.raises(UnknownComponentError, match="strassen"):
+            Experiment().workload(family="nope")
+
+    def test_typoed_shape_parameter_rejected(self):
+        # built-in families declare extra_params=(), so a misspelled field
+        # errors instead of silently running a default-shape experiment
+        with pytest.raises(TypeError, match="ntasks"):
+            Experiment().workload(family="layered", ntasks=100, width=0.5)
+
+    def test_custom_family_still_accepts_extras(self):
+        # test-chain registers without extra_params: anything goes
+        e = (Experiment().on(TINY)
+             .workload(family="test-chain", n_tasks=4, depth=2)
+             .compare("hcpa"))
+        scenarios, _, _ = e.build()
+        assert scenarios[0].extra("depth") == 2
+
+    def test_empty_builder_errors(self):
+        with pytest.raises(ValueError, match="workload"):
+            Experiment().on(TINY).compare("hcpa").run()
+        with pytest.raises(ValueError, match="platform"):
+            Experiment().workload(family="strassen").compare("hcpa").run()
+        with pytest.raises(ValueError, match="algorithm"):
+            Experiment().on(TINY).workload(family="strassen").run()
+
+    def test_estimates_only_conflicts_with_injected_runner(self):
+        simulating = ExperimentRunner()
+        exp = (Experiment().using(simulating).on(TINY)
+               .workload(family="strassen").compare("hcpa")
+               .estimates_only())
+        with pytest.raises(ValueError, match="estimates_only"):
+            exp.run()
+
+    def test_estimates_only_with_matching_runner(self):
+        runner = ExperimentRunner(simulate_schedules=False)
+        result = (Experiment().using(runner).on(TINY)
+                  .workload(family="strassen").compare("hcpa")
+                  .estimates_only().run())
+        assert all(r.makespan == r.estimated_makespan for r in result)
+
+    def test_run_issue_example(self):
+        result = (Experiment()
+                  .on(TINY)
+                  .workload(family="strassen", n_tasks=50)
+                  .compare("hcpa", "rats-delta", "rats-timecost")
+                  .repeats(2)
+                  .run())
+        assert isinstance(result, ExperimentResult)
+        assert len(result) == 6  # 2 samples x 1 cluster x 3 algorithms
+        assert set(result.mean_makespan()) == {
+            "hcpa", "rats-delta", "rats-timecost"}
+        assert result.best_algorithm() in result.mean_makespan()
+        assert "best:" in result.summary()
+
+
+class TestThirdPartyComponentsEndToEnd:
+    """A custom allocator, strategy, family and platform through Experiment
+    — without modifying any src/repro module (acceptance criterion)."""
+
+    def test_custom_everything(self):
+        result = (Experiment()
+                  .on("test-mini")
+                  .workload(family="test-chain", n_tasks=6)
+                  .compare("test-uniform2",
+                           AlgorithmSpec(label="reuse",
+                                         strategy="test-reuse"),
+                           "hcpa")
+                  .repeats(2)
+                  .run())
+        assert len(result) == 6
+        by_algo = result.by_algorithm()
+        assert set(by_algo) == {"test-uniform2", "reuse", "hcpa"}
+        for r in result:
+            assert r.makespan > 0
+            assert r.cluster == "test-mini"
+            assert r.family == "test-chain"
+        # the chain reuse strategy adapts every non-entry task
+        assert all(r.stretches + r.packs + r.sames == 5
+                   for r in by_algo["reuse"])
+
+    def test_plain_callable_family_gets_generic_id(self):
+        # a family registered through the bare Registry API (no DagFamily
+        # wrapper) must still get the generic scenario id, not crash
+        dag_families.register("test-plain", build_chain,
+                              description="bare callable family")
+        try:
+            sc = Scenario(family="test-plain", n_tasks=4, sample=0)
+            assert sc.scenario_id == "test-plain-n4-s0"
+            assert sc.build().num_tasks == 4
+        finally:
+            dag_families.unregister("test-plain")
+
+    def test_legacy_positional_rats_spec(self):
+        # pre-registry field order was (label, kind, params)
+        spec = AlgorithmSpec("d", "rats", RATSParams("delta"))
+        assert spec.allocator == "hcpa" and spec.strategy == "delta"
+        assert spec.kind == "rats"
+        assert spec.params == RATSParams("delta")
+
+    def test_legacy_positional_baseline_spec(self):
+        spec = AlgorithmSpec("m", "mcpa")
+        assert spec.allocator == "mcpa" and spec.strategy is None
+        assert spec.kind == "mcpa"
+
+    def test_custom_family_deterministic(self):
+        sc = Scenario(family="test-chain", n_tasks=5, sample=1)
+        g1, g2 = sc.build(), sc.build()
+        assert [t.flops for t in g1.tasks()] == [t.flops for t in g2.tasks()]
+        assert sc.scenario_id == "test-chain-n5-s1"
+
+    def test_generic_scenario_id_without_formatter(self):
+        dag_families.register("test-noid", DagFamily(build=build_chain),
+                              description="family without id formatter")
+        try:
+            sc = Scenario(family="test-noid", n_tasks=4, sample=2,
+                          extras=(("depth", 3),))
+            assert sc.scenario_id == "test-noid-n4-depth3-s2"
+            assert sc.extra("depth") == 3
+            assert sc.extra("missing", 7) == 7
+        finally:
+            dag_families.unregister("test-noid")
+
+
+class TestParallelRunMatrix:
+    def _matrix(self):
+        from repro.platforms.grid5000 import CHTI
+
+        scenarios = [Scenario(family="strassen", sample=s) for s in range(4)] \
+            + [Scenario(family="fft", k=2, sample=s) for s in range(4)]
+        specs = [baseline_spec("hcpa", label="HCPA"),
+                 rats_spec(RATSParams("delta"), label="delta"),
+                 rats_spec(tuned=True, strategy="timecost", label="tc-tuned")]
+        return scenarios, [CHTI], specs
+
+    def test_parallel_matches_serial_byte_identical(self):
+        scenarios, clusters, specs = self._matrix()
+        serial = ExperimentRunner(record_timings=False).run_matrix(
+            scenarios, clusters, specs)
+        parallel = ExperimentRunner(record_timings=False).run_matrix(
+            scenarios, clusters, specs, jobs=4)
+        assert serial == parallel
+
+    def test_parallel_matches_serial_modulo_wall_time(self):
+        scenarios, clusters, specs = self._matrix()
+        serial = ExperimentRunner().run_matrix(scenarios, clusters, specs)
+        parallel = ExperimentRunner(jobs=2).run_matrix(
+            scenarios, clusters, specs)
+        strip = [replace(r, wall_time_s=0.0) for r in serial]
+        strip_p = [replace(r, wall_time_s=0.0) for r in parallel]
+        assert strip == strip_p
+
+    def test_single_scenario_stays_serial(self):
+        scenarios = [Scenario(family="strassen", sample=0)]
+        r = ExperimentRunner(jobs=8).run_matrix(
+            scenarios, [TINY], [baseline_spec("hcpa")])
+        assert len(r) == 1
+
+    def test_unpicklable_spec_falls_back_to_serial(self):
+        scenarios = [Scenario(family="strassen", sample=s) for s in range(2)]
+        spec = rats_spec(RATSParams("delta"), label="local")
+        spec = replace(spec, params_resolver=lambda c, f: RATSParams("delta"))
+        with pytest.warns(RuntimeWarning, match="serial"):
+            r = ExperimentRunner().run_matrix(
+                scenarios, [TINY], [spec], jobs=4)
+        assert len(r) == 2
+
+    def test_unpicklable_scenario_falls_back_to_serial(self):
+        unpicklable = lambda: 1  # noqa: E731
+        scenarios = [
+            Scenario(family="strassen", sample=s,
+                     extras=(("fn", unpicklable),))
+            for s in range(2)]
+        with pytest.warns(RuntimeWarning, match="serial"):
+            r = ExperimentRunner().run_matrix(
+                scenarios, [TINY], [baseline_spec("hcpa")], jobs=4)
+        assert len(r) == 2
+
+    def test_registry_snapshot_all_builtins_picklable(self):
+        # the snapshot is what makes runtime registrations visible to
+        # spawn/forkserver workers; built-ins must never drop out of it
+        import pickle
+
+        from repro.experiments.runner import _registry_snapshot
+
+        snapshot = _registry_snapshot()
+        names = {(section, entry.name) for section, entry in snapshot}
+        for section, name in (("allocators", "hcpa"),
+                              ("mapping strategies", "timecost"),
+                              ("dag families", "fft"),
+                              ("dag families", "strassen"),
+                              ("platforms", "grillon")):
+            assert (section, name) in names
+        pickle.loads(pickle.dumps(snapshot))
+
+
+class TestShimEquivalence:
+    """rats_spec / baseline_spec produce results identical to the
+    registry-path AlgorithmSpec (acceptance: deprecation-shim equivalence)."""
+
+    def test_rats_spec_equals_registry_path(self):
+        sc = [Scenario(family="fft", k=2, sample=0)]
+        params = RATSParams("timecost", minrho=0.4)
+        shim = ExperimentRunner(record_timings=False).run_matrix(
+            sc, [TINY], [rats_spec(params, label="x")])
+        new = ExperimentRunner(record_timings=False).run_matrix(
+            sc, [TINY], [AlgorithmSpec(label="x", strategy="timecost",
+                                       params=params)])
+        assert shim == new
+
+    def test_baseline_spec_equals_registry_path(self):
+        sc = [Scenario(family="strassen", sample=0)]
+        shim = ExperimentRunner(record_timings=False).run_matrix(
+            sc, [TINY], [baseline_spec("mcpa", label="m")])
+        new = ExperimentRunner(record_timings=False).run_matrix(
+            sc, [TINY], [AlgorithmSpec(label="m", allocator="mcpa")])
+        assert shim == new
+
+    def test_legacy_kind_constructor_equals_registry_path(self):
+        sc = [Scenario(family="strassen", sample=0)]
+        params = RATSParams("delta")
+        legacy = ExperimentRunner(record_timings=False).run_matrix(
+            sc, [TINY], [AlgorithmSpec(label="d", kind="rats",
+                                       params=params)])
+        new = ExperimentRunner(record_timings=False).run_matrix(
+            sc, [TINY], [AlgorithmSpec(label="d", strategy="delta",
+                                       params=params)])
+        assert legacy == new

@@ -1,0 +1,231 @@
+"""Tests for the pluggable component registries (repro.registry)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import RATSParams
+from repro.core.strategies import DeltaStrategy, TimeCostStrategy, make_strategy
+from repro.experiments.runner import AlgorithmSpec, baseline_spec, rats_spec
+from repro.platforms.cluster import Cluster
+from repro.platforms.grid5000 import CHTI, get_cluster
+from repro.registry import (
+    DuplicateComponentError,
+    Registry,
+    UnknownComponentError,
+    all_registries,
+    allocators,
+    dag_families,
+    mapping_strategies,
+    platforms,
+    register_platform,
+)
+
+
+class TestRegistryMechanics:
+    def test_register_and_build(self):
+        reg = Registry("widget")
+        reg.register("double", lambda x: 2 * x, description="times two")
+        assert reg.build("double", 21) == 42
+        assert reg.get("double").description == "times two"
+
+    def test_decorator_form(self):
+        reg = Registry("widget")
+
+        @reg.register("triple", description="times three")
+        def triple(x):
+            return 3 * x
+
+        assert reg.build("triple", 2) == 6
+        assert triple(2) == 6  # decorator returns the callable unchanged
+
+    def test_duplicate_name_rejected(self):
+        reg = Registry("widget")
+        reg.register("x", lambda: 1)
+        with pytest.raises(DuplicateComponentError):
+            reg.register("x", lambda: 2)
+
+    def test_duplicate_alias_rejected(self):
+        reg = Registry("widget")
+        reg.register("x", lambda: 1, aliases=("ex",))
+        with pytest.raises(DuplicateComponentError):
+            reg.register("ex", lambda: 2)
+
+    def test_replace_allows_override(self):
+        reg = Registry("widget")
+        reg.register("x", lambda: 1)
+        reg.register("x", lambda: 2, replace=True)
+        assert reg.build("x") == 2
+
+    def test_alias_resolves_to_canonical_entry(self):
+        reg = Registry("widget")
+        reg.register("x", lambda: 1, aliases=("ex", "X"))
+        assert reg.get("ex") is reg.get("x")
+        assert "ex" in reg and "x" in reg
+        assert reg.names() == ["x"]  # aliases not listed
+
+    def test_unknown_name_lists_available(self):
+        reg = Registry("widget")
+        reg.register("alpha", lambda: 1)
+        reg.register("beta", lambda: 2)
+        with pytest.raises(UnknownComponentError) as ei:
+            reg.get("gamma")
+        assert "alpha" in str(ei.value) and "beta" in str(ei.value)
+        assert "widget" in str(ei.value)
+
+    def test_unknown_error_is_keyerror_and_valueerror(self):
+        err = UnknownComponentError("widget", "x", ["a"])
+        assert isinstance(err, KeyError)
+        assert isinstance(err, ValueError)
+
+    def test_unknown_error_survives_pickling(self):
+        # process-pool workers propagate exceptions by pickle round-trip
+        import pickle
+
+        err = UnknownComponentError("widget", "x", ["a", "b"])
+        clone = pickle.loads(pickle.dumps(err))
+        assert str(clone) == str(err)
+        assert clone.available == ("a", "b")
+
+    def test_replace_cannot_hijack_another_entrys_alias(self):
+        reg = Registry("widget")
+        reg.register("x", lambda: 1, aliases=("ex",))
+        with pytest.raises(DuplicateComponentError, match="'x'"):
+            reg.register("ex", lambda: 2, replace=True)
+        assert reg.get("ex").name == "x"  # alias still resolves to owner
+
+    def test_replace_drops_stale_aliases(self):
+        reg = Registry("widget")
+        reg.register("x", lambda: 1, aliases=("old",))
+        reg.register("x", lambda: 2, aliases=("new",), replace=True)
+        assert "old" not in reg and "new" in reg
+        assert reg.build("x") == 2
+
+    def test_unregister(self):
+        reg = Registry("widget")
+        reg.register("x", lambda: 1, aliases=("ex",))
+        reg.unregister("x")
+        assert "x" not in reg and "ex" not in reg
+        reg.unregister("x")  # silent when absent
+
+
+class TestBuiltinRegistrations:
+    def test_allocators(self):
+        assert {"cpa", "mcpa", "hcpa"} <= set(allocators.names())
+
+    def test_mapping_strategies(self):
+        assert {"delta", "timecost"} <= set(mapping_strategies.names())
+        assert "time-cost" in mapping_strategies  # alias
+
+    def test_dag_families(self):
+        assert {"layered", "irregular", "fft",
+                "strassen"} <= set(dag_families.names())
+
+    def test_platforms(self):
+        assert {"chti", "grillon", "grelon"} <= set(platforms.names())
+
+    def test_all_registries_sections(self):
+        assert set(all_registries()) == {
+            "allocators", "mapping strategies", "dag families", "platforms"}
+
+    def test_get_cluster_identity_for_builtins(self):
+        assert get_cluster("chti") is CHTI
+
+    def test_get_cluster_resolves_registered_platforms(self):
+        mini = Cluster(name="test-reg-mini", num_procs=4, speed_flops=1e9)
+        register_platform(mini, description="test cluster")
+        try:
+            assert get_cluster("test-reg-mini") is mini
+        finally:
+            platforms.unregister("test-reg-mini")
+
+    def test_get_cluster_unknown_is_keyerror(self):
+        with pytest.raises(KeyError):
+            get_cluster("nope")
+
+
+class TestStrategyRegistryDispatch:
+    def test_make_strategy_resolves_builtins(self):
+        assert isinstance(make_strategy(RATSParams("delta")), DeltaStrategy)
+        assert isinstance(make_strategy(RATSParams("timecost")),
+                          TimeCostStrategy)
+
+    def test_params_reject_unknown_strategy_listing_available(self):
+        with pytest.raises(ValueError, match="delta") as ei:
+            RATSParams(strategy="magic")
+        assert "timecost" in str(ei.value)
+
+    def test_custom_strategy_through_params(self):
+        class NeverAdapt:
+            def __init__(self, params):
+                self.params = params
+
+            def decide(self, scheduler, name):
+                return scheduler.best_decision(
+                    name, scheduler.allocation[name]), None
+
+        mapping_strategies.register("never", NeverAdapt,
+                                    description="test strategy")
+        try:
+            params = RATSParams(strategy="never")
+            assert isinstance(make_strategy(params), NeverAdapt)
+        finally:
+            mapping_strategies.unregister("never")
+
+
+class TestAlgorithmSpecRegistryValidation:
+    def test_unknown_allocator_lists_available(self):
+        with pytest.raises(ValueError, match="hcpa"):
+            AlgorithmSpec(label="x", allocator="magic")
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            AlgorithmSpec(label="x", strategy="magic")
+
+    def test_strategy_gets_default_naive_params(self):
+        spec = AlgorithmSpec(label="d", strategy="delta")
+        assert spec.params is not None
+        assert spec.params.strategy == "delta"
+
+    def test_spec_strategy_overrides_params_strategy(self):
+        spec = AlgorithmSpec(label="d", strategy="delta",
+                             params=RATSParams("timecost", minrho=0.7))
+        assert spec.params.strategy == "delta"
+        assert spec.params.minrho == 0.7
+
+    def test_legacy_kind_keyword_still_works(self):
+        spec = AlgorithmSpec(label="x", kind="mcpa")
+        assert spec.allocator == "mcpa" and spec.strategy is None
+        assert spec.kind == "mcpa"
+
+    def test_legacy_rats_kind_maps_to_strategy(self):
+        spec = AlgorithmSpec(label="x", kind="rats",
+                             params=RATSParams("delta"))
+        assert spec.allocator == "hcpa"
+        assert spec.strategy == "delta"
+        assert spec.kind == "rats"
+
+    def test_legacy_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            AlgorithmSpec(label="x", kind="magic")
+
+    def test_legacy_rats_needs_params(self):
+        with pytest.raises(ValueError):
+            AlgorithmSpec(label="x", kind="rats")
+
+    def test_shim_equivalence_baseline(self):
+        assert baseline_spec("cpa", label="c") == \
+            AlgorithmSpec(label="c", allocator="cpa")
+
+    def test_shim_equivalence_rats(self):
+        params = RATSParams("delta", mindelta=-0.25)
+        assert rats_spec(params, label="d") == \
+            AlgorithmSpec(label="d", strategy="delta", params=params)
+
+    def test_tuned_shim_resolver_is_picklable(self):
+        import pickle
+
+        spec = rats_spec(tuned=True, strategy="timecost")
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.resolve_params("grillon", "fft") == \
+            spec.resolve_params("grillon", "fft")
