@@ -106,3 +106,54 @@ def test_parallel_run_matrix_speedup(benchmark):
     if jobs > 1:
         assert speedup > 1.0, (
             f"parallel run_matrix slower than serial ({speedup:.2f}x)")
+
+
+def test_persistent_pool_beats_per_call_startup(benchmark):
+    """Many small run_matrix calls on ONE runner (persistent pool, warm
+    worker caches) vs a fresh runner — and thus a fresh pool — per call.
+
+    This is the `campaign --jobs N` shape: dozens of modest matrices, where
+    per-call pool startup used to dominate.
+    """
+    import time
+
+    from repro.core.params import NAIVE_DELTA
+    from repro.experiments.runner import (
+        ExperimentRunner,
+        baseline_spec,
+        rats_spec,
+    )
+
+    scenarios = [
+        Scenario(family="layered", n_tasks=25, width=0.5, density=0.2,
+                 regularity=0.8, sample=s)
+        for s in range(4)
+    ]
+    specs = [baseline_spec("hcpa", label="HCPA"),
+             rats_spec(NAIVE_DELTA, label="delta")]
+    jobs, calls = 2, 5
+
+    t0 = time.perf_counter()
+    per_call_results = []
+    for _ in range(calls):
+        with ExperimentRunner(record_timings=False, jobs=jobs) as runner:
+            per_call_results.append(
+                runner.run_matrix(scenarios, [GRILLON], specs))
+    t_per_call = time.perf_counter() - t0
+
+    def persistent():
+        with ExperimentRunner(record_timings=False, jobs=jobs) as runner:
+            return [runner.run_matrix(scenarios, [GRILLON], specs)
+                    for _ in range(calls)]
+
+    persistent_results = benchmark.pedantic(persistent, rounds=1,
+                                            iterations=1)
+    t_persistent = benchmark.stats.stats.mean
+
+    assert persistent_results == per_call_results
+    speedup = t_per_call / t_persistent
+    print(f"\n{calls} x {len(scenarios) * len(specs)}-run matrices: "
+          f"per-call pools {t_per_call:.2f}s, persistent pool "
+          f"{t_persistent:.2f}s, speedup {speedup:.2f}x")
+    assert speedup > 1.0, (
+        f"persistent pool slower than per-call pools ({speedup:.2f}x)")

@@ -35,8 +35,12 @@ by name through the :mod:`repro.registry` registries:
 >>> result.best_algorithm() in ("hcpa", "rats-delta", "rats-timecost")
 True
 
-Add ``.parallel(8)`` to execute the matrix on a process pool, and
-``python -m repro list`` to see every registered component.
+Add ``.parallel(8)`` to execute the matrix on a persistent process pool,
+``.store("results.jsonl")`` to make the campaign resumable (re-running
+skips everything already computed), ``.stream()`` to consume results as
+they finish, and ``python -m repro list`` to see every registered
+component.  ``python -m repro run spec.toml --store results.jsonl``
+drives the same engine from a declarative spec file.
 
 Extending
 ---------
@@ -113,19 +117,24 @@ from repro.registry import (
     register_dag_family,
     register_mapping_strategy,
     register_platform,
+    register_scheduler,
 )
 from repro.experiments import (
     AlgorithmSpec,
     Experiment,
     ExperimentResult,
     ExperimentRunner,
+    JsonlStore,
+    MemoryStore,
+    ResultStore,
     RunResult,
     Scenario,
     baseline_spec,
     rats_spec,
+    run_key,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -137,6 +146,7 @@ __all__ = [
     "register_mapping_strategy",
     "register_dag_family",
     "register_platform",
+    "register_scheduler",
     # experiment harness
     "Experiment",
     "ExperimentResult",
@@ -146,6 +156,10 @@ __all__ = [
     "Scenario",
     "baseline_spec",
     "rats_spec",
+    "ResultStore",
+    "MemoryStore",
+    "JsonlStore",
+    "run_key",
     # core (RATS)
     "RATSParams",
     "RATSScheduler",

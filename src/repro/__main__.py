@@ -7,7 +7,12 @@ Subcommands
     print the comparison plus a Gantt chart.
 ``list``
     Enumerate every registered component: allocators, mapping strategies,
-    DAG families and platforms.
+    DAG families, platforms and schedulers (``--json`` for
+    machine-readable output).
+``run``
+    Execute an :class:`~repro.experiments.experiment.Experiment` described
+    by a JSON or TOML spec file, with ``--jobs``, ``--store`` and
+    ``--resume`` wired to the resumable campaign engine.
 ``tables``
     Print the static tables (I, II, III) without running experiments.
 ``campaign``
@@ -73,6 +78,20 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 def _cmd_list(args: argparse.Namespace) -> int:
     from repro.registry import all_registries
 
+    if getattr(args, "json", False):
+        import json
+
+        payload = {
+            title: [
+                {"name": entry.name, "description": entry.description,
+                 "aliases": list(entry.aliases)}
+                for entry in registry.entries()
+            ]
+            for title, registry in all_registries().items()
+        }
+        print(json.dumps(payload, indent=1))
+        return 0
+
     for title, registry in all_registries().items():
         print(f"{title}:")
         for entry in registry.entries():
@@ -80,6 +99,86 @@ def _cmd_list(args: argparse.Namespace) -> int:
                        if entry.aliases else "")
             print(f"  {entry.name:<12} {entry.description}{aliases}")
         print()
+    return 0
+
+
+def _load_run_spec(path) -> dict:
+    """Parse a ``repro run`` experiment spec (JSON, or TOML by suffix)."""
+    from pathlib import Path
+
+    path = Path(path)
+    try:
+        if path.suffix.lower() in (".toml", ".tml"):
+            import tomllib
+
+            with path.open("rb") as fh:
+                return tomllib.load(fh)
+        import json
+
+        return json.loads(path.read_text())
+    except OSError as exc:
+        raise SystemExit(f"cannot read spec file: {exc}") from None
+    except ValueError as exc:
+        raise SystemExit(f"malformed spec file {path}: {exc}") from None
+
+
+_RUN_SPEC_KEYS = frozenset(
+    ("platforms", "workloads", "algorithms", "repeats", "jobs",
+     "estimates_only"))
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.campaign import open_cli_store
+    from repro.experiments.experiment import Experiment
+    from repro.experiments.runner import ExperimentRunner
+    from repro.scheduling.serialize import save_results
+
+    spec = _load_run_spec(args.spec)
+    unknown = sorted(set(spec) - _RUN_SPEC_KEYS)
+    if unknown:
+        raise SystemExit(
+            f"unknown spec key(s) {unknown}; allowed: "
+            f"{sorted(_RUN_SPEC_KEYS)}")
+
+    exp = Experiment()
+    try:
+        exp.on(*spec.get("platforms", ()))
+        for workload in spec.get("workloads", ()):
+            workload = dict(workload)
+            family = workload.pop("family", None)
+            samples = workload.pop("samples", None)
+            exp.workload(family, samples=samples, **workload)
+        exp.compare(*spec.get("algorithms", ()))
+        if "repeats" in spec:
+            exp.repeats(int(spec["repeats"]))
+        if spec.get("estimates_only"):
+            exp.estimates_only()
+        jobs = args.jobs if args.jobs is not None else spec.get("jobs")
+        if jobs is not None:
+            exp.parallel(int(jobs))
+    except UnknownComponentError:
+        raise  # main() renders these with the available names listed
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"invalid experiment spec: {exc}") from None
+
+    store = open_cli_store(args.store, args.resume)
+    try:
+        with ExperimentRunner(
+                simulate_schedules=not spec.get("estimates_only", False),
+                progress=not args.quiet, store=store) as runner:
+            try:
+                result = exp.using(runner).run()
+            except (TypeError, ValueError) as exc:
+                raise SystemExit(f"invalid experiment spec: {exc}") from None
+        print(result.summary())
+        if args.results_json:
+            save_results(list(result), args.results_json)
+        if store is not None:
+            print(f"store {args.store}: {store.stats.describe()}",
+                  file=sys.stderr, flush=True)
+    finally:
+        if store is not None:
+            store.close()
     return 0
 
 
@@ -148,7 +247,28 @@ def main(argv: list[str] | None = None) -> int:
     p_demo.set_defaults(func=_cmd_demo)
 
     p_list = sub.add_parser("list", help="list all registered components")
+    p_list.add_argument("--json", action="store_true",
+                        help="machine-readable JSON output")
     p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser(
+        "run", help="run an Experiment from a JSON/TOML spec file")
+    p_run.add_argument("spec", metavar="SPEC",
+                       help="experiment spec file (.json or .toml) with "
+                            "platforms / workloads / algorithms keys")
+    p_run.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="persistent-pool workers (-1 = one per CPU; "
+                            "overrides the spec's jobs key)")
+    from pathlib import Path as _Path
+    p_run.add_argument("--store", type=_Path, default=None, metavar="PATH",
+                       help="JSON-Lines result store; runs already in it "
+                            "are skipped")
+    p_run.add_argument("--resume", action="store_true",
+                       help="continue into an existing --store file")
+    p_run.add_argument("--results-json", type=_Path, default=None,
+                       metavar="PATH", help="persist raw RunResults as JSON")
+    p_run.add_argument("--quiet", action="store_true")
+    p_run.set_defaults(func=_cmd_run)
 
     p_tables = sub.add_parser("tables", help="print the static tables")
     p_tables.set_defaults(func=_cmd_tables)

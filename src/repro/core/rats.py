@@ -25,6 +25,7 @@ from repro.dag.task import TaskGraph
 from repro.model.amdahl import PerformanceModel
 from repro.platforms.cluster import Cluster
 from repro.redistribution.cost import RedistributionCost
+from repro.registry import register_scheduler
 from repro.scheduling.allocation import hcpa_allocation
 from repro.scheduling.mapping import ListScheduler
 from repro.scheduling.schedule import Schedule, ScheduleEntry
@@ -130,3 +131,13 @@ def rats_schedule(
     scheduler = RATSScheduler(graph, cluster, model, allocation, params,
                               redist=redist)
     return scheduler.run()
+
+
+@register_scheduler("rats", description="RATS redistribution-aware "
+                    "adaptation (single cluster)")
+def _build_rats_scheduler(graph, platform, model, allocation, *,
+                          params=None, redist=None):
+    if params is None:
+        raise ValueError("the rats scheduler needs RATSParams")
+    return RATSScheduler(graph, platform, model, allocation, params,
+                         redist=redist)

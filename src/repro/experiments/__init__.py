@@ -19,6 +19,14 @@ from repro.experiments.experiment import (
     ExperimentResult,
     as_algorithm_spec,
 )
+from repro.experiments.store import (
+    JsonlStore,
+    MemoryStore,
+    ResultStore,
+    StoreStats,
+    open_store,
+    run_key,
+)
 from repro.experiments.metrics import (
     combined_comparison,
     degradation_from_best,
@@ -43,6 +51,12 @@ __all__ = [
     "RunResult",
     "baseline_spec",
     "rats_spec",
+    "ResultStore",
+    "StoreStats",
+    "MemoryStore",
+    "JsonlStore",
+    "open_store",
+    "run_key",
     "relative_series",
     "series_stats",
     "pairwise_comparison",

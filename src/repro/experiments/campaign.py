@@ -32,6 +32,7 @@ from repro.experiments.scenarios import (
     scenarios_by_family,
     subsample,
 )
+from repro.experiments.store import JsonlStore, ResultStore
 from repro.experiments.tables import (
     table1_communication_matrix,
     table2_clusters,
@@ -42,7 +43,27 @@ from repro.experiments.tables import (
 from repro.platforms.grid5000 import GRID5000_CLUSTERS, GRILLON, get_cluster
 from repro.scheduling.serialize import save_results
 
-__all__ = ["run_campaign", "add_campaign_arguments", "run_from_args", "main"]
+__all__ = ["run_campaign", "add_campaign_arguments", "run_from_args", "main",
+           "open_cli_store"]
+
+
+def open_cli_store(path: Path | None, resume: bool) -> ResultStore | None:
+    """Open the ``--store`` / ``--resume`` pair with safe CLI semantics.
+
+    ``--resume`` without ``--store`` is an error.  A non-empty store file
+    without ``--resume`` is also an error: silently reusing stale results
+    from a forgotten file would be indistinguishable from a fresh run, so
+    continuing an interrupted campaign must be asked for explicitly.
+    """
+    if path is None:
+        if resume:
+            raise SystemExit("--resume requires --store PATH")
+        return None
+    if not resume and path.exists() and path.stat().st_size > 0:
+        raise SystemExit(
+            f"store {path} already holds results; pass --resume to skip "
+            "everything already computed (or delete the file)")
+    return JsonlStore(path)
 
 
 def run_campaign(
@@ -52,16 +73,35 @@ def run_campaign(
     skip_sweeps: bool = False,
     progress: bool = True,
     jobs: int = 1,
+    store: ResultStore | None = None,
 ) -> tuple[str, list]:
     """Execute the reproduction campaign; returns (report text, results).
 
     ``jobs > 1`` (or ``-1`` for one worker per CPU) runs every experiment
-    matrix on a process pool; result ordering is unaffected.
+    matrix on one persistent process pool, reused across every figure and
+    table of the campaign; result ordering is unaffected.  ``store``
+    persists each run under its content hash, so an interrupted or
+    repeated campaign skips everything already computed.
     """
     cluster_objs = [get_cluster(c) for c in
                     (clusters or list(GRID5000_CLUSTERS))]
     headline = GRILLON if GRILLON in cluster_objs else cluster_objs[0]
-    runner = ExperimentRunner(progress=progress, jobs=jobs)
+    with ExperimentRunner(progress=progress, jobs=jobs, store=store) as runner:
+        return _run_campaign(runner, cluster_objs, headline, fraction,
+                             skip_sweeps=skip_sweeps, progress=progress,
+                             store=store)
+
+
+def _run_campaign(
+    runner: ExperimentRunner,
+    cluster_objs: list,
+    headline,
+    fraction: float,
+    *,
+    skip_sweeps: bool,
+    progress: bool,
+    store: ResultStore | None,
+) -> tuple[str, list]:
     scenarios = subsample(all_scenarios(), fraction)
     sections: list[str] = [
         f"RATS reproduction campaign — {len(scenarios)} of 557 "
@@ -111,6 +151,9 @@ def run_campaign(
     sections.append(table5_pairwise(results, algos, names))
     sections.append(table6_degradation(results, algos, names))
 
+    if store is not None:
+        log(f"store: {store.stats.describe()} "
+            f"({store.stats.puts} persisted)")
     log("done")
     report = ("\n\n" + "=" * 78 + "\n\n").join(sections)
     return report, results
@@ -129,8 +172,15 @@ def add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--skip-sweeps", action="store_true",
                         help="skip the Figure 4/5 parameter sweeps")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
-                        help="process-pool workers per experiment matrix "
-                             "(-1 = one per CPU; default: serial)")
+                        help="workers of the campaign-wide persistent "
+                             "process pool (-1 = one per CPU; default: "
+                             "serial)")
+    parser.add_argument("--store", type=Path, default=None, metavar="PATH",
+                        help="persist every run in a JSON-Lines result "
+                             "store keyed by content hash")
+    parser.add_argument("--resume", action="store_true",
+                        help="continue into an existing --store file, "
+                             "skipping all runs it already holds")
     parser.add_argument("--out", type=Path, default=None,
                         help="write the report to this file")
     parser.add_argument("--results-json", type=Path, default=None,
@@ -141,13 +191,21 @@ def add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
 def run_from_args(args: argparse.Namespace) -> int:
     """Execute the campaign from parsed :func:`add_campaign_arguments`."""
     fraction = 1.0 if args.full else args.fraction
-    report, results = run_campaign(
-        fraction,
-        args.clusters,
-        skip_sweeps=args.skip_sweeps,
-        progress=not args.quiet,
-        jobs=args.jobs,
-    )
+    store = open_cli_store(args.store, args.resume)
+    try:
+        report, results = run_campaign(
+            fraction,
+            args.clusters,
+            skip_sweeps=args.skip_sweeps,
+            progress=not args.quiet,
+            jobs=args.jobs,
+            store=store,
+        )
+    finally:
+        if store is not None:
+            print(f"store {args.store}: {store.stats.describe()}",
+                  file=sys.stderr, flush=True)
+            store.close()
     if args.out:
         args.out.write_text(report + "\n")
         if not args.quiet:

@@ -33,7 +33,9 @@ Algorithm names accepted by :meth:`Experiment.compare`:
 from __future__ import annotations
 
 import statistics
+from contextlib import contextmanager
 from dataclasses import dataclass, fields
+from pathlib import Path
 from typing import Any, Iterable, Iterator
 
 from repro.core.params import RATSParams
@@ -44,6 +46,7 @@ from repro.experiments.runner import (
     rats_spec,
 )
 from repro.experiments.scenarios import Scenario
+from repro.experiments.store import ResultStore, open_store
 from repro.platforms.cluster import Cluster
 from repro.registry import (
     UnknownComponentError,
@@ -150,6 +153,7 @@ class Experiment:
         self._repeats = 1
         self._jobs: int | None = None
         self._simulate = True
+        self._store: ResultStore | str | Path | None = None
 
     # ------------------------------------------------------------------ #
     # fluent configuration
@@ -225,6 +229,19 @@ class Experiment:
         self._runner = runner
         return self
 
+    def store(self, store: "ResultStore | str | Path") -> "Experiment":
+        """Persist/reuse results through a content-addressed store.
+
+        Accepts a :class:`~repro.experiments.store.ResultStore` instance
+        (whose lifecycle stays with the caller) or a path — opened as a
+        :class:`~repro.experiments.store.JsonlStore` lazily at
+        :meth:`run`/:meth:`stream` time and closed afterwards.  Runs
+        already in the store are skipped — re-running the same experiment
+        against the same store performs zero fresh simulations.
+        """
+        self._store = store
+        return self
+
     # ------------------------------------------------------------------ #
     # compilation & execution
     # ------------------------------------------------------------------ #
@@ -249,18 +266,65 @@ class Experiment:
             raise ValueError("no algorithms: call .compare(...) first")
         return scenarios, list(self._clusters), list(self._specs)
 
+    @contextmanager
+    def _execution(self, runner: ExperimentRunner | None):
+        """Resolve the runner + store for one run()/stream() call.
+
+        A runner or store the caller handed in is left exactly as found
+        (an attached store is detached again on exit); everything this
+        experiment opened itself — a runner it constructed, a
+        ``JsonlStore`` opened from a ``store(path)`` — is closed on exit.
+        """
+        owned_runner = runner is None and self._runner is None
+        runner = runner or self._runner
+        store = self._store
+        owned_store = isinstance(store, (str, Path))
+        if owned_store:
+            store = open_store(store)
+        try:
+            if runner is None:
+                runner = ExperimentRunner(
+                    simulate_schedules=self._simulate)
+            elif not self._simulate and runner.simulate_schedules:
+                # an injected runner carries its own simulation setting; a
+                # silently-simulated result would contradict estimates_only()
+                raise ValueError(
+                    "estimates_only() conflicts with the injected runner; "
+                    "construct it with simulate_schedules=False")
+            previous_store = runner.store
+            if store is not None and previous_store is None:
+                runner.store = store
+            try:
+                yield runner
+            finally:
+                runner.store = previous_store
+                if owned_runner:
+                    runner.close()
+        finally:
+            if owned_store:
+                store.close()
+
     def run(self, runner: ExperimentRunner | None = None) -> ExperimentResult:
         """Execute the compiled matrix and wrap the results."""
         scenarios, clusters, specs = self.build()
-        runner = runner or self._runner
-        if runner is None:
-            runner = ExperimentRunner(simulate_schedules=self._simulate)
-        elif not self._simulate and runner.simulate_schedules:
-            # an injected runner carries its own simulation setting; a
-            # silently-simulated result would contradict estimates_only()
-            raise ValueError(
-                "estimates_only() conflicts with the injected runner; "
-                "construct it with simulate_schedules=False")
-        results = runner.run_matrix(scenarios, clusters, specs,
-                                    jobs=self._jobs)
+        with self._execution(runner) as resolved:
+            results = resolved.run_matrix(scenarios, clusters, specs,
+                                          jobs=self._jobs)
         return ExperimentResult(results=tuple(results))
+
+    def stream(self, runner: ExperimentRunner | None = None) -> Iterator[RunResult]:
+        """Execute the compiled matrix, yielding results as they finish.
+
+        The streaming counterpart of :meth:`run` — same runs, same store
+        semantics, but delivered through
+        :meth:`~repro.experiments.runner.ExperimentRunner.iter_matrix` so
+        long campaigns can feed dashboards or incremental writers.
+        """
+        scenarios, clusters, specs = self.build()
+
+        def generate() -> Iterator[RunResult]:
+            with self._execution(runner) as resolved:
+                yield from resolved.iter_matrix(scenarios, clusters, specs,
+                                                jobs=self._jobs)
+
+        return generate()

@@ -14,31 +14,52 @@ For every run the pipeline is:
    the simulated makespan is what the paper's metrics use;
 5. report makespan, total work ``Σ n_t·T(t, n_t)`` and adaptation counts.
 
-:meth:`ExperimentRunner.run_matrix` executes the cartesian product either
-serially or on a ``concurrent.futures`` process pool (``jobs > 1``): each
-worker owns a private :class:`ExperimentRunner` whose graph / allocation /
-redistribution caches persist across the scenarios it processes, and the
-result list is returned in the same deterministic order as the serial path.
+The execution engine is resumable and streaming:
+
+* :meth:`ExperimentRunner.iter_matrix` *yields* :class:`RunResult`\\ s as
+  they complete — immediately for store hits, chunk by chunk on the
+  process pool — so long campaigns can stream into dashboards instead of
+  blocking on the full product;
+* :meth:`ExperimentRunner.run_matrix` is a thin wrapper collecting the
+  same stream back into the deterministic scenario-major order, so serial
+  and pool execution return byte-identical lists (with
+  ``record_timings=False``);
+* a :class:`~repro.experiments.store.ResultStore` (``store=...``) keys
+  every run under a stable content hash — repeated or crashed campaigns
+  skip everything already computed;
+* the process pool (``jobs > 1``) is **persistent**: it is created once
+  and reused across ``run_matrix`` calls, so a campaign of many matrices
+  pays pool startup once and keeps the workers' graph / allocation /
+  redistribution caches warm.  ``close()`` (or using the runner as a
+  context manager) releases it.
+
+Step-two scheduling dispatches through :data:`repro.registry.schedulers`:
+plain clusters use the ``list`` / ``rats`` entries, and platforms that
+declare ``scheduler_kind`` (multi-cluster grids declare
+``"multicluster"``) route to ``<kind>-list`` / ``<kind>-rats`` — which is
+how a registered :class:`~repro.platforms.multicluster.MultiClusterPlatform`
+flows through the very same engine.
 """
 
 from __future__ import annotations
 
+import hashlib
 import pickle
 import sys
 import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.core.params import RATSParams, tuned_params
-from repro.core.rats import RATSScheduler
 from repro.dag.task import TaskGraph
 from repro.experiments.scenarios import Scenario
+from repro.experiments.store import ResultStore, run_key
 from repro.platforms.cluster import Cluster
 from repro.redistribution.cost import RedistributionCost
-from repro.registry import allocators, mapping_strategies
-from repro.scheduling.mapping import ListScheduler
+from repro.registry import allocators, mapping_strategies, schedulers
 from repro.simulation.simulator import simulate
 
 __all__ = ["AlgorithmSpec", "RunResult", "ExperimentRunner",
@@ -188,22 +209,90 @@ class RunResult:
 class ExperimentRunner:
     """Runs experiments with graph / allocation / redistribution caching.
 
-    ``jobs`` sets the default parallelism of :meth:`run_matrix` (1 =
-    serial; ``n > 1`` = a process pool of ``n`` workers; ``-1`` = one per
-    CPU).  ``record_timings=False`` zeroes ``RunResult.wall_time_s`` so
-    serial and parallel runs of the same matrix compare byte-identical.
+    ``jobs`` sets the default parallelism of :meth:`run_matrix` /
+    :meth:`iter_matrix` (1 = serial; ``n > 1`` = a **persistent** process
+    pool of ``n`` workers, created on first use and reused across calls;
+    ``-1`` = one per CPU).  Call :meth:`close` — or use the runner as a
+    context manager, ``with ExperimentRunner(jobs=8) as r: ...`` — to
+    release the pool; a closed runner stays usable and recreates the pool
+    on demand.
+
+    ``store`` plugs in a :class:`~repro.experiments.store.ResultStore`:
+    every run is looked up by its content hash first (skipping the
+    simulation entirely on a hit) and persisted after computing, which
+    makes repeated or crash-interrupted campaigns resumable.
+
+    ``record_timings=False`` zeroes ``RunResult.wall_time_s`` so serial
+    and parallel runs of the same matrix compare byte-identical.
     """
 
     def __init__(self, *, simulate_schedules: bool = True,
                  progress: bool = False, jobs: int = 1,
-                 record_timings: bool = True) -> None:
+                 record_timings: bool = True,
+                 store: ResultStore | None = None) -> None:
         self.simulate_schedules = simulate_schedules
         self.progress = progress
         self.jobs = jobs
         self.record_timings = record_timings
+        self.store = store
         self._graphs: dict[str, TaskGraph] = {}
         self._allocations: dict[tuple[str, str, str], dict[str, int]] = {}
         self._redists: dict[str, RedistributionCost] = {}
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_jobs = 0
+        self._pool_workers = 0
+        self._pool_digest: str | None = None
+
+    # ------------------------------------------------------------------ #
+    # persistent-pool lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Shut down the persistent worker pool (if one was started).
+
+        Idempotent; the runner itself stays usable afterwards — the next
+        parallel call simply starts a fresh pool.
+        """
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+            self._pool_jobs = 0
+            self._pool_workers = 0
+            self._pool_digest = None
+
+    def __enter__(self) -> "ExperimentRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _ensure_pool(self, jobs: int, chunks: int,
+                     snapshot: list[tuple[str, object]],
+                     snapshot_blob: bytes) -> ProcessPoolExecutor:
+        """The persistent pool, (re)created when ``jobs``, the set of
+        registered components, or the needed worker count changed.
+
+        Workers are capped at the number of chunks actually submitted — a
+        2-scenario matrix on ``jobs=16`` starts 2 interpreters, not 16 —
+        and the pool grows (by restarting) when a later, larger matrix can
+        use more of the requested ``jobs``.
+        """
+        workers = min(jobs, chunks) if chunks else jobs
+        digest = hashlib.sha256(snapshot_blob).hexdigest()
+        if self._pool is not None and (self._pool_jobs != jobs
+                                       or self._pool_digest != digest
+                                       or workers > self._pool_workers):
+            self.close()
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker_runner,
+                initargs=(self.simulate_schedules, self.record_timings,
+                          snapshot),
+            )
+            self._pool_jobs = jobs
+            self._pool_workers = workers
+            self._pool_digest = digest
+        return self._pool
 
     # ------------------------------------------------------------------ #
     def graph_for(self, scenario: Scenario) -> TaskGraph:
@@ -235,6 +324,22 @@ class ExperimentRunner:
     # ------------------------------------------------------------------ #
     def run(self, scenario: Scenario, cluster: Cluster,
             spec: AlgorithmSpec) -> RunResult:
+        """One (scenario, cluster, spec) run, through the store if any."""
+        key = None
+        if self.store is not None:
+            key = run_key(scenario, cluster, spec,
+                          simulated=self.simulate_schedules)
+            cached = self.store.get(key)
+            if cached is not None:
+                return cached
+        result = self._execute(scenario, cluster, spec)
+        if self.store is not None and key is not None:
+            self.store.put(key, result)
+        return result
+
+    def _execute(self, scenario: Scenario, cluster: Cluster,
+                 spec: AlgorithmSpec) -> RunResult:
+        """Build, schedule and simulate — no store involvement."""
         t0 = time.perf_counter()
         graph = self.graph_for(scenario)
         model = cluster.performance_model()
@@ -242,18 +347,25 @@ class ExperimentRunner:
 
         allocation = self.allocation_for(scenario, cluster, spec.allocator)
 
+        # plain clusters use the "list"/"rats" schedulers; platforms with a
+        # scheduler_kind (multi-cluster grids: "multicluster") route to
+        # their registered "<kind>-list"/"<kind>-rats" counterparts
+        kind = getattr(cluster, "scheduler_kind", "single")
+        prefix = "" if kind == "single" else f"{kind}-"
         stretches = packs = sames = 0
         if spec.is_adaptive:
             params = spec.resolve_params(cluster.name, scenario.family)
             assert params is not None
-            scheduler: ListScheduler = RATSScheduler(
-                graph, cluster, model, allocation, params, redist=redist)
+            scheduler = schedulers.build(f"{prefix}rats", graph, cluster,
+                                         model, allocation, params=params,
+                                         redist=redist)
         else:
-            scheduler = ListScheduler(graph, cluster, model, allocation,
-                                      redist=redist)
+            scheduler = schedulers.build(f"{prefix}list", graph, cluster,
+                                         model, allocation, redist=redist)
         schedule = scheduler.run()
-        if isinstance(scheduler, RATSScheduler):
-            counts = scheduler.adaptation_summary()
+        summary = getattr(scheduler, "adaptation_summary", None)
+        if summary is not None:
+            counts = summary()
             stretches, packs, sames = (counts["stretch"], counts["pack"],
                                        counts["same"])
 
@@ -291,81 +403,156 @@ class ExperimentRunner:
     ) -> list[RunResult]:
         """Cartesian product of scenarios × clusters × algorithm specs.
 
-        Results are ordered scenario-major, cluster, then spec — identical
-        for the serial and parallel paths.  ``jobs`` overrides the runner's
-        default parallelism for this call.
-
-        Note: each parallel call spins up (and tears down) its own process
-        pool, so worker caches do not persist across ``run_matrix`` calls
-        the way this runner's own caches do serially — parallelism pays off
-        on large matrices, not on many small ones.
+        Implemented on top of :meth:`iter_matrix`: the stream is collected
+        and re-sorted into scenario-major, cluster, then spec order, so the
+        result list is identical for the serial and parallel paths (and
+        byte-identical with ``record_timings=False``).  ``jobs`` overrides
+        the runner's default parallelism for this call.
         """
         scenarios = list(scenarios)
         clusters = list(clusters)
         specs = list(specs)
-        jobs = self.jobs if jobs is None else jobs
-        if jobs is not None and jobs < 0:
-            import os
-            jobs = os.cpu_count() or 1
-        if jobs and jobs > 1 and len(scenarios) > 1:
-            # snapshot the registries so runtime-registered components
-            # reach the workers even under spawn/forkserver start methods
-            snapshot = _registry_snapshot()
-            try:
-                pickle.dumps((scenarios, clusters, specs, snapshot))
-            except Exception as exc:  # unpicklable custom components
-                warnings.warn(
-                    f"falling back to serial run_matrix: {exc}",
-                    RuntimeWarning, stacklevel=2)
-            else:
-                return self._run_matrix_parallel(
-                    scenarios, clusters, specs, jobs, snapshot)
+        indexed = sorted(self._iter_indexed(scenarios, clusters, specs, jobs))
+        return [result for _, result in indexed]
 
-        results: list[RunResult] = []
-        total = len(scenarios) * len(clusters) * len(specs)
-        done = 0
-        for scenario in scenarios:
-            for cluster in clusters:
-                for spec in specs:
-                    results.append(self.run(scenario, cluster, spec))
-                    done += 1
-                    if self.progress and done % 25 == 0:
-                        print(f"  [{done}/{total}] runs complete",
-                              file=sys.stderr, flush=True)
-        return results
+    def iter_matrix(
+        self,
+        scenarios: Iterable[Scenario],
+        clusters: Sequence[Cluster],
+        specs: Sequence[AlgorithmSpec],
+        *,
+        jobs: int | None = None,
+    ) -> Iterator[RunResult]:
+        """Stream the matrix: yield each :class:`RunResult` as it lands.
 
-    def _run_matrix_parallel(
+        Store hits are yielded immediately; fresh runs follow as they
+        complete — in matrix order serially, in chunk-completion order on
+        the process pool.  ``run_matrix`` is this stream re-sorted, so the
+        two are permutations of each other by construction.
+        """
+        scenarios = list(scenarios)
+        clusters = list(clusters)
+        specs = list(specs)
+        for _, result in self._iter_indexed(scenarios, clusters, specs, jobs):
+            yield result
+
+    # ------------------------------------------------------------------ #
+    def _iter_indexed(
         self,
         scenarios: list[Scenario],
         clusters: list[Cluster],
         specs: list[AlgorithmSpec],
+        jobs: int | None,
+    ) -> Iterator[tuple[int, RunResult]]:
+        """The execution core: yields ``(matrix_index, result)`` pairs.
+
+        The index is the run's position in the scenario-major cartesian
+        product — what ``run_matrix`` sorts on.
+        """
+        jobs = self.jobs if jobs is None else jobs
+        if jobs is not None and jobs < 0:
+            import os
+            jobs = os.cpu_count() or 1
+        total = len(scenarios) * len(clusters) * len(specs)
+
+        # consult the store once per cell; anything missing is grouped into
+        # per-scenario chunks (the pool's unit of work)
+        hits: list[tuple[int, RunResult]] = []
+        pending: dict[int, list[tuple[int, Cluster, AlgorithmSpec]]] = {}
+        keys: dict[int, str] = {}
+        index = 0
+        for si, scenario in enumerate(scenarios):
+            for cluster in clusters:
+                for spec in specs:
+                    cached = None
+                    if self.store is not None:
+                        key = run_key(scenario, cluster, spec,
+                                      simulated=self.simulate_schedules)
+                        keys[index] = key
+                        cached = self.store.get(key)
+                    if cached is not None:
+                        hits.append((index, cached))
+                    else:
+                        pending.setdefault(si, []).append(
+                            (index, cluster, spec))
+                    index += 1
+
+        done = 0
+        for index, cached in hits:
+            done += 1
+            yield index, cached
+        if hits and self.progress:
+            print(f"  [{done}/{total}] runs complete "
+                  f"({len(hits)} store hits)", file=sys.stderr, flush=True)
+
+        if jobs and jobs > 1 and len(pending) > 1:
+            # snapshot the registries so runtime-registered components
+            # reach the workers even under spawn/forkserver start methods
+            snapshot = _registry_snapshot()
+            try:
+                pickle.dumps((scenarios, clusters, specs))
+                snapshot_blob = pickle.dumps(snapshot)
+            except Exception as exc:  # unpicklable custom components
+                warnings.warn(
+                    f"falling back to serial run_matrix: {exc}",
+                    RuntimeWarning, stacklevel=3)
+            else:
+                yield from self._iter_parallel(scenarios, pending, keys,
+                                               jobs, snapshot,
+                                               snapshot_blob, done, total)
+                return
+
+        for si in sorted(pending):
+            scenario = scenarios[si]
+            for index, cluster, spec in pending[si]:
+                result = self._execute(scenario, cluster, spec)
+                if self.store is not None:
+                    self.store.put(keys[index], result)
+                done += 1
+                if self.progress and done % 25 == 0:
+                    print(f"  [{done}/{total}] runs complete",
+                          file=sys.stderr, flush=True)
+                yield index, result
+
+    def _iter_parallel(
+        self,
+        scenarios: list[Scenario],
+        pending: dict[int, list[tuple[int, Cluster, AlgorithmSpec]]],
+        keys: dict[int, str],
         jobs: int,
-        registry_snapshot: list[tuple[str, object]],
-    ) -> list[RunResult]:
-        """Process-pool execution, one chunk per scenario.
+        snapshot: list[tuple[str, object]],
+        snapshot_blob: bytes,
+        done: int,
+        total: int,
+    ) -> Iterator[tuple[int, RunResult]]:
+        """Stream chunk results off the persistent pool as they finish.
 
         Each worker keeps a module-global :class:`ExperimentRunner`, so its
-        caches survive across the scenarios it is handed; chunk results are
-        collected in submission order, preserving the serial ordering.
+        caches survive across the scenarios it is handed — and, because the
+        pool itself survives across ``run_matrix`` calls, across matrices.
         """
-        total = len(scenarios) * len(clusters) * len(specs)
-        results: list[RunResult] = []
-        done = 0
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(scenarios)),
-            initializer=_init_worker_runner,
-            initargs=(self.simulate_schedules, self.record_timings,
-                      registry_snapshot),
-        ) as pool:
-            futures = [pool.submit(_run_scenario_chunk, sc, clusters, specs)
-                       for sc in scenarios]
-            for fut in futures:
-                results.extend(fut.result())
-                done += len(clusters) * len(specs)
+        pool = self._ensure_pool(jobs, len(pending), snapshot, snapshot_blob)
+        try:
+            futures = {
+                pool.submit(_run_cells, scenarios[si],
+                            [(cluster, spec)
+                             for _, cluster, spec in cells]): si
+                for si, cells in sorted(pending.items())
+            }
+            for fut in as_completed(futures):
+                cells = pending[futures[fut]]
+                results = fut.result()
+                for (index, _, _), result in zip(cells, results):
+                    if self.store is not None:
+                        self.store.put(keys[index], result)
+                    yield index, result
+                done += len(results)
                 if self.progress:
                     print(f"  [{done}/{total}] runs complete",
                           file=sys.stderr, flush=True)
-        return results
+        except BrokenProcessPool:
+            self.close()  # a dead pool must not be reused by later calls
+            raise
 
 
 # --------------------------------------------------------------------- #
@@ -412,10 +599,10 @@ def _init_worker_runner(simulate_schedules: bool, record_timings: bool,
                                       record_timings=record_timings)
 
 
-def _run_scenario_chunk(scenario: Scenario, clusters: Sequence[Cluster],
-                        specs: Sequence[AlgorithmSpec]) -> list[RunResult]:
+def _run_cells(scenario: Scenario,
+               cells: Sequence[tuple[Cluster, AlgorithmSpec]]) -> list[RunResult]:
+    """Pool worker: run one scenario's pending (cluster, spec) cells."""
     runner = _WORKER_RUNNER
     if runner is None:  # pragma: no cover - initializer always runs
         runner = ExperimentRunner()
-    return [runner.run(scenario, cluster, spec)
-            for cluster in clusters for spec in specs]
+    return [runner.run(scenario, cluster, spec) for cluster, spec in cells]

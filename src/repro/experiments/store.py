@@ -1,0 +1,252 @@
+"""Content-addressed result persistence for experiment campaigns.
+
+The paper's evaluation is a large cartesian campaign (scenario × cluster ×
+algorithm); this module makes repeated campaigns cheap by keying every
+:class:`~repro.experiments.runner.RunResult` under a stable content hash of
+*what was run*:
+
+* the scenario id (which deterministically seeds the task graph),
+* the cluster (platform) name,
+* the algorithm spec — allocator, mapping strategy and the **resolved**
+  RATS parameters (a tuned ``params_resolver`` hashes to the concrete
+  per-(cluster, family) values it resolves to),
+* whether the schedule was simulated or only estimated.
+
+:func:`run_key` computes the hash from canonical JSON, so it is stable
+across processes, interpreter restarts and machines — the property that
+lets one :class:`JsonlStore` file be shared by resumed or sharded
+campaigns.
+
+Two stores ship with ``repro``:
+
+* :class:`MemoryStore` — a per-process dict; caching within one campaign.
+* :class:`JsonlStore` — an append-only JSON-Lines file.  Every ``put``
+  appends one line and flushes, so a campaign killed mid-flight loses at
+  most the run being written; re-opening the file tolerates a truncated
+  final line and the next campaign resumes exactly where the crash left
+  off.
+
+Both count hits/misses/puts in :attr:`ResultStore.stats`, which is how the
+CI smoke test asserts that a second pass over the same store performs zero
+fresh simulations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.runner import AlgorithmSpec, RunResult
+    from repro.experiments.scenarios import Scenario
+
+__all__ = [
+    "ResultStore",
+    "StoreStats",
+    "MemoryStore",
+    "JsonlStore",
+    "run_key",
+    "open_store",
+]
+
+#: Bump when the key payload schema changes: old store files then read as
+#: all-miss instead of silently returning results computed under different
+#: semantics.
+_KEY_VERSION = 1
+
+
+def run_key(scenario: "Scenario", cluster, spec: "AlgorithmSpec", *,
+            simulated: bool = True) -> str:
+    """Stable content hash identifying one (scenario, cluster, spec) run.
+
+    ``cluster`` may be a platform object (anything with a ``name``) or the
+    name itself.  Tuned specs hash to their *resolved* parameters, so a
+    ``params_resolver`` and the equivalent explicit ``RATSParams`` produce
+    the same key.  The hash is computed over canonical JSON (sorted keys,
+    repr-exact floats), making it reproducible across processes.
+    """
+    cluster_name = cluster if isinstance(cluster, str) else cluster.name
+    params = spec.resolve_params(cluster_name, scenario.family)
+    payload = {
+        "v": _KEY_VERSION,
+        "scenario": scenario.scenario_id,
+        "cluster": cluster_name,
+        "label": spec.label,
+        "allocator": spec.allocator,
+        "strategy": spec.strategy,
+        "params": None if params is None else {
+            "strategy": params.strategy,
+            "mindelta": params.mindelta,
+            "maxdelta": params.maxdelta,
+            "minrho": params.minrho,
+            "allow_pack": params.allow_pack,
+            "guard_stretch": params.guard_stretch,
+        },
+        "simulated": bool(simulated),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss/put accounting of one store instance (this process)."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def describe(self) -> str:
+        return (f"{self.hits} hit{'s' if self.hits != 1 else ''}, "
+                f"{self.misses} fresh")
+
+
+@runtime_checkable
+class ResultStore(Protocol):
+    """What :class:`~repro.experiments.runner.ExperimentRunner` needs from
+    a result store.  :class:`MemoryStore` and :class:`JsonlStore` implement
+    it; any object with the same surface participates."""
+
+    stats: StoreStats
+
+    def get(self, key: str) -> "RunResult | None":
+        """The stored result for ``key``, or ``None`` (counted in stats)."""
+        ...
+
+    def put(self, key: str, result: "RunResult") -> None:
+        """Persist ``result`` under ``key``."""
+        ...
+
+    def __contains__(self, key: str) -> bool: ...
+
+    def __len__(self) -> int: ...
+
+    def close(self) -> None: ...
+
+
+class _BaseStore:
+    """Shared dict-backed mechanics; subclasses add persistence."""
+
+    def __init__(self) -> None:
+        self._results: dict[str, "RunResult"] = {}
+        self.stats = StoreStats()
+
+    def get(self, key: str) -> "RunResult | None":
+        result = self._results.get(key)
+        if result is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return result
+
+    def put(self, key: str, result: "RunResult") -> None:
+        if key in self._results:
+            return
+        self._results[key] = result
+        self.stats.puts += 1
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._results
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._results)
+
+    def results(self) -> list["RunResult"]:
+        """Every stored result, in insertion (= completion) order."""
+        return list(self._results.values())
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class MemoryStore(_BaseStore):
+    """In-process result store: caching within (not across) one run."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MemoryStore({len(self)} results)"
+
+
+class JsonlStore(_BaseStore):
+    """Append-only on-disk store: one ``{"key":…, "result":…}`` per line.
+
+    Opening an existing file loads every valid line; a truncated or
+    corrupt trailing line (the signature of a campaign killed mid-write)
+    is skipped, counted in :attr:`skipped_lines`, and overwritten-free:
+    new results simply append after it.  Every :meth:`put` flushes, so the
+    file is crash-consistent at run granularity.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        super().__init__()
+        self.path = Path(path)
+        self.skipped_lines = 0
+        if self.path.exists():
+            self._load()
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("a", encoding="utf-8")
+
+    def _load(self) -> None:
+        from repro.experiments.runner import RunResult
+
+        raw = self.path.read_bytes()
+        end_valid = len(raw)
+        if raw and not raw.endswith(b"\n"):
+            # mid-write crash: a partial trailing line.  Count it as
+            # skipped and truncate it away, so appended results start on a
+            # clean line instead of concatenating onto the fragment.
+            end_valid = raw.rfind(b"\n") + 1
+            self.skipped_lines += 1
+        for line in raw[:end_valid].split(b"\n"):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+                result = RunResult(**row["result"])
+                key = row["key"]
+            except (ValueError, KeyError, TypeError):
+                self.skipped_lines += 1
+                continue
+            self._results[key] = result
+        if end_valid < len(raw):
+            with self.path.open("rb+") as fh:
+                fh.truncate(end_valid)
+
+    def put(self, key: str, result: "RunResult") -> None:
+        if key in self._results:
+            return
+        super().put(key, result)
+        row = {"key": key, "result": dataclasses.asdict(result)}
+        self._fh.write(json.dumps(row, separators=(",", ":")) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"JsonlStore({str(self.path)!r}, {len(self)} results)"
+
+
+def open_store(path: str | Path | None) -> ResultStore:
+    """A :class:`JsonlStore` at ``path``, or a :class:`MemoryStore` for
+    ``None`` — the CLI's ``--store`` convention."""
+    return MemoryStore() if path is None else JsonlStore(path)

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from repro.model.amdahl import AmdahlModel
 from repro.platforms.cluster import GIGABIT_BPS, Cluster
 from repro.platforms.topology import LinkId, Route
+from repro.registry import platforms
 
 __all__ = ["MultiClusterPlatform", "MultiClusterTopology"]
 
@@ -162,6 +163,11 @@ class MultiClusterPlatform:
     _topology: MultiClusterTopology | None = field(
         default=None, repr=False, compare=False)
 
+    #: Routes the experiment runner to the ``multicluster-*`` entries of
+    #: :data:`repro.registry.schedulers` (plain clusters have no attribute
+    #: and default to ``"single"``).
+    scheduler_kind = "multicluster"
+
     def __post_init__(self) -> None:
         if not self.clusters:
             raise ValueError("need at least one cluster")
@@ -264,3 +270,19 @@ class MultiClusterPlatform:
             for c in self.clusters)
         return (f"{self.name}: [{parts}] over "
                 f"{self.wan_latency_s * 1e3:g} ms WAN")
+
+
+def _grid5000_grid() -> MultiClusterPlatform:
+    # imported lazily: grid5000 registers its clusters on import, which
+    # (during the platform registry's own bootstrap) must not recurse
+    # through this module's top level
+    from repro.platforms.grid5000 import CHTI, GRELON, GRILLON
+
+    return MultiClusterPlatform(clusters=(CHTI, GRILLON, GRELON),
+                                name="grid5000-grid")
+
+
+platforms.register(
+    "grid5000-grid", _grid5000_grid,
+    description="Table II's three Grid'5000 clusters (187 procs) joined by "
+                "a 10 ms WAN backbone")

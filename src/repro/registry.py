@@ -18,8 +18,14 @@ any ``repro`` module:
   ``build(scenario, rng) -> TaskGraph`` with an optional stable
   ``scenario_id(scenario) -> str`` formatter;
 * :data:`platforms` — named cluster platforms (``chti`` / ``grillon`` /
-  ``grelon``); a zero-argument factory returning a
-  :class:`~repro.platforms.cluster.Cluster`.
+  ``grelon``) and multi-cluster grids (``grid5000-grid``); a zero-argument
+  factory returning a :class:`~repro.platforms.cluster.Cluster` or
+  :class:`~repro.platforms.multicluster.MultiClusterPlatform`;
+* :data:`schedulers` — step-two scheduler constructors the experiment
+  runner dispatches through (``list`` / ``rats`` and their
+  ``multicluster-*`` counterparts); a factory
+  ``(graph, platform, model, allocation, *, params=None, redist=None)
+  -> scheduler``.
 
 Registering is a one-liner::
 
@@ -36,12 +42,18 @@ each registry lazily imports those modules on first lookup, so
 Lookup failures raise :class:`UnknownComponentError`, which subclasses
 both :class:`KeyError` and :class:`ValueError` (historical call sites
 caught either) and lists the available names.
+
+Third-party distributions can auto-register on install by declaring a
+``repro.plugins`` entry point (see :func:`load_plugins`); the first
+registry bootstrap loads every such plugin exactly once.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from importlib import import_module
+from types import ModuleType
 from typing import Any, Callable, Iterator, Sequence
 
 __all__ = [
@@ -54,12 +66,20 @@ __all__ = [
     "mapping_strategies",
     "dag_families",
     "platforms",
+    "schedulers",
     "register_allocator",
     "register_mapping_strategy",
     "register_dag_family",
     "register_platform",
+    "register_scheduler",
     "all_registries",
+    "load_plugins",
+    "PLUGIN_GROUP",
 ]
+
+#: The ``[project.entry-points."repro.plugins"]`` group third-party
+#: packages declare to auto-register components on install.
+PLUGIN_GROUP = "repro.plugins"
 
 
 class UnknownComponentError(KeyError, ValueError):
@@ -120,6 +140,11 @@ class DagFamily:
         return self.build(scenario, rng)
 
 
+#: > 0 while some registry is importing its built-in modules; guards
+#: against re-entrant bootstraps from the cross-importing built-ins.
+_bootstrap_depth = 0
+
+
 class Registry:
     """A name → factory mapping with aliases and lazy built-in loading."""
 
@@ -132,10 +157,16 @@ class Registry:
 
     # ------------------------------------------------------------------ #
     def _ensure_bootstrapped(self) -> None:
+        global _bootstrap_depth
         if not self._bootstrapped:
             self._bootstrapped = True  # set first: the modules call register()
-            for module in self._bootstrap:
-                import_module(module)
+            _bootstrap_depth += 1
+            try:
+                for module in self._bootstrap:
+                    import_module(module)
+            finally:
+                _bootstrap_depth -= 1
+            load_plugins()
 
     # ------------------------------------------------------------------ #
     def register(
@@ -159,7 +190,14 @@ class Registry:
                 return obj
             return decorator
 
-        self._ensure_bootstrapped()
+        # Registering from inside another registry's bootstrap must not
+        # force this registry's own bootstrap: the registries' built-in
+        # modules import each other (mapping ↔ strategies ↔ rats), and an
+        # eager bootstrap here would re-enter a module that is mid-import.
+        # Deferring to the first lookup keeps every chain acyclic; the
+        # duplicate check below still sees everything registered so far.
+        if _bootstrap_depth == 0:
+            self._ensure_bootstrapped()
         for key in (name, *aliases):
             owner = key if key in self._entries else self._aliases.get(key)
             if owner is None:
@@ -241,17 +279,60 @@ mapping_strategies = Registry(
 dag_families = Registry(
     "DAG family", bootstrap=("repro.dag.generator", "repro.dag.kernels"))
 platforms = Registry(
-    "platform", bootstrap=("repro.platforms.grid5000",))
+    "platform", bootstrap=("repro.platforms.grid5000",
+                           "repro.platforms.multicluster"))
+schedulers = Registry(
+    "scheduler", bootstrap=("repro.scheduling.mapping", "repro.core.rats",
+                            "repro.scheduling.multicluster"))
 
 
 def all_registries() -> dict[str, Registry]:
-    """The four registries keyed by a human-readable section title."""
+    """The five registries keyed by a human-readable section title."""
     return {
         "allocators": allocators,
         "mapping strategies": mapping_strategies,
         "dag families": dag_families,
         "platforms": platforms,
+        "schedulers": schedulers,
     }
+
+
+# --------------------------------------------------------------------- #
+# entry-point plugins
+# --------------------------------------------------------------------- #
+_plugins_loaded = False
+
+
+def load_plugins(group: str = PLUGIN_GROUP, *, reload: bool = False) -> list[str]:
+    """Load every installed ``repro.plugins`` entry point once; returns the
+    names loaded this call.
+
+    Each entry point resolves to either a module (imported for its
+    registration side effects) or a zero-argument callable (invoked).  A
+    plugin that fails to load emits a :class:`RuntimeWarning` instead of
+    breaking every registry lookup in the host application.  Loading runs
+    automatically on the first bootstrap of any registry, so installed
+    plugins are visible to ``Experiment``, the CLI and ``python -m repro
+    list`` without any import on the user's side.
+    """
+    global _plugins_loaded
+    if _plugins_loaded and not reload:
+        return []
+    _plugins_loaded = True
+    from importlib.metadata import entry_points
+
+    loaded: list[str] = []
+    for ep in entry_points(group=group):
+        try:
+            obj = ep.load()
+            if callable(obj) and not isinstance(obj, ModuleType):
+                obj()
+        except Exception as exc:
+            warnings.warn(f"repro plugin {ep.name!r} failed to load: {exc}",
+                          RuntimeWarning, stacklevel=2)
+            continue
+        loaded.append(ep.name)
+    return loaded
 
 
 # --------------------------------------------------------------------- #
@@ -301,6 +382,24 @@ def register_dag_family(name: str, *, description: str = "",
             description=description, aliases=aliases, replace=replace)
         return build
     return decorator
+
+
+def register_scheduler(name: str, *, description: str = "",
+                       aliases: Sequence[str] = (), replace: bool = False):
+    """Decorator registering a step-two scheduler constructor.
+
+    The factory is called as ``factory(graph, platform, model, allocation,
+    params=…, redist=…)`` and must return an object with ``run() ->
+    Schedule`` (RATS-style schedulers additionally expose
+    ``adaptation_summary()``).  The experiment runner selects the entry
+    named ``"list"`` / ``"rats"`` for plain clusters and
+    ``"<scheduler_kind>-list"`` / ``"<scheduler_kind>-rats"`` for platforms
+    that declare a ``scheduler_kind`` attribute (multi-cluster platforms
+    declare ``"multicluster"``), so custom platform types can route to
+    custom schedulers by registering under the matching names.
+    """
+    return schedulers.register(name, description=description,
+                               aliases=aliases, replace=replace)
 
 
 @dataclass(frozen=True)

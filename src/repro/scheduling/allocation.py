@@ -172,3 +172,15 @@ def mcpa_allocation(graph: TaskGraph, model: PerformanceModel,
     """MCPA allocation: CPA with per-level concurrency budgets."""
     return _cpa_core(graph, model, total_procs,
                      area_policy="total", level_cap=True, **kwargs)
+
+
+@register_allocator("reference", aliases=("hcpa-ref",),
+                    description="HCPA against a multi-cluster platform's "
+                                "reference (fastest-member) model")
+def _reference_allocator(graph: TaskGraph, model: PerformanceModel,
+                         total_procs: int, **kwargs) -> AllocationResult:
+    # the registry signature of repro.scheduling.multicluster's
+    # reference_allocation(): the experiment runner hands a multi-cluster
+    # platform's reference performance model and global processor count
+    # to every allocator, so the reference allocation is HCPA verbatim
+    return hcpa_allocation(graph, model, total_procs, **kwargs)

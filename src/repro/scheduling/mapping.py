@@ -40,6 +40,7 @@ from repro.model.amdahl import PerformanceModel
 from repro.platforms.cluster import Cluster
 from repro.redistribution.cost import RedistributionCost
 from repro.redistribution.remap import align_receivers
+from repro.registry import register_scheduler
 from repro.scheduling.schedule import Schedule, ScheduleEntry
 
 __all__ = ["MappingDecision", "ListScheduler"]
@@ -283,3 +284,10 @@ class ListScheduler:
         finish = start + self.exec_time(name, procs)
         return MappingDecision(procs=procs, start=start, finish=finish,
                                data_ready=data_ready, remote_bytes=remote)
+
+
+@register_scheduler("list", description="plain list-scheduling mapping "
+                    "(single cluster)")
+def _build_list_scheduler(graph, platform, model, allocation, *,
+                          params=None, redist=None):
+    return ListScheduler(graph, platform, model, allocation, redist=redist)

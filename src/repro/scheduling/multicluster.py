@@ -30,6 +30,7 @@ from repro.model.amdahl import PerformanceModel
 from repro.platforms.multicluster import MultiClusterPlatform
 from repro.redistribution.cost import RedistributionCost
 from repro.redistribution.remap import align_receivers
+from repro.registry import register_scheduler
 from repro.scheduling.allocation import AllocationResult, hcpa_allocation
 from repro.scheduling.mapping import ListScheduler
 
@@ -42,7 +43,13 @@ __all__ = [
 
 def reference_allocation(graph: TaskGraph, platform: MultiClusterPlatform,
                          **kwargs) -> AllocationResult:
-    """HCPA allocation against the platform's reference cluster."""
+    """HCPA allocation against the platform's reference cluster.
+
+    Registered in :data:`repro.registry.allocators` as ``"reference"``
+    (the registry-signature adapter lives in
+    :mod:`repro.scheduling.allocation` to keep the allocator bootstrap
+    import-cycle-free).
+    """
     return hcpa_allocation(graph, platform.performance_model(),
                            platform.num_procs, **kwargs)
 
@@ -141,3 +148,23 @@ class MultiClusterRATSScheduler(_MultiClusterMixin, RATSScheduler):
             redist=redist,
             priority_edge_costs=priority_edge_costs,
         )
+
+
+@register_scheduler("multicluster-list",
+                    description="translated-HCPA list scheduling across "
+                                "clusters")
+def _build_mc_list_scheduler(graph, platform, model, allocation, *,
+                             params=None, redist=None):
+    return MultiClusterListScheduler(graph, platform, allocation,
+                                     model=model, redist=redist)
+
+
+@register_scheduler("multicluster-rats",
+                    description="RATS adaptation on a multi-cluster "
+                                "platform (WAN-crossing aware)")
+def _build_mc_rats_scheduler(graph, platform, model, allocation, *,
+                             params=None, redist=None):
+    if params is None:
+        raise ValueError("the multicluster-rats scheduler needs RATSParams")
+    return MultiClusterRATSScheduler(graph, platform, allocation, params,
+                                     model=model, redist=redist)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -68,6 +70,19 @@ class TestCli:
         finally:
             platforms.unregister("cli-test")
 
+    def test_list_json(self, capsys):
+        assert main(["list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"allocators", "mapping strategies",
+                                "dag families", "platforms", "schedulers"}
+        platform_names = {e["name"] for e in payload["platforms"]}
+        assert "grid5000-grid" in platform_names  # multi-cluster platform
+        scheduler_names = {e["name"] for e in payload["schedulers"]}
+        assert {"multicluster-list", "multicluster-rats"} <= scheduler_names
+        timecost = next(e for e in payload["mapping strategies"]
+                        if e["name"] == "timecost")
+        assert timecost["aliases"] == ["time-cost"]
+
     def test_version_flag(self, capsys):
         from repro import __version__
 
@@ -79,3 +94,109 @@ class TestCli:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["bogus"])
+
+
+class TestRunSubcommand:
+    def _write_spec(self, tmp_path, fmt="json"):
+        if fmt == "toml":
+            path = tmp_path / "exp.toml"
+            path.write_text(
+                'platforms = ["chti"]\n'
+                'algorithms = ["hcpa", "rats-delta"]\n'
+                "repeats = 2\n\n"
+                "[[workloads]]\n"
+                'family = "strassen"\n')
+        else:
+            path = tmp_path / "exp.json"
+            path.write_text(json.dumps({
+                "platforms": ["chti"],
+                "workloads": [{"family": "strassen"}],
+                "algorithms": ["hcpa", "rats-delta"],
+                "repeats": 2,
+            }))
+        return path
+
+    def test_run_json_spec(self, capsys, tmp_path):
+        assert main(["run", str(self._write_spec(tmp_path)),
+                     "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "hcpa" in out and "rats-delta" in out and "best:" in out
+
+    def test_run_toml_spec(self, capsys, tmp_path):
+        assert main(["run", str(self._write_spec(tmp_path, "toml")),
+                     "--quiet"]) == 0
+        assert "best:" in capsys.readouterr().out
+
+    def test_run_with_store_resumes(self, capsys, tmp_path):
+        spec = self._write_spec(tmp_path)
+        store = tmp_path / "store.jsonl"
+        assert main(["run", str(spec), "--store", str(store),
+                     "--quiet"]) == 0
+        err = capsys.readouterr().err
+        assert "4 fresh" in err
+        assert main(["run", str(spec), "--store", str(store), "--resume",
+                     "--quiet"]) == 0
+        err = capsys.readouterr().err
+        assert "4 hits, 0 fresh" in err
+
+    def test_run_existing_store_needs_resume(self, capsys, tmp_path):
+        spec = self._write_spec(tmp_path)
+        store = tmp_path / "store.jsonl"
+        assert main(["run", str(spec), "--store", str(store),
+                     "--quiet"]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="--resume"):
+            main(["run", str(spec), "--store", str(store), "--quiet"])
+
+    def test_run_resume_requires_store(self, tmp_path):
+        spec = self._write_spec(tmp_path)
+        with pytest.raises(SystemExit, match="--store"):
+            main(["run", str(spec), "--resume", "--quiet"])
+
+    def test_run_results_json(self, capsys, tmp_path):
+        from repro.scheduling.serialize import load_results
+
+        spec = self._write_spec(tmp_path)
+        out_path = tmp_path / "results.json"
+        assert main(["run", str(spec), "--results-json", str(out_path),
+                     "--quiet"]) == 0
+        results = load_results(out_path)
+        assert len(results) == 4  # 2 samples x 1 cluster x 2 algorithms
+
+    def test_run_multicluster_platform(self, capsys, tmp_path):
+        path = tmp_path / "grid.json"
+        path.write_text(json.dumps({
+            "platforms": ["grid5000-grid"],
+            "workloads": [{"family": "strassen"}],
+            "algorithms": ["hcpa"],
+        }))
+        assert main(["run", str(path), "--quiet"]) == 0
+        assert "hcpa" in capsys.readouterr().out
+
+    def test_run_rejects_unknown_spec_key(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"platform": ["chti"]}))  # typo'd key
+        with pytest.raises(SystemExit, match="platform"):
+            main(["run", str(path)])
+
+    def test_run_rejects_malformed_spec(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SystemExit, match="malformed"):
+            main(["run", str(path)])
+
+    def test_run_missing_sections_error_cleanly(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"platforms": ["chti"]}))
+        with pytest.raises(SystemExit, match="workload"):
+            main(["run", str(path), "--quiet"])
+
+    def test_campaign_with_store(self, capsys, tmp_path):
+        store = tmp_path / "campaign.jsonl"
+        args = ["campaign", "--fraction", "0.004", "--clusters", "chti",
+                "--skip-sweeps", "--quiet", "--store", str(store),
+                "--out", str(tmp_path / "r.txt")]
+        assert main(args) == 0
+        assert "0 hits" not in capsys.readouterr().err
+        assert main(args + ["--resume"]) == 0
+        assert "0 fresh" in capsys.readouterr().err

@@ -126,7 +126,28 @@ class TestBuiltinRegistrations:
 
     def test_all_registries_sections(self):
         assert set(all_registries()) == {
-            "allocators", "mapping strategies", "dag families", "platforms"}
+            "allocators", "mapping strategies", "dag families", "platforms",
+            "schedulers"}
+
+    def test_schedulers(self):
+        from repro.registry import schedulers
+
+        assert {"list", "rats", "multicluster-list",
+                "multicluster-rats"} <= set(schedulers.names())
+
+    def test_multicluster_platform_registered(self):
+        from repro.platforms.multicluster import MultiClusterPlatform
+
+        grid = platforms.build("grid5000-grid")
+        assert isinstance(grid, MultiClusterPlatform)
+        assert grid.num_procs == 20 + 47 + 120
+        assert grid.scheduler_kind == "multicluster"
+
+    def test_reference_allocator_registered(self):
+        from repro.registry import allocators
+
+        assert "reference" in allocators
+        assert "hcpa-ref" in allocators  # alias
 
     def test_get_cluster_identity_for_builtins(self):
         assert get_cluster("chti") is CHTI

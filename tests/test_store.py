@@ -1,0 +1,491 @@
+"""Tests for the resumable campaign engine: result stores, content-hash
+keys, the persistent pool lifecycle and the streaming ``iter_matrix``."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.params import NAIVE_DELTA, NAIVE_TIMECOST, RATSParams
+from repro.experiments.runner import (
+    AlgorithmSpec,
+    ExperimentRunner,
+    baseline_spec,
+    rats_spec,
+)
+from repro.experiments.scenarios import Scenario
+from repro.experiments.store import (
+    JsonlStore,
+    MemoryStore,
+    ResultStore,
+    open_store,
+    run_key,
+)
+from repro.platforms.cluster import Cluster
+
+TINY = Cluster(name="store-tiny", num_procs=8, speed_flops=1e9)
+TINY2 = Cluster(name="store-tiny2", num_procs=6, speed_flops=2e9)
+
+SCENARIO = Scenario(family="strassen", sample=0)
+HCPA = baseline_spec("hcpa", label="HCPA")
+
+
+def small_matrix():
+    scenarios = [Scenario(family="strassen", sample=s) for s in range(2)] \
+        + [Scenario(family="fft", k=2, sample=s) for s in range(2)]
+    specs = [HCPA, rats_spec(NAIVE_DELTA, label="delta")]
+    return scenarios, [TINY], specs
+
+
+class TestRunKey:
+    def test_stable_within_process(self):
+        assert run_key(SCENARIO, TINY, HCPA) == run_key(SCENARIO, TINY, HCPA)
+
+    def test_accepts_cluster_name(self):
+        assert run_key(SCENARIO, TINY, HCPA) == \
+            run_key(SCENARIO, "store-tiny", HCPA)
+
+    def test_discriminates_every_component(self):
+        base = run_key(SCENARIO, TINY, HCPA)
+        assert run_key(Scenario(family="strassen", sample=1), TINY,
+                       HCPA) != base
+        assert run_key(SCENARIO, TINY2, HCPA) != base
+        assert run_key(SCENARIO, TINY, baseline_spec("mcpa")) != base
+        assert run_key(SCENARIO, TINY,
+                       rats_spec(NAIVE_TIMECOST, label="tc")) != base
+        assert run_key(SCENARIO, TINY, HCPA, simulated=False) != base
+
+    def test_tuned_resolver_hashes_to_resolved_params(self):
+        # a params_resolver spec and the explicit equivalent RATSParams
+        # must share a key: both identify the same computation
+        from repro.core.params import tuned_params
+
+        tuned = rats_spec(tuned=True, strategy="delta", label="delta")
+        explicit = AlgorithmSpec(
+            label="delta", strategy="delta",
+            params=tuned_params("grillon", "fft", "delta"))
+        scenario = Scenario(family="fft", k=2, sample=0)
+        assert run_key(scenario, "grillon", tuned) == \
+            run_key(scenario, "grillon", explicit)
+
+    def test_stable_across_processes(self):
+        code = (
+            "import sys; sys.path.insert(0, 'src')\n"
+            "from repro.experiments.runner import baseline_spec\n"
+            "from repro.experiments.scenarios import Scenario\n"
+            "from repro.experiments.store import run_key\n"
+            "print(run_key(Scenario(family='strassen', sample=0),\n"
+            "              'store-tiny', baseline_spec('hcpa', "
+            "label='HCPA')))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True,
+            cwd=Path(__file__).resolve().parent.parent, check=True)
+        assert out.stdout.strip() == run_key(SCENARIO, TINY, HCPA)
+
+
+class TestStores:
+    def test_memory_store_hit_miss_accounting(self):
+        store = MemoryStore()
+        runner = ExperimentRunner(store=store, record_timings=False)
+        first = runner.run(SCENARIO, TINY, HCPA)
+        assert (store.stats.hits, store.stats.misses,
+                store.stats.puts) == (0, 1, 1)
+        second = runner.run(SCENARIO, TINY, HCPA)
+        assert second == first
+        assert (store.stats.hits, store.stats.misses,
+                store.stats.puts) == (1, 1, 1)
+        assert len(store) == 1 and store.stats.lookups == 2
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        with JsonlStore(path) as store:
+            runner = ExperimentRunner(store=store, record_timings=False)
+            result = runner.run(SCENARIO, TINY, HCPA)
+        with JsonlStore(path) as reopened:
+            assert len(reopened) == 1
+            key = run_key(SCENARIO, TINY, HCPA)
+            assert reopened.get(key) == result
+            assert key in reopened
+
+    def test_jsonl_put_is_idempotent(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        key = run_key(SCENARIO, TINY, HCPA)
+        with JsonlStore(path) as store:
+            result = ExperimentRunner(record_timings=False).run(
+                SCENARIO, TINY, HCPA)
+            store.put(key, result)
+            store.put(key, result)
+            assert store.stats.puts == 1
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_jsonl_tolerates_crash_truncated_tail(self, tmp_path):
+        """A campaign killed mid-write leaves a partial last line; the
+        next campaign must resume from the intact prefix."""
+        path = tmp_path / "results.jsonl"
+        scenarios, clusters, specs = small_matrix()
+        with JsonlStore(path) as store:
+            with ExperimentRunner(store=store,
+                                  record_timings=False) as runner:
+                full = runner.run_matrix(scenarios, clusters, specs)
+        # simulate the crash: drop half a line from the end
+        text = path.read_text()
+        path.write_text(text[: len(text) - 40])
+        with JsonlStore(path) as store:
+            assert store.skipped_lines == 1
+            assert len(store) == len(full) - 1
+            with ExperimentRunner(store=store,
+                                  record_timings=False) as runner:
+                resumed = runner.run_matrix(scenarios, clusters, specs)
+            assert resumed == full
+            assert store.stats.misses == 1  # only the clipped run re-ran
+        # and the file is whole again
+        with JsonlStore(path) as store:
+            assert store.skipped_lines == 0 and len(store) == len(full)
+
+    def test_open_store(self, tmp_path):
+        assert isinstance(open_store(None), MemoryStore)
+        store = open_store(tmp_path / "s.jsonl")
+        assert isinstance(store, JsonlStore)
+        store.close()
+
+    def test_stores_satisfy_protocol(self):
+        assert isinstance(MemoryStore(), ResultStore)
+
+
+class TestResumableMatrix:
+    def test_72_run_matrix_second_pass_zero_simulations(self, tmp_path):
+        """Acceptance: a 72-run matrix executed twice against one
+        JsonlStore performs 0 fresh simulations on the second pass."""
+        scenarios = [Scenario(family="strassen", sample=s) for s in range(6)] \
+            + [Scenario(family="fft", k=2, sample=s) for s in range(6)]
+        clusters = [TINY, TINY2]
+        specs = [HCPA, rats_spec(NAIVE_DELTA, label="delta"),
+                 rats_spec(NAIVE_TIMECOST, label="time-cost")]
+        assert len(scenarios) * len(clusters) * len(specs) == 72
+
+        path = tmp_path / "campaign.jsonl"
+        with JsonlStore(path) as store:
+            with ExperimentRunner(store=store,
+                                  record_timings=False) as runner:
+                first = runner.run_matrix(scenarios, clusters, specs)
+            assert store.stats.misses == 72 and store.stats.puts == 72
+
+        with JsonlStore(path) as store:
+            executions = []
+            runner = ExperimentRunner(store=store, record_timings=False)
+            runner._execute = lambda *a: executions.append(a)  # trip-wire
+            second = runner.run_matrix(scenarios, clusters, specs)
+            assert executions == []  # zero simulations
+            assert store.stats.hits == 72 and store.stats.misses == 0
+            assert second == first
+
+    def test_mid_campaign_crash_resume(self, tmp_path):
+        """Only the runs missing from the store are computed on resume."""
+        scenarios, clusters, specs = small_matrix()
+        path = tmp_path / "crash.jsonl"
+        with JsonlStore(path) as store:
+            with ExperimentRunner(store=store,
+                                  record_timings=False) as runner:
+                # the "crashed" first campaign got through half the runs
+                runner.run_matrix(scenarios[:2], clusters, specs)
+            assert store.stats.puts == 4
+        with JsonlStore(path) as store:
+            with ExperimentRunner(store=store,
+                                  record_timings=False) as runner:
+                results = runner.run_matrix(scenarios, clusters, specs)
+            assert store.stats.hits == 4 and store.stats.misses == 4
+        fresh = ExperimentRunner(record_timings=False).run_matrix(
+            scenarios, clusters, specs)
+        assert results == fresh
+
+    def test_store_hits_skip_pool_submission(self, tmp_path):
+        """A fully-cached matrix never touches the process pool."""
+        scenarios, clusters, specs = small_matrix()
+        with JsonlStore(tmp_path / "s.jsonl") as store:
+            with ExperimentRunner(store=store,
+                                  record_timings=False) as runner:
+                first = runner.run_matrix(scenarios, clusters, specs)
+            with ExperimentRunner(store=store, record_timings=False,
+                                  jobs=4) as runner:
+                second = runner.run_matrix(scenarios, clusters, specs)
+                assert runner._pool is None  # nothing was submitted
+            assert second == first
+
+
+class TestIterMatrix:
+    def test_iter_equals_run_serial(self):
+        scenarios, clusters, specs = small_matrix()
+        runner = ExperimentRunner(record_timings=False)
+        streamed = list(runner.iter_matrix(scenarios, clusters, specs))
+        ordered = runner.run_matrix(scenarios, clusters, specs)
+        assert streamed == ordered  # serial streaming is already in order
+
+    def test_iter_equals_run_jobs2(self):
+        scenarios, clusters, specs = small_matrix()
+        with ExperimentRunner(record_timings=False, jobs=2) as runner:
+            streamed = list(runner.iter_matrix(scenarios, clusters, specs))
+            ordered = runner.run_matrix(scenarios, clusters, specs)
+        assert len(streamed) == len(ordered)
+        key = lambda r: (r.scenario_id, r.cluster, r.algorithm)  # noqa: E731
+        assert sorted(streamed, key=key) == sorted(ordered, key=key)
+
+    def test_iter_yields_store_hits_first(self, tmp_path):
+        scenarios, clusters, specs = small_matrix()
+        with JsonlStore(tmp_path / "s.jsonl") as store:
+            runner = ExperimentRunner(store=store, record_timings=False)
+            runner.run_matrix(scenarios[:2], clusters, specs)
+            stream = runner.iter_matrix(scenarios, clusters, specs)
+            first_four = [next(stream) for _ in range(4)]
+            assert {r.scenario_id for r in first_four} == \
+                {s.scenario_id for s in scenarios[:2]}
+            rest = list(stream)
+            assert len(rest) == 4
+
+
+class TestPersistentPool:
+    def test_pool_survives_across_matrices(self):
+        scenarios, clusters, specs = small_matrix()
+        with ExperimentRunner(record_timings=False, jobs=2) as runner:
+            runner.run_matrix(scenarios[:2], clusters, specs)
+            pool = runner._pool
+            assert pool is not None
+            runner.run_matrix(scenarios[2:], clusters, specs)
+            assert runner._pool is pool
+        assert runner._pool is None  # context exit closed it
+
+    def test_close_is_idempotent_and_reusable(self):
+        scenarios, clusters, specs = small_matrix()
+        runner = ExperimentRunner(record_timings=False, jobs=2)
+        runner.close()
+        runner.close()
+        results = runner.run_matrix(scenarios, clusters, specs)
+        assert runner._pool is not None
+        runner.close()
+        assert runner._pool is None
+        # a closed runner recreates the pool on demand
+        again = runner.run_matrix(scenarios, clusters, specs)
+        assert again == results
+        runner.close()
+
+    def test_pool_recreated_when_registry_changes(self):
+        from repro.registry import platforms, register_platform
+
+        scenarios, clusters, specs = small_matrix()
+        with ExperimentRunner(record_timings=False, jobs=2) as runner:
+            runner.run_matrix(scenarios, clusters, specs)
+            pool = runner._pool
+            register_platform(
+                Cluster(name="store-pool-extra", num_procs=4,
+                        speed_flops=1e9),
+                description="registered mid-campaign")
+            try:
+                runner.run_matrix(scenarios, clusters, specs)
+                # the registry snapshot changed, so the workers restarted
+                assert runner._pool is not pool
+            finally:
+                platforms.unregister("store-pool-extra")
+
+    def test_pool_workers_capped_at_chunks_and_grow(self):
+        scenarios, clusters, specs = small_matrix()
+        with ExperimentRunner(record_timings=False, jobs=8) as runner:
+            runner.run_matrix(scenarios[:2], clusters, specs)
+            assert runner._pool_workers == 2  # not 8 idle interpreters
+            small_pool = runner._pool
+            runner.run_matrix(scenarios, clusters, specs)
+            # a larger matrix can use more of the requested jobs
+            assert runner._pool is not small_pool
+            assert runner._pool_workers == 4
+
+    def test_store_results_identical_serial_vs_pool(self, tmp_path):
+        scenarios, clusters, specs = small_matrix()
+        with JsonlStore(tmp_path / "serial.jsonl") as store:
+            with ExperimentRunner(store=store,
+                                  record_timings=False) as runner:
+                serial = runner.run_matrix(scenarios, clusters, specs)
+        with JsonlStore(tmp_path / "pool.jsonl") as store:
+            with ExperimentRunner(store=store, record_timings=False,
+                                  jobs=2) as runner:
+                pooled = runner.run_matrix(scenarios, clusters, specs)
+        assert serial == pooled
+
+
+class TestMultiClusterThroughEngine:
+    """Acceptance: a registered MultiClusterPlatform runs end-to-end
+    through the same iter_matrix path as single clusters."""
+
+    def _grid_matrix(self):
+        from repro.registry import platforms
+
+        grid = platforms.build("grid5000-grid")
+        scenarios = [Scenario(family="strassen", sample=s) for s in range(2)]
+        specs = [HCPA, rats_spec(NAIVE_TIMECOST, label="tc")]
+        return scenarios, [grid], specs
+
+    def test_grid_serial_vs_pool_byte_identical(self):
+        scenarios, clusters, specs = self._grid_matrix()
+        serial = ExperimentRunner(record_timings=False).run_matrix(
+            scenarios, clusters, specs)
+        with ExperimentRunner(record_timings=False, jobs=2) as runner:
+            pooled = runner.run_matrix(scenarios, clusters, specs)
+        assert serial == pooled
+        assert all(r.cluster == "grid5000-grid" for r in serial)
+        assert all(r.makespan > 0 for r in serial)
+
+    def test_grid_through_experiment_builder(self):
+        from repro.experiments.experiment import Experiment
+
+        result = (Experiment()
+                  .on("grid5000-grid")
+                  .workload(family="strassen")
+                  .compare("hcpa", "rats-timecost")
+                  .repeats(2)
+                  .run())
+        assert len(result) == 4
+        assert {r.cluster for r in result} == {"grid5000-grid"}
+        # the adaptive runs report adaptation counts like single clusters
+        assert any(r.stretches + r.packs + r.sames > 0
+                   for r in result.by_algorithm()["rats-timecost"])
+
+    def test_grid_mixed_with_single_cluster(self, tmp_path):
+        """One matrix spanning a plain cluster and a grid, through one
+        store — the ROADMAP's 'target grids, not just single clusters'."""
+        from repro.registry import platforms
+
+        grid = platforms.build("grid5000-grid")
+        scenarios = [Scenario(family="fft", k=2, sample=s) for s in range(2)]
+        clusters = [TINY, grid]
+        specs = [HCPA]
+        with JsonlStore(tmp_path / "mixed.jsonl") as store:
+            with ExperimentRunner(store=store,
+                                  record_timings=False) as runner:
+                first = runner.run_matrix(scenarios, clusters, specs)
+            assert store.stats.puts == 4
+        with JsonlStore(tmp_path / "mixed.jsonl") as store:
+            with ExperimentRunner(store=store,
+                                  record_timings=False) as runner:
+                second = runner.run_matrix(scenarios, clusters, specs)
+            assert store.stats.misses == 0
+        assert second == first
+
+    def test_reference_allocator_spec_on_grid(self):
+        scenarios, clusters, specs = self._grid_matrix()
+        ref = AlgorithmSpec(label="ref", allocator="reference")
+        results = ExperimentRunner(record_timings=False).run_matrix(
+            scenarios, clusters, [ref])
+        hcpa = ExperimentRunner(record_timings=False).run_matrix(
+            scenarios, clusters, [AlgorithmSpec(label="ref",
+                                                allocator="hcpa")])
+        # on a multi-cluster platform the runner hands every allocator the
+        # reference model, so "reference" is HCPA by construction
+        assert results == hcpa
+
+
+class TestExperimentStore:
+    def test_experiment_store_chaining(self, tmp_path):
+        from repro.experiments.experiment import Experiment
+
+        path = str(tmp_path / "exp.jsonl")
+
+        def build():
+            return (Experiment().on(TINY)
+                    .workload(family="strassen", samples=2)
+                    .compare("hcpa"))
+
+        first = build().store(path).run()
+        second = build().store(path).run()
+        assert tuple(second) == tuple(first)
+
+    def test_experiment_store_path_is_lazy(self, tmp_path):
+        from repro.experiments.experiment import Experiment
+
+        path = tmp_path / "lazy.jsonl"
+        exp = (Experiment().on(TINY).workload(family="strassen")
+               .compare("hcpa").store(str(path)))
+        assert not path.exists()  # nothing opened until execution
+        exp.run()
+        assert path.exists()
+
+    def test_experiment_leaves_injected_runner_store_untouched(self, tmp_path):
+        from repro.experiments.experiment import Experiment
+
+        with ExperimentRunner(record_timings=False) as runner:
+            (Experiment().using(runner).on(TINY)
+             .workload(family="strassen").compare("hcpa")
+             .store(str(tmp_path / "scoped.jsonl")).run())
+            assert runner.store is None  # attachment was call-scoped
+            # and the run actually went through the store
+            with JsonlStore(tmp_path / "scoped.jsonl") as reopened:
+                assert len(reopened) == 1
+
+    def test_experiment_stream(self):
+        from repro.experiments.experiment import Experiment
+
+        exp = (Experiment().on(TINY)
+               .workload(family="strassen", samples=2)
+               .compare("hcpa", "rats-delta"))
+        streamed = list(exp.stream())
+        assert len(streamed) == 4
+        assert {r.algorithm for r in streamed} == {"hcpa", "rats-delta"}
+
+
+class TestPluginEntryPoints:
+    def test_load_plugins_invokes_callable_and_imports_module(self, monkeypatch):
+        import repro.registry as registry_mod
+
+        calls = []
+
+        class FakeEntryPoint:
+            def __init__(self, name, obj):
+                self.name = name
+                self._obj = obj
+
+            def load(self):
+                if isinstance(self._obj, Exception):
+                    raise self._obj
+                return self._obj
+
+        def fake_entry_points(*, group):
+            assert group == "repro.plugins"
+            import types
+
+            mod = types.ModuleType("fake_plugin_module")
+            return [
+                FakeEntryPoint("callable-plugin",
+                               lambda: calls.append("called")),
+                FakeEntryPoint("module-plugin", mod),
+            ]
+
+        import importlib.metadata
+
+        monkeypatch.setattr(importlib.metadata, "entry_points",
+                            fake_entry_points)
+        loaded = registry_mod.load_plugins(reload=True)
+        assert loaded == ["callable-plugin", "module-plugin"]
+        assert calls == ["called"]
+
+    def test_broken_plugin_warns_but_does_not_break(self, monkeypatch):
+        import repro.registry as registry_mod
+
+        class BrokenEntryPoint:
+            name = "broken"
+
+            def load(self):
+                raise RuntimeError("boom")
+
+        import importlib.metadata
+
+        monkeypatch.setattr(importlib.metadata, "entry_points",
+                            lambda *, group: [BrokenEntryPoint()])
+        with pytest.warns(RuntimeWarning, match="broken"):
+            loaded = registry_mod.load_plugins(reload=True)
+        assert loaded == []
+
+    def test_second_load_is_noop_without_reload(self):
+        import repro.registry as registry_mod
+
+        assert registry_mod.load_plugins() == []
