@@ -34,6 +34,35 @@ def test_simulator_dense_dag(benchmark):
     assert res.makespan > 0
 
 
+def test_simulator_bundling_speedup(benchmark):
+    """Bundled Max-Min solves vs the per-flow reference path.
+
+    Guards the PR-3 fast path: identical results (events and makespan),
+    and the bundled solver must stay well ahead of the reference
+    implementation it replaced.
+    """
+    import time
+
+    from repro.simulation.simulator import FluidSimulator
+
+    schedule = _dense_schedule()
+    t0 = time.perf_counter()
+    ref = FluidSimulator(schedule, use_bundling=False).run()
+    t_ref = time.perf_counter() - t0
+
+    fast = benchmark.pedantic(
+        lambda: FluidSimulator(schedule).run(), rounds=2, iterations=1)
+    t_fast = benchmark.stats.stats.min
+
+    assert fast.events == ref.events
+    assert abs(fast.makespan - ref.makespan) <= 1e-9 * ref.makespan
+    speedup = t_ref / t_fast
+    print(f"\ndense-DAG simulate: reference {t_ref:.2f}s, "
+          f"bundled {t_fast:.2f}s, speedup {speedup:.2f}x")
+    assert speedup > 1.5, (
+        f"bundled solver no faster than reference ({speedup:.2f}x)")
+
+
 def test_hcpa_allocation_speed(benchmark):
     sc = Scenario(family="layered", n_tasks=100, width=0.8, density=0.8,
                   regularity=0.8, sample=0)
@@ -55,6 +84,23 @@ def test_maxmin_solver_speed(benchmark):
     rates = benchmark(maxmin_rates_indexed, flows, capacities)
     assert len(rates) == n_flows
     assert (rates >= 0).all()
+
+
+def test_maxmin_bundled_speed(benchmark):
+    """Same random flow set through the bundled solver (the sim hot path)."""
+    from repro.network.maxmin import maxmin_rates_bundled
+
+    rng = spawn_rng("maxmin-bench")
+    n_links, n_flows = 250, 1000
+    capacities = np.full(n_links, 1.25e8)
+    flows = [
+        [int(a), int(b)]
+        for a, b in rng.integers(0, n_links, size=(n_flows, 2))
+    ]
+    rates = benchmark(maxmin_rates_bundled, flows, capacities)
+    assert len(rates) == n_flows
+    ref = maxmin_rates_indexed(flows, capacities)
+    np.testing.assert_allclose(rates, ref, rtol=1e-9, atol=1e-9)
 
 
 def test_parallel_run_matrix_speedup(benchmark):

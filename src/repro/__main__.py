@@ -18,8 +18,15 @@ Subcommands
 ``campaign``
     Run the reproduction campaign (same options as
     ``python -m repro.experiments.campaign``).
+``bench``
+    Run the substrate performance benchmarks, write
+    ``BENCH_substrate.json`` and optionally ``--compare`` against a
+    baseline (non-zero exit on regression).
 ``autotune``
     Auto-tune RATS parameters for a random application on a cluster.
+
+``run`` and ``campaign`` accept ``--profile [N]`` to dump the cProfile
+top-N (default 25) of the whole execution to stderr.
 """
 
 from __future__ import annotations
@@ -128,6 +135,7 @@ _RUN_SPEC_KEYS = frozenset(
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.bench import profiled
     from repro.experiments.campaign import open_cli_store
     from repro.experiments.experiment import Experiment
     from repro.experiments.runner import ExperimentRunner
@@ -167,7 +175,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 simulate_schedules=not spec.get("estimates_only", False),
                 progress=not args.quiet, store=store) as runner:
             try:
-                result = exp.using(runner).run()
+                with profiled(getattr(args, "profile", None)):
+                    result = exp.using(runner).run()
             except (TypeError, ValueError) as exc:
                 raise SystemExit(f"invalid experiment spec: {exc}") from None
         print(result.summary())
@@ -220,9 +229,24 @@ def _cmd_autotune(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.experiments.bench import profiled
     from repro.experiments.campaign import run_from_args
 
-    return run_from_args(args)
+    with profiled(getattr(args, "profile", None)):
+        return run_from_args(args)
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.bench import main as bench_main
+
+    return bench_main(args)
+
+
+def _add_profile_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--profile", nargs="?", const=25, type=int,
+                        default=None, metavar="N",
+                        help="cProfile the execution and print the top N "
+                             "entries (default 25) to stderr")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -268,6 +292,7 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--results-json", type=_Path, default=None,
                        metavar="PATH", help="persist raw RunResults as JSON")
     p_run.add_argument("--quiet", action="store_true")
+    _add_profile_flag(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_tables = sub.add_parser("tables", help="print the static tables")
@@ -276,7 +301,14 @@ def main(argv: list[str] | None = None) -> int:
     p_campaign = sub.add_parser("campaign",
                                 help="run the reproduction campaign")
     add_campaign_arguments(p_campaign)
+    _add_profile_flag(p_campaign)
     p_campaign.set_defaults(func=_cmd_campaign)
+
+    p_bench = sub.add_parser(
+        "bench", help="run the substrate performance benchmarks")
+    from repro.experiments.bench import add_bench_arguments
+    add_bench_arguments(p_bench)
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_tune = sub.add_parser("autotune", help="auto-tune RATS parameters")
     p_tune.add_argument("--cluster", default="grillon")

@@ -52,6 +52,11 @@ class RATSScheduler(ListScheduler):
         self.params = params
         self.strategy = make_strategy(params)
         self.adaptations: list[AdaptationRecord] = []
+        #: memoised secondary-sort values: ``iter_ready`` re-sorts the
+        #: ready list after every mapping, but a task's δ(t) / gain(t)
+        #: only changes when one of its predecessors gets mapped — the
+        #: cache is invalidated for the successors of each committed task.
+        self._sort_cache: dict[str, float] = {}
         #: predecessors whose allocation has been claimed by an adaptation;
         #: they are no longer adaptation targets (Algorithm 1, line 11 — a
         #: parent allocation backs at most one adapted child, preventing
@@ -73,8 +78,16 @@ class RATSScheduler(ListScheduler):
         secondary = getattr(self.strategy, "secondary_sort", None)
         if secondary is None:
             return super().sort_ready(ready)
-        return sorted(ready,
-                      key=lambda n: (-self.priorities[n], secondary(self, n)))
+        cache = self._sort_cache
+
+        def value(n: str) -> float:
+            v = cache.get(n)
+            if v is None:
+                v = secondary(self, n)
+                cache[n] = v
+            return v
+
+        return sorted(ready, key=lambda n: (-self.priorities[n], value(n)))
 
     def iter_ready(self, ready: list[str]) -> Iterator[str]:
         """Pop ready tasks one at a time, re-sorting between mappings.
@@ -100,7 +113,11 @@ class RATSScheduler(ListScheduler):
         if record is not None:
             self.adaptations.append(record)
             self.consumed_parents.add(record.pred)
-        return self.commit(name, decision)
+        entry = self.commit(name, decision)
+        # mapping `name` changes δ(t) / gain(t) of its successors only
+        for succ in self.graph.successors(name):
+            self._sort_cache.pop(succ, None)
+        return entry
 
     # ------------------------------------------------------------------ #
     def adaptation_summary(self) -> dict[str, int]:

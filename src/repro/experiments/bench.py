@@ -1,0 +1,340 @@
+"""Substrate performance benchmarks and the ``repro bench`` harness.
+
+The paper's whole evaluation (557 configurations) hinges on the simulate-
+and-schedule substrate staying fast: flow-level fluid simulation re-solves
+Max-Min rates at every event, and the RATS mapping step prices many
+candidate placements per task.  This module measures those hot paths,
+persists the numbers to a machine-readable ``BENCH_substrate.json``
+(the perf trajectory future PRs regress against) and compares runs:
+``repro bench --compare BASELINE.json`` exits non-zero when any benchmark
+regressed beyond the threshold (25 % by default).
+
+``profiled(top)`` is the shared cProfile wrapper behind the ``--profile``
+flag of ``repro run`` / ``repro campaign``.
+
+The numbers here are wall-clock on the current machine — compare only
+against baselines recorded on the same hardware.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "DEFAULT_THRESHOLD",
+    "run_benchmarks",
+    "compare_benchmarks",
+    "write_results",
+    "profiled",
+    "main",
+]
+
+BENCH_SCHEMA = 1
+DEFAULT_THRESHOLD = 0.25
+DEFAULT_OUT = "BENCH_substrate.json"
+
+
+# --------------------------------------------------------------------- #
+# benchmark definitions
+# --------------------------------------------------------------------- #
+def _dense_schedule(n_tasks: int):
+    """The bench scenario: a dense irregular DAG mapped on grillon."""
+    from repro.experiments.scenarios import Scenario
+    from repro.platforms.grid5000 import GRILLON
+    from repro.scheduling.allocation import hcpa_allocation
+    from repro.scheduling.mapping import ListScheduler
+
+    sc = Scenario(family="irregular", n_tasks=n_tasks, width=0.5,
+                  density=0.8, regularity=0.8, jump=2, sample=0)
+    g = sc.build()
+    model = GRILLON.performance_model()
+    alloc = hcpa_allocation(g, model, GRILLON.num_procs).allocation
+    return ListScheduler(g, GRILLON, model, alloc).run()
+
+
+def _bench_simulator(n_tasks: int) -> tuple[Callable, dict]:
+    from repro.simulation.simulator import simulate
+
+    schedule = _dense_schedule(n_tasks)
+
+    def run():
+        return simulate(schedule)
+
+    res = run()  # warm-up, also yields metadata
+    return run, {"n_tasks": n_tasks, "events": res.events,
+                 "maxmin_solves": res.maxmin_solves,
+                 "makespan": res.makespan}
+
+
+def _bench_maxmin(n_flows: int) -> tuple[Callable, dict]:
+    import numpy as np
+
+    from repro.network.maxmin import maxmin_rates_bundled
+    from repro.utils.rng import spawn_rng
+
+    rng = spawn_rng("maxmin-bench")
+    n_links = 250
+    inner = 50  # sub-millisecond solve: batch it so rounds are stable
+    capacities = np.full(n_links, 1.25e8)
+    flows = [[int(a), int(b)]
+             for a, b in rng.integers(0, n_links, size=(n_flows, 2))]
+
+    def run():
+        for _ in range(inner):
+            maxmin_rates_bundled(flows, capacities)
+
+    return run, {"n_flows": n_flows, "n_links": n_links, "inner": inner}
+
+
+def _bench_rats_mapping(n_tasks: int) -> tuple[Callable, dict]:
+    from repro.core.params import NAIVE_TIMECOST
+    from repro.core.rats import rats_schedule
+    from repro.experiments.scenarios import Scenario
+    from repro.platforms.grid5000 import GRILLON
+    from repro.scheduling.allocation import hcpa_allocation
+
+    sc = Scenario(family="layered", n_tasks=n_tasks, width=0.8, density=0.8,
+                  regularity=0.8, sample=0)
+    g = sc.build()
+    model = GRILLON.performance_model()
+    alloc = hcpa_allocation(g, model, GRILLON.num_procs).allocation
+
+    inner = 10
+
+    def run():
+        # a fresh scheduler per call: pricing caches must not leak
+        # between rounds, the estimator rebuild is part of the cost
+        for _ in range(inner):
+            rats_schedule(g, GRILLON, NAIVE_TIMECOST, allocation=alloc)
+
+    return run, {"n_tasks": n_tasks, "inner": inner}
+
+
+def _bench_hcpa(n_tasks: int) -> tuple[Callable, dict]:
+    from repro.experiments.scenarios import Scenario
+    from repro.platforms.grid5000 import GRILLON
+    from repro.scheduling.allocation import hcpa_allocation
+
+    sc = Scenario(family="layered", n_tasks=n_tasks, width=0.8, density=0.8,
+                  regularity=0.8, sample=0)
+    g = sc.build()
+    model = GRILLON.performance_model()
+
+    def run():
+        return hcpa_allocation(g, model, GRILLON.num_procs)
+
+    return run, {"n_tasks": n_tasks}
+
+
+def _benchmarks(quick: bool) -> dict[str, Callable[[], tuple[Callable, dict]]]:
+    sim_tasks = 40 if quick else 100
+    sched_tasks = 40 if quick else 100
+    flows = 200 if quick else 1000
+    return {
+        "simulator_dense_dag": lambda: _bench_simulator(sim_tasks),
+        "maxmin_bundled_random": lambda: _bench_maxmin(flows),
+        "rats_timecost_mapping": lambda: _bench_rats_mapping(sched_tasks),
+        "hcpa_allocation": lambda: _bench_hcpa(sched_tasks),
+    }
+
+
+# --------------------------------------------------------------------- #
+# harness
+# --------------------------------------------------------------------- #
+def run_benchmarks(*, rounds: int = 3, quick: bool = False,
+                   only: list[str] | None = None,
+                   log=None) -> dict:
+    """Run the substrate benchmarks; returns the JSON-ready result dict."""
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    available = _benchmarks(quick)
+    if only:
+        unknown = sorted(set(only) - set(available))
+        if unknown:
+            raise ValueError(
+                f"unknown benchmark(s) {unknown}; available: "
+                f"{sorted(available)}")
+    results: dict[str, dict] = {}
+    for name, setup in available.items():
+        if only and name not in only:
+            continue
+        if log:
+            log(f"  {name} ...")
+        fn, meta = setup()
+        times = []
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        results[name] = {
+            "mean_s": sum(times) / len(times),
+            "min_s": min(times),
+            "rounds": rounds,
+            "meta": meta,
+        }
+        if log:
+            log(f"  {name}: min {min(times):.4f}s  "
+                f"mean {results[name]['mean_s']:.4f}s")
+    return {
+        "schema": BENCH_SCHEMA,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "quick": quick,
+        "benchmarks": results,
+    }
+
+
+def write_results(results: dict, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(results, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def compare_benchmarks(current: dict, baseline: dict,
+                       threshold: float = DEFAULT_THRESHOLD) -> list[str]:
+    """Regressions of ``current`` against ``baseline``.
+
+    A benchmark regresses when its best-of-rounds time exceeds the
+    baseline's by more than ``threshold`` (0.25 = 25 %).  Benchmarks
+    present on only one side are reported as informational skips, not
+    regressions.  Returns human-readable regression lines (empty = pass).
+    """
+    regressions: list[str] = []
+    cur = current.get("benchmarks", {})
+    base = baseline.get("benchmarks", {})
+    for name in sorted(set(cur) & set(base)):
+        t_new = cur[name]["min_s"]
+        t_old = base[name]["min_s"]
+        if t_old <= 0:
+            continue
+        ratio = t_new / t_old
+        if ratio > 1.0 + threshold:
+            regressions.append(
+                f"{name}: {t_old:.4f}s -> {t_new:.4f}s "
+                f"({(ratio - 1) * 100:+.1f}%, threshold "
+                f"{threshold * 100:.0f}%)")
+    return regressions
+
+
+def render_comparison(current: dict, baseline: dict) -> str:
+    """Side-by-side table of the shared benchmarks."""
+    cur = current.get("benchmarks", {})
+    base = baseline.get("benchmarks", {})
+    lines = [f"{'benchmark':<28}{'baseline':>12}{'current':>12}{'ratio':>9}"]
+    for name in sorted(set(cur) | set(base)):
+        t_new = cur.get(name, {}).get("min_s")
+        t_old = base.get(name, {}).get("min_s")
+        if t_new is None or t_old is None:
+            missing = "current" if t_new is None else "baseline"
+            lines.append(f"{name:<28}{'(only in ' + missing + ')':>33}")
+            continue
+        ratio = t_new / t_old if t_old > 0 else float("inf")
+        lines.append(f"{name:<28}{t_old:>11.4f}s{t_new:>11.4f}s"
+                     f"{ratio:>8.2f}x")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# profiling support for `repro run` / `repro campaign`
+# --------------------------------------------------------------------- #
+@contextmanager
+def profiled(top: int | None, stream=None):
+    """cProfile the enclosed block and print the top-``top`` entries.
+
+    ``top=None`` disables profiling (the block runs untouched), so call
+    sites can wrap unconditionally with the CLI flag's value.
+    """
+    if not top:
+        yield
+        return
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=stream or sys.stderr)
+        stats.sort_stats("cumulative")
+        print(f"\n--- cProfile: top {top} by cumulative time ---",
+              file=stream or sys.stderr)
+        stats.print_stats(top)
+
+
+# --------------------------------------------------------------------- #
+# CLI entry (wired as `repro bench`)
+# --------------------------------------------------------------------- #
+def add_bench_arguments(parser) -> None:
+    parser.add_argument("--out", type=Path, default=Path(DEFAULT_OUT),
+                        metavar="PATH",
+                        help=f"result file (default {DEFAULT_OUT})")
+    parser.add_argument("--compare", type=Path, default=None,
+                        metavar="BASELINE",
+                        help="compare against a previous result file; exit "
+                             "non-zero on regression")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD, metavar="FRACTION",
+                        help="relative slowdown tolerated by --compare "
+                             "(default 0.25 = 25%%)")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="timing rounds per benchmark (best-of counts)")
+    parser.add_argument("--quick", action="store_true",
+                        help="small problem sizes (for smoke tests)")
+    parser.add_argument("--only", action="append", default=None,
+                        metavar="NAME", help="run only the named benchmark "
+                        "(repeatable)")
+    parser.add_argument("--quiet", action="store_true")
+
+
+def main(args) -> int:
+    log = None if args.quiet else (
+        lambda msg: print(msg, file=sys.stderr, flush=True))
+    # read the baseline FIRST: with the default --out, comparing against
+    # the committed baseline would otherwise overwrite it before the read
+    # and vacuously compare the run against itself
+    baseline = None
+    if args.compare is not None:
+        try:
+            baseline = json.loads(Path(args.compare).read_text())
+        except OSError as exc:
+            raise SystemExit(f"cannot read baseline: {exc}") from None
+        except ValueError as exc:
+            raise SystemExit(
+                f"malformed baseline {args.compare}: {exc}") from None
+
+    if log:
+        log(f"running substrate benchmarks "
+            f"({args.rounds} rounds{', quick' if args.quick else ''}):")
+    try:
+        results = run_benchmarks(rounds=args.rounds, quick=args.quick,
+                                 only=args.only, log=log)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    out = write_results(results, args.out)
+    print(f"wrote {out}")
+
+    if baseline is None:
+        return 0
+    if baseline.get("quick") != results.get("quick"):
+        print("warning: comparing quick and full-size runs",
+              file=sys.stderr)
+    print(render_comparison(results, baseline))
+    regressions = compare_benchmarks(results, baseline,
+                                     threshold=args.threshold)
+    if regressions:
+        print(f"\nPERF REGRESSION ({len(regressions)}):")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print(f"\nno regression beyond {args.threshold * 100:.0f}%")
+    return 0

@@ -68,14 +68,37 @@ __all__ = ["AlgorithmSpec", "RunResult", "ExperimentRunner",
 ParamsResolver = Callable[[str, str], RATSParams]  # (cluster, family) -> params
 
 
+#: (cluster, family, strategy) triples already warned about — the tuned
+#: fallback warns once per combination per process, not once per run
+_TUNED_FALLBACK_WARNED: set[tuple[str, str, str]] = set()
+
+
 @dataclass(frozen=True)
 class TunedResolver:
-    """Picklable per-(cluster, family) Table IV parameter resolver."""
+    """Picklable per-(cluster, family) Table IV parameter resolver.
+
+    Table IV only covers the paper's three single clusters; on any other
+    platform (multi-cluster grids, third-party registrations) the
+    resolver falls back to the strategy's *naive* parameters with a
+    one-time warning instead of raising, so ``rats-*-tuned`` specs run
+    everywhere.
+    """
 
     strategy: str
 
     def __call__(self, cluster_name: str, family: str) -> RATSParams:
-        return tuned_params(cluster_name, family, self.strategy)
+        try:
+            return tuned_params(cluster_name, family, self.strategy)
+        except KeyError:
+            key = (cluster_name, family, self.strategy)
+            if key not in _TUNED_FALLBACK_WARNED:
+                _TUNED_FALLBACK_WARNED.add(key)
+                warnings.warn(
+                    f"no Table IV tuned parameters for cluster "
+                    f"{cluster_name!r}, family {family!r}; falling back to "
+                    f"naive {self.strategy!r} parameters",
+                    RuntimeWarning, stacklevel=2)
+            return RATSParams(strategy=self.strategy)
 
 
 @dataclass(frozen=True)

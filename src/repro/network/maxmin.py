@@ -10,6 +10,18 @@ cap as a private one-flow link.
 The solver is exact for the fluid model and runs in
 ``O(#links · #flows)`` worst case, fast enough to be re-invoked at every
 simulation event.
+
+Flow bundling
+-------------
+Flows sharing the same (route, rate cap) are *interchangeable* under
+Max-Min fairness: the optimum is unique and symmetric in such flows, so
+they all receive the same rate and freeze together.  A redistribution
+between two processor sets spawns ``O(p + q)`` flows but only as many
+*distinct* routes as (src, dst) node pairs, so :func:`waterfill_bundled`
+solves the progressive filling over unique route bundles carrying a
+multiplicity, and callers broadcast the per-bundle rate back to the flows.
+This collapses the per-solve cost from ``O(incidence entries)`` to
+``O(bundles)`` — the hot-path win the fluid simulator relies on.
 """
 
 from __future__ import annotations
@@ -18,7 +30,12 @@ from typing import Hashable, Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["maxmin_rates", "maxmin_rates_indexed"]
+__all__ = [
+    "maxmin_rates",
+    "maxmin_rates_indexed",
+    "maxmin_rates_bundled",
+    "waterfill_bundled",
+]
 
 _EPS = 1e-12
 
@@ -143,6 +160,9 @@ def maxmin_rates_indexed(
         count=int(lengths.sum()),
     )
     flow_of = np.repeat(np.arange(n, dtype=np.intp), lengths)
+    # CSR offsets: flow i's links live in flat[offsets[i]:offsets[i + 1]]
+    offsets = np.zeros(n + 1, dtype=np.intp)
+    np.cumsum(lengths, out=offsets[1:])
 
     # flows with no links are only cap-limited
     no_link = lengths == 0
@@ -165,7 +185,8 @@ def maxmin_rates_indexed(
         if cap_level < link_level - _EPS:
             rates[cap_idx] = cap_level
             fixed[cap_idx] = True
-            np.subtract.at(residual, flat[flow_of == cap_idx], cap_level)
+            np.subtract.at(residual, flat[offsets[cap_idx]:offsets[cap_idx + 1]],
+                           cap_level)
             continue
 
         if not np.isfinite(link_level):  # pragma: no cover - degenerate
@@ -180,3 +201,189 @@ def maxmin_rates_indexed(
         np.maximum(residual, 0.0, out=residual)
 
     return rates
+
+
+def waterfill_bundled(
+    bundle_links_flat: np.ndarray,
+    bundle_ptr: np.ndarray,
+    multiplicity: np.ndarray,
+    capacities: np.ndarray,
+    rate_caps: np.ndarray,
+    *,
+    entry_bundle: np.ndarray | None = None,
+) -> np.ndarray:
+    """Waterfilling over *bundles* of interchangeable flows.
+
+    A bundle groups ``multiplicity[b]`` flows that share the same route and
+    the same per-flow rate cap; Max-Min fairness gives every one of them
+    the same rate, so the progressive filling can run over bundles with the
+    link fair-share counts weighted by multiplicity.
+
+    Each round freezes every *locally bottlenecked* link — a link whose
+    fair-share level is minimal among the links crossed by each of its
+    unfixed bundles (Bertsekas–Gallager bottleneck iteration).  Freezing
+    such a link at its level is exact: none of its bundles can be granted
+    more anywhere else, and levels only rise as bundles leave the residual
+    network.  This converges in a handful of rounds where one-bottleneck-
+    at-a-time progressive filling needs tens.
+
+    Parameters
+    ----------
+    bundle_links_flat, bundle_ptr:
+        CSR incidence: bundle ``b`` crosses the integer link indices
+        ``bundle_links_flat[bundle_ptr[b]:bundle_ptr[b + 1]]``.  A bundle
+        with an empty route is only limited by its cap.
+    multiplicity:
+        Number of flows in each bundle (``>= 1``).
+    capacities:
+        Per-link capacities (indexed by the link ids in the incidence).
+    rate_caps:
+        Per-flow rate cap of each bundle (``inf`` when uncapped).
+    entry_bundle:
+        Optional precomputed ``np.repeat(arange(n_bundles), row lengths)``
+        — callers re-solving over an unchanged incidence (the fluid
+        simulator) pass it to skip the per-solve rebuild.
+
+    Returns
+    -------
+    Per-bundle, per-flow rate (each of the ``multiplicity[b]`` flows of
+    bundle ``b`` receives ``rates[b]``).  Semantics match running
+    :func:`maxmin_rates` over the expanded flow set.
+    """
+    n_bundles = len(multiplicity)
+    rates = np.zeros(n_bundles)
+    if n_bundles == 0:
+        return rates
+    n_links = len(capacities)
+    caps = np.asarray(rate_caps, dtype=float)
+    mult = multiplicity.astype(float)
+
+    if entry_bundle is None:
+        lens = np.diff(bundle_ptr)
+        entry_bundle = np.repeat(np.arange(n_bundles, dtype=np.intp), lens)
+        # route-less or population-less bundles never enter the filling;
+        # the former are cap-limited, the latter carry no flows at all
+        prefixed = (lens == 0) | (multiplicity == 0)
+    else:
+        prefixed = multiplicity == 0
+
+    n_unfixed = n_bundles
+    if prefixed.any():
+        rates[prefixed] = caps[prefixed]
+        n_unfixed -= int(prefixed.sum())
+        live0 = ~prefixed[entry_bundle]
+        fl_live = bundle_links_flat[live0]
+        eb_live = entry_bundle[live0]
+    else:
+        fl_live = bundle_links_flat
+        eb_live = entry_bundle
+    if len(fl_live) == 0:
+        rates[~prefixed] = caps[~prefixed]
+        return rates
+
+    residual = np.asarray(capacities, dtype=float).copy()
+    w_live = mult[eb_live]
+    notfixed = ~prefixed
+    levels = np.empty(n_links)
+    blm = np.empty(n_bundles)
+    link_min = np.empty(n_links)
+
+    while n_unfixed > 0:
+        counts = np.bincount(fl_live, weights=w_live, minlength=n_links)
+        levels.fill(np.inf)
+        np.divide(residual, counts, out=levels, where=counts > 0)
+
+        # per-bundle bottleneck level: min over the bundle's links
+        ent_lvl = levels[fl_live]
+        blm.fill(np.inf)
+        np.minimum.at(blm, eb_live, ent_lvl)
+        bundle_min = np.minimum(blm, caps)
+
+        # a link freezes when its level is minimal for every one of its
+        # unfixed bundles (cap included: a lower cap defers the link);
+        # idle links freeze vacuously and carry no live entries
+        link_min.fill(np.inf)
+        np.minimum.at(link_min, fl_live, bundle_min[eb_live])
+        frozen_link = link_min >= levels * (1 - 1e-12)
+
+        # bundles on a frozen link freeze at their bottleneck level; a
+        # bundle capped at or below its bottleneck freezes at its cap
+        # (blm is inf for fixed bundles, masked by notfixed)
+        to_fix = caps <= blm * (1 + 1e-12)
+        to_fix[eb_live[frozen_link[fl_live]]] = True
+        to_fix &= notfixed
+        n_new = int(to_fix.sum())
+        if n_new == 0:  # pragma: no cover - degenerate (all-inf levels)
+            break
+        rates[to_fix] = bundle_min[to_fix]
+        notfixed[to_fix] = False
+        n_unfixed -= n_new
+
+        # newly fixed bundles leave the residual network; their entries
+        # are dropped so later rounds shrink
+        keep = notfixed[eb_live]
+        drop = ~keep
+        np.subtract.at(residual, fl_live[drop],
+                       rates[eb_live[drop]] * w_live[drop])
+        np.maximum(residual, 0.0, out=residual)
+        fl_live = fl_live[keep]
+        eb_live = eb_live[keep]
+        w_live = w_live[keep]
+
+    # safety net: anything left over is cap-limited
+    rates[notfixed] = caps[notfixed]
+    return rates
+
+
+def maxmin_rates_bundled(
+    flow_links: Sequence[Sequence[int]],
+    capacities: np.ndarray,
+    rate_caps: np.ndarray | None = None,
+) -> np.ndarray:
+    """Max-Min rates via flow bundling — same semantics as
+    :func:`maxmin_rates_indexed`.
+
+    Flows with identical (route, rate cap) are grouped into one bundle,
+    the waterfilling runs over bundles with multiplicities
+    (:func:`waterfill_bundled`), and the per-bundle rate is broadcast back
+    to every member flow.  On flow sets with many shared routes — a
+    redistribution between large processor sets, a dense DAG's concurrent
+    transfers — this is the fast path.
+    """
+    n = len(flow_links)
+    if rate_caps is None:
+        caps = np.full(n, np.inf)
+    else:
+        caps = np.asarray(rate_caps, dtype=float)
+        if len(caps) != n:
+            raise ValueError("rate_caps length must match flow_links length")
+    if n == 0:
+        return np.zeros(0)
+
+    bundles: dict[tuple, int] = {}
+    bundle_of = np.empty(n, dtype=np.intp)
+    bundle_routes: list[Sequence[int]] = []
+    bundle_caps: list[float] = []
+    counts: list[int] = []
+    for i, route in enumerate(flow_links):
+        key = (tuple(route), float(caps[i]))
+        b = bundles.get(key)
+        if b is None:
+            b = len(bundle_routes)
+            bundles[key] = b
+            bundle_routes.append(route)
+            bundle_caps.append(float(caps[i]))
+            counts.append(0)
+        bundle_of[i] = b
+        counts[b] += 1
+
+    lengths = np.array([len(r) for r in bundle_routes], dtype=np.intp)
+    ptr = np.zeros(len(bundle_routes) + 1, dtype=np.intp)
+    np.cumsum(lengths, out=ptr[1:])
+    flat = np.fromiter((l for r in bundle_routes for l in r),
+                       dtype=np.intp, count=int(lengths.sum()))
+    bundle_rates = waterfill_bundled(
+        flat, ptr, np.array(counts, dtype=np.intp),
+        np.asarray(capacities, dtype=float),
+        np.array(bundle_caps, dtype=float))
+    return bundle_rates[bundle_of]

@@ -24,18 +24,33 @@ __all__ = ["RedistributionCost"]
 class RedistributionCost:
     """Estimator bound to one cluster.
 
-    Results are memoised on ``(src_procs, dst_procs, data_bytes)`` — list
-    scheduling probes the same predecessor/candidate pairs repeatedly.
+    Every product — the expanded flow list, the time estimate and the
+    remote byte count — is memoised on the ordered-set key
+    ``(src_procs, dst_procs, data_bytes)``: list scheduling probes the
+    same predecessor/candidate pairs repeatedly, and RATS re-prices the
+    same (pred set, candidate set, bytes) triples many times per
+    adaptation loop.
     """
 
     def __init__(self, cluster: Cluster) -> None:
         self.cluster = cluster
-        self._cache: dict[tuple[tuple[int, ...], tuple[int, ...], float], float] = {}
+        _Key = tuple[tuple[int, ...], tuple[int, ...], float]
+        self._time_cache: dict[_Key, float] = {}
+        self._bytes_cache: dict[_Key, float] = {}
+        self._flow_cache: dict[_Key, tuple[FlowSpec, ...]] = {}
+
+    def _flows_cached(self, key) -> tuple[FlowSpec, ...]:
+        hit = self._flow_cache.get(key)
+        if hit is None:
+            hit = tuple(redistribution_flows(key[0], key[1], key[2]))
+            self._flow_cache[key] = hit
+        return hit
 
     def flows(self, src_procs: Sequence[int], dst_procs: Sequence[int],
               data_bytes: float) -> list[FlowSpec]:
         """Concrete flows of the redistribution (self-comms dropped)."""
-        return redistribution_flows(src_procs, dst_procs, data_bytes)
+        return list(self._flows_cached(
+            (tuple(src_procs), tuple(dst_procs), data_bytes)))
 
     def time(self, src_procs: Sequence[int], dst_procs: Sequence[int],
              data_bytes: float) -> float:
@@ -43,19 +58,25 @@ class RedistributionCost:
         if data_bytes == 0:
             return 0.0
         key = (tuple(src_procs), tuple(dst_procs), data_bytes)
-        hit = self._cache.get(key)
+        hit = self._time_cache.get(key)
         if hit is not None:
             return hit
-        flows = self.flows(src_procs, dst_procs, data_bytes)
-        t = bottleneck_time_estimate(flows, self.cluster) if flows else 0.0
-        self._cache[key] = t
+        flows = self._flows_cached(key)
+        t = bottleneck_time_estimate(list(flows), self.cluster) if flows else 0.0
+        self._time_cache[key] = t
         return t
 
     def remote_bytes(self, src_procs: Sequence[int], dst_procs: Sequence[int],
                      data_bytes: float) -> float:
         """Bytes that actually cross the network (excludes self-comm)."""
-        return sum(f.data_bytes
-                   for f in self.flows(src_procs, dst_procs, data_bytes))
+        if data_bytes == 0:
+            return 0.0
+        key = (tuple(src_procs), tuple(dst_procs), data_bytes)
+        hit = self._bytes_cache.get(key)
+        if hit is None:
+            hit = sum(f.data_bytes for f in self._flows_cached(key))
+            self._bytes_cache[key] = hit
+        return hit
 
     def average_edge_time(self, data_bytes: float) -> float:
         """Platform-level a-priori estimate of an edge's communication time.

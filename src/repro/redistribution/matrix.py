@@ -18,6 +18,7 @@ The paper's Table I example (``m = 10``, ``p = 4 → q = 5``)::
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Sequence
 
 import numpy as np
@@ -33,22 +34,18 @@ __all__ = [
 _EPS = 1e-12
 
 
-def communication_matrix(m: float, p: int, q: int) -> dict[tuple[int, int], float]:
-    """Sparse ``(sender rank, receiver rank) → amount`` map for ``m`` units.
+@lru_cache(maxsize=4096)
+def _comm_matrix_entries(m: float, p: int,
+                         q: int) -> tuple[tuple[int, int, float], ...]:
+    """Memoised two-pointer sweep: ``(i, j, amount)`` triples for ``m`` units.
 
-    Computed with a two-pointer sweep over the interval boundaries in
-    ``O(p + q)``.  Amounts are in the same unit as ``m``.
-
-    >>> communication_matrix(10, 4, 5)[(0, 0)]
-    2.5
+    The schedulers re-price the same ``(bytes, p, q)`` shapes many times
+    per adaptation loop (and the simulator re-expands them once more), so
+    the sweep result is cached on its three scalars.
     """
-    if p < 1 or q < 1:
-        raise ValueError("p and q must be >= 1")
-    if m < 0:
-        raise ValueError("m must be >= 0")
     out: dict[tuple[int, int], float] = {}
     if m == 0:
-        return out
+        return ()
     i = j = 0
     pos = 0.0
     send_step = m / p
@@ -66,7 +63,24 @@ def communication_matrix(m: float, p: int, q: int) -> dict[tuple[int, int], floa
             i += 1
         if recv_end <= send_end + _EPS * m:
             j += 1
-    return out
+    return tuple((i, j, amount) for (i, j), amount in out.items())
+
+
+def communication_matrix(m: float, p: int, q: int) -> dict[tuple[int, int], float]:
+    """Sparse ``(sender rank, receiver rank) → amount`` map for ``m`` units.
+
+    Computed with a two-pointer sweep over the interval boundaries in
+    ``O(p + q)``; results are memoised on ``(m, p, q)``.  Amounts are in
+    the same unit as ``m``.
+
+    >>> communication_matrix(10, 4, 5)[(0, 0)]
+    2.5
+    """
+    if p < 1 or q < 1:
+        raise ValueError("p and q must be >= 1")
+    if m < 0:
+        raise ValueError("m must be >= 0")
+    return {(i, j): amount for i, j, amount in _comm_matrix_entries(m, p, q)}
 
 
 def communication_matrix_dense(m: float, p: int, q: int) -> np.ndarray:
@@ -91,10 +105,12 @@ def redistribution_flows(
     """
     if not src_procs or not dst_procs:
         raise ValueError("processor sets must be non-empty")
+    if data_bytes < 0:
+        raise ValueError("m must be >= 0")
     flows: list[FlowSpec] = []
-    for (i, j), amount in communication_matrix(
+    for i, j, amount in _comm_matrix_entries(
         data_bytes, len(src_procs), len(dst_procs)
-    ).items():
+    ):
         src, dst = src_procs[i], dst_procs[j]
         if src != dst:
             flows.append(FlowSpec(src=src, dst=dst, data_bytes=amount))

@@ -31,6 +31,7 @@ implement Algorithm 1.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -215,13 +216,18 @@ class ListScheduler:
     # ------------------------------------------------------------------ #
     def _earliest_procs(self, count: int,
                         prefer: Sequence[int] = ()) -> list[int]:
-        """``count`` processors by availability; ``prefer`` wins ties."""
+        """``count`` processors by availability; ``prefer`` wins ties.
+
+        Selection instead of a full sort: ``heapq.nsmallest`` is
+        documented to equal ``sorted(...)[:count]``, so the chosen sets —
+        and thus every schedule — are unchanged, at ``O(P log count)``
+        instead of ``O(P log P)`` per pricing probe.
+        """
         preferred = set(prefer)
-        order = sorted(
-            range(self.cluster.num_procs),
+        return heapq.nsmallest(
+            count, range(self.cluster.num_procs),
             key=lambda p: (self.proc_avail[p], p not in preferred, p),
         )
-        return order[:count]
 
     def candidate_sets(self, name: str, nprocs: int) -> list[tuple[int, ...]]:
         """Candidate ordered processor sets for ``name`` at size ``nprocs``."""

@@ -28,6 +28,22 @@ completion and re-solving the Max-Min rates are vector operations.  The
 solver uses simultaneous waterfilling (all links at the current minimum
 fair-share level freeze together), which converges in a handful of
 iterations on homogeneous-capacity networks.
+
+Two further structural optimisations keep the per-event cost low without
+changing any simulated time (see ``docs/performance.md``):
+
+* **flow bundling** — flows sharing a (src, dst) node pair have identical
+  routes and rate caps, hence identical Max-Min rates; each solve runs
+  over the *unique active pairs* with multiplicities
+  (:func:`repro.network.maxmin.waterfill_bundled`) and broadcasts the
+  per-pair rate back to the member flows;
+* **incremental active-set state** — per-pair active flow counts are
+  maintained on release/completion, and the compact pair incidence is
+  only regathered when the *set* of active pairs changes, instead of
+  rebuilding masks over all flows at every event.
+
+``use_bundling=False`` selects the original per-flow solver; it is kept
+as the equivalence oracle for the golden tests.
 """
 
 from __future__ import annotations
@@ -39,6 +55,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.dag.task import TaskGraph
+from repro.network.maxmin import waterfill_bundled
 from repro.platforms.cluster import Cluster
 from repro.redistribution.matrix import redistribution_flows
 from repro.scheduling.schedule import Schedule
@@ -123,6 +140,22 @@ def _waterfill(entry_links: np.ndarray, entry_flow: np.ndarray,
     return rates
 
 
+def _csr_gather(flat: np.ndarray, ptr: np.ndarray,
+                rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate the CSR rows ``rows``; returns (entries, row lengths)."""
+    starts = ptr[rows]
+    lens = ptr[rows + 1] - starts
+    total = int(lens.sum())
+    if total == 0:
+        return np.empty(0, dtype=flat.dtype), lens
+    # positions of each row's entries in the output are contiguous
+    cum = np.zeros(len(rows), dtype=np.intp)
+    np.cumsum(lens[:-1], out=cum[1:])
+    idx = (np.arange(total, dtype=np.intp)
+           - np.repeat(cum, lens) + np.repeat(starts, lens))
+    return flat[idx], lens
+
+
 class FluidSimulator:
     """Simulate one schedule on its cluster.
 
@@ -133,29 +166,44 @@ class FluidSimulator:
     collect_flow_traces:
         Keep per-flow trace records (off by default: a 100-task DAG can
         spawn tens of thousands of flows).
+    use_bundling:
+        Solve Max-Min rates over unique (src, dst) route bundles with
+        multiplicities (the fast path, on by default).  ``False`` runs the
+        original per-flow waterfilling — the reference implementation the
+        golden equivalence tests compare against.
     """
 
     def __init__(self, schedule: Schedule, *,
-                 collect_flow_traces: bool = False) -> None:
+                 collect_flow_traces: bool = False,
+                 use_bundling: bool = True) -> None:
         self.schedule = schedule
         self.graph: TaskGraph = schedule.graph
         self.cluster: Cluster = schedule.cluster
         self.collect_flow_traces = collect_flow_traces
+        self.use_bundling = use_bundling
 
     # ------------------------------------------------------------------ #
     def _build_flows(self):
-        """Expand every edge into flows; returns global flow arrays."""
+        """Expand every edge into flows; returns global flow arrays.
+
+        Route lookups run once per distinct (src, dst) *pair*, not per
+        flow: flows are tagged with a pair id (``pair_of``) and the pair's
+        route incidence is stored once in CSR form (``pair_links_flat`` /
+        ``pair_ptr``) — the basis of the bundled Max-Min solves.
+        """
         graph, schedule, topo = self.graph, self.schedule, self.cluster.topology
         srcs: list[int] = []
         dsts: list[int] = []
         sizes: list[float] = []
-        caps: list[float] = []
-        lats: list[float] = []
         edge_of: list[int] = []
-        links_flat: list[int] = []
-        links_flow: list[int] = []
+        pair_of: list[int] = []
         edges: list[tuple[str, str]] = []
         edge_index: dict[tuple[str, str], int] = {}
+
+        pair_index: dict[tuple[int, int], int] = {}
+        pair_caps: list[float] = []
+        pair_lats: list[float] = []
+        pair_routes: list[tuple[int, ...]] = []
 
         for u, v, data in graph.edges():
             eid = len(edges)
@@ -166,27 +214,44 @@ class FluidSimulator:
             for s in specs:
                 if s.data_bytes <= 0:
                     continue
-                fid = len(srcs)
+                pid = pair_index.get((s.src, s.dst))
+                if pid is None:
+                    pid = len(pair_routes)
+                    pair_index[(s.src, s.dst)] = pid
+                    route = topo.route(s.src, s.dst)
+                    pair_caps.append(route.rate_cap_Bps)
+                    pair_lats.append(route.latency_s)
+                    pair_routes.append(topo.route_indices(s.src, s.dst))
                 srcs.append(s.src)
                 dsts.append(s.dst)
                 sizes.append(s.data_bytes)
-                route = topo.route(s.src, s.dst)
-                caps.append(route.rate_cap_Bps)
-                lats.append(route.latency_s)
                 edge_of.append(eid)
-                for li in topo.route_indices(s.src, s.dst):
-                    links_flat.append(li)
-                    links_flow.append(fid)
+                pair_of.append(pid)
+
+        pair_of_arr = np.array(pair_of, dtype=np.intp)
+        pair_lens = np.array([len(r) for r in pair_routes], dtype=np.intp)
+        pair_ptr = np.zeros(len(pair_routes) + 1, dtype=np.intp)
+        np.cumsum(pair_lens, out=pair_ptr[1:])
+        pair_links_flat = np.fromiter(
+            (li for r in pair_routes for li in r),
+            dtype=np.intp, count=int(pair_lens.sum()))
+        pair_cap_arr = np.array(pair_caps, dtype=float)
+        pair_lat_arr = np.array(pair_lats, dtype=float)
 
         return {
             "src": np.array(srcs, dtype=np.intp),
             "dst": np.array(dsts, dtype=np.intp),
             "size": np.array(sizes, dtype=float),
-            "cap": np.array(caps, dtype=float),
-            "lat": np.array(lats, dtype=float),
+            "cap": (pair_cap_arr[pair_of_arr] if len(srcs)
+                    else np.empty(0, dtype=float)),
+            "lat": (pair_lat_arr[pair_of_arr] if len(srcs)
+                    else np.empty(0, dtype=float)),
             "edge_of": np.array(edge_of, dtype=np.intp),
-            "links_flat": np.array(links_flat, dtype=np.intp),
-            "links_flow": np.array(links_flow, dtype=np.intp),
+            "pair_of": pair_of_arr,
+            "pair_cap": pair_cap_arr,
+            "pair_lat": pair_lat_arr,
+            "pair_links_flat": pair_links_flat,
+            "pair_ptr": pair_ptr,
             "edges": edges,
             "edge_index": edge_index,
         }
@@ -232,9 +297,31 @@ class FluidSimulator:
         for eid, (u, _v) in enumerate(edges):
             out_edge_ids[u].append(eid)
 
-        # incidence (built once); per-solve we mask by active flows
-        links_flat = fl["links_flat"]
-        links_flow = fl["links_flow"]
+        pair_of = fl["pair_of"]
+        pair_ptr = fl["pair_ptr"]
+        pair_links_flat = fl["pair_links_flat"]
+        pair_cap = fl["pair_cap"]
+        n_pairs = len(pair_cap)
+
+        # homogeneous route lengths (every non-hierarchical cluster, and
+        # intra-cabinet-only traffic) allow a reshape-based incidence
+        # gather instead of the generic CSR one
+        pair_lens = np.diff(pair_ptr)
+        uniform_len = 0
+        if n_pairs and int(pair_lens.min()) == int(pair_lens.max()) > 0:
+            uniform_len = int(pair_lens[0])
+            links_2d = pair_links_flat.reshape(n_pairs, uniform_len)
+            ptr_tpl = np.arange(n_pairs + 1, dtype=np.intp) * uniform_len
+            entry_tpl = np.repeat(np.arange(n_pairs, dtype=np.intp),
+                                  uniform_len)
+        arange_tpl = np.arange(n_pairs, dtype=np.intp)
+
+        if not self.use_bundling:
+            # reference path: expand the per-flow (link, flow) incidence
+            links_flat, _ = _csr_gather(pair_links_flat, pair_ptr, pair_of)
+            links_flow = np.repeat(
+                np.arange(n_flows, dtype=np.intp),
+                pair_ptr[pair_of + 1] - pair_ptr[pair_of])
 
         now = 0.0
         started: set[str] = set()
@@ -249,6 +336,18 @@ class FluidSimulator:
 
         active_idx = np.empty(0, dtype=np.intp)  # ids of active flows
         next_completion = math.inf
+
+        # bundled-solver state: per-pair active flow counts are maintained
+        # incrementally on release/completion; the compact pair incidence
+        # is regathered only when the *set* of active pairs changes
+        active_count = np.zeros(n_pairs, dtype=np.intp)
+        pair_set_dirty = True
+        active_pairs = np.empty(0, dtype=np.intp)
+        compact_flat = np.empty(0, dtype=np.intp)
+        compact_ptr = np.zeros(1, dtype=np.intp)
+        compact_entry = np.empty(0, dtype=np.intp)
+        active_caps = np.empty(0, dtype=float)
+        pair_pos = np.zeros(n_pairs, dtype=np.intp)  # pair id -> compact row
 
         # candidates whose readiness must be rechecked after an event
         check_ready: set[str] = set(graph.task_names())
@@ -291,21 +390,46 @@ class FluidSimulator:
                     heapq.heappush(release_heap, (t_rel, fid))
 
         def recompute_rates() -> None:
-            nonlocal solves, next_completion
+            nonlocal solves, next_completion, pair_set_dirty
+            nonlocal active_pairs, compact_flat, compact_ptr, compact_entry
+            nonlocal active_caps
             solves += 1
             if len(active_idx) == 0:
                 next_completion = math.inf
                 return
-            # compact incidence restricted to active flows (active_idx sorted)
-            active_mask = np.zeros(n_flows, dtype=bool)
-            active_mask[active_idx] = True
-            sel = active_mask[links_flow]
-            compact_flow = np.searchsorted(active_idx, links_flow[sel])
-            r = _waterfill(links_flat[sel], compact_flow, len(active_idx),
-                           capacities, fl["cap"][active_idx])
-            rates[active_idx] = r
-            with np.errstate(divide="ignore"):
-                etas = remaining[active_idx] / rates[active_idx]
+            if self.use_bundling:
+                if pair_set_dirty:
+                    active_pairs = np.nonzero(active_count)[0]
+                    n_act = len(active_pairs)
+                    if uniform_len:
+                        compact_flat = links_2d[active_pairs].ravel()
+                        compact_ptr = ptr_tpl[:n_act + 1]
+                        compact_entry = entry_tpl[:n_act * uniform_len]
+                    else:
+                        entries, lens = _csr_gather(pair_links_flat,
+                                                    pair_ptr, active_pairs)
+                        compact_flat = entries
+                        compact_ptr = np.zeros(n_act + 1, dtype=np.intp)
+                        np.cumsum(lens, out=compact_ptr[1:])
+                        compact_entry = np.repeat(arange_tpl[:n_act], lens)
+                    pair_pos[active_pairs] = arange_tpl[:n_act]
+                    active_caps = pair_cap[active_pairs]
+                    pair_set_dirty = False
+                bundle_rates = waterfill_bundled(
+                    compact_flat, compact_ptr, active_count[active_pairs],
+                    capacities, active_caps, entry_bundle=compact_entry)
+                rates[active_idx] = bundle_rates[pair_pos[pair_of[active_idx]]]
+            else:
+                # reference path: compact incidence restricted to the
+                # active flows (active_idx kept sorted on this path)
+                active_mask = np.zeros(n_flows, dtype=bool)
+                active_mask[active_idx] = True
+                sel = active_mask[links_flow]
+                compact_flow = np.searchsorted(active_idx, links_flow[sel])
+                r = _waterfill(links_flat[sel], compact_flow, len(active_idx),
+                               capacities, fl["cap"][active_idx])
+                rates[active_idx] = r
+            etas = remaining[active_idx] / rates[active_idx]
             next_completion = now + float(etas.min())
 
         # prime
@@ -315,77 +439,94 @@ class FluidSimulator:
         check_ready.clear()
 
         total = graph.num_tasks
-        while len(done) < total:
-            t_candidates = [next_completion]
-            if finish_heap:
-                t_candidates.append(finish_heap[0][0])
-            if release_heap:
-                t_candidates.append(release_heap[0][0])
-            t_next = min(t_candidates)
-            if not math.isfinite(t_next):  # pragma: no cover - deadlock guard
-                raise RuntimeError(
-                    f"simulation stalled at t={now:g}: "
-                    f"{total - len(done)} tasks never became runnable")
-            dt = max(0.0, t_next - now)
+        # a single errstate for the whole loop: etas legitimately divide
+        # by zero/inf rates (instantaneous and stalled flows)
+        old_err = np.seterr(divide="ignore", invalid="ignore")
+        try:
+            while len(done) < total:
+                t_candidates = [next_completion]
+                if finish_heap:
+                    t_candidates.append(finish_heap[0][0])
+                if release_heap:
+                    t_candidates.append(release_heap[0][0])
+                t_next = min(t_candidates)
+                if not math.isfinite(t_next):  # pragma: no cover - deadlock guard
+                    raise RuntimeError(
+                        f"simulation stalled at t={now:g}: "
+                        f"{total - len(done)} tasks never became runnable")
+                dt = max(0.0, t_next - now)
 
-            if dt > 0 and len(active_idx):
-                remaining[active_idx] -= rates[active_idx] * dt
-            now = t_next
-            events += 1
-            set_changed = False
+                if dt > 0 and len(active_idx):
+                    remaining[active_idx] -= rates[active_idx] * dt
+                now = t_next
+                events += 1
+                set_changed = False
 
-            # 1) flow completions
-            if len(active_idx):
-                done_sel = remaining[active_idx] <= done_threshold[active_idx]
-                if done_sel.any():
-                    finished = active_idx[done_sel]
-                    active_idx = active_idx[~done_sel]
-                    status[finished] = 3
-                    remaining[finished] = 0.0
+                # 1) flow completions
+                if len(active_idx):
+                    done_sel = remaining[active_idx] <= done_threshold[active_idx]
+                    if done_sel.any():
+                        finished = active_idx[done_sel]
+                        active_idx = active_idx[~done_sel]
+                        status[finished] = 3
+                        remaining[finished] = 0.0
+                        set_changed = True
+                        fin_pairs = pair_of[finished]
+                        np.subtract.at(active_count, fin_pairs, 1)
+                        if (active_count[fin_pairs] == 0).any():
+                            pair_set_dirty = True
+                        for fid in finished:
+                            consumer = edges[int(fl["edge_of"][fid])][1]
+                            flows_left[consumer] -= 1
+                            check_ready.add(consumer)
+                            if self.collect_flow_traces:
+                                flow_traces.append(FlowTrace(
+                                    edge=edges[int(fl["edge_of"][fid])],
+                                    src=int(fl["src"][fid]),
+                                    dst=int(fl["dst"][fid]),
+                                    data_bytes=float(fl["size"][fid]),
+                                    release=float(release_time[fid]),
+                                    finish=now))
+
+                # 2) task completions
+                while finish_heap and finish_heap[0][0] <= now + _TIME_EPS:
+                    _, name = heapq.heappop(finish_heap)
+                    finish_task(name)
+
+                # 3) flow releases
+                newly_active: list[int] = []
+                while release_heap and release_heap[0][0] <= now + _TIME_EPS:
+                    _, fid = heapq.heappop(release_heap)
+                    status[fid] = 2
+                    newly_active.append(fid)
+                if newly_active:
+                    new = np.array(newly_active, dtype=np.intp)
+                    rel_pairs = pair_of[new]
+                    if (active_count[rel_pairs] == 0).any():
+                        pair_set_dirty = True
+                    np.add.at(active_count, rel_pairs, 1)
+                    if self.use_bundling:
+                        active_idx = np.concatenate([active_idx, new])
+                    else:  # reference path needs active_idx sorted
+                        active_idx = np.sort(np.concatenate([active_idx, new]))
                     set_changed = True
-                    for fid in finished:
-                        consumer = edges[int(fl["edge_of"][fid])][1]
-                        flows_left[consumer] -= 1
-                        check_ready.add(consumer)
-                        if self.collect_flow_traces:
-                            flow_traces.append(FlowTrace(
-                                edge=edges[int(fl["edge_of"][fid])],
-                                src=int(fl["src"][fid]),
-                                dst=int(fl["dst"][fid]),
-                                data_bytes=float(fl["size"][fid]),
-                                release=float(release_time[fid]),
-                                finish=now))
 
-            # 2) task completions
-            while finish_heap and finish_heap[0][0] <= now + _TIME_EPS:
-                _, name = heapq.heappop(finish_heap)
-                finish_task(name)
+                # 4) newly startable tasks
+                for name in check_ready:
+                    if name not in started and can_start(name):
+                        start_task(name)
+                check_ready.clear()
 
-            # 3) flow releases
-            newly_active: list[int] = []
-            while release_heap and release_heap[0][0] <= now + _TIME_EPS:
-                _, fid = heapq.heappop(release_heap)
-                status[fid] = 2
-                newly_active.append(fid)
-            if newly_active:
-                active_idx = np.sort(np.concatenate(
-                    [active_idx, np.array(newly_active, dtype=np.intp)]))
-                set_changed = True
-
-            # 4) newly startable tasks
-            for name in check_ready:
-                if name not in started and can_start(name):
-                    start_task(name)
-            check_ready.clear()
-
-            if set_changed:
-                recompute_rates()
-            elif len(active_idx):
-                with np.errstate(divide="ignore"):
+                if set_changed:
+                    recompute_rates()
+                elif len(active_idx):
                     etas = remaining[active_idx] / rates[active_idx]
-                next_completion = now + float(etas.min())
-            else:
-                next_completion = math.inf
+                    next_completion = now + float(etas.min())
+                else:
+                    next_completion = math.inf
+
+        finally:
+            np.seterr(**old_err)
 
         makespan = max(tr.finish for tr in traces.values()) - min(
             tr.start for tr in traces.values())

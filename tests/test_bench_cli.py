@@ -1,0 +1,131 @@
+"""Tests for the `repro bench` perf harness and the tuned-params fallback."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.core.params import RATSParams
+from repro.experiments.bench import (
+    compare_benchmarks,
+    profiled,
+    run_benchmarks,
+    write_results,
+)
+
+
+class TestBenchHarness:
+    def test_run_benchmarks_quick(self):
+        results = run_benchmarks(rounds=1, quick=True,
+                                 only=["maxmin_bundled_random"])
+        assert results["schema"] == 1
+        bench = results["benchmarks"]["maxmin_bundled_random"]
+        assert bench["min_s"] > 0
+        assert bench["rounds"] == 1
+
+    def test_compare_flags_regressions(self):
+        base = {"benchmarks": {"a": {"min_s": 1.0}, "b": {"min_s": 1.0},
+                               "only_base": {"min_s": 1.0}}}
+        cur = {"benchmarks": {"a": {"min_s": 1.2}, "b": {"min_s": 1.3},
+                              "only_cur": {"min_s": 9.9}}}
+        regs = compare_benchmarks(cur, base, threshold=0.25)
+        assert len(regs) == 1 and regs[0].startswith("b:")
+        assert compare_benchmarks(cur, base, threshold=0.5) == []
+
+    def test_cli_writes_json_and_compares(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_substrate.json"
+        rc = main(["bench", "--quick", "--rounds", "1",
+                   "--only", "maxmin_bundled_random",
+                   "--out", str(out), "--quiet"])
+        assert rc == 0
+        data = json.loads(out.read_text())
+        assert "maxmin_bundled_random" in data["benchmarks"]
+
+        # same machine, same benchmark: no regression against itself
+        out2 = tmp_path / "second.json"
+        rc = main(["bench", "--quick", "--rounds", "1",
+                   "--only", "maxmin_bundled_random",
+                   "--out", str(out2), "--quiet",
+                   "--compare", str(out), "--threshold", "5.0"])
+        assert rc == 0
+
+        # a doctored ultra-fast baseline must trip the >25% gate
+        data["benchmarks"]["maxmin_bundled_random"]["min_s"] = 1e-9
+        fast = tmp_path / "fast.json"
+        fast.write_text(json.dumps(data))
+        rc = main(["bench", "--quick", "--rounds", "1",
+                   "--only", "maxmin_bundled_random",
+                   "--out", str(out2), "--quiet", "--compare", str(fast)])
+        assert rc == 1
+        assert "PERF REGRESSION" in capsys.readouterr().out
+
+    def test_cli_missing_baseline_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["bench", "--quick", "--rounds", "1",
+                  "--only", "maxmin_bundled_random",
+                  "--out", str(tmp_path / "o.json"), "--quiet",
+                  "--compare", str(tmp_path / "nope.json")])
+
+    def test_write_results_roundtrip(self, tmp_path):
+        payload = {"schema": 1, "benchmarks": {}}
+        p = write_results(payload, tmp_path / "b.json")
+        assert json.loads(p.read_text()) == payload
+
+
+class TestProfiled:
+    def test_disabled_is_transparent(self):
+        ran = []
+        with profiled(None):
+            ran.append(1)
+        assert ran == [1]
+
+    def test_enabled_prints_stats(self, capsys):
+        import io
+
+        buf = io.StringIO()
+        with profiled(5, stream=buf):
+            sum(range(1000))
+        assert "cumulative" in buf.getvalue()
+
+
+class TestTunedFallback:
+    def test_known_cluster_resolves_table_iv(self):
+        from repro.experiments.runner import TunedResolver
+
+        p = TunedResolver("delta")("grillon", "fft")
+        assert (p.mindelta, p.maxdelta, p.minrho) == (-0.5, 1.0, 0.2)
+
+    def test_unknown_cluster_falls_back_with_one_warning(self):
+        from repro.experiments import runner as runner_mod
+        from repro.experiments.runner import TunedResolver
+
+        resolver = TunedResolver("timecost")
+        key = ("no-such-cluster", "layered", "timecost")
+        runner_mod._TUNED_FALLBACK_WARNED.discard(key)
+        with pytest.warns(RuntimeWarning, match="falling back to naive"):
+            p = resolver("no-such-cluster", "layered")
+        assert p == RATSParams(strategy="timecost")
+
+        # second resolution is silent (one-time warning)
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolver("no-such-cluster", "layered") == p
+
+    def test_tuned_spec_runs_on_multicluster_grid(self):
+        import warnings
+
+        from repro.experiments.experiment import Experiment
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            result = (Experiment()
+                      .on("grid5000-grid")
+                      .workload("strassen", k=2, samples=1)
+                      .compare("rats-delta-tuned")
+                      .run())
+        assert len(result) == 1
+        assert result[0].makespan > 0
