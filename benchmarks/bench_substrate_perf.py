@@ -9,22 +9,19 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.experiments.bench import dense_dag_schedule
 from repro.experiments.scenarios import Scenario
 from repro.network.maxmin import maxmin_rates_indexed
 from repro.platforms.grid5000 import GRILLON
 from repro.scheduling.allocation import hcpa_allocation
-from repro.scheduling.mapping import ListScheduler
 from repro.simulation.simulator import simulate
 from repro.utils.rng import spawn_rng
 
 
 def _dense_schedule():
-    sc = Scenario(family="irregular", n_tasks=100, width=0.5, density=0.8,
-                  regularity=0.8, jump=2, sample=0)
-    g = sc.build()
-    model = GRILLON.performance_model()
-    alloc = hcpa_allocation(g, model, GRILLON.num_procs).allocation
-    return ListScheduler(g, GRILLON, model, alloc).run()
+    # the one canonical bench workload — shared with `repro bench` and
+    # the golden simulator tests so all three measure the same thing
+    return dense_dag_schedule(100)
 
 
 def test_simulator_dense_dag(benchmark):

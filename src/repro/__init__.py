@@ -121,6 +121,7 @@ from repro.registry import (
 )
 from repro.experiments import (
     AlgorithmSpec,
+    CampaignPlan,
     Experiment,
     ExperimentResult,
     ExperimentRunner,
@@ -129,12 +130,15 @@ from repro.experiments import (
     ResultStore,
     RunResult,
     Scenario,
+    SqliteStore,
+    Stage,
     baseline_spec,
+    merge_stores,
     rats_spec,
     run_key,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -159,7 +163,11 @@ __all__ = [
     "ResultStore",
     "MemoryStore",
     "JsonlStore",
+    "SqliteStore",
+    "merge_stores",
     "run_key",
+    "Stage",
+    "CampaignPlan",
     # core (RATS)
     "RATSParams",
     "RATSScheduler",

@@ -17,7 +17,12 @@ Subcommands
     Print the static tables (I, II, III) without running experiments.
 ``campaign``
     Run the reproduction campaign (same options as
-    ``python -m repro.experiments.campaign``).
+    ``python -m repro.experiments.campaign``), including ``--shard i/n``
+    for splitting the deduplicated run plan across machines.
+``merge``
+    Recombine result stores (shards of one campaign) into one, with
+    deduplication and a conflict check; backends (JSONL / SQLite) are
+    picked per file suffix and may mix.
 ``bench``
     Run the substrate performance benchmarks, write
     ``BENCH_substrate.json`` and optionally ``--compare`` against a
@@ -242,6 +247,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return bench_main(args)
 
 
+def _cmd_merge(args: argparse.Namespace) -> int:
+    from repro.experiments.store import StoreConflictError, merge_stores
+
+    try:
+        stats = merge_stores(args.stores, args.output)
+    except FileNotFoundError as exc:
+        raise SystemExit(str(exc)) from None
+    except StoreConflictError as exc:
+        raise SystemExit(f"merge conflict: {exc}") from None
+    except ValueError as exc:  # e.g. a corrupt/non-database .sqlite input
+        raise SystemExit(str(exc)) from None
+    print(f"{args.output}: {stats.describe()}")
+    return 0
+
+
 def _add_profile_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--profile", nargs="?", const=25, type=int,
                         default=None, metavar="N",
@@ -285,8 +305,9 @@ def main(argv: list[str] | None = None) -> int:
                             "overrides the spec's jobs key)")
     from pathlib import Path as _Path
     p_run.add_argument("--store", type=_Path, default=None, metavar="PATH",
-                       help="JSON-Lines result store; runs already in it "
-                            "are skipped")
+                       help="result store (JSON-Lines, or SQLite for "
+                            ".sqlite/.db paths); runs already in it are "
+                            "skipped")
     p_run.add_argument("--resume", action="store_true",
                        help="continue into an existing --store file")
     p_run.add_argument("--results-json", type=_Path, default=None,
@@ -303,6 +324,15 @@ def main(argv: list[str] | None = None) -> int:
     add_campaign_arguments(p_campaign)
     _add_profile_flag(p_campaign)
     p_campaign.set_defaults(func=_cmd_campaign)
+
+    p_merge = sub.add_parser(
+        "merge", help="merge result stores (campaign shards) into one")
+    p_merge.add_argument("stores", nargs="+", metavar="STORE",
+                         help="input store files (.jsonl, .sqlite, …)")
+    p_merge.add_argument("-o", "--output", required=True, metavar="OUT",
+                         help="output store (backend by suffix; appended "
+                              "to if it already exists)")
+    p_merge.set_defaults(func=_cmd_merge)
 
     p_bench = sub.add_parser(
         "bench", help="run the substrate performance benchmarks")

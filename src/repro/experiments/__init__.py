@@ -23,9 +23,21 @@ from repro.experiments.store import (
     JsonlStore,
     MemoryStore,
     ResultStore,
+    SqliteStore,
+    StoreConflictError,
     StoreStats,
+    content_key,
+    merge_stores,
     open_store,
     run_key,
+)
+from repro.experiments.plan import (
+    CampaignPlan,
+    CompiledPlan,
+    PlanExecution,
+    PlannedRun,
+    Stage,
+    parse_shard,
 )
 from repro.experiments.metrics import (
     combined_comparison,
@@ -34,10 +46,17 @@ from repro.experiments.metrics import (
     relative_series,
     series_stats,
 )
-from repro.experiments.campaign import run_campaign
+from repro.experiments.campaign import build_campaign_plan, run_campaign
 
 __all__ = [
     "run_campaign",
+    "build_campaign_plan",
+    "Stage",
+    "CampaignPlan",
+    "CompiledPlan",
+    "PlannedRun",
+    "PlanExecution",
+    "parse_shard",
     "Experiment",
     "ExperimentResult",
     "as_algorithm_spec",
@@ -55,8 +74,12 @@ __all__ = [
     "StoreStats",
     "MemoryStore",
     "JsonlStore",
+    "SqliteStore",
+    "StoreConflictError",
+    "merge_stores",
     "open_store",
     "run_key",
+    "content_key",
     "relative_series",
     "series_stats",
     "pairwise_comparison",

@@ -9,6 +9,12 @@ persists the numbers to a machine-readable ``BENCH_substrate.json``
 ``repro bench --compare BASELINE.json`` exits non-zero when any benchmark
 regressed beyond the threshold (25 % by default).
 
+``--append`` records a *trajectory* instead of overwriting: the file
+becomes ``{"schema": …, "entries": [entry, …]}`` with one entry per run,
+each stamped with the current git revision — so per-commit history stays
+inspectable.  ``--compare`` accepts either shape and reads a trajectory's
+latest entry.
+
 ``profiled(top)`` is the shared cProfile wrapper behind the ``--profile``
 flag of ``repro run`` / ``repro campaign``.
 
@@ -29,9 +35,12 @@ from typing import Callable
 __all__ = [
     "BENCH_SCHEMA",
     "DEFAULT_THRESHOLD",
+    "dense_dag_schedule",
     "run_benchmarks",
     "compare_benchmarks",
     "write_results",
+    "append_results",
+    "latest_entry",
     "profiled",
     "main",
 ]
@@ -44,15 +53,20 @@ DEFAULT_OUT = "BENCH_substrate.json"
 # --------------------------------------------------------------------- #
 # benchmark definitions
 # --------------------------------------------------------------------- #
-def _dense_schedule(n_tasks: int):
-    """The bench scenario: a dense irregular DAG mapped on grillon."""
+def dense_dag_schedule(n_tasks: int = 100, *, density: float = 0.8):
+    """The canonical bench scenario: a dense irregular DAG on grillon.
+
+    Shared by ``repro bench``, the pytest-benchmark suite and the golden
+    simulator tests — all three must measure the *same* workload, so the
+    shape lives in exactly one place.
+    """
     from repro.experiments.scenarios import Scenario
     from repro.platforms.grid5000 import GRILLON
     from repro.scheduling.allocation import hcpa_allocation
     from repro.scheduling.mapping import ListScheduler
 
     sc = Scenario(family="irregular", n_tasks=n_tasks, width=0.5,
-                  density=0.8, regularity=0.8, jump=2, sample=0)
+                  density=density, regularity=0.8, jump=2, sample=0)
     g = sc.build()
     model = GRILLON.performance_model()
     alloc = hcpa_allocation(g, model, GRILLON.num_procs).allocation
@@ -62,7 +76,7 @@ def _dense_schedule(n_tasks: int):
 def _bench_simulator(n_tasks: int) -> tuple[Callable, dict]:
     from repro.simulation.simulator import simulate
 
-    schedule = _dense_schedule(n_tasks)
+    schedule = dense_dag_schedule(n_tasks)
 
     def run():
         return simulate(schedule)
@@ -198,6 +212,68 @@ def write_results(results: dict, path: str | Path) -> Path:
     return path
 
 
+def _git_rev() -> str | None:
+    """The current short git revision, or ``None`` outside a checkout."""
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def latest_entry(data: dict) -> dict:
+    """The newest benchmark entry of a result file, either shape.
+
+    A plain single-run file *is* its entry; a ``--append`` trajectory
+    (``{"entries": [...]}``) yields its last element.
+    """
+    if "entries" in data:
+        entries = data["entries"]
+        if not entries:
+            raise ValueError("benchmark trajectory has no entries")
+        return entries[-1]
+    return data
+
+
+def append_results(results: dict, path: str | Path) -> Path:
+    """Append one entry to a benchmark trajectory file.
+
+    Stamps ``results`` with the current git revision and appends it to the
+    ``entries`` list at ``path``.  A pre-existing single-run file is
+    upgraded in place: its old entry becomes the first of the trajectory,
+    so nothing recorded before ``--append`` existed is lost.
+    """
+    path = Path(path)
+    entry = {**results, "git_rev": _git_rev()}
+    entries: list[dict] = []
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except ValueError as exc:
+            raise ValueError(f"malformed benchmark file {path}: {exc}") \
+                from None
+        if isinstance(existing, dict) and "entries" in existing:
+            entries = list(existing["entries"])
+        elif isinstance(existing, dict) and "benchmarks" in existing:
+            entries = [existing]
+        else:
+            # neither shape we know how to extend: overwriting would
+            # silently destroy whatever this file is
+            raise ValueError(
+                f"{path} is neither a bench result nor a trajectory; "
+                "refusing to overwrite it with --append")
+    entries.append(entry)
+    path.write_text(json.dumps(
+        {"schema": BENCH_SCHEMA, "entries": entries},
+        indent=1, sort_keys=True) + "\n")
+    return path
+
+
 def compare_benchmarks(current: dict, baseline: dict,
                        threshold: float = DEFAULT_THRESHOLD) -> list[str]:
     """Regressions of ``current`` against ``baseline``.
@@ -278,9 +354,14 @@ def add_bench_arguments(parser) -> None:
     parser.add_argument("--out", type=Path, default=Path(DEFAULT_OUT),
                         metavar="PATH",
                         help=f"result file (default {DEFAULT_OUT})")
+    parser.add_argument("--append", action="store_true",
+                        help="append a git-rev-stamped entry to --out "
+                             "instead of overwriting, keeping the "
+                             "per-commit perf trajectory inspectable")
     parser.add_argument("--compare", type=Path, default=None,
                         metavar="BASELINE",
-                        help="compare against a previous result file; exit "
+                        help="compare against a previous result file "
+                             "(the latest entry of a trajectory); exit "
                              "non-zero on regression")
     parser.add_argument("--threshold", type=float,
                         default=DEFAULT_THRESHOLD, metavar="FRACTION",
@@ -305,7 +386,7 @@ def main(args) -> int:
     baseline = None
     if args.compare is not None:
         try:
-            baseline = json.loads(Path(args.compare).read_text())
+            baseline = latest_entry(json.loads(Path(args.compare).read_text()))
         except OSError as exc:
             raise SystemExit(f"cannot read baseline: {exc}") from None
         except ValueError as exc:
@@ -320,17 +401,36 @@ def main(args) -> int:
                                  only=args.only, log=log)
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
-    out = write_results(results, args.out)
-    print(f"wrote {out}")
+
+    regressions: list[str] = []
+    if baseline is not None:
+        if baseline.get("quick") != results.get("quick"):
+            print("warning: comparing quick and full-size runs",
+                  file=sys.stderr)
+        regressions = compare_benchmarks(results, baseline,
+                                         threshold=args.threshold)
+
+    if args.append:
+        try:
+            out = append_results(results, args.out)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+        n = len(json.loads(out.read_text())["entries"])
+        print(f"appended to {out} ({n} entr{'ies' if n != 1 else 'y'})")
+    elif (regressions and args.compare is not None
+          and Path(args.out).resolve() == Path(args.compare).resolve()):
+        # a regressed run must not clobber the very baseline it failed
+        # against — the next run would compare against the regression
+        # and pass
+        print(f"not overwriting baseline {args.out} with regressed "
+              "numbers", file=sys.stderr)
+    else:
+        out = write_results(results, args.out)
+        print(f"wrote {out}")
 
     if baseline is None:
         return 0
-    if baseline.get("quick") != results.get("quick"):
-        print("warning: comparing quick and full-size runs",
-              file=sys.stderr)
     print(render_comparison(results, baseline))
-    regressions = compare_benchmarks(results, baseline,
-                                     threshold=args.threshold)
     if regressions:
         print(f"\nPERF REGRESSION ({len(regressions)}):")
         for line in regressions:

@@ -5,12 +5,22 @@ Run as a module::
     python -m repro.experiments.campaign --fraction 0.06
     python -m repro.experiments.campaign --full --out report.txt
     python -m repro.experiments.campaign --clusters grillon --skip-sweeps
+    python -m repro.experiments.campaign --shard 1/2 --store a.sqlite
 
-The campaign executes, in order: Tables I–III (static), Figures 2–3 (naive
-parameters on grillon), Figures 4–5 (parameter sweeps), Figures 6–7 (tuned
-parameters), and Tables V–VI (three-cluster pairwise/degradation study),
-writing one consolidated text report and optionally the raw results as
-JSON.
+The campaign is a declarative :class:`~repro.experiments.plan.CampaignPlan`
+over six stages — the preamble, Tables I–III (static), Figures 2–3 (naive
+parameters on the headline cluster), Figures 4–5 (parameter sweeps),
+Figures 6–7 (tuned parameters) and Tables V–VI (three-cluster
+pairwise/degradation study).  Compiling the plan deduplicates every run
+shared between stages (sweep points reuse the baseline, the tables reuse
+the headline-cluster figures), executing it streams the unique runs
+through the store-aware runner, and each stage then renders its report
+sections from the shared result pool.
+
+``--shard i/n`` executes only a deterministic slice of the deduplicated
+run set into ``--store`` (no report); ``repro merge`` recombines shard
+stores, after which a ``--resume`` replay renders the full report with
+zero fresh simulations.
 """
 
 from __future__ import annotations
@@ -21,49 +31,118 @@ import time
 from pathlib import Path
 
 from repro.experiments.figures import (
-    figure2_3_naive,
-    figure4_delta_surface,
-    figure5_rho_curves,
-    figure6_7_tuned,
+    figure2_3_stage,
+    figure4_stage,
+    figure5_stage,
+    figure6_7_stage,
 )
-from repro.experiments.runner import ExperimentRunner, baseline_spec, rats_spec
+from repro.experiments.plan import CampaignPlan, PlanExecution, Stage, parse_shard
+from repro.experiments.runner import ExperimentRunner
 from repro.experiments.scenarios import (
     all_scenarios,
     scenarios_by_family,
     subsample,
 )
-from repro.experiments.store import JsonlStore, ResultStore
-from repro.experiments.tables import (
-    table1_communication_matrix,
-    table2_clusters,
-    table3_scenarios,
-    table5_pairwise,
-    table6_degradation,
-)
+from repro.experiments.store import ResultStore, open_store
+from repro.experiments.tables import static_tables_stage, tables5_6_stage
 from repro.platforms.grid5000 import GRID5000_CLUSTERS, GRILLON, get_cluster
 from repro.scheduling.serialize import save_results
 
-__all__ = ["run_campaign", "add_campaign_arguments", "run_from_args", "main",
-           "open_cli_store"]
+__all__ = ["build_campaign_plan", "run_campaign", "add_campaign_arguments",
+           "run_from_args", "main", "open_cli_store"]
+
+#: Stage holding the Tables V–VI matrix — the campaign's raw-result export.
+RESULTS_STAGE = "tables V-VI"
 
 
 def open_cli_store(path: Path | None, resume: bool) -> ResultStore | None:
     """Open the ``--store`` / ``--resume`` pair with safe CLI semantics.
 
-    ``--resume`` without ``--store`` is an error.  A non-empty store file
-    without ``--resume`` is also an error: silently reusing stale results
-    from a forgotten file would be indistinguishable from a fresh run, so
-    continuing an interrupted campaign must be asked for explicitly.
+    The backend follows the path suffix (``.sqlite``/``.sqlite3``/``.db``
+    → SQLite, anything else → JSON-Lines).  ``--resume`` without
+    ``--store`` is an error.  A non-empty store without ``--resume`` is
+    also an error: silently reusing stale results from a forgotten file
+    would be indistinguishable from a fresh run, so continuing an
+    interrupted campaign must be asked for explicitly.
     """
     if path is None:
         if resume:
             raise SystemExit("--resume requires --store PATH")
         return None
-    if not resume and path.exists() and path.stat().st_size > 0:
+    existed = path.exists()
+    store = open_store(path)
+    if not resume and existed and len(store) > 0:
+        store.close()
         raise SystemExit(
             f"store {path} already holds results; pass --resume to skip "
             "everything already computed (or delete the file)")
-    return JsonlStore(path)
+    return store
+
+
+def build_campaign_plan(
+    fraction: float = 0.06,
+    clusters: list[str] | None = None,
+    *,
+    skip_sweeps: bool = False,
+) -> CampaignPlan:
+    """The reproduction campaign as a declarative stage list.
+
+    Pure plan construction — nothing runs.  Compile it to see the
+    deduplicated run set; execute it (optionally sharded) to fill a store
+    and render the report.
+    """
+    cluster_objs = [get_cluster(c) for c in
+                    (clusters or list(GRID5000_CLUSTERS))]
+    headline = GRILLON if GRILLON in cluster_objs else cluster_objs[0]
+    scenarios = subsample(all_scenarios(), fraction)
+
+    header = (f"RATS reproduction campaign — {len(scenarios)} of 557 "
+              f"configurations (fraction {fraction:g}), clusters: "
+              f"{', '.join(c.name for c in cluster_objs)}")
+    plan = CampaignPlan()
+    plan.add(Stage(name="preamble", artifact=lambda _results: [header]))
+    plan.add(static_tables_stage(cluster_objs))
+    plan.add(figure2_3_stage(scenarios, headline))
+    if not skip_sweeps:
+        by_family = scenarios_by_family()
+        ffts = subsample(by_family["fft"], max(fraction, 6 / 100))
+        plan.add(figure4_stage(ffts, headline))
+        irr = subsample(by_family["irregular"], max(fraction * 0.5, 8 / 324))
+        plan.add(figure5_stage(irr, headline))
+    plan.add(figure6_7_stage(scenarios, headline))
+    plan.add(tables5_6_stage(scenarios, cluster_objs))
+    return plan
+
+
+def _execute_plan(
+    plan: CampaignPlan,
+    *,
+    shard: tuple[int, int] | None,
+    progress: bool,
+    jobs: int,
+    store: ResultStore | None,
+) -> PlanExecution:
+    """Compile and run a campaign plan with CLI-style progress logging."""
+    t0 = time.time()
+
+    def log(msg: str) -> None:
+        if progress:
+            print(f"[{time.time() - t0:7.1f}s] {msg}", file=sys.stderr,
+                  flush=True)
+
+    compiled = plan.compile()
+    log(f"plan: {compiled.describe()}")
+    for line in compiled.describe_stages():
+        log(f"  {line}")
+    if shard is not None:
+        owned = compiled.shard(*shard)
+        log(f"shard {shard[0] + 1}/{shard[1]}: {len(owned)} of "
+            f"{compiled.unique_runs} unique runs")
+    with ExperimentRunner(progress=progress, jobs=jobs,
+                          store=store) as runner:
+        execution = compiled.execute(runner, shard=shard)
+    log("done")
+    return execution
 
 
 def run_campaign(
@@ -77,86 +156,16 @@ def run_campaign(
 ) -> tuple[str, list]:
     """Execute the reproduction campaign; returns (report text, results).
 
-    ``jobs > 1`` (or ``-1`` for one worker per CPU) runs every experiment
-    matrix on one persistent process pool, reused across every figure and
-    table of the campaign; result ordering is unaffected.  ``store``
-    persists each run under its content hash, so an interrupted or
-    repeated campaign skips everything already computed.
+    The returned results are the Tables V–VI matrix (the campaign's
+    raw-result export).  ``jobs > 1`` (or ``-1`` for one worker per CPU)
+    runs the whole deduplicated plan on one persistent process pool;
+    ``store`` persists each run under its content hash, so an interrupted
+    or repeated campaign skips everything already computed.
     """
-    cluster_objs = [get_cluster(c) for c in
-                    (clusters or list(GRID5000_CLUSTERS))]
-    headline = GRILLON if GRILLON in cluster_objs else cluster_objs[0]
-    with ExperimentRunner(progress=progress, jobs=jobs, store=store) as runner:
-        return _run_campaign(runner, cluster_objs, headline, fraction,
-                             skip_sweeps=skip_sweeps, progress=progress,
-                             store=store)
-
-
-def _run_campaign(
-    runner: ExperimentRunner,
-    cluster_objs: list,
-    headline,
-    fraction: float,
-    *,
-    skip_sweeps: bool,
-    progress: bool,
-    store: ResultStore | None,
-) -> tuple[str, list]:
-    scenarios = subsample(all_scenarios(), fraction)
-    sections: list[str] = [
-        f"RATS reproduction campaign — {len(scenarios)} of 557 "
-        f"configurations (fraction {fraction:g}), clusters: "
-        f"{', '.join(c.name for c in cluster_objs)}",
-    ]
-    t0 = time.time()
-
-    def log(msg: str) -> None:
-        if progress:
-            print(f"[{time.time() - t0:7.1f}s] {msg}", file=sys.stderr,
-                  flush=True)
-
-    sections.append(table1_communication_matrix())
-    sections.append(table2_clusters(cluster_objs))
-    sections.append(table3_scenarios())
-
-    log(f"figures 2-3: naive RATS vs HCPA on {headline.name}")
-    fig2, fig3, _ = figure2_3_naive(scenarios, headline, runner=runner)
-    sections.extend([fig2.render(), fig3.render()])
-
-    if not skip_sweeps:
-        by_family = scenarios_by_family()
-        ffts = subsample(by_family["fft"], max(fraction, 6 / 100))
-        log(f"figure 4: delta sweep over {len(ffts)} FFT DAGs")
-        fig4, _ = figure4_delta_surface(ffts, headline, runner=runner)
-        sections.append(fig4.render())
-
-        irr = subsample(by_family["irregular"], max(fraction * 0.5, 8 / 324))
-        log(f"figure 5: rho sweep over {len(irr)} irregular DAGs")
-        fig5, _ = figure5_rho_curves(irr, headline, runner=runner)
-        sections.append(fig5.render())
-
-    log(f"figures 6-7: tuned RATS vs HCPA on {headline.name}")
-    fig6, fig7, _ = figure6_7_tuned(scenarios, headline, runner=runner)
-    sections.extend([fig6.render(), fig7.render()])
-
-    log("tables V-VI: tuned campaign on all clusters")
-    specs = [
-        baseline_spec("hcpa", label="HCPA"),
-        rats_spec(tuned=True, strategy="delta", label="delta"),
-        rats_spec(tuned=True, strategy="timecost", label="time-cost"),
-    ]
-    results = runner.run_matrix(scenarios, cluster_objs, specs)
-    algos = [s.label for s in specs]
-    names = [c.name for c in cluster_objs]
-    sections.append(table5_pairwise(results, algos, names))
-    sections.append(table6_degradation(results, algos, names))
-
-    if store is not None:
-        log(f"store: {store.stats.describe()} "
-            f"({store.stats.puts} persisted)")
-    log("done")
-    report = ("\n\n" + "=" * 78 + "\n\n").join(sections)
-    return report, results
+    plan = build_campaign_plan(fraction, clusters, skip_sweeps=skip_sweeps)
+    execution = _execute_plan(plan, shard=None, progress=progress,
+                              jobs=jobs, store=store)
+    return execution.report(), execution.stage_results(RESULTS_STAGE)
 
 
 def add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
@@ -176,11 +185,17 @@ def add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
                              "process pool (-1 = one per CPU; default: "
                              "serial)")
     parser.add_argument("--store", type=Path, default=None, metavar="PATH",
-                        help="persist every run in a JSON-Lines result "
-                             "store keyed by content hash")
+                        help="persist every run in a result store keyed by "
+                             "content hash (JSON-Lines, or SQLite for "
+                             ".sqlite/.db paths)")
     parser.add_argument("--resume", action="store_true",
                         help="continue into an existing --store file, "
                              "skipping all runs it already holds")
+    parser.add_argument("--shard", type=parse_shard, default=None,
+                        metavar="I/N",
+                        help="execute only shard I of N of the deduplicated "
+                             "run set into --store (no report; recombine "
+                             "the shard stores with `repro merge`)")
     parser.add_argument("--out", type=Path, default=None,
                         help="write the report to this file")
     parser.add_argument("--results-json", type=Path, default=None,
@@ -191,21 +206,40 @@ def add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
 def run_from_args(args: argparse.Namespace) -> int:
     """Execute the campaign from parsed :func:`add_campaign_arguments`."""
     fraction = 1.0 if args.full else args.fraction
+    shard = getattr(args, "shard", None)
+    if shard is not None and args.store is None:
+        raise SystemExit("--shard requires --store PATH: a shard's only "
+                         "output is the store slice it fills")
     store = open_cli_store(args.store, args.resume)
     try:
-        report, results = run_campaign(
-            fraction,
-            args.clusters,
-            skip_sweeps=args.skip_sweeps,
-            progress=not args.quiet,
-            jobs=args.jobs,
-            store=store,
-        )
+        if shard is None:
+            report, results = run_campaign(
+                fraction,
+                args.clusters,
+                skip_sweeps=args.skip_sweeps,
+                progress=not args.quiet,
+                jobs=args.jobs,
+                store=store,
+            )
+        else:
+            plan = build_campaign_plan(fraction, args.clusters,
+                                       skip_sweeps=args.skip_sweeps)
+            _execute_plan(plan, shard=shard, progress=not args.quiet,
+                          jobs=args.jobs, store=store)
+            report, results = None, None
     finally:
         if store is not None:
-            print(f"store {args.store}: {store.stats.describe()}",
+            # the single place store statistics are reported
+            print(f"store {args.store}: {store.stats.describe()} "
+                  f"({store.stats.puts} persisted)",
                   file=sys.stderr, flush=True)
             store.close()
+    if report is None:
+        if not args.quiet:
+            print(f"shard {shard[0] + 1}/{shard[1]} complete; merge the "
+                  "shard stores with `repro merge` and replay with "
+                  "--resume for the report", file=sys.stderr)
+        return 0
     if args.out:
         args.out.write_text(report + "\n")
         if not args.quiet:

@@ -36,7 +36,10 @@ import statistics
 from contextlib import contextmanager
 from dataclasses import dataclass, fields
 from pathlib import Path
-from typing import Any, Iterable, Iterator
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.plan import Stage
 
 from repro.core.params import RATSParams
 from repro.experiments.runner import (
@@ -311,6 +314,28 @@ class Experiment:
             results = resolved.run_matrix(scenarios, clusters, specs,
                                           jobs=self._jobs)
         return ExperimentResult(results=tuple(results))
+
+    def plan(self, name: str = "experiment", *,
+             artifact: "Callable[[list[RunResult]], str | Sequence[str]] | None"
+             = None) -> "Stage":
+        """Compile this experiment into a campaign :class:`Stage`.
+
+        The stage declares the same matrix :meth:`run` would execute;
+        added to a :class:`~repro.experiments.plan.CampaignPlan` it
+        deduplicates against every other stage's runs.  ``artifact``
+        renders the stage's report section(s) from its results; the
+        default renders the :meth:`ExperimentResult.summary` table.
+        """
+        from repro.experiments.plan import Stage
+
+        scenarios, clusters, specs = self.build()
+        if artifact is None:
+            def artifact(results: list[RunResult]) -> list[str]:
+                return [ExperimentResult(results=tuple(results)).summary()]
+
+        return Stage(name=name, scenarios=tuple(scenarios),
+                     clusters=tuple(clusters), specs=tuple(specs),
+                     artifact=artifact)
 
     def stream(self, runner: ExperimentRunner | None = None) -> Iterator[RunResult]:
         """Execute the compiled matrix, yielding results as they finish.

@@ -1,8 +1,18 @@
 """Figure data builders for the paper's evaluation (Figures 2–7).
 
-Each function returns a :class:`FigureData` holding the raw series plus a
-``render()`` producing an ASCII rendition; the benchmark harness prints the
-numbers the paper's plots encode.
+Each figure exists in two forms:
+
+* an imperative function (``figure2_3_naive`` …) that runs the figure's
+  matrix through a runner and returns :class:`FigureData` — the original
+  API, kept for direct use;
+* a declarative *stage producer* (``figure2_3_stage`` …) returning a
+  :class:`~repro.experiments.plan.Stage` that declares the same matrix
+  and renders the same sections from a shared result pool — the form a
+  :class:`~repro.experiments.plan.CampaignPlan` deduplicates across
+  stages, so sweep points reuse runs other figures already own.
+
+Both forms share the same result→figure builders, so a plan-based
+campaign report is byte-identical to the imperative one.
 """
 
 from __future__ import annotations
@@ -11,6 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.core.params import NAIVE_DELTA, NAIVE_TIMECOST
 from repro.experiments.metrics import relative_series, series_stats
+from repro.experiments.plan import Stage
 from repro.experiments.runner import (
     AlgorithmSpec,
     ExperimentRunner,
@@ -19,7 +30,17 @@ from repro.experiments.runner import (
     rats_spec,
 )
 from repro.experiments.scenarios import Scenario
-from repro.experiments.tuning import SweepResult, delta_sweep, rho_sweep
+from repro.experiments.tuning import (
+    DEFAULT_MAXDELTAS,
+    DEFAULT_MINDELTAS,
+    DEFAULT_MINRHOS,
+    SweepResult,
+    delta_grid,
+    delta_sweep,
+    rho_grid,
+    rho_sweep,
+    sweep_from_results,
+)
 from repro.platforms.cluster import Cluster
 from repro.viz.ascii_plot import ascii_curves, ascii_surface
 
@@ -30,6 +51,10 @@ __all__ = [
     "figure5_rho_curves",
     "figure6_7_tuned",
     "relative_figure",
+    "figure2_3_stage",
+    "figure4_stage",
+    "figure5_stage",
+    "figure6_7_stage",
 ]
 
 
@@ -75,6 +100,55 @@ def relative_figure(
     return fig
 
 
+# --------------------------------------------------------------------- #
+# Figures 2/3 and 6/7: relative makespan / work vs HCPA
+# --------------------------------------------------------------------- #
+def _relative_pair(results: list[RunResult], labels: list[str],
+                   numbers: tuple[str, str], flavour: str,
+                   cluster_name: str) -> tuple[FigureData, FigureData]:
+    """The makespan + work figure pair shared by Figs 2/3 and 6/7."""
+    ms = relative_figure(
+        results, labels, "HCPA", "makespan", numbers[0],
+        f"relative makespan, {flavour} parameters, {cluster_name}")
+    work = relative_figure(
+        results, labels, "HCPA", "work", numbers[1],
+        f"relative work, {flavour} parameters, {cluster_name}")
+    return ms, work
+
+
+def _naive_specs() -> list[AlgorithmSpec]:
+    return [
+        baseline_spec("hcpa", label="HCPA"),
+        rats_spec(NAIVE_DELTA, label="Delta"),
+        rats_spec(NAIVE_TIMECOST, label="Time-cost"),
+    ]
+
+
+def _tuned_specs(
+    specs: tuple[AlgorithmSpec, ...] | None,
+) -> list[AlgorithmSpec]:
+    if specs is None:
+        specs = (
+            rats_spec(tuned=True, strategy="delta", label="Delta"),
+            rats_spec(tuned=True, strategy="timecost", label="Time-cost"),
+        )
+    return [baseline_spec("hcpa", label="HCPA"), *specs]
+
+
+def figure2_3_stage(scenarios: list[Scenario], cluster: Cluster) -> Stage:
+    """Figures 2–3 as a declarative campaign stage."""
+    specs = _naive_specs()
+
+    def artifact(results: list[RunResult]) -> list[str]:
+        fig2, fig3 = _relative_pair(results, ["Delta", "Time-cost"],
+                                    ("Figure 2", "Figure 3"), "naive",
+                                    cluster.name)
+        return [fig2.render(), fig3.render()]
+
+    return Stage(name="figures 2-3", scenarios=tuple(scenarios),
+                 clusters=(cluster,), specs=tuple(specs), artifact=artifact)
+
+
 def figure2_3_naive(
     scenarios: list[Scenario],
     cluster: Cluster,
@@ -86,34 +160,57 @@ def figure2_3_naive(
     makespan, figure 3 the relative work, both sorted independently.
     """
     runner = runner or ExperimentRunner()
-    base = baseline_spec("hcpa", label="HCPA")
-    specs = [
-        base,
-        rats_spec(NAIVE_DELTA, label="Delta"),
-        rats_spec(NAIVE_TIMECOST, label="Time-cost"),
-    ]
-    results = runner.run_matrix(scenarios, [cluster], specs)
-    fig2 = relative_figure(
-        results, ["Delta", "Time-cost"], "HCPA", "makespan",
-        "Figure 2", f"relative makespan, naive parameters, {cluster.name}")
-    fig3 = relative_figure(
-        results, ["Delta", "Time-cost"], "HCPA", "work",
-        "Figure 3", f"relative work, naive parameters, {cluster.name}")
+    results = runner.run_matrix(scenarios, [cluster], _naive_specs())
+    fig2, fig3 = _relative_pair(results, ["Delta", "Time-cost"],
+                                ("Figure 2", "Figure 3"), "naive",
+                                cluster.name)
     return fig2, fig3, results
 
 
-def figure4_delta_surface(
+def figure6_7_stage(
+    scenarios: list[Scenario],
+    cluster: Cluster,
+    specs: tuple[AlgorithmSpec, ...] | None = None,
+) -> Stage:
+    """Figures 6–7 as a declarative campaign stage."""
+    all_specs = _tuned_specs(specs)
+    labels = [s.label for s in all_specs[1:]]
+
+    def artifact(results: list[RunResult]) -> list[str]:
+        fig6, fig7 = _relative_pair(results, labels,
+                                    ("Figure 6", "Figure 7"), "tuned",
+                                    cluster.name)
+        return [fig6.render(), fig7.render()]
+
+    return Stage(name="figures 6-7", scenarios=tuple(scenarios),
+                 clusters=(cluster,), specs=tuple(all_specs),
+                 artifact=artifact)
+
+
+def figure6_7_tuned(
     scenarios: list[Scenario],
     cluster: Cluster,
     runner: ExperimentRunner | None = None,
-    **sweep_kwargs,
-) -> tuple[FigureData, SweepResult]:
-    """Figure 4: (mindelta, maxdelta) surface of average relative makespan."""
-    sweep = delta_sweep(scenarios, cluster, runner=runner, **sweep_kwargs)
+    specs: tuple[AlgorithmSpec, ...] | None = None,
+) -> tuple[FigureData, FigureData, list[RunResult]]:
+    """Figures 6 and 7: Table IV-tuned RATS vs HCPA on one cluster."""
+    runner = runner or ExperimentRunner()
+    all_specs = _tuned_specs(specs)
+    results = runner.run_matrix(scenarios, [cluster], all_specs)
+    labels = [s.label for s in all_specs[1:]]
+    fig6, fig7 = _relative_pair(results, labels, ("Figure 6", "Figure 7"),
+                                "tuned", cluster.name)
+    return fig6, fig7, results
+
+
+# --------------------------------------------------------------------- #
+# Figures 4/5: the parameter sweeps
+# --------------------------------------------------------------------- #
+def _figure4_from_sweep(sweep: SweepResult, cluster_name: str) -> FigureData:
     fig = FigureData(
         name="Figure 4",
         description=(f"avg makespan relative to {sweep.baseline} over "
-                     f"(mindelta, maxdelta), {cluster.name}"),
+                     f"(mindelta, maxdelta), {cluster_name}"),
         kind="surface",
         surface=dict(sweep.averages),
         axis_names=("mindelta", "maxdelta"),
@@ -121,21 +218,14 @@ def figure4_delta_surface(
     best = sweep.best_point()
     fig.stats["best"] = (f"mindelta={best[0]:g}, maxdelta={best[1]:g} "
                          f"-> avg ratio {sweep.averages[best]:.3f}")
-    return fig, sweep
+    return fig
 
 
-def figure5_rho_curves(
-    scenarios: list[Scenario],
-    cluster: Cluster,
-    runner: ExperimentRunner | None = None,
-    **sweep_kwargs,
-) -> tuple[FigureData, SweepResult]:
-    """Figure 5: average relative makespan vs minrho, packing on/off."""
-    sweep = rho_sweep(scenarios, cluster, runner=runner, **sweep_kwargs)
+def _figure5_from_sweep(sweep: SweepResult, cluster_name: str) -> FigureData:
     fig = FigureData(
         name="Figure 5",
         description=(f"avg makespan relative to {sweep.baseline} vs minrho, "
-                     f"{cluster.name}"),
+                     f"{cluster_name}"),
         axis_names=("minrho", "avg relative makespan"),
     )
     for allow_pack in (True, False):
@@ -150,29 +240,77 @@ def figure5_rho_curves(
     fig.stats["best"] = (f"minrho={best[0]:g} "
                          f"({'packing' if best[1] else 'no packing'}) "
                          f"-> avg ratio {sweep.averages[best]:.3f}")
-    return fig, sweep
+    return fig
 
 
-def figure6_7_tuned(
+def figure4_stage(
+    scenarios: list[Scenario],
+    cluster: Cluster,
+    *,
+    mindeltas: tuple[float, ...] = DEFAULT_MINDELTAS,
+    maxdeltas: tuple[float, ...] = DEFAULT_MAXDELTAS,
+    baseline: AlgorithmSpec | None = None,
+) -> Stage:
+    """Figure 4 as a declarative sweep stage.
+
+    Declares the whole (baseline + grid) matrix at once: the baseline runs
+    once per scenario instead of once per grid point, and every cell
+    deduplicates against other stages through the campaign plan.
+    """
+    base = baseline or baseline_spec("hcpa")
+    grid = delta_grid(mindeltas, maxdeltas)
+
+    def artifact(results: list[RunResult]) -> list[str]:
+        sweep = sweep_from_results(results, grid, cluster=cluster.name,
+                                   baseline=base.label)
+        return [_figure4_from_sweep(sweep, cluster.name).render()]
+
+    return Stage(name="figure 4", scenarios=tuple(scenarios),
+                 clusters=(cluster,),
+                 specs=(base, *(spec for _, spec in grid)),
+                 artifact=artifact)
+
+
+def figure4_delta_surface(
     scenarios: list[Scenario],
     cluster: Cluster,
     runner: ExperimentRunner | None = None,
-    specs: tuple[AlgorithmSpec, ...] | None = None,
-) -> tuple[FigureData, FigureData, list[RunResult]]:
-    """Figures 6 and 7: Table IV-tuned RATS vs HCPA on one cluster."""
-    runner = runner or ExperimentRunner()
-    base = baseline_spec("hcpa", label="HCPA")
-    if specs is None:
-        specs = (
-            rats_spec(tuned=True, strategy="delta", label="Delta"),
-            rats_spec(tuned=True, strategy="timecost", label="Time-cost"),
-        )
-    results = runner.run_matrix(scenarios, [cluster], [base, *specs])
-    labels = [s.label for s in specs]
-    fig6 = relative_figure(
-        results, labels, "HCPA", "makespan",
-        "Figure 6", f"relative makespan, tuned parameters, {cluster.name}")
-    fig7 = relative_figure(
-        results, labels, "HCPA", "work",
-        "Figure 7", f"relative work, tuned parameters, {cluster.name}")
-    return fig6, fig7, results
+    **sweep_kwargs,
+) -> tuple[FigureData, SweepResult]:
+    """Figure 4: (mindelta, maxdelta) surface of average relative makespan."""
+    sweep = delta_sweep(scenarios, cluster, runner=runner, **sweep_kwargs)
+    return _figure4_from_sweep(sweep, cluster.name), sweep
+
+
+def figure5_stage(
+    scenarios: list[Scenario],
+    cluster: Cluster,
+    *,
+    minrhos: tuple[float, ...] = DEFAULT_MINRHOS,
+    packing_options: tuple[bool, ...] = (True, False),
+    baseline: AlgorithmSpec | None = None,
+) -> Stage:
+    """Figure 5 as a declarative sweep stage."""
+    base = baseline or baseline_spec("hcpa")
+    grid = rho_grid(minrhos, packing_options)
+
+    def artifact(results: list[RunResult]) -> list[str]:
+        sweep = sweep_from_results(results, grid, cluster=cluster.name,
+                                   baseline=base.label)
+        return [_figure5_from_sweep(sweep, cluster.name).render()]
+
+    return Stage(name="figure 5", scenarios=tuple(scenarios),
+                 clusters=(cluster,),
+                 specs=(base, *(spec for _, spec in grid)),
+                 artifact=artifact)
+
+
+def figure5_rho_curves(
+    scenarios: list[Scenario],
+    cluster: Cluster,
+    runner: ExperimentRunner | None = None,
+    **sweep_kwargs,
+) -> tuple[FigureData, SweepResult]:
+    """Figure 5: average relative makespan vs minrho, packing on/off."""
+    sweep = rho_sweep(scenarios, cluster, runner=runner, **sweep_kwargs)
+    return _figure5_from_sweep(sweep, cluster.name), sweep

@@ -1,0 +1,386 @@
+"""Declarative campaign pipeline: stages, a deduplicated run plan, sharding.
+
+The paper's evaluation is a sequence of *stages* — each figure or table is
+a (scenarios × clusters × specs) matrix plus a renderer over its results.
+Driving them imperatively (run a matrix, render, run the next matrix)
+re-simulates every run that two stages share: the Figure 4/5 sweep points
+re-run the HCPA baseline per grid point, and Tables V–VI re-run everything
+Figures 2–3/6–7 already simulated on the headline cluster.
+
+This module turns the campaign into data:
+
+* :class:`Stage` declares one stage's matrix and its *artifact* — a
+  callable rendering the stage's report section(s) from its results;
+* :class:`CampaignPlan` is an ordered list of stages;
+  :meth:`CampaignPlan.compile` flattens every stage into cells, keys each
+  cell with the :func:`~repro.experiments.store.run_key` content hash and
+  deduplicates on the label-free
+  :func:`~repro.experiments.store.content_key` — a run shared by N
+  stages (even under different display labels, like Figure 6's
+  ``"Delta"`` vs Table V's ``"delta"``) simulates **once** and is
+  re-labelled per cell;
+* :meth:`CompiledPlan.execute` streams the deduplicated runs through a
+  store-aware :class:`~repro.experiments.runner.ExperimentRunner`
+  (:meth:`~repro.experiments.runner.ExperimentRunner.iter_cells`) and
+  returns a :class:`PlanExecution` that materializes each stage's report
+  sections from the shared result pool;
+* :meth:`CompiledPlan.shard` partitions the deduplicated run list by key
+  hash, so ``--shard i/n`` campaigns on independent machines fill
+  disjoint slices of one (mergeable) result store.
+
+Because ``run_key`` is stable across processes and machines, the same
+plan compiled anywhere shards identically — two machines running
+``--shard 1/2`` and ``--shard 2/2`` cover every run exactly once, and
+merging their stores (``repro merge``) lets a final ``--resume`` replay
+render the full report with zero fresh simulations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.experiments.runner import AlgorithmSpec, ExperimentRunner, RunResult
+from repro.experiments.scenarios import Scenario
+from repro.experiments.store import content_key, run_key
+from repro.platforms.cluster import Cluster
+
+__all__ = [
+    "Stage",
+    "CampaignPlan",
+    "CompiledPlan",
+    "PlannedRun",
+    "PlanExecution",
+    "parse_shard",
+    "shard_of",
+    "SECTION_SEPARATOR",
+]
+
+#: How report sections are joined — one separator line between sections.
+SECTION_SEPARATOR = "\n\n" + "=" * 78 + "\n\n"
+
+#: An artifact builder: stage results (in the stage's scenario-major matrix
+#: order) to one section string or a sequence of them.
+ArtifactBuilder = Callable[[list[RunResult]], "str | Sequence[str]"]
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One campaign stage: a run matrix plus its report renderer.
+
+    ``scenarios × clusters × specs`` is the stage's (possibly empty)
+    matrix; ``artifact`` renders the stage's report section(s) from the
+    matrix results, delivered in scenario-major matrix order — exactly
+    what ``run_matrix`` would have returned.  A stage with an empty
+    matrix and an artifact is *static* (the paper's Tables I–III); a
+    stage with a matrix and no artifact contributes runs but no report
+    section (useful for cache-warming stages).
+    """
+
+    name: str
+    scenarios: tuple[Scenario, ...] = ()
+    clusters: tuple[Cluster, ...] = ()
+    specs: tuple[AlgorithmSpec, ...] = ()
+    artifact: ArtifactBuilder | None = field(default=None, compare=False)
+
+    def cells(self) -> Iterator[tuple[Scenario, Cluster, AlgorithmSpec]]:
+        """The stage's cells in scenario-major matrix order."""
+        for scenario in self.scenarios:
+            for cluster in self.clusters:
+                for spec in self.specs:
+                    yield scenario, cluster, spec
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.scenarios) * len(self.clusters) * len(self.specs)
+
+    def sections(self, results: list[RunResult]) -> list[str]:
+        """Render the stage's report sections from its matrix results."""
+        if self.artifact is None:
+            return []
+        out = self.artifact(list(results))
+        return [out] if isinstance(out, str) else list(out)
+
+
+@dataclass(frozen=True)
+class PlannedRun:
+    """One deduplicated run of a compiled plan.
+
+    ``key`` is the label-free :func:`~repro.experiments.store.content_key`
+    — the dedup and shard unit.  The cell fields are the run's *first
+    occurrence* in stage order; cells elsewhere in the plan that share
+    the content key receive this run's result re-labelled with their own
+    spec label.
+    """
+
+    key: str
+    scenario: Scenario
+    cluster: Cluster
+    spec: AlgorithmSpec
+
+
+def shard_of(key: str, count: int) -> int:
+    """The shard (``0 <= shard < count``) owning a run key.
+
+    Derived from the key's leading hex digits, so the partition is a pure
+    function of *what is run* — stable across processes, machines and
+    stage ordering, which is what lets independent shard campaigns agree
+    on the split without coordination.
+    """
+    return int(key[:16], 16) % count
+
+
+def parse_shard(text: str) -> tuple[int, int]:
+    """Parse a CLI ``--shard I/N`` value into ``(index, count)``.
+
+    ``I`` is 1-based on the command line (``1/2``, ``2/2``); the returned
+    index is 0-based.  Raises :class:`ValueError` on malformed input, so
+    it can be used directly as an ``argparse`` type.
+    """
+    m = re.fullmatch(r"(\d+)/(\d+)", text.strip())
+    if not m:
+        raise ValueError(f"shard must look like I/N (e.g. 1/2), got {text!r}")
+    index, count = int(m.group(1)), int(m.group(2))
+    if count < 1 or not 1 <= index <= count:
+        raise ValueError(f"shard index must be in 1..{count}, got {index}")
+    return index - 1, count
+
+
+class CampaignPlan:
+    """An ordered list of :class:`Stage` objects.
+
+    Compose with :meth:`add` (chainable) or pass stages to the
+    constructor; :meth:`compile` produces the global deduplicated run
+    list, and :meth:`execute` is the compile-and-run convenience::
+
+        plan = (CampaignPlan()
+                .add(figure2_3_stage(scenarios, grillon))
+                .add(tables5_6_stage(scenarios, clusters)))
+        report = plan.execute(runner).report()
+    """
+
+    def __init__(self, stages: Iterable[Stage] = ()) -> None:
+        self._stages: list[Stage] = list(stages)
+
+    @property
+    def stages(self) -> tuple[Stage, ...]:
+        return tuple(self._stages)
+
+    def add(self, *stages: Stage) -> "CampaignPlan":
+        self._stages.extend(stages)
+        return self
+
+    def compile(self, *, simulated: bool = True) -> "CompiledPlan":
+        """Flatten all stages into one deduplicated, keyed run list.
+
+        Each cell gets its :func:`~repro.experiments.store.run_key`
+        (label-inclusive — the store's key) and is deduplicated on its
+        label-free :func:`~repro.experiments.store.content_key`
+        (``simulated`` must match the runner's ``simulate_schedules``).
+        The first occurrence of a content key defines the run's position
+        in the global list, so compilation is deterministic in stage
+        order.
+        """
+        runs: dict[str, PlannedRun] = {}
+        cells: dict[str, tuple[str, str]] = {}
+        stage_keys: list[tuple[str, ...]] = []
+        for stage in self._stages:
+            keys = []
+            for scenario, cluster, spec in stage.cells():
+                rk = run_key(scenario, cluster, spec, simulated=simulated)
+                ck = content_key(scenario, cluster, spec,
+                                 simulated=simulated)
+                if ck not in runs:
+                    runs[ck] = PlannedRun(key=ck, scenario=scenario,
+                                          cluster=cluster, spec=spec)
+                cells.setdefault(rk, (ck, spec.label))
+                keys.append(rk)
+            stage_keys.append(tuple(keys))
+        return CompiledPlan(stages=tuple(self._stages),
+                            runs=tuple(runs.values()),
+                            stage_keys=tuple(stage_keys),
+                            cells=cells)
+
+    def execute(self, runner: ExperimentRunner | None = None, *,
+                shard: tuple[int, int] | None = None,
+                jobs: int | None = None) -> "PlanExecution":
+        """Compile and execute in one call; see :meth:`CompiledPlan.execute`."""
+        simulated = runner.simulate_schedules if runner is not None else True
+        return self.compile(simulated=simulated).execute(
+            runner, shard=shard, jobs=jobs)
+
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """A plan flattened into a global deduplicated run list.
+
+    ``runs`` holds every unique run once, in first-occurrence order,
+    keyed by content key; ``stage_keys`` maps each stage (by position) to
+    its cells' run keys in matrix order; ``cells`` maps each cell run key
+    to its ``(content_key, label)`` — how :class:`PlanExecution`
+    reassembles every stage's result list (with per-cell labels) from the
+    shared pool.
+    """
+
+    stages: tuple[Stage, ...]
+    runs: tuple[PlannedRun, ...]
+    stage_keys: tuple[tuple[str, ...], ...]
+    cells: dict[str, tuple[str, str]]
+
+    @property
+    def total_cells(self) -> int:
+        """Cells over all stages, shared runs counted once per stage."""
+        return sum(len(keys) for keys in self.stage_keys)
+
+    @property
+    def unique_runs(self) -> int:
+        return len(self.runs)
+
+    def describe(self) -> str:
+        dedup = self.total_cells - self.unique_runs
+        return (f"{len(self.stages)} stages, {self.total_cells} cells -> "
+                f"{self.unique_runs} unique runs ({dedup} deduplicated)")
+
+    def describe_stages(self) -> list[str]:
+        """One line per running stage: cells declared, runs it adds."""
+        seen: set[str] = set()
+        lines = []
+        for stage, keys in zip(self.stages, self.stage_keys):
+            if not keys:
+                continue
+            new = {self.cells[rk][0] for rk in keys} - seen
+            seen.update(new)
+            lines.append(f"stage {stage.name}: {len(keys)} cells, "
+                         f"{len(new)} new unique runs")
+        return lines
+
+    def shard(self, index: int, count: int) -> tuple[PlannedRun, ...]:
+        """The deduplicated runs owned by shard ``index`` of ``count``.
+
+        Shards partition the run list: the union over ``index = 0..count-1``
+        is the full list and any two shards are disjoint.  The assignment
+        depends only on each run's content-hash key (:func:`shard_of`), so
+        independent processes compiling the same plan agree on it.
+        """
+        if count < 1 or not 0 <= index < count:
+            raise ValueError(
+                f"shard index must be in 0..{count - 1}, got {index}")
+        return tuple(r for r in self.runs
+                     if shard_of(r.key, count) == index)
+
+    def execute(self, runner: ExperimentRunner | None = None, *,
+                shard: tuple[int, int] | None = None,
+                jobs: int | None = None) -> "PlanExecution":
+        """Run the (optionally sharded) deduplicated runs.
+
+        Streams through :meth:`ExperimentRunner.iter_cells`, so a
+        store-attached runner skips everything already computed and
+        persists everything fresh.  Each completed run is fanned out to
+        every cell sharing its content key — re-labelled with the cell's
+        own spec label, and persisted under the cell's
+        :func:`~repro.experiments.store.run_key` so cell-level resume
+        keeps working for other consumers of the store.  A runner
+        constructed here is closed before returning; an injected runner's
+        lifecycle stays with the caller.
+        """
+        runs = self.runs if shard is None else self.shard(*shard)
+        # reverse index: content key -> the cells (run_key, label) it fills
+        fanout: dict[str, list[tuple[str, str]]] = {}
+        for rk, (ck, label) in self.cells.items():
+            fanout.setdefault(ck, []).append((rk, label))
+        owned = runner is None
+        runner = runner or ExperimentRunner()
+        results: dict[str, RunResult] = {}
+        try:
+            cells = [(r.scenario, r.cluster, r.spec) for r in runs]
+            for index, result in runner.iter_cells(cells, jobs=jobs):
+                for rk, label in fanout.get(runs[index].key, ()):
+                    relabelled = (result if result.algorithm == label
+                                  else dataclasses.replace(
+                                      result, algorithm=label))
+                    results[rk] = relabelled
+                    if runner.store is not None and rk not in runner.store:
+                        runner.store.put(rk, relabelled)
+        finally:
+            if owned:
+                runner.close()
+        return PlanExecution(plan=self, results=results,
+                             executed=tuple(runs))
+
+
+@dataclass(frozen=True)
+class PlanExecution:
+    """Results of one (possibly sharded) plan execution.
+
+    ``results`` maps cell run keys to their (per-label) `RunResult`;
+    stage result lists and report sections are materialized lazily from
+    it.  A sharded execution holds only its slice — rendering then
+    raises, because a report over partial results would be silently
+    wrong; merge the shard stores and replay the full plan instead.
+    """
+
+    plan: CompiledPlan
+    results: dict[str, RunResult]
+    executed: tuple[PlannedRun, ...]
+
+    @property
+    def complete(self) -> bool:
+        """Whether every cell of the plan has a result."""
+        return all(key in self.results
+                   for keys in self.plan.stage_keys for key in keys)
+
+    def _results_at(self, position: int) -> list[RunResult]:
+        try:
+            return [self.results[key]
+                    for key in self.plan.stage_keys[position]]
+        except KeyError as exc:
+            raise RuntimeError(
+                f"stage {self.plan.stages[position].name!r} is missing "
+                f"run {exc.args[0]}; a sharded execution cannot render "
+                "artifacts — merge the shard stores and replay the full "
+                "plan") from None
+
+    def stage_results(self, stage: "str | Stage") -> list[RunResult]:
+        """One stage's results in its scenario-major matrix order.
+
+        Stages may be addressed by name or object; with duplicate names
+        the first match wins — prefer iterating :meth:`sections`, which
+        renders every stage by position.
+        """
+        names = [s.name for s in self.plan.stages]
+        if isinstance(stage, Stage):
+            for position, candidate in enumerate(self.plan.stages):
+                if candidate is stage:
+                    break
+            else:
+                try:
+                    position = self.plan.stages.index(stage)
+                except ValueError:
+                    raise KeyError(
+                        f"stage {stage.name!r} is not part of this plan; "
+                        f"stages: {names}") from None
+        else:
+            try:
+                position = names.index(stage)
+            except ValueError:
+                raise KeyError(
+                    f"no stage named {stage!r}; stages: {names}") from None
+        return self._results_at(position)
+
+    def sections(self) -> list[str]:
+        """Every stage's report sections, in stage order.
+
+        Stages are rendered by position, so duplicate stage names are
+        fine — each stage sees exactly its own results.
+        """
+        out: list[str] = []
+        for position, stage in enumerate(self.plan.stages):
+            out.extend(stage.sections(self._results_at(position)
+                                      if stage.n_cells else []))
+        return out
+
+    def report(self) -> str:
+        """The full report: all sections joined by the separator rule."""
+        return SECTION_SEPARATOR.join(self.sections())

@@ -24,6 +24,9 @@ The execution engine is resumable and streaming:
   same stream back into the deterministic scenario-major order, so serial
   and pool execution return byte-identical lists (with
   ``record_timings=False``);
+* both sit on :meth:`ExperimentRunner.iter_cells`, which streams an
+  *arbitrary* cell list — the entry point a deduplicated
+  :class:`~repro.experiments.plan.CampaignPlan` executes through;
 * a :class:`~repro.experiments.store.ResultStore` (``store=...``) keys
   every run under a stable content hash — repeated or crashed campaigns
   skip everything already computed;
@@ -258,8 +261,9 @@ class ExperimentRunner:
         self.jobs = jobs
         self.record_timings = record_timings
         self.store = store
-        self._graphs: dict[str, TaskGraph] = {}
-        self._allocations: dict[tuple[str, str, str], dict[str, int]] = {}
+        self._graphs: dict[Scenario, TaskGraph] = {}
+        self._allocations: dict[tuple[Scenario, str, str],
+                                dict[str, int]] = {}
         self._redists: dict[str, RedistributionCost] = {}
         self._pool: ProcessPoolExecutor | None = None
         self._pool_jobs = 0
@@ -319,15 +323,17 @@ class ExperimentRunner:
 
     # ------------------------------------------------------------------ #
     def graph_for(self, scenario: Scenario) -> TaskGraph:
-        g = self._graphs.get(scenario.scenario_id)
+        # cached by Scenario *value*: a degenerate custom scenario_id
+        # formatter (two distinct scenarios, one id) must not alias graphs
+        g = self._graphs.get(scenario)
         if g is None:
             g = scenario.build()
-            self._graphs[scenario.scenario_id] = g
+            self._graphs[scenario] = g
         return g
 
     def allocation_for(self, scenario: Scenario, cluster: Cluster,
                        allocator: str) -> dict[str, int]:
-        key = (scenario.scenario_id, cluster.name, allocator)
+        key = (scenario, cluster.name, allocator)
         alloc = self._allocations.get(key)
         if alloc is None:
             graph = self.graph_for(scenario)
@@ -432,10 +438,10 @@ class ExperimentRunner:
         byte-identical with ``record_timings=False``).  ``jobs`` overrides
         the runner's default parallelism for this call.
         """
-        scenarios = list(scenarios)
-        clusters = list(clusters)
-        specs = list(specs)
-        indexed = sorted(self._iter_indexed(scenarios, clusters, specs, jobs))
+        cells = [(scenario, cluster, spec)
+                 for scenario in scenarios
+                 for cluster in clusters for spec in specs]
+        indexed = sorted(self.iter_cells(cells, jobs=jobs))
         return [result for _, result in indexed]
 
     def iter_matrix(
@@ -453,52 +459,59 @@ class ExperimentRunner:
         the process pool.  ``run_matrix`` is this stream re-sorted, so the
         two are permutations of each other by construction.
         """
-        scenarios = list(scenarios)
-        clusters = list(clusters)
-        specs = list(specs)
-        for _, result in self._iter_indexed(scenarios, clusters, specs, jobs):
+        cells = [(scenario, cluster, spec)
+                 for scenario in scenarios
+                 for cluster in clusters for spec in specs]
+        for _, result in self.iter_cells(cells, jobs=jobs):
             yield result
 
     # ------------------------------------------------------------------ #
-    def _iter_indexed(
+    def iter_cells(
         self,
-        scenarios: list[Scenario],
-        clusters: list[Cluster],
-        specs: list[AlgorithmSpec],
-        jobs: int | None,
+        cells: Iterable[tuple[Scenario, Cluster, AlgorithmSpec]],
+        *,
+        jobs: int | None = None,
     ) -> Iterator[tuple[int, RunResult]]:
-        """The execution core: yields ``(matrix_index, result)`` pairs.
+        """The execution core: stream an *arbitrary* list of
+        ``(scenario, cluster, spec)`` cells as ``(index, result)`` pairs.
 
-        The index is the run's position in the scenario-major cartesian
-        product — what ``run_matrix`` sorts on.
+        The index is the cell's position in the input list — what
+        ``run_matrix`` sorts on.  Unlike :meth:`iter_matrix` the cells need
+        not form a cartesian product, which is what lets a deduplicated
+        :class:`~repro.experiments.plan.CampaignPlan` execute each unique
+        run exactly once.  Store hits are yielded first; fresh runs are
+        grouped into per-scenario chunks (the pool's unit of work) and
+        follow in input order serially, in chunk-completion order on the
+        pool.
         """
+        cells = list(cells)
         jobs = self.jobs if jobs is None else jobs
         if jobs is not None and jobs < 0:
             import os
             jobs = os.cpu_count() or 1
-        total = len(scenarios) * len(clusters) * len(specs)
+        total = len(cells)
 
-        # consult the store once per cell; anything missing is grouped into
-        # per-scenario chunks (the pool's unit of work)
+        # consult the store once per cell; anything missing is grouped
+        # into per-scenario chunks in first-occurrence order.  Grouping
+        # is by Scenario *value* (not bare scenario_id): a custom family
+        # whose id formatter drops a distinguishing field must not see
+        # its cells silently executed against another cell's scenario.
         hits: list[tuple[int, RunResult]] = []
-        pending: dict[int, list[tuple[int, Cluster, AlgorithmSpec]]] = {}
+        pending: dict[Scenario, list[tuple[int, Cluster,
+                                           AlgorithmSpec]]] = {}
         keys: dict[int, str] = {}
-        index = 0
-        for si, scenario in enumerate(scenarios):
-            for cluster in clusters:
-                for spec in specs:
-                    cached = None
-                    if self.store is not None:
-                        key = run_key(scenario, cluster, spec,
-                                      simulated=self.simulate_schedules)
-                        keys[index] = key
-                        cached = self.store.get(key)
-                    if cached is not None:
-                        hits.append((index, cached))
-                    else:
-                        pending.setdefault(si, []).append(
-                            (index, cluster, spec))
-                    index += 1
+        for index, (scenario, cluster, spec) in enumerate(cells):
+            cached = None
+            if self.store is not None:
+                key = run_key(scenario, cluster, spec,
+                              simulated=self.simulate_schedules)
+                keys[index] = key
+                cached = self.store.get(key)
+            if cached is not None:
+                hits.append((index, cached))
+            else:
+                pending.setdefault(scenario, []).append(
+                    (index, cluster, spec))
 
         done = 0
         for index, cached in hits:
@@ -513,21 +526,20 @@ class ExperimentRunner:
             # reach the workers even under spawn/forkserver start methods
             snapshot = _registry_snapshot()
             try:
-                pickle.dumps((scenarios, clusters, specs))
+                pickle.dumps(cells)
                 snapshot_blob = pickle.dumps(snapshot)
             except Exception as exc:  # unpicklable custom components
                 warnings.warn(
                     f"falling back to serial run_matrix: {exc}",
                     RuntimeWarning, stacklevel=3)
             else:
-                yield from self._iter_parallel(scenarios, pending, keys,
-                                               jobs, snapshot,
-                                               snapshot_blob, done, total)
+                yield from self._iter_parallel(pending, keys, jobs,
+                                               snapshot, snapshot_blob,
+                                               done, total)
                 return
 
-        for si in sorted(pending):
-            scenario = scenarios[si]
-            for index, cluster, spec in pending[si]:
+        for scenario, group in pending.items():
+            for index, cluster, spec in group:
                 result = self._execute(scenario, cluster, spec)
                 if self.store is not None:
                     self.store.put(keys[index], result)
@@ -539,8 +551,7 @@ class ExperimentRunner:
 
     def _iter_parallel(
         self,
-        scenarios: list[Scenario],
-        pending: dict[int, list[tuple[int, Cluster, AlgorithmSpec]]],
+        pending: dict[Scenario, list[tuple[int, Cluster, AlgorithmSpec]]],
         keys: dict[int, str],
         jobs: int,
         snapshot: list[tuple[str, object]],
@@ -557,15 +568,15 @@ class ExperimentRunner:
         pool = self._ensure_pool(jobs, len(pending), snapshot, snapshot_blob)
         try:
             futures = {
-                pool.submit(_run_cells, scenarios[si],
+                pool.submit(_run_cells, scenario,
                             [(cluster, spec)
-                             for _, cluster, spec in cells]): si
-                for si, cells in sorted(pending.items())
+                             for _, cluster, spec in group]): scenario
+                for scenario, group in pending.items()
             }
             for fut in as_completed(futures):
-                cells = pending[futures[fut]]
+                group = pending[futures[fut]]
                 results = fut.result()
-                for (index, _, _), result in zip(cells, results):
+                for (index, _, _), result in zip(group, results):
                     if self.store is not None:
                         self.store.put(keys[index], result)
                     yield index, result

@@ -5,7 +5,10 @@ algorithm); this module makes repeated campaigns cheap by keying every
 :class:`~repro.experiments.runner.RunResult` under a stable content hash of
 *what was run*:
 
-* the scenario id (which deterministically seeds the task graph),
+* the scenario id (which deterministically seeds the task graph) plus
+  every :class:`~repro.experiments.scenarios.Scenario` constructor field
+  (so a custom family's id formatter omitting a field cannot alias two
+  different computations),
 * the cluster (platform) name,
 * the algorithm spec — allocator, mapping strategy and the **resolved**
   RATS parameters (a tuned ``params_resolver`` hashes to the concrete
@@ -17,7 +20,7 @@ across processes, interpreter restarts and machines — the property that
 lets one :class:`JsonlStore` file be shared by resumed or sharded
 campaigns.
 
-Two stores ship with ``repro``:
+Three stores ship with ``repro``:
 
 * :class:`MemoryStore` — a per-process dict; caching within one campaign.
 * :class:`JsonlStore` — an append-only JSON-Lines file.  Every ``put``
@@ -25,10 +28,20 @@ Two stores ship with ``repro``:
   most the run being written; re-opening the file tolerates a truncated
   final line and the next campaign resumes exactly where the crash left
   off.
+* :class:`SqliteStore` — a single-table SQLite database, keyed on the run
+  hash.  Lookups are index hits instead of a whole-file line scan, which
+  is what keeps tens-of-MB campaign stores fast; every ``put`` commits,
+  matching the JSONL store's run-granularity crash tolerance.
 
-Both count hits/misses/puts in :attr:`ResultStore.stats`, which is how the
-CI smoke test asserts that a second pass over the same store performs zero
-fresh simulations.
+:func:`open_store` dispatches on the path suffix (``.sqlite`` /
+``.sqlite3`` / ``.db`` → SQLite, anything else → JSON-Lines), so every
+``--store`` flag accepts either backend.  :func:`merge_stores` recombines
+the stores of sharded campaigns — deduplicating identical runs and
+refusing conflicting ones — across backends.
+
+All stores count hits/misses/puts in :attr:`ResultStore.stats`, which is
+how the CI smoke test asserts that a second pass over the same store
+performs zero fresh simulations.
 """
 
 from __future__ import annotations
@@ -36,9 +49,10 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import sqlite3
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterator, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Iterator, Protocol, Sequence, runtime_checkable
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.experiments.runner import AlgorithmSpec, RunResult
@@ -49,31 +63,44 @@ __all__ = [
     "StoreStats",
     "MemoryStore",
     "JsonlStore",
+    "SqliteStore",
+    "StoreConflictError",
+    "MergeStats",
+    "merge_stores",
     "run_key",
+    "content_key",
     "open_store",
+    "SQLITE_SUFFIXES",
 ]
+
+#: Path suffixes :func:`open_store` routes to :class:`SqliteStore`.
+SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
 
 #: Bump when the key payload schema changes: old store files then read as
 #: all-miss instead of silently returning results computed under different
-#: semantics.
-_KEY_VERSION = 1
+#: semantics.  v2: the payload carries every Scenario constructor field,
+#: not just the formatted scenario_id, so a custom family whose id
+#: formatter drops a distinguishing field cannot alias two different
+#: computations under one key.
+_KEY_VERSION = 2
 
 
-def run_key(scenario: "Scenario", cluster, spec: "AlgorithmSpec", *,
-            simulated: bool = True) -> str:
-    """Stable content hash identifying one (scenario, cluster, spec) run.
-
-    ``cluster`` may be a platform object (anything with a ``name``) or the
-    name itself.  Tuned specs hash to their *resolved* parameters, so a
-    ``params_resolver`` and the equivalent explicit ``RATSParams`` produce
-    the same key.  The hash is computed over canonical JSON (sorted keys,
-    repr-exact floats), making it reproducible across processes.
-    """
+def _key_payload(scenario: "Scenario", cluster, spec: "AlgorithmSpec",
+                 simulated: bool) -> dict:
     cluster_name = cluster if isinstance(cluster, str) else cluster.name
     params = spec.resolve_params(cluster_name, scenario.family)
-    payload = {
+    # every constructor field rides along with the formatted id: the id
+    # seeds the graph RNG, but the shape fields feed the construction too,
+    # and a custom family's id formatter may (wrongly) omit one of them —
+    # that must surface as distinct keys, not as silent store aliasing
+    scenario_fields = {
+        f.name: getattr(scenario, f.name)
+        for f in dataclasses.fields(scenario)
+    }
+    return {
         "v": _KEY_VERSION,
         "scenario": scenario.scenario_id,
+        "scenario_fields": scenario_fields,
         "cluster": cluster_name,
         "label": spec.label,
         "allocator": spec.allocator,
@@ -88,8 +115,44 @@ def run_key(scenario: "Scenario", cluster, spec: "AlgorithmSpec", *,
         },
         "simulated": bool(simulated),
     }
-    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _digest(payload: dict) -> str:
+    # default=repr: custom-family extras may carry values JSON cannot
+    # encode; their repr keeps the key deterministic within a codebase
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      default=repr)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def run_key(scenario: "Scenario", cluster, spec: "AlgorithmSpec", *,
+            simulated: bool = True) -> str:
+    """Stable content hash identifying one (scenario, cluster, spec) run.
+
+    ``cluster`` may be a platform object (anything with a ``name``) or the
+    name itself.  Tuned specs hash to their *resolved* parameters, so a
+    ``params_resolver`` and the equivalent explicit ``RATSParams`` produce
+    the same key.  The hash is computed over canonical JSON (sorted keys,
+    repr-exact floats), making it reproducible across processes.
+    """
+    return _digest(_key_payload(scenario, cluster, spec, simulated))
+
+
+def content_key(scenario: "Scenario", cluster, spec: "AlgorithmSpec", *,
+                simulated: bool = True) -> str:
+    """Like :func:`run_key`, but blind to the spec's presentation label.
+
+    The label never influences the computation — it is only copied into
+    ``RunResult.algorithm`` — so two cells that differ *only* in label
+    (Figure 6's ``"Delta"`` vs Table V's ``"delta"``, a sweep's
+    ``"hcpa"`` baseline vs Figure 2's ``"HCPA"``) identify the same
+    simulation.  :class:`~repro.experiments.plan.CampaignPlan` dedupes on
+    this key and re-labels the shared result per cell; stores keep using
+    :func:`run_key`, so cell-level resume semantics are unchanged.
+    """
+    payload = _key_payload(scenario, cluster, spec, simulated)
+    del payload["label"]
+    return _digest(payload)
 
 
 @dataclass
@@ -129,6 +192,10 @@ class ResultStore(Protocol):
 
     def __len__(self) -> int: ...
 
+    def items(self) -> "Sequence[tuple[str, RunResult]]":
+        """Every ``(key, result)`` pair, in insertion order."""
+        ...
+
     def close(self) -> None: ...
 
 
@@ -165,6 +232,10 @@ class _BaseStore:
     def results(self) -> list["RunResult"]:
         """Every stored result, in insertion (= completion) order."""
         return list(self._results.values())
+
+    def items(self) -> list[tuple[str, "RunResult"]]:
+        """Every ``(key, result)`` pair, in insertion order."""
+        return list(self._results.items())
 
     def close(self) -> None:
         pass
@@ -246,7 +317,181 @@ class JsonlStore(_BaseStore):
         return f"JsonlStore({str(self.path)!r}, {len(self)} results)"
 
 
+class SqliteStore:
+    """SQLite-backed result store: one indexed ``results`` table.
+
+    The JSONL store loads (and line-scans) the whole file on open, which
+    starts to dominate once campaign stores reach tens of MB.  Here every
+    lookup is a primary-key hit and nothing is loaded eagerly; memory
+    stays flat no matter how large the store grows.  Every :meth:`put`
+    is ``INSERT OR IGNORE`` + commit, so a campaign killed mid-flight
+    loses at most the run being written — the same crash-tolerance
+    contract as :class:`JsonlStore`, at run granularity.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.stats = StoreStats()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(str(self.path))
+        try:
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS results ("
+                "  key TEXT PRIMARY KEY,"
+                "  result TEXT NOT NULL"
+                ")")
+            self._conn.commit()
+        except sqlite3.DatabaseError as exc:
+            self._conn.close()
+            raise ValueError(
+                f"{self.path} is not a repro SQLite result store: "
+                f"{exc}") from exc
+
+    def get(self, key: str) -> "RunResult | None":
+        from repro.experiments.runner import RunResult
+
+        row = self._conn.execute(
+            "SELECT result FROM results WHERE key = ?", (key,)).fetchone()
+        if row is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return RunResult(**json.loads(row[0]))
+
+    def put(self, key: str, result: "RunResult") -> None:
+        blob = json.dumps(dataclasses.asdict(result),
+                          separators=(",", ":"))
+        cursor = self._conn.execute(
+            "INSERT OR IGNORE INTO results (key, result) VALUES (?, ?)",
+            (key, blob))
+        if cursor.rowcount:
+            self.stats.puts += 1
+            self._conn.commit()
+
+    def __contains__(self, key: str) -> bool:
+        row = self._conn.execute(
+            "SELECT 1 FROM results WHERE key = ?", (key,)).fetchone()
+        return row is not None
+
+    def __len__(self) -> int:
+        return self._conn.execute(
+            "SELECT COUNT(*) FROM results").fetchone()[0]
+
+    def __iter__(self) -> Iterator[str]:
+        for (key,) in self._conn.execute(
+                "SELECT key FROM results ORDER BY rowid"):
+            yield key
+
+    def results(self) -> list["RunResult"]:
+        """Every stored result, in insertion (= completion) order."""
+        from repro.experiments.runner import RunResult
+
+        return [RunResult(**json.loads(blob))
+                for (blob,) in self._conn.execute(
+                    "SELECT result FROM results ORDER BY rowid")]
+
+    def items(self) -> list[tuple[str, "RunResult"]]:
+        """Every ``(key, result)`` pair, in insertion order."""
+        from repro.experiments.runner import RunResult
+
+        return [(key, RunResult(**json.loads(blob)))
+                for key, blob in self._conn.execute(
+                    "SELECT key, result FROM results ORDER BY rowid")]
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "SqliteStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SqliteStore({str(self.path)!r}, {len(self)} results)"
+
+
 def open_store(path: str | Path | None) -> ResultStore:
-    """A :class:`JsonlStore` at ``path``, or a :class:`MemoryStore` for
-    ``None`` — the CLI's ``--store`` convention."""
-    return MemoryStore() if path is None else JsonlStore(path)
+    """Open the store backend a path's suffix names.
+
+    ``None`` gives a :class:`MemoryStore`; a ``.sqlite`` / ``.sqlite3`` /
+    ``.db`` path a :class:`SqliteStore`; anything else a
+    :class:`JsonlStore` — the convention behind every CLI ``--store``
+    flag and ``Experiment.store(path)``.
+    """
+    if path is None:
+        return MemoryStore()
+    if Path(path).suffix.lower() in SQLITE_SUFFIXES:
+        return SqliteStore(path)
+    return JsonlStore(path)
+
+
+# --------------------------------------------------------------------- #
+# store merging (sharded campaigns)
+# --------------------------------------------------------------------- #
+class StoreConflictError(ValueError):
+    """Two stores hold *different* results under the same run key."""
+
+
+@dataclass(frozen=True)
+class MergeStats:
+    """Outcome of one :func:`merge_stores` call."""
+
+    stores: int      # input stores read
+    merged: int      # results newly written to the output
+    duplicates: int  # identical results seen more than once (skipped)
+
+    def describe(self) -> str:
+        return (f"{self.merged} result{'s' if self.merged != 1 else ''} "
+                f"merged from {self.stores} store"
+                f"{'s' if self.stores != 1 else ''}, "
+                f"{self.duplicates} duplicate"
+                f"{'s' if self.duplicates != 1 else ''} skipped")
+
+
+def _comparable(result: "RunResult") -> "RunResult":
+    """A result with its per-machine timing zeroed, for conflict checks.
+
+    Two shards that somehow both computed a run produce identical numbers
+    but different wall clocks; only the *science* fields decide whether
+    results conflict.
+    """
+    return dataclasses.replace(result, wall_time_s=0.0)
+
+
+def merge_stores(inputs: Sequence[str | Path],
+                 output: str | Path) -> MergeStats:
+    """Recombine shard stores into one (the ``repro merge`` core).
+
+    Each input is opened by suffix (:func:`open_store`) and copied into
+    ``output`` in input order; a key seen twice with an *identical* result
+    (timing aside) is a duplicate and skipped, a key with diverging
+    results raises :class:`StoreConflictError` — silent last-writer-wins
+    would mask a nondeterministic run or a stale shard.  ``output`` may
+    already exist: merging then appends, with the same conflict check
+    against its current content.  Input and output backends mix freely,
+    so ``repro merge a.jsonl b.jsonl -o all.sqlite`` also converts.
+    """
+    if not inputs:
+        raise ValueError("merge needs at least one input store")
+    for path in inputs:
+        if not Path(path).exists():
+            raise FileNotFoundError(f"input store {path} does not exist")
+    merged = duplicates = 0
+    with open_store(output) as out:
+        for path in inputs:
+            with open_store(path) as src:
+                for key, result in src.items():
+                    existing = out.get(key)
+                    if existing is None:
+                        out.put(key, result)
+                        merged += 1
+                    elif _comparable(existing) == _comparable(result):
+                        duplicates += 1
+                    else:
+                        raise StoreConflictError(
+                            f"run {key} in {path} conflicts with the result "
+                            f"already merged into {output}; the stores do "
+                            "not come from the same deterministic campaign")
+    return MergeStats(stores=len(inputs), merged=merged,
+                      duplicates=duplicates)

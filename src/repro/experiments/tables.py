@@ -1,4 +1,10 @@
-"""Renderers for the paper's tables (I–VI)."""
+"""Renderers for the paper's tables (I–VI), plus their campaign stages.
+
+The ``table*`` functions render text from results; the ``*_stage``
+producers wrap them as declarative :class:`~repro.experiments.plan.Stage`
+objects for the campaign plan — ``static_tables_stage`` for the runless
+Tables I–III, ``tables5_6_stage`` for the three-cluster tuned study.
+"""
 
 from __future__ import annotations
 
@@ -9,7 +15,13 @@ from repro.experiments.metrics import (
     degradation_from_best,
     pairwise_comparison,
 )
-from repro.experiments.runner import RunResult
+from repro.experiments.plan import Stage
+from repro.experiments.runner import (
+    AlgorithmSpec,
+    RunResult,
+    baseline_spec,
+    rats_spec,
+)
 from repro.experiments.scenarios import (
     DENSITIES,
     FFT_POINTS,
@@ -17,6 +29,7 @@ from repro.experiments.scenarios import (
     REGULARITIES,
     TASK_COUNTS,
     WIDTHS,
+    Scenario,
     scenarios_by_family,
 )
 from repro.platforms.cluster import Cluster
@@ -29,6 +42,8 @@ __all__ = [
     "table4_tuned_params",
     "table5_pairwise",
     "table6_degradation",
+    "static_tables_stage",
+    "tables5_6_stage",
 ]
 
 
@@ -102,6 +117,41 @@ def table4_tuned_params(
                          f"({v[0]:g}, {v[1]:g}, {v[2]:g})".rjust(col_w))
         lines.append(f"  {c:<10}" + "".join(cells))
     return "\n".join(lines)
+
+
+def static_tables_stage(clusters: list[Cluster]) -> Stage:
+    """Tables I–III as one runless (static) campaign stage."""
+    def artifact(_results: list[RunResult]) -> list[str]:
+        return [table1_communication_matrix(), table2_clusters(clusters),
+                table3_scenarios()]
+
+    return Stage(name="tables I-III", artifact=artifact)
+
+
+def tuned_study_specs() -> list[AlgorithmSpec]:
+    """The Tables V–VI algorithm column: HCPA vs both tuned RATS variants."""
+    return [
+        baseline_spec("hcpa", label="HCPA"),
+        rats_spec(tuned=True, strategy="delta", label="delta"),
+        rats_spec(tuned=True, strategy="timecost", label="time-cost"),
+    ]
+
+
+def tables5_6_stage(scenarios: list[Scenario],
+                    clusters: list[Cluster],
+                    specs: list[AlgorithmSpec] | None = None) -> Stage:
+    """Tables V–VI (tuned pairwise/degradation study) as a campaign stage."""
+    specs = tuned_study_specs() if specs is None else list(specs)
+    algos = [s.label for s in specs]
+    names = [c.name for c in clusters]
+
+    def artifact(results: list[RunResult]) -> list[str]:
+        return [table5_pairwise(results, algos, names),
+                table6_degradation(results, algos, names)]
+
+    return Stage(name="tables V-VI", scenarios=tuple(scenarios),
+                 clusters=tuple(clusters), specs=tuple(specs),
+                 artifact=artifact)
 
 
 def table5_pairwise(results: list[RunResult], algorithms: list[str],

@@ -1,10 +1,20 @@
 """Parameter tuning sweeps (paper §IV-C: Figures 4–5, Table IV).
 
+* :func:`delta_grid` / :func:`rho_grid` — the sweep grids as declarative
+  ``(point, AlgorithmSpec)`` lists, the form a
+  :class:`~repro.experiments.plan.Stage` declares;
+* :func:`sweep_from_results` — fold a result pool back into a
+  :class:`SweepResult` of per-point averages (the artifact-consumer half);
 * :func:`delta_sweep` — grid of (mindelta, maxdelta) pairs → average
   makespan relative to the baseline (Figure 4's surface);
 * :func:`rho_sweep` — minrho values × packing on/off (Figure 5's curves);
 * :func:`tune_parameters` — arg-min over both sweeps per (cluster,
   application family), the procedure that produced Table IV.
+
+Both sweeps declare **one** matrix (baseline + every grid spec) instead of
+re-running a two-spec matrix per grid point, so the shared baseline runs
+once — and through a campaign plan the whole grid deduplicates against
+runs other stages already own.
 """
 
 from __future__ import annotations
@@ -16,6 +26,7 @@ from repro.experiments.metrics import relative_series
 from repro.experiments.runner import (
     AlgorithmSpec,
     ExperimentRunner,
+    RunResult,
     baseline_spec,
     rats_spec,
 )
@@ -24,6 +35,9 @@ from repro.platforms.cluster import Cluster
 
 __all__ = [
     "SweepResult",
+    "delta_grid",
+    "rho_grid",
+    "sweep_from_results",
     "delta_sweep",
     "rho_sweep",
     "tune_parameters",
@@ -53,12 +67,74 @@ class SweepResult:
         return min(self.averages, key=lambda k: (self.averages[k], k))
 
 
-def _average_relative(runner: ExperimentRunner, scenarios: list[Scenario],
-                      cluster: Cluster, spec: AlgorithmSpec,
-                      base: AlgorithmSpec) -> float:
-    results = runner.run_matrix(scenarios, [cluster], [base, spec])
-    series = relative_series(results, spec.label, base.label, "makespan")
-    return sum(series) / len(series)
+def delta_grid(
+    mindeltas: tuple[float, ...] = DEFAULT_MINDELTAS,
+    maxdeltas: tuple[float, ...] = DEFAULT_MAXDELTAS,
+) -> list[tuple[tuple[float, float], AlgorithmSpec]]:
+    """The Figure 4 grid as declarative ``((mindelta, maxdelta), spec)``
+    pairs, in mindelta-major order."""
+    return [
+        ((mind, maxd),
+         rats_spec(RATSParams(strategy="delta", mindelta=mind,
+                              maxdelta=maxd),
+                   label=f"delta({mind:g},{maxd:g})"))
+        for mind in mindeltas for maxd in maxdeltas
+    ]
+
+
+def rho_grid(
+    minrhos: tuple[float, ...] = DEFAULT_MINRHOS,
+    packing_options: tuple[bool, ...] = (True, False),
+) -> list[tuple[tuple[float, bool], AlgorithmSpec]]:
+    """The Figure 5 grid as declarative ``((minrho, allow_pack), spec)``
+    pairs, in packing-major order."""
+    return [
+        ((rho, allow_pack),
+         rats_spec(RATSParams(strategy="timecost", minrho=rho,
+                              allow_pack=allow_pack),
+                   label=f"timecost({rho:g},"
+                         f"{'pack' if allow_pack else 'nopack'})"))
+        for allow_pack in packing_options for rho in minrhos
+    ]
+
+
+def sweep_from_results(
+    results: list[RunResult],
+    grid: list[tuple[tuple, AlgorithmSpec]],
+    *,
+    cluster: str,
+    baseline: str,
+) -> SweepResult:
+    """Fold a result pool into per-grid-point averages.
+
+    ``results`` must hold, for every grid spec and the baseline, one run
+    per scenario (extra runs of other labels are ignored) — which is what
+    a sweep :class:`~repro.experiments.plan.Stage` receives.  The average
+    per point is the mean of the sorted relative-makespan series, exactly
+    the quantity the per-point matrices used to compute.
+    """
+    sweep = SweepResult(cluster=cluster, baseline=baseline)
+    for point, spec in grid:
+        series = relative_series(results, spec.label, baseline, "makespan")
+        if not series:
+            raise ValueError(
+                f"no ({spec.label!r}, {baseline!r}) result pairs for sweep "
+                f"point {point}")
+        sweep.averages[point] = sum(series) / len(series)
+    return sweep
+
+
+def _run_sweep(scenarios: list[Scenario], cluster: Cluster,
+               grid: list[tuple[tuple, AlgorithmSpec]],
+               runner: ExperimentRunner | None,
+               baseline: AlgorithmSpec | None) -> SweepResult:
+    """One matrix over baseline + grid, folded into a :class:`SweepResult`."""
+    runner = runner or ExperimentRunner()
+    base = baseline or baseline_spec("hcpa")
+    results = runner.run_matrix(scenarios, [cluster],
+                                [base] + [spec for _, spec in grid])
+    return sweep_from_results(results, grid, cluster=cluster.name,
+                              baseline=base.label)
 
 
 def delta_sweep(
@@ -71,17 +147,8 @@ def delta_sweep(
     baseline: AlgorithmSpec | None = None,
 ) -> SweepResult:
     """Figure 4: average relative makespan over the (mindelta, maxdelta) grid."""
-    runner = runner or ExperimentRunner()
-    base = baseline or baseline_spec("hcpa")
-    sweep = SweepResult(cluster=cluster.name, baseline=base.label)
-    for mind in mindeltas:
-        for maxd in maxdeltas:
-            spec = rats_spec(
-                RATSParams(strategy="delta", mindelta=mind, maxdelta=maxd),
-                label=f"delta({mind:g},{maxd:g})")
-            sweep.averages[(mind, maxd)] = _average_relative(
-                runner, scenarios, cluster, spec, base)
-    return sweep
+    return _run_sweep(scenarios, cluster, delta_grid(mindeltas, maxdeltas),
+                      runner, baseline)
 
 
 def rho_sweep(
@@ -95,18 +162,8 @@ def rho_sweep(
 ) -> SweepResult:
     """Figure 5: average relative makespan as minrho varies, with and
     without packing allowed."""
-    runner = runner or ExperimentRunner()
-    base = baseline or baseline_spec("hcpa")
-    sweep = SweepResult(cluster=cluster.name, baseline=base.label)
-    for allow_pack in packing_options:
-        for rho in minrhos:
-            spec = rats_spec(
-                RATSParams(strategy="timecost", minrho=rho,
-                           allow_pack=allow_pack),
-                label=f"timecost({rho:g},{'pack' if allow_pack else 'nopack'})")
-            sweep.averages[(rho, allow_pack)] = _average_relative(
-                runner, scenarios, cluster, spec, base)
-    return sweep
+    return _run_sweep(scenarios, cluster, rho_grid(minrhos, packing_options),
+                      runner, baseline)
 
 
 def tune_parameters(

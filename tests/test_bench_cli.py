@@ -9,7 +9,9 @@ import pytest
 from repro.__main__ import main
 from repro.core.params import RATSParams
 from repro.experiments.bench import (
+    append_results,
     compare_benchmarks,
+    latest_entry,
     profiled,
     run_benchmarks,
     write_results,
@@ -61,6 +63,33 @@ class TestBenchHarness:
         assert rc == 1
         assert "PERF REGRESSION" in capsys.readouterr().out
 
+    def test_regressed_run_does_not_clobber_its_baseline(self, tmp_path,
+                                                         capsys):
+        """`repro bench --compare X` with --out defaulting onto X must
+        leave the baseline intact when the run regresses — otherwise the
+        next run compares against the regression and passes."""
+        out = tmp_path / "BENCH_substrate.json"
+        assert main(["bench", "--quick", "--rounds", "1",
+                     "--only", "maxmin_bundled_random",
+                     "--out", str(out), "--quiet"]) == 0
+        data = json.loads(out.read_text())
+        data["benchmarks"]["maxmin_bundled_random"]["min_s"] = 1e-9
+        out.write_text(json.dumps(data))
+        baseline_bytes = out.read_bytes()
+        capsys.readouterr()
+        rc = main(["bench", "--quick", "--rounds", "1",
+                   "--only", "maxmin_bundled_random", "--quiet",
+                   "--out", str(out), "--compare", str(out)])
+        assert rc == 1
+        assert out.read_bytes() == baseline_bytes  # baseline untouched
+        # without a regression the same invocation refreshes the file
+        rc = main(["bench", "--quick", "--rounds", "1",
+                   "--only", "maxmin_bundled_random", "--quiet",
+                   "--out", str(out), "--compare", str(out),
+                   "--threshold", "1e9"])
+        assert rc == 0
+        assert out.read_bytes() != baseline_bytes
+
     def test_cli_missing_baseline_errors(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["bench", "--quick", "--rounds", "1",
@@ -72,6 +101,80 @@ class TestBenchHarness:
         payload = {"schema": 1, "benchmarks": {}}
         p = write_results(payload, tmp_path / "b.json")
         assert json.loads(p.read_text()) == payload
+
+
+class TestBenchTrajectory:
+    def test_append_builds_git_stamped_trajectory(self, tmp_path):
+        path = tmp_path / "traj.json"
+        append_results({"schema": 1, "benchmarks": {"a": {"min_s": 1.0}}},
+                       path)
+        append_results({"schema": 1, "benchmarks": {"a": {"min_s": 0.9}}},
+                       path)
+        data = json.loads(path.read_text())
+        assert len(data["entries"]) == 2
+        assert all("git_rev" in e for e in data["entries"])
+        assert latest_entry(data)["benchmarks"]["a"]["min_s"] == 0.9
+
+    def test_append_upgrades_single_run_file_in_place(self, tmp_path):
+        """A pre-trajectory BENCH file becomes entry #1 — the history
+        recorded before --append existed is kept."""
+        path = tmp_path / "bench.json"
+        write_results({"schema": 1, "benchmarks": {"a": {"min_s": 2.0}}},
+                      path)
+        append_results({"schema": 1, "benchmarks": {"a": {"min_s": 1.5}}},
+                       path)
+        data = json.loads(path.read_text())
+        assert [e["benchmarks"]["a"]["min_s"] for e in data["entries"]] \
+            == [2.0, 1.5]
+
+    def test_latest_entry_shapes(self):
+        single = {"schema": 1, "benchmarks": {}}
+        assert latest_entry(single) is single
+        traj = {"entries": [{"benchmarks": {"x": 1}},
+                            {"benchmarks": {"x": 2}}]}
+        assert latest_entry(traj)["benchmarks"]["x"] == 2
+        with pytest.raises(ValueError, match="no entries"):
+            latest_entry({"entries": []})
+
+    def test_cli_append_and_compare_latest(self, tmp_path, capsys):
+        out = tmp_path / "traj.json"
+        base_args = ["bench", "--quick", "--rounds", "1",
+                     "--only", "maxmin_bundled_random", "--quiet",
+                     "--out", str(out)]
+        assert main(base_args + ["--append"]) == 0
+        assert "appended" in capsys.readouterr().out
+        assert main(base_args + ["--append"]) == 0
+        data = json.loads(out.read_text())
+        assert len(data["entries"]) == 2
+
+        # --compare reads the trajectory's *latest* entry: doctor the
+        # first entry to be impossibly fast, latest stays realistic
+        data["entries"][0]["benchmarks"]["maxmin_bundled_random"]["min_s"] \
+            = 1e-9
+        out.write_text(json.dumps(data))
+        capsys.readouterr()
+        rc = main(["bench", "--quick", "--rounds", "1",
+                   "--only", "maxmin_bundled_random", "--quiet",
+                   "--out", str(tmp_path / "now.json"),
+                   "--compare", str(out), "--threshold", "5.0"])
+        assert rc == 0  # latest entry compared, not the doctored first
+
+    def test_cli_append_rejects_malformed_file(self, tmp_path):
+        out = tmp_path / "traj.json"
+        out.write_text("{broken")
+        with pytest.raises(SystemExit, match="malformed"):
+            main(["bench", "--quick", "--rounds", "1",
+                  "--only", "maxmin_bundled_random", "--quiet",
+                  "--out", str(out), "--append"])
+
+    def test_append_refuses_unrecognized_json_shapes(self, tmp_path):
+        """Valid JSON that is neither a bench result nor a trajectory
+        must not be silently overwritten."""
+        out = tmp_path / "other.json"
+        out.write_text(json.dumps({"some": "other tool's file"}))
+        with pytest.raises(ValueError, match="refusing to overwrite"):
+            append_results({"schema": 1, "benchmarks": {}}, out)
+        assert json.loads(out.read_text()) == {"some": "other tool's file"}
 
 
 class TestProfiled:

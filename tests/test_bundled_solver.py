@@ -142,17 +142,10 @@ class TestBundledSolverEquivalence:
 # golden simulator tests
 # ------------------------------------------------------------------ #
 def _schedule_for(n_tasks: int, density: float = 0.8):
-    from repro.experiments.scenarios import Scenario
-    from repro.platforms.grid5000 import GRILLON
-    from repro.scheduling.allocation import hcpa_allocation
-    from repro.scheduling.mapping import ListScheduler
+    # the canonical bench workload: golden values below pin *its* output
+    from repro.experiments.bench import dense_dag_schedule
 
-    sc = Scenario(family="irregular", n_tasks=n_tasks, width=0.5,
-                  density=density, regularity=0.8, jump=2, sample=0)
-    g = sc.build()
-    model = GRILLON.performance_model()
-    alloc = hcpa_allocation(g, model, GRILLON.num_procs).allocation
-    return ListScheduler(g, GRILLON, model, alloc).run()
+    return dense_dag_schedule(n_tasks, density=density)
 
 
 class TestGoldenSimulation:

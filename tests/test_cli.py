@@ -197,6 +197,169 @@ class TestRunSubcommand:
                 "--skip-sweeps", "--quiet", "--store", str(store),
                 "--out", str(tmp_path / "r.txt")]
         assert main(args) == 0
-        assert "0 hits" not in capsys.readouterr().err
+        err = capsys.readouterr().err
+        # plan-level dedup: duplicates never even reach the store, so the
+        # first pass is all fresh — and the stats line appears exactly once
+        assert ", 0 fresh" not in err
+        assert err.count(f"store {store}:") == 1
         assert main(args + ["--resume"]) == 0
-        assert "0 fresh" in capsys.readouterr().err
+        assert ", 0 fresh" in capsys.readouterr().err
+
+
+class TestOpenCliStore:
+    """The --store / --resume CLI contract (satellite: error paths)."""
+
+    def _run_one(self, store_path):
+        from repro.experiments.runner import ExperimentRunner, baseline_spec
+        from repro.experiments.scenarios import Scenario
+        from repro.experiments.store import open_store
+
+        with open_store(store_path) as store:
+            with ExperimentRunner(store=store) as runner:
+                runner.run(Scenario(family="strassen", sample=0),
+                           get_tiny(), baseline_spec("hcpa"))
+
+    def test_none_path_without_resume_is_no_store(self):
+        from repro.experiments.campaign import open_cli_store
+
+        assert open_cli_store(None, resume=False) is None
+
+    def test_resume_without_store_errors(self):
+        from repro.experiments.campaign import open_cli_store
+
+        with pytest.raises(SystemExit, match="--resume requires --store"):
+            open_cli_store(None, resume=True)
+
+    @pytest.mark.parametrize("name", ["s.jsonl", "s.sqlite"])
+    def test_nonempty_store_without_resume_errors(self, tmp_path, name):
+        from repro.experiments.campaign import open_cli_store
+
+        path = tmp_path / name
+        self._run_one(path)
+        with pytest.raises(SystemExit, match="pass --resume"):
+            open_cli_store(path, resume=False)
+
+    @pytest.mark.parametrize("name", ["s.jsonl", "s.sqlite"])
+    def test_nonempty_store_with_resume_opens(self, tmp_path, name):
+        from repro.experiments.campaign import open_cli_store
+
+        path = tmp_path / name
+        self._run_one(path)
+        store = open_cli_store(path, resume=True)
+        assert len(store) == 1
+        store.close()
+
+    def test_fresh_path_opens_without_resume(self, tmp_path):
+        from repro.experiments.campaign import open_cli_store
+        from repro.experiments.store import JsonlStore, SqliteStore
+
+        jsonl = open_cli_store(tmp_path / "a.jsonl", resume=False)
+        assert isinstance(jsonl, JsonlStore)
+        jsonl.close()
+        sqlite = open_cli_store(tmp_path / "a.sqlite", resume=False)
+        assert isinstance(sqlite, SqliteStore)  # suffix dispatch
+        sqlite.close()
+
+    def test_empty_existing_file_opens_without_resume(self, tmp_path):
+        from repro.experiments.campaign import open_cli_store
+
+        path = tmp_path / "empty.jsonl"
+        path.touch()
+        store = open_cli_store(path, resume=False)
+        assert len(store) == 0
+        store.close()
+
+
+def get_tiny():
+    from repro.platforms.cluster import Cluster
+
+    return Cluster(name="cli-store-tiny", num_procs=8, speed_flops=1e9)
+
+
+class TestMergeSubcommand:
+    def _populate(self, path, samples):
+        from repro.experiments.runner import ExperimentRunner, baseline_spec
+        from repro.experiments.scenarios import Scenario
+        from repro.experiments.store import open_store
+
+        with open_store(path) as store:
+            with ExperimentRunner(store=store,
+                                  record_timings=False) as runner:
+                runner.run_matrix(
+                    [Scenario(family="strassen", sample=s) for s in samples],
+                    [get_tiny()], [baseline_spec("hcpa")])
+
+    def test_merge_two_stores(self, capsys, tmp_path):
+        self._populate(tmp_path / "a.jsonl", [0])
+        self._populate(tmp_path / "b.jsonl", [1])
+        assert main(["merge", str(tmp_path / "a.jsonl"),
+                     str(tmp_path / "b.jsonl"),
+                     "-o", str(tmp_path / "m.sqlite")]) == 0
+        out = capsys.readouterr().out
+        assert "2 results merged from 2 stores" in out
+        from repro.experiments.store import open_store
+
+        with open_store(tmp_path / "m.sqlite") as merged:
+            assert len(merged) == 2
+
+    def test_merge_missing_input_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="does not exist"):
+            main(["merge", str(tmp_path / "nope.jsonl"),
+                  "-o", str(tmp_path / "m.jsonl")])
+
+    def test_merge_corrupt_sqlite_input_errors_cleanly(self, tmp_path):
+        bogus = tmp_path / "bogus.sqlite"
+        bogus.write_text("this is not a database\n" * 10)
+        with pytest.raises(SystemExit, match="not a repro SQLite"):
+            main(["merge", str(bogus), "-o", str(tmp_path / "m.jsonl")])
+
+    def test_merge_conflict_errors(self, tmp_path):
+        import dataclasses
+
+        from repro.experiments.store import open_store
+
+        self._populate(tmp_path / "a.jsonl", [0])
+        with open_store(tmp_path / "a.jsonl") as src:
+            [(key, result)] = src.items()
+        with open_store(tmp_path / "b.jsonl") as store:
+            store.put(key, dataclasses.replace(result, makespan=1.0))
+        with pytest.raises(SystemExit, match="merge conflict"):
+            main(["merge", str(tmp_path / "a.jsonl"),
+                  str(tmp_path / "b.jsonl"),
+                  "-o", str(tmp_path / "m.jsonl")])
+
+
+class TestShardedCampaign:
+    ARGS = ["campaign", "--fraction", "0.004", "--clusters", "chti",
+            "--skip-sweeps", "--quiet"]
+
+    def test_shard_requires_store(self):
+        with pytest.raises(SystemExit, match="--shard requires --store"):
+            main(self.ARGS + ["--shard", "1/2"])
+
+    def test_malformed_shard_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(self.ARGS + ["--shard", "bogus",
+                              "--store", str(tmp_path / "s.jsonl")])
+
+    def test_two_shards_merge_and_replay_byte_identical(self, capsys,
+                                                        tmp_path):
+        """Acceptance: a 2-shard run merged via `repro merge` reproduces
+        the unsharded report with zero fresh simulations on replay."""
+        ref = tmp_path / "ref.txt"
+        assert main(self.ARGS + ["--out", str(ref)]) == 0
+        for i in (1, 2):
+            assert main(self.ARGS + [
+                "--shard", f"{i}/2",
+                "--store", str(tmp_path / f"shard{i}.sqlite")]) == 0
+        capsys.readouterr()
+        assert main(["merge", str(tmp_path / "shard1.sqlite"),
+                     str(tmp_path / "shard2.sqlite"),
+                     "-o", str(tmp_path / "merged.sqlite")]) == 0
+        assert "0 duplicates" in capsys.readouterr().out  # disjoint shards
+        replay = tmp_path / "replay.txt"
+        assert main(self.ARGS + ["--store", str(tmp_path / "merged.sqlite"),
+                                 "--resume", "--out", str(replay)]) == 0
+        err = capsys.readouterr().err
+        assert ", 0 fresh" in err  # zero fresh simulations on replay
+        assert replay.read_text() == ref.read_text()

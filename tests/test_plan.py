@@ -1,0 +1,380 @@
+"""Tests for the declarative campaign pipeline: stages, plan compilation
+(cross-stage dedup), sharded execution and the campaign plan producers."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.params import NAIVE_DELTA, NAIVE_TIMECOST
+from repro.experiments.campaign import build_campaign_plan, run_campaign
+from repro.experiments.experiment import Experiment
+from repro.experiments.plan import (
+    SECTION_SEPARATOR,
+    CampaignPlan,
+    Stage,
+    parse_shard,
+    shard_of,
+)
+from repro.experiments.runner import (
+    ExperimentRunner,
+    baseline_spec,
+    rats_spec,
+)
+from repro.experiments.scenarios import Scenario
+from repro.experiments.store import JsonlStore, merge_stores
+from repro.platforms.cluster import Cluster
+
+TINY = Cluster(name="plan-tiny", num_procs=8, speed_flops=1e9)
+SCENARIOS = tuple(Scenario(family="strassen", sample=s) for s in range(2))
+HCPA = baseline_spec("hcpa", label="HCPA")
+DELTA = rats_spec(NAIVE_DELTA, label="delta")
+TIMECOST = rats_spec(NAIVE_TIMECOST, label="time-cost")
+
+
+def two_overlapping_stages() -> tuple[Stage, Stage]:
+    """Two stages sharing the (scenarios × TINY × HCPA/delta) cells."""
+    first = Stage(name="first", scenarios=SCENARIOS, clusters=(TINY,),
+                  specs=(HCPA, DELTA),
+                  artifact=lambda rs: [f"first:{len(rs)}"])
+    second = Stage(name="second", scenarios=SCENARIOS, clusters=(TINY,),
+                   specs=(HCPA, DELTA, TIMECOST),
+                   artifact=lambda rs: [f"second:{len(rs)}"])
+    return first, second
+
+
+class TestStage:
+    def test_cells_are_scenario_major(self):
+        stage = Stage(name="s", scenarios=SCENARIOS, clusters=(TINY,),
+                      specs=(HCPA, DELTA))
+        cells = list(stage.cells())
+        assert len(cells) == stage.n_cells == 4
+        assert [c[0].sample for c in cells] == [0, 0, 1, 1]
+        assert [c[2].label for c in cells] == ["HCPA", "delta"] * 2
+
+    def test_static_stage_has_no_cells(self):
+        stage = Stage(name="static", artifact=lambda _r: ["body"])
+        assert stage.n_cells == 0
+        assert stage.sections([]) == ["body"]
+
+    def test_artifact_string_normalised_to_list(self):
+        stage = Stage(name="s", artifact=lambda _r: "single section")
+        assert stage.sections([]) == ["single section"]
+
+    def test_stage_without_artifact_renders_nothing(self):
+        stage = Stage(name="warm", scenarios=SCENARIOS, clusters=(TINY,),
+                      specs=(HCPA,))
+        assert stage.sections([]) == []
+
+
+class TestCompile:
+    def test_cross_stage_dedup(self):
+        plan = CampaignPlan(two_overlapping_stages())
+        compiled = plan.compile()
+        # 4 + 6 cells, but the 4 first-stage runs all recur in the second
+        assert compiled.total_cells == 10
+        assert compiled.unique_runs == 6
+        assert "4 deduplicated" in compiled.describe()
+
+    def test_first_occurrence_order_is_stable(self):
+        compiled = CampaignPlan(two_overlapping_stages()).compile()
+        labels = [r.spec.label for r in compiled.runs]
+        assert labels == ["HCPA", "delta", "HCPA", "delta",
+                          "time-cost", "time-cost"]
+
+    def test_stage_keys_cover_every_cell(self):
+        compiled = CampaignPlan(two_overlapping_stages()).compile()
+        assert [len(k) for k in compiled.stage_keys] == [4, 6]
+        known = {r.key for r in compiled.runs}
+        for keys in compiled.stage_keys:
+            for run_key in keys:
+                content, label = compiled.cells[run_key]
+                assert content in known
+                assert label in ("HCPA", "delta", "time-cost")
+
+    def test_label_only_differences_collapse(self):
+        """Two cells differing only in display label simulate once; each
+        stage sees the shared result under its own label."""
+        upper = Stage(name="upper", scenarios=SCENARIOS, clusters=(TINY,),
+                      specs=(baseline_spec("hcpa", label="HCPA"),),
+                      artifact=lambda rs: [
+                          ",".join(r.algorithm for r in rs)])
+        lower = Stage(name="lower", scenarios=SCENARIOS, clusters=(TINY,),
+                      specs=(baseline_spec("hcpa", label="hcpa-again"),),
+                      artifact=lambda rs: [
+                          ",".join(r.algorithm for r in rs)])
+        compiled = CampaignPlan([upper, lower]).compile()
+        assert compiled.total_cells == 4
+        assert compiled.unique_runs == 2  # labels are presentation only
+
+        executions = []
+        runner = ExperimentRunner(record_timings=False)
+        orig = runner._execute
+
+        def counting(*args):
+            executions.append(args)
+            return orig(*args)
+
+        runner._execute = counting
+        execution = compiled.execute(runner)
+        assert len(executions) == 2
+        assert execution.sections() == ["HCPA,HCPA",
+                                        "hcpa-again,hcpa-again"]
+        # the science is shared, only the label differs
+        up, low = (execution.stage_results("upper"),
+                   execution.stage_results("lower"))
+        assert [r.makespan for r in up] == [r.makespan for r in low]
+
+    def test_relabelled_cells_persist_under_their_own_run_key(self, tmp_path):
+        """The fan-out stores every cell's result under its own run_key,
+        so non-plan consumers of the store still resume cell-by-cell."""
+        upper = Stage(name="upper", scenarios=SCENARIOS, clusters=(TINY,),
+                      specs=(baseline_spec("hcpa", label="HCPA"),))
+        lower = Stage(name="lower", scenarios=SCENARIOS, clusters=(TINY,),
+                      specs=(baseline_spec("hcpa", label="hcpa-again"),))
+        with JsonlStore(tmp_path / "fan.jsonl") as store:
+            with ExperimentRunner(store=store,
+                                  record_timings=False) as runner:
+                CampaignPlan([upper, lower]).execute(runner)
+            assert len(store) == 4  # 2 simulated + 2 relabelled aliases
+        with JsonlStore(tmp_path / "fan.jsonl") as store:
+            runner = ExperimentRunner(store=store, record_timings=False)
+            results = runner.run_matrix(list(SCENARIOS), [TINY],
+                                        [baseline_spec("hcpa",
+                                                       label="hcpa-again")])
+            assert store.stats.misses == 0  # plain matrix: all hits
+        assert all(r.algorithm == "hcpa-again" for r in results)
+
+
+class TestExecute:
+    def test_each_unique_run_executes_once(self):
+        plan = CampaignPlan(two_overlapping_stages())
+        executions = []
+        runner = ExperimentRunner(record_timings=False)
+        orig = runner._execute
+
+        def counting(*args):
+            executions.append(args)
+            return orig(*args)
+
+        runner._execute = counting
+        execution = plan.execute(runner)
+        assert len(executions) == 6  # not 10
+        assert execution.complete
+
+    def test_stage_results_match_run_matrix(self):
+        first, second = two_overlapping_stages()
+        execution = CampaignPlan([first, second]).execute(
+            ExperimentRunner(record_timings=False))
+        expected = ExperimentRunner(record_timings=False).run_matrix(
+            list(second.scenarios), list(second.clusters),
+            list(second.specs))
+        assert execution.stage_results("second") == expected
+        # lookup by Stage object works too
+        assert execution.stage_results(second) == expected
+
+    def test_report_joins_sections_in_stage_order(self):
+        execution = CampaignPlan(two_overlapping_stages()).execute(
+            ExperimentRunner(record_timings=False))
+        assert execution.report() == \
+            f"first:4{SECTION_SEPARATOR}second:6"
+
+    def test_unknown_stage_raises(self):
+        execution = CampaignPlan(two_overlapping_stages()).execute(
+            ExperimentRunner(record_timings=False))
+        with pytest.raises(KeyError, match="no stage named"):
+            execution.stage_results("nope")
+
+    def test_duplicate_stage_names_render_their_own_results(self):
+        """sections() renders by position, so two stages sharing a name
+        (e.g. two default-named Experiment.plan() stages) each see their
+        own result list."""
+        one = Stage(name="experiment", scenarios=SCENARIOS[:1],
+                    clusters=(TINY,), specs=(HCPA,),
+                    artifact=lambda rs: [f"one:{len(rs)}"])
+        two = Stage(name="experiment", scenarios=SCENARIOS,
+                    clusters=(TINY,), specs=(HCPA, DELTA),
+                    artifact=lambda rs: [f"two:{len(rs)}"])
+        execution = CampaignPlan([one, two]).execute(
+            ExperimentRunner(record_timings=False))
+        assert execution.sections() == ["one:1", "two:4"]
+        # object lookup resolves by identity even under a shared name
+        assert len(execution.stage_results(two)) == 4
+
+    def test_store_attached_runner_persists_unique_runs(self, tmp_path):
+        plan = CampaignPlan(two_overlapping_stages())
+        with JsonlStore(tmp_path / "plan.jsonl") as store:
+            with ExperimentRunner(store=store,
+                                  record_timings=False) as runner:
+                plan.execute(runner)
+            assert store.stats.misses == 6 and store.stats.puts == 6
+        # replay: all hits, zero fresh
+        with JsonlStore(tmp_path / "plan.jsonl") as store:
+            with ExperimentRunner(store=store,
+                                  record_timings=False) as runner:
+                execution = plan.execute(runner)
+            assert store.stats.misses == 0 and store.stats.hits == 6
+        assert execution.complete
+
+
+class TestSharding:
+    def test_parse_shard(self):
+        assert parse_shard("1/2") == (0, 2)
+        assert parse_shard("2/2") == (1, 2)
+        assert parse_shard("3/5") == (2, 5)
+        for bad in ("0/2", "3/2", "1-2", "x", "1/0", "/2"):
+            with pytest.raises(ValueError):
+                parse_shard(bad)
+
+    def test_shards_partition_the_run_set(self):
+        compiled = CampaignPlan(two_overlapping_stages()).compile()
+        s1 = compiled.shard(0, 2)
+        s2 = compiled.shard(1, 2)
+        assert set(r.key for r in s1).isdisjoint(r.key for r in s2)
+        assert {r.key for r in s1} | {r.key for r in s2} == \
+            {r.key for r in compiled.runs}
+        # and the same holds for any shard count
+        for n in (1, 3, 4):
+            shards = [compiled.shard(i, n) for i in range(n)]
+            assert sum(len(s) for s in shards) == compiled.unique_runs
+
+    def test_shard_assignment_is_deterministic(self):
+        compiled = CampaignPlan(two_overlapping_stages()).compile()
+        again = CampaignPlan(two_overlapping_stages()).compile()
+        assert [r.key for r in compiled.shard(0, 2)] == \
+            [r.key for r in again.shard(0, 2)]
+        for r in compiled.runs:
+            assert shard_of(r.key, 2) == int(r.key[:16], 16) % 2
+
+    def test_shard_deterministic_across_processes(self):
+        """The campaign plan's shard split is a pure function of run
+        content, so an independent interpreter computes the same slice."""
+        code = (
+            "import sys; sys.path.insert(0, 'src')\n"
+            "from repro.experiments.campaign import build_campaign_plan\n"
+            "compiled = build_campaign_plan(0.004, ['chti'],"
+            " skip_sweeps=True).compile()\n"
+            "print('\\n'.join(r.key for r in compiled.shard(0, 2)))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True,
+            cwd=Path(__file__).resolve().parent.parent, check=True)
+        compiled = build_campaign_plan(0.004, ["chti"],
+                                       skip_sweeps=True).compile()
+        assert out.stdout.split() == [r.key for r in compiled.shard(0, 2)]
+
+    def test_invalid_shard_rejected(self):
+        compiled = CampaignPlan(two_overlapping_stages()).compile()
+        with pytest.raises(ValueError):
+            compiled.shard(2, 2)
+        with pytest.raises(ValueError):
+            compiled.shard(0, 0)
+
+    def test_sharded_execution_cannot_render(self):
+        compiled = CampaignPlan(two_overlapping_stages()).compile()
+        execution = compiled.execute(
+            ExperimentRunner(record_timings=False), shard=(0, 2))
+        assert len(execution.executed) < compiled.unique_runs
+        assert not execution.complete
+        with pytest.raises(RuntimeError, match="merge the shard stores"):
+            execution.sections()
+
+    def test_sharded_stores_merge_into_full_replay(self, tmp_path):
+        """2-shard union == full set: executing both shards into separate
+        stores, merging, and replaying performs zero fresh simulations and
+        reproduces the direct report."""
+        plan = CampaignPlan(two_overlapping_stages())
+        for i in (0, 1):
+            with JsonlStore(tmp_path / f"shard{i}.jsonl") as store:
+                with ExperimentRunner(store=store,
+                                      record_timings=False) as runner:
+                    plan.execute(runner, shard=(i, 2))
+        merge_stores([tmp_path / "shard0.jsonl", tmp_path / "shard1.jsonl"],
+                     tmp_path / "merged.jsonl")
+        with JsonlStore(tmp_path / "merged.jsonl") as store:
+            assert len(store) == 6
+            with ExperimentRunner(store=store,
+                                  record_timings=False) as runner:
+                execution = plan.execute(runner)
+            assert store.stats.misses == 0  # zero fresh simulations
+        direct = plan.execute(ExperimentRunner(record_timings=False))
+        assert execution.report() == direct.report()
+
+
+class TestCampaignPlanProducer:
+    def test_campaign_plan_is_pure_and_dedups(self):
+        plan = build_campaign_plan(0.004, ["chti"])
+        names = [s.name for s in plan.stages]
+        assert names == ["preamble", "tables I-III", "figures 2-3",
+                         "figure 4", "figure 5", "figures 6-7",
+                         "tables V-VI"]
+        compiled = plan.compile()
+        # sweep baselines + the HCPA runs shared between figures 2-3/6-7
+        # and tables V-VI collapse
+        assert compiled.unique_runs < compiled.total_cells
+
+    def test_skip_sweeps_drops_the_sweep_stages(self):
+        plan = build_campaign_plan(0.004, ["chti"], skip_sweeps=True)
+        names = [s.name for s in plan.stages]
+        assert "figure 4" not in names and "figure 5" not in names
+
+    def test_campaign_dedup_strictly_reduces_simulations(self):
+        """Acceptance: a sweep-inclusive campaign executes strictly fewer
+        simulations than its stages declare cells."""
+        plan = build_campaign_plan(0.004, ["chti"])
+        compiled = plan.compile()
+        executions = []
+        runner = ExperimentRunner(record_timings=False)
+        orig = runner._execute
+
+        def counting(*args):
+            executions.append(args)
+            return orig(*args)
+
+        runner._execute = counting
+        execution = compiled.execute(runner)
+        assert len(executions) == compiled.unique_runs < compiled.total_cells
+        assert execution.complete and execution.report()
+
+    def test_run_campaign_report_has_all_sections(self, tmp_path):
+        report, results = run_campaign(0.004, ["chti"], skip_sweeps=True,
+                                       progress=False)
+        for marker in ("RATS reproduction campaign", "Table I", "Table II",
+                       "Table III", "Figure 2", "Figure 3", "Figure 6",
+                       "Figure 7", "Table V", "Table VI"):
+            assert marker in report
+        # the exported results are the Tables V-VI matrix
+        assert {r.algorithm for r in results} == \
+            {"HCPA", "delta", "time-cost"}
+
+
+class TestExperimentPlan:
+    def test_experiment_compiles_to_stage(self):
+        stage = (Experiment().on(TINY)
+                 .workload(family="strassen", samples=2)
+                 .compare("hcpa", "rats-delta")
+                 .plan(name="mine"))
+        assert isinstance(stage, Stage)
+        assert stage.name == "mine" and stage.n_cells == 4
+
+    def test_experiment_stage_in_campaign_plan(self):
+        stage = (Experiment().on(TINY)
+                 .workload(family="strassen", samples=2)
+                 .compare("hcpa")
+                 .plan())
+        execution = CampaignPlan([stage]).execute(
+            ExperimentRunner(record_timings=False))
+        [section] = execution.sections()
+        assert "hcpa" in section and "best:" in section  # summary table
+
+    def test_experiment_stage_dedups_against_campaign_stages(self):
+        first, _ = two_overlapping_stages()
+        stage = (Experiment().on(TINY)
+                 .workload(scenarios=list(SCENARIOS))
+                 .compare(HCPA)
+                 .plan(name="user"))
+        compiled = CampaignPlan([first, stage]).compile()
+        assert compiled.unique_runs == 4  # the user stage is fully shared

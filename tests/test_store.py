@@ -22,6 +22,10 @@ from repro.experiments.store import (
     JsonlStore,
     MemoryStore,
     ResultStore,
+    SqliteStore,
+    StoreConflictError,
+    content_key,
+    merge_stores,
     open_store,
     run_key,
 )
@@ -71,6 +75,20 @@ class TestRunKey:
         scenario = Scenario(family="fft", k=2, sample=0)
         assert run_key(scenario, "grillon", tuned) == \
             run_key(scenario, "grillon", explicit)
+
+    def test_content_key_is_blind_to_label_only(self):
+        a = baseline_spec("hcpa", label="HCPA")
+        b = baseline_spec("hcpa", label="hcpa")
+        assert run_key(SCENARIO, TINY, a) != run_key(SCENARIO, TINY, b)
+        assert content_key(SCENARIO, TINY, a) == \
+            content_key(SCENARIO, TINY, b)
+        # anything that changes the computation still changes the key
+        base = content_key(SCENARIO, TINY, a)
+        assert content_key(SCENARIO, TINY2, a) != base
+        assert content_key(SCENARIO, TINY, baseline_spec("mcpa")) != base
+        assert content_key(SCENARIO, TINY,
+                           rats_spec(NAIVE_DELTA, label="HCPA")) != base
+        assert content_key(SCENARIO, TINY, a, simulated=False) != base
 
     def test_stable_across_processes(self):
         code = (
@@ -153,8 +171,146 @@ class TestStores:
         assert isinstance(store, JsonlStore)
         store.close()
 
-    def test_stores_satisfy_protocol(self):
+    def test_open_store_suffix_dispatch(self, tmp_path):
+        for name in ("s.sqlite", "s.sqlite3", "s.db", "S.SQLITE"):
+            store = open_store(tmp_path / name)
+            assert isinstance(store, SqliteStore), name
+            store.close()
+        for name in ("s.jsonl", "s.json", "s.results"):
+            store = open_store(tmp_path / name)
+            assert isinstance(store, JsonlStore), name
+            store.close()
+
+    def test_stores_satisfy_protocol(self, tmp_path):
         assert isinstance(MemoryStore(), ResultStore)
+        with SqliteStore(tmp_path / "p.sqlite") as store:
+            assert isinstance(store, ResultStore)
+
+
+class TestSqliteStore:
+    def test_roundtrip_reopen(self, tmp_path):
+        path = tmp_path / "results.sqlite"
+        with SqliteStore(path) as store:
+            runner = ExperimentRunner(store=store, record_timings=False)
+            result = runner.run(SCENARIO, TINY, HCPA)
+        with SqliteStore(path) as reopened:
+            assert len(reopened) == 1
+            key = run_key(SCENARIO, TINY, HCPA)
+            assert key in reopened
+            assert reopened.get(key) == result
+            assert reopened.items() == [(key, result)]
+            assert reopened.results() == [result]
+            assert list(reopened) == [key]
+
+    def test_hit_miss_accounting(self, tmp_path):
+        with SqliteStore(tmp_path / "s.sqlite") as store:
+            runner = ExperimentRunner(store=store, record_timings=False)
+            first = runner.run(SCENARIO, TINY, HCPA)
+            assert (store.stats.hits, store.stats.misses,
+                    store.stats.puts) == (0, 1, 1)
+            assert runner.run(SCENARIO, TINY, HCPA) == first
+            assert (store.stats.hits, store.stats.misses,
+                    store.stats.puts) == (1, 1, 1)
+
+    def test_put_is_idempotent(self, tmp_path):
+        key = run_key(SCENARIO, TINY, HCPA)
+        result = ExperimentRunner(record_timings=False).run(
+            SCENARIO, TINY, HCPA)
+        with SqliteStore(tmp_path / "s.sqlite") as store:
+            store.put(key, result)
+            store.put(key, result)
+            assert store.stats.puts == 1 and len(store) == 1
+
+    def test_second_matrix_pass_zero_simulations(self, tmp_path):
+        scenarios, clusters, specs = small_matrix()
+        path = tmp_path / "campaign.sqlite"
+        with SqliteStore(path) as store:
+            with ExperimentRunner(store=store,
+                                  record_timings=False) as runner:
+                first = runner.run_matrix(scenarios, clusters, specs)
+            assert store.stats.misses == 8 and store.stats.puts == 8
+        with SqliteStore(path) as store:
+            runner = ExperimentRunner(store=store, record_timings=False)
+            runner._execute = lambda *a: (_ for _ in ()).throw(
+                AssertionError("fresh simulation on a warm store"))
+            second = runner.run_matrix(scenarios, clusters, specs)
+            assert store.stats.hits == 8 and store.stats.misses == 0
+        assert second == first
+
+    def test_rejects_non_sqlite_file(self, tmp_path):
+        path = tmp_path / "bogus.sqlite"
+        path.write_text("this is not a database\n" * 10)
+        with pytest.raises(ValueError, match="not a repro SQLite"):
+            SqliteStore(path)
+
+
+class TestMergeStores:
+    def _populated(self, path, scenarios) -> list:
+        with open_store(path) as store:
+            with ExperimentRunner(store=store,
+                                  record_timings=False) as runner:
+                return runner.run_matrix(scenarios, [TINY], [HCPA])
+
+    def test_merges_disjoint_stores(self, tmp_path):
+        a = [Scenario(family="strassen", sample=s) for s in range(2)]
+        b = [Scenario(family="fft", k=2, sample=s) for s in range(2)]
+        self._populated(tmp_path / "a.jsonl", a)
+        self._populated(tmp_path / "b.jsonl", b)
+        stats = merge_stores([tmp_path / "a.jsonl", tmp_path / "b.jsonl"],
+                             tmp_path / "m.jsonl")
+        assert (stats.stores, stats.merged, stats.duplicates) == (2, 4, 0)
+        with open_store(tmp_path / "m.jsonl") as merged:
+            assert len(merged) == 4
+        assert "4 results merged from 2 stores" in stats.describe()
+
+    def test_identical_overlap_counts_as_duplicate(self, tmp_path):
+        a = [Scenario(family="strassen", sample=0)]
+        self._populated(tmp_path / "a.jsonl", a)
+        self._populated(tmp_path / "b.jsonl", a)
+        stats = merge_stores([tmp_path / "a.jsonl", tmp_path / "b.jsonl"],
+                             tmp_path / "m.jsonl")
+        assert stats.merged == 1 and stats.duplicates == 1
+
+    def test_wall_time_differences_are_not_conflicts(self, tmp_path):
+        """Shard machines time runs differently; only science fields
+        decide conflicts."""
+        scenarios = [Scenario(family="strassen", sample=0)]
+        with open_store(tmp_path / "a.jsonl") as store:
+            with ExperimentRunner(store=store) as runner:  # timings on
+                runner.run_matrix(scenarios, [TINY], [HCPA])
+        with open_store(tmp_path / "b.jsonl") as store:
+            with ExperimentRunner(store=store) as runner:
+                runner.run_matrix(scenarios, [TINY], [HCPA])
+        stats = merge_stores([tmp_path / "a.jsonl", tmp_path / "b.jsonl"],
+                             tmp_path / "m.jsonl")
+        assert stats.duplicates == 1
+
+    def test_conflicting_results_refuse_to_merge(self, tmp_path):
+        import dataclasses
+
+        scenarios = [Scenario(family="strassen", sample=0)]
+        [result] = self._populated(tmp_path / "a.jsonl", scenarios)
+        key = run_key(scenarios[0], TINY, HCPA)
+        with open_store(tmp_path / "b.jsonl") as store:
+            store.put(key, dataclasses.replace(result,
+                                               makespan=result.makespan * 2))
+        with pytest.raises(StoreConflictError, match="conflicts"):
+            merge_stores([tmp_path / "a.jsonl", tmp_path / "b.jsonl"],
+                         tmp_path / "m.jsonl")
+
+    def test_cross_backend_merge_converts(self, tmp_path):
+        scenarios = [Scenario(family="strassen", sample=0)]
+        self._populated(tmp_path / "a.jsonl", scenarios)
+        stats = merge_stores([tmp_path / "a.jsonl"], tmp_path / "m.sqlite")
+        assert stats.merged == 1
+        with open_store(tmp_path / "m.sqlite") as merged:
+            assert isinstance(merged, SqliteStore) and len(merged) == 1
+
+    def test_missing_input_errors(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            merge_stores([tmp_path / "nope.jsonl"], tmp_path / "m.jsonl")
+        with pytest.raises(ValueError, match="at least one"):
+            merge_stores([], tmp_path / "m.jsonl")
 
 
 class TestResumableMatrix:
@@ -233,6 +389,47 @@ class TestIterMatrix:
         assert len(streamed) == len(ordered)
         key = lambda r: (r.scenario_id, r.cluster, r.algorithm)  # noqa: E731
         assert sorted(streamed, key=key) == sorted(ordered, key=key)
+
+    def test_distinct_scenarios_sharing_an_id_run_separately(self, tmp_path):
+        """A custom family whose id formatter drops a distinguishing
+        field must still execute every cell against its own scenario —
+        cells are grouped by Scenario value, not bare scenario_id, and
+        store keys carry the full constructor fields."""
+        from repro.dag.generator import DagShape, random_layered_dag
+        from repro.registry import dag_families, register_dag_family
+
+        @register_dag_family("id-clash",
+                             scenario_id=lambda sc: "id-clash-static",
+                             description="deliberately degenerate ids")
+        def build_id_clash(scenario, rng):
+            return random_layered_dag(
+                DagShape(n_tasks=scenario.n_tasks, width=0.5,
+                         regularity=0.8, density=0.2), rng)
+
+        try:
+            small = Scenario(family="id-clash", n_tasks=6, sample=0)
+            large = Scenario(family="id-clash", n_tasks=12, sample=0)
+            assert small.scenario_id == large.scenario_id
+            results = ExperimentRunner(record_timings=False).run_matrix(
+                [small, large], [TINY], [HCPA])
+            assert [r.n_tasks for r in results] == [6, 12]
+
+            # the degenerate id must not alias store entries either
+            assert run_key(small, TINY, HCPA) != run_key(large, TINY, HCPA)
+            with JsonlStore(tmp_path / "clash.jsonl") as store:
+                with ExperimentRunner(store=store,
+                                      record_timings=False) as runner:
+                    runner.run_matrix([small, large], [TINY], [HCPA])
+                assert store.stats.puts == 2
+            with JsonlStore(tmp_path / "clash.jsonl") as store:
+                with ExperimentRunner(store=store,
+                                      record_timings=False) as runner:
+                    resumed = runner.run_matrix([small, large], [TINY],
+                                                [HCPA])
+                assert store.stats.misses == 0
+            assert [r.n_tasks for r in resumed] == [6, 12]
+        finally:
+            dag_families.unregister("id-clash")
 
     def test_iter_yields_store_hits_first(self, tmp_path):
         scenarios, clusters, specs = small_matrix()
