@@ -83,6 +83,23 @@ def test_maxmin_solver_speed(benchmark):
     assert (rates >= 0).all()
 
 
+def test_simulator_component_reuse(benchmark):
+    """Sparse multi-cluster pipelines: the lazy component engine's regime.
+
+    Concurrent transfers touch disjoint processor sets, so the active
+    flows decompose into ~one link-connected component per cluster and
+    the lazy path re-solves far fewer (and far smaller) systems than one
+    Max-Min solve per event.
+    """
+    from repro.experiments.bench import sparse_multicluster_schedule
+
+    schedule = sparse_multicluster_schedule()
+    res = benchmark.pedantic(lambda: simulate(schedule), rounds=3,
+                             iterations=1)
+    # the lazy path must beat one-solve-per-event by >= 2x here
+    assert res.solves_component < 0.5 * res.events
+
+
 def test_maxmin_bundled_speed(benchmark):
     """Same random flow set through the bundled solver (the sim hot path)."""
     from repro.network.maxmin import maxmin_rates_bundled

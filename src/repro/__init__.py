@@ -138,7 +138,7 @@ from repro.experiments import (
     run_key,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",

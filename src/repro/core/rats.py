@@ -57,6 +57,9 @@ class RATSScheduler(ListScheduler):
         #: only changes when one of its predecessors gets mapped — the
         #: cache is invalidated for the successors of each committed task.
         self._sort_cache: dict[str, float] = {}
+        #: bumped whenever a cached sort value is invalidated — lets
+        #: ``iter_ready`` skip re-sorts that could not change the order
+        self._sort_epoch = 0
         #: predecessors whose allocation has been claimed by an adaptation;
         #: they are no longer adaptation targets (Algorithm 1, line 11 — a
         #: parent allocation backs at most one adapted child, preventing
@@ -95,15 +98,21 @@ class RATSScheduler(ListScheduler):
         Algorithm 1 (lines 11–12) recomputes the per-task values and resorts
         the ready list after a task is mapped onto a parent allocation —
         mapping decisions never alter predecessor *allocations* in this
-        implementation, but re-sorting keeps the behaviour faithful and
-        costs little.
+        implementation, but re-sorting keeps the behaviour faithful.
+
+        A re-sort can only change the order when some remaining task's
+        memoised sort value was invalidated since the last sort (the keys
+        are otherwise served from ``_sort_cache`` and Python's sort is
+        stable), so it is skipped while ``_sort_epoch`` is unchanged.
         """
         remaining = self.sort_ready(list(ready))
+        epoch = self._sort_epoch
         while remaining:
             name = remaining.pop(0)
             yield name
-            if remaining:
+            if remaining and self._sort_epoch != epoch:
                 remaining = self.sort_ready(remaining)
+                epoch = self._sort_epoch
 
     # ------------------------------------------------------------------ #
     # mapping with adaptation (Algorithm 1, lines 9–15)
@@ -116,7 +125,8 @@ class RATSScheduler(ListScheduler):
         entry = self.commit(name, decision)
         # mapping `name` changes δ(t) / gain(t) of its successors only
         for succ in self.graph.successors(name):
-            self._sort_cache.pop(succ, None)
+            if self._sort_cache.pop(succ, None) is not None:
+                self._sort_epoch += 1
         return entry
 
     # ------------------------------------------------------------------ #

@@ -30,12 +30,13 @@ import sys
 import time
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Callable
+from typing import Callable, Mapping
 
 __all__ = [
     "BENCH_SCHEMA",
     "DEFAULT_THRESHOLD",
     "dense_dag_schedule",
+    "sparse_multicluster_schedule",
     "run_benchmarks",
     "compare_benchmarks",
     "write_results",
@@ -73,8 +74,65 @@ def dense_dag_schedule(n_tasks: int = 100, *, density: float = 0.8):
     return ListScheduler(g, GRILLON, model, alloc).run()
 
 
+def sparse_multicluster_schedule(n_clusters: int = 12, chain_len: int = 40,
+                                 free_steps: int = 5, m: float = 4.0e6):
+    """A wide-but-sparse multi-cluster workload: independent pipelines.
+
+    One pipeline per cluster, alternating a real 8→5-processor
+    redistribution with ``free_steps`` same-set (free) hops, with
+    rng-jittered task durations so the pipelines interleave instead of
+    running in lock-step.  Concurrent transfers touch disjoint processor
+    sets, so the active flows decompose into one link-connected component
+    per cluster — the regime the lazy component-scoped Max-Min
+    maintenance is built for (a dense single-cluster DAG degenerates to
+    one component; this scenario keeps ~``n_clusters`` alive).  The 8→5
+    shape is deliberate: ``gcd(8, 5) = 1`` keeps each redistribution's
+    banded communication matrix link-connected, so a transfer is exactly
+    one component (a ``gcd > 1`` band falls apart into numerically
+    symmetric halves whose completions straddle one ulp).
+    """
+    from repro.dag.task import Task, TaskGraph
+    from repro.platforms.cluster import Cluster
+    from repro.platforms.multicluster import MultiClusterPlatform
+    from repro.scheduling.schedule import Schedule, ScheduleEntry
+    from repro.utils.rng import spawn_rng
+
+    clusters = tuple(Cluster(name=f"c{i}", num_procs=16, speed_flops=3.0e9)
+                     for i in range(n_clusters))
+    platform = MultiClusterPlatform(clusters=clusters, name="sparse-grid")
+    graph = TaskGraph(name="sparse-pipelines")
+    schedule = Schedule(graph=graph, cluster=platform)
+    model = platform.performance_model()
+    rng = spawn_rng("sparse-multicluster-bench")
+    period = free_steps + 1
+    for c in range(n_clusters):
+        off = platform.offsets[c]
+        wide = tuple(range(off, off + 8))
+        narrow = tuple(range(off + 8, off + 13))
+        procs, side, prev, t_fin = wide, 0, None, 0.0
+        for i in range(chain_len):
+            # continuous jitter: near-tie completion times across
+            # pipelines would otherwise depend on FP event coalescing
+            flops = 1.2e9 * (1.0 + 0.2 * rng.random())
+            task = Task(name=f"p{c}t{i}", data_elements=m, flops=flops,
+                        alpha=0.0)
+            graph.add_task(task)
+            if i > 0:
+                graph.add_edge(prev, task.name)
+            if i > 0 and i % period == 0:
+                side ^= 1
+                procs = narrow if side else wide
+            dur = model.time(task, len(procs))
+            schedule.add(ScheduleEntry(task=task.name, procs=procs,
+                                       start=t_fin, finish=t_fin + dur))
+            t_fin += dur
+            prev = task.name
+    schedule.validate()
+    return schedule
+
+
 def _bench_simulator(n_tasks: int) -> tuple[Callable, dict]:
-    from repro.simulation.simulator import simulate
+    from repro.simulation.simulator import FluidSimulator, simulate
 
     schedule = dense_dag_schedule(n_tasks)
 
@@ -82,8 +140,30 @@ def _bench_simulator(n_tasks: int) -> tuple[Callable, dict]:
         return simulate(schedule)
 
     res = run()  # warm-up, also yields metadata
+    full = FluidSimulator(schedule, lazy=False).run()
     return run, {"n_tasks": n_tasks, "events": res.events,
                  "maxmin_solves": res.maxmin_solves,
+                 "solves_full": res.solves_full,
+                 "solves_component": res.solves_component,
+                 "solves_saved": full.solves_component - res.solves_component,
+                 "makespan": res.makespan}
+
+
+def _bench_component_reuse(n_clusters: int) -> tuple[Callable, dict]:
+    from repro.simulation.simulator import FluidSimulator, simulate
+
+    schedule = sparse_multicluster_schedule(n_clusters=n_clusters)
+
+    def run():
+        return simulate(schedule)
+
+    res = run()  # warm-up, also yields metadata
+    full = FluidSimulator(schedule, lazy=False).run()
+    return run, {"n_clusters": n_clusters, "events": res.events,
+                 "solves_full": res.solves_full,
+                 "solves_component": res.solves_component,
+                 "solves_saved": full.solves_component - res.solves_component,
+                 "solve_ratio": res.solves_component / max(1, res.events),
                  "makespan": res.makespan}
 
 
@@ -151,8 +231,10 @@ def _benchmarks(quick: bool) -> dict[str, Callable[[], tuple[Callable, dict]]]:
     sim_tasks = 40 if quick else 100
     sched_tasks = 40 if quick else 100
     flows = 200 if quick else 1000
+    grid = 4 if quick else 12
     return {
         "simulator_dense_dag": lambda: _bench_simulator(sim_tasks),
+        "maxmin_component_reuse": lambda: _bench_component_reuse(grid),
         "maxmin_bundled_random": lambda: _bench_maxmin(flows),
         "rats_timecost_mapping": lambda: _bench_rats_mapping(sched_tasks),
         "hcpa_allocation": lambda: _bench_hcpa(sched_tasks),
@@ -251,6 +333,7 @@ def append_results(results: dict, path: str | Path) -> Path:
     path = Path(path)
     entry = {**results, "git_rev": _git_rev()}
     entries: list[dict] = []
+    thresholds = None
     if path.exists():
         try:
             existing = json.loads(path.read_text())
@@ -259,8 +342,10 @@ def append_results(results: dict, path: str | Path) -> Path:
                 from None
         if isinstance(existing, dict) and "entries" in existing:
             entries = list(existing["entries"])
+            thresholds = existing.get("thresholds")
         elif isinstance(existing, dict) and "benchmarks" in existing:
             entries = [existing]
+            thresholds = existing.get("thresholds")
         else:
             # neither shape we know how to extend: overwriting would
             # silently destroy whatever this file is
@@ -268,22 +353,30 @@ def append_results(results: dict, path: str | Path) -> Path:
                 f"{path} is neither a bench result nor a trajectory; "
                 "refusing to overwrite it with --append")
     entries.append(entry)
-    path.write_text(json.dumps(
-        {"schema": BENCH_SCHEMA, "entries": entries},
-        indent=1, sort_keys=True) + "\n")
+    payload: dict = {"schema": BENCH_SCHEMA, "entries": entries}
+    if thresholds is not None:   # per-benchmark gates ride along
+        payload["thresholds"] = thresholds
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
     return path
 
 
 def compare_benchmarks(current: dict, baseline: dict,
-                       threshold: float = DEFAULT_THRESHOLD) -> list[str]:
+                       threshold: float = DEFAULT_THRESHOLD,
+                       per_benchmark: Mapping[str, float] | None = None,
+                       ) -> list[str]:
     """Regressions of ``current`` against ``baseline``.
 
     A benchmark regresses when its best-of-rounds time exceeds the
-    baseline's by more than ``threshold`` (0.25 = 25 %).  Benchmarks
-    present on only one side are reported as informational skips, not
-    regressions.  Returns human-readable regression lines (empty = pass).
+    baseline's by more than its threshold (0.25 = 25 %).  The baseline
+    file may carry a per-benchmark ``"thresholds"`` dict (passed here as
+    ``per_benchmark``): fast, stable benchmarks can then gate tightly
+    while noisier scheduler benches keep a looser (or the global
+    ``threshold``) bound.  Benchmarks present on only one side are
+    reported as informational skips, not regressions.  Returns
+    human-readable regression lines (empty = pass).
     """
     regressions: list[str] = []
+    per_benchmark = per_benchmark or {}
     cur = current.get("benchmarks", {})
     base = baseline.get("benchmarks", {})
     for name in sorted(set(cur) & set(base)):
@@ -291,12 +384,13 @@ def compare_benchmarks(current: dict, baseline: dict,
         t_old = base[name]["min_s"]
         if t_old <= 0:
             continue
+        limit = float(per_benchmark.get(name, threshold))
         ratio = t_new / t_old
-        if ratio > 1.0 + threshold:
+        if ratio > 1.0 + limit:
             regressions.append(
                 f"{name}: {t_old:.4f}s -> {t_new:.4f}s "
                 f"({(ratio - 1) * 100:+.1f}%, threshold "
-                f"{threshold * 100:.0f}%)")
+                f"{limit * 100:.0f}%)")
     return regressions
 
 
@@ -366,7 +460,9 @@ def add_bench_arguments(parser) -> None:
     parser.add_argument("--threshold", type=float,
                         default=DEFAULT_THRESHOLD, metavar="FRACTION",
                         help="relative slowdown tolerated by --compare "
-                             "(default 0.25 = 25%%)")
+                             "(default 0.25 = 25%%); a 'thresholds' dict "
+                             "in the baseline file overrides it per "
+                             "benchmark")
     parser.add_argument("--rounds", type=int, default=3,
                         help="timing rounds per benchmark (best-of counts)")
     parser.add_argument("--quick", action="store_true",
@@ -384,14 +480,27 @@ def main(args) -> int:
     # the committed baseline would otherwise overwrite it before the read
     # and vacuously compare the run against itself
     baseline = None
+    baseline_thresholds: dict | None = None
     if args.compare is not None:
         try:
-            baseline = latest_entry(json.loads(Path(args.compare).read_text()))
+            raw_baseline = json.loads(Path(args.compare).read_text())
+            baseline = latest_entry(raw_baseline)
         except OSError as exc:
             raise SystemExit(f"cannot read baseline: {exc}") from None
         except ValueError as exc:
             raise SystemExit(
                 f"malformed baseline {args.compare}: {exc}") from None
+        # per-benchmark gates: a "thresholds" dict at the top of the
+        # baseline file (either shape) overrides --threshold by name
+        baseline_thresholds = (raw_baseline.get("thresholds")
+                               or baseline.get("thresholds"))
+        if baseline_thresholds is not None and not (
+                isinstance(baseline_thresholds, dict)
+                and all(isinstance(v, (int, float))
+                        for v in baseline_thresholds.values())):
+            raise SystemExit(
+                f"malformed baseline {args.compare}: 'thresholds' must "
+                "map benchmark names to fractions")
 
     if log:
         log(f"running substrate benchmarks "
@@ -407,8 +516,19 @@ def main(args) -> int:
         if baseline.get("quick") != results.get("quick"):
             print("warning: comparing quick and full-size runs",
                   file=sys.stderr)
+        if baseline_thresholds:
+            known = (set(results.get("benchmarks", {}))
+                     | set(baseline.get("benchmarks", {})))
+            stale = sorted(set(baseline_thresholds) - known)
+            if stale:
+                # a typo'd or renamed benchmark silently loses its gate —
+                # make that visible instead
+                print(f"warning: thresholds for unknown benchmark(s) "
+                      f"{stale} match nothing in the baseline or this "
+                      "run", file=sys.stderr)
         regressions = compare_benchmarks(results, baseline,
-                                         threshold=args.threshold)
+                                         threshold=args.threshold,
+                                         per_benchmark=baseline_thresholds)
 
     if args.append:
         try:

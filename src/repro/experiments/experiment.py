@@ -157,6 +157,7 @@ class Experiment:
         self._jobs: int | None = None
         self._simulate = True
         self._store: ResultStore | str | Path | None = None
+        self._store_batch = 1
 
     # ------------------------------------------------------------------ #
     # fluent configuration
@@ -232,17 +233,21 @@ class Experiment:
         self._runner = runner
         return self
 
-    def store(self, store: "ResultStore | str | Path") -> "Experiment":
+    def store(self, store: "ResultStore | str | Path", *,
+              batch_size: int = 1) -> "Experiment":
         """Persist/reuse results through a content-addressed store.
 
         Accepts a :class:`~repro.experiments.store.ResultStore` instance
-        (whose lifecycle stays with the caller) or a path — opened as a
-        :class:`~repro.experiments.store.JsonlStore` lazily at
-        :meth:`run`/:meth:`stream` time and closed afterwards.  Runs
-        already in the store are skipped — re-running the same experiment
-        against the same store performs zero fresh simulations.
+        (whose lifecycle stays with the caller) or a path — opened by
+        suffix (JSONL / SQLite) lazily at :meth:`run`/:meth:`stream` time
+        and closed afterwards.  Runs already in the store are skipped —
+        re-running the same experiment against the same store performs
+        zero fresh simulations.  ``batch_size > 1`` enables SQLite write
+        batching (one transaction per runner chunk instead of one commit
+        per run); it only applies to stores opened from a path.
         """
         self._store = store
+        self._store_batch = batch_size
         return self
 
     # ------------------------------------------------------------------ #
@@ -283,7 +288,7 @@ class Experiment:
         store = self._store
         owned_store = isinstance(store, (str, Path))
         if owned_store:
-            store = open_store(store)
+            store = open_store(store, batch_size=self._store_batch)
         try:
             if runner is None:
                 runner = ExperimentRunner(

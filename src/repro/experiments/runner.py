@@ -216,7 +216,16 @@ def rats_spec(params: RATSParams | None = None, *, label: str | None = None,
 
 @dataclass(frozen=True)
 class RunResult:
-    """Outcome of one (scenario, cluster, algorithm) run."""
+    """Outcome of one (scenario, cluster, algorithm) run.
+
+    ``solves_full`` / ``solves_component`` mirror the
+    :class:`~repro.simulation.simulator.SimulationResult` counters: the
+    flow-set-change events an eager engine would re-solve at, and the
+    component-scoped solves the lazy engine actually ran — their gap is
+    the work the lazy Max-Min maintenance saved.  Both are 0 for
+    estimate-only runs (and for results stored before these fields
+    existed).
+    """
 
     scenario_id: str
     family: str
@@ -230,6 +239,8 @@ class RunResult:
     packs: int = 0
     sames: int = 0
     wall_time_s: float = 0.0
+    solves_full: int = 0
+    solves_component: int = 0
 
 
 class ExperimentRunner:
@@ -399,8 +410,12 @@ class ExperimentRunner:
                                        counts["same"])
 
         estimated = schedule.makespan
+        solves_full = solves_component = 0
         if self.simulate_schedules:
-            makespan = simulate(schedule).makespan
+            sim = simulate(schedule)
+            makespan = sim.makespan
+            solves_full = sim.solves_full
+            solves_component = sim.solves_component
         else:
             makespan = estimated
         work = schedule.total_work(model)
@@ -419,6 +434,8 @@ class ExperimentRunner:
             sames=sames,
             wall_time_s=(time.perf_counter() - t0
                          if self.record_timings else 0.0),
+            solves_full=solves_full,
+            solves_component=solves_component,
         )
 
     # ------------------------------------------------------------------ #
@@ -548,6 +565,9 @@ class ExperimentRunner:
                     print(f"  [{done}/{total}] runs complete",
                           file=sys.stderr, flush=True)
                 yield index, result
+            if self.store is not None:
+                # one transaction per chunk on write-batching stores
+                getattr(self.store, "flush", lambda: None)()
 
     def _iter_parallel(
         self,
@@ -580,6 +600,9 @@ class ExperimentRunner:
                     if self.store is not None:
                         self.store.put(keys[index], result)
                     yield index, result
+                if self.store is not None:
+                    # one transaction per chunk on write-batching stores
+                    getattr(self.store, "flush", lambda: None)()
                 done += len(results)
                 if self.progress:
                     print(f"  [{done}/{total}] runs complete",

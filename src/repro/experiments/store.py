@@ -196,6 +196,10 @@ class ResultStore(Protocol):
         """Every ``(key, result)`` pair, in insertion order."""
         ...
 
+    def flush(self) -> None:
+        """Persist any buffered writes (no-op for unbuffered stores)."""
+        ...
+
     def close(self) -> None: ...
 
 
@@ -236,6 +240,9 @@ class _BaseStore:
     def items(self) -> list[tuple[str, "RunResult"]]:
         """Every ``(key, result)`` pair, in insertion order."""
         return list(self._results.items())
+
+    def flush(self) -> None:
+        """Nothing buffered: memory and JSONL stores persist per put."""
 
     def close(self) -> None:
         pass
@@ -323,15 +330,28 @@ class SqliteStore:
     The JSONL store loads (and line-scans) the whole file on open, which
     starts to dominate once campaign stores reach tens of MB.  Here every
     lookup is a primary-key hit and nothing is loaded eagerly; memory
-    stays flat no matter how large the store grows.  Every :meth:`put`
-    is ``INSERT OR IGNORE`` + commit, so a campaign killed mid-flight
-    loses at most the run being written — the same crash-tolerance
-    contract as :class:`JsonlStore`, at run granularity.
+    stays flat no matter how large the store grows.
+
+    With the default ``batch_size=1`` every :meth:`put` is
+    ``INSERT OR IGNORE`` + commit, so a campaign killed mid-flight loses
+    at most the run being written — the same crash-tolerance contract as
+    :class:`JsonlStore`, at run granularity (this is what every CLI
+    ``--store`` / ``--resume`` path uses).  A larger ``batch_size``
+    buffers puts and writes them as **one** ``executemany`` transaction
+    per :meth:`flush` — the :class:`~repro.experiments.runner
+    .ExperimentRunner` flushes after every ``iter_cells`` chunk, so bulk
+    campaigns pay one commit per chunk instead of one fsync per run, at
+    the cost of losing at most the current unflushed chunk on a crash.
+    Reads always see buffered puts.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, *, batch_size: int = 1) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         self.path = Path(path)
+        self.batch_size = batch_size
         self.stats = StoreStats()
+        self._pending: dict[str, str] = {}   # key -> serialized result
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._conn = sqlite3.connect(str(self.path))
         try:
@@ -350,55 +370,90 @@ class SqliteStore:
     def get(self, key: str) -> "RunResult | None":
         from repro.experiments.runner import RunResult
 
-        row = self._conn.execute(
-            "SELECT result FROM results WHERE key = ?", (key,)).fetchone()
-        if row is None:
-            self.stats.misses += 1
-            return None
+        blob = self._pending.get(key)
+        if blob is None:
+            row = self._conn.execute(
+                "SELECT result FROM results WHERE key = ?",
+                (key,)).fetchone()
+            if row is None:
+                self.stats.misses += 1
+                return None
+            blob = row[0]
         self.stats.hits += 1
-        return RunResult(**json.loads(row[0]))
+        return RunResult(**json.loads(blob))
 
     def put(self, key: str, result: "RunResult") -> None:
+        if key in self._pending:
+            return
         blob = json.dumps(dataclasses.asdict(result),
                           separators=(",", ":"))
-        cursor = self._conn.execute(
+        if self.batch_size == 1:
+            cursor = self._conn.execute(
+                "INSERT OR IGNORE INTO results (key, result) VALUES (?, ?)",
+                (key, blob))
+            if cursor.rowcount:
+                self.stats.puts += 1
+                self._conn.commit()
+            return
+        if key in self:
+            return
+        self._pending[key] = blob
+        self.stats.puts += 1
+        if len(self._pending) >= self.batch_size:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write buffered puts as one transaction (no-op when empty)."""
+        if not self._pending:
+            return
+        self._conn.executemany(
             "INSERT OR IGNORE INTO results (key, result) VALUES (?, ?)",
-            (key, blob))
-        if cursor.rowcount:
-            self.stats.puts += 1
-            self._conn.commit()
+            list(self._pending.items()))
+        self._conn.commit()
+        self._pending.clear()
 
     def __contains__(self, key: str) -> bool:
+        if key in self._pending:
+            return True
         row = self._conn.execute(
             "SELECT 1 FROM results WHERE key = ?", (key,)).fetchone()
         return row is not None
 
     def __len__(self) -> int:
-        return self._conn.execute(
+        n = self._conn.execute(
             "SELECT COUNT(*) FROM results").fetchone()[0]
+        return n + len(self._pending)
 
     def __iter__(self) -> Iterator[str]:
         for (key,) in self._conn.execute(
                 "SELECT key FROM results ORDER BY rowid"):
             yield key
+        yield from self._pending
 
     def results(self) -> list["RunResult"]:
         """Every stored result, in insertion (= completion) order."""
         from repro.experiments.runner import RunResult
 
-        return [RunResult(**json.loads(blob))
-                for (blob,) in self._conn.execute(
-                    "SELECT result FROM results ORDER BY rowid")]
+        out = [RunResult(**json.loads(blob))
+               for (blob,) in self._conn.execute(
+                   "SELECT result FROM results ORDER BY rowid")]
+        out.extend(RunResult(**json.loads(blob))
+                   for blob in self._pending.values())
+        return out
 
     def items(self) -> list[tuple[str, "RunResult"]]:
         """Every ``(key, result)`` pair, in insertion order."""
         from repro.experiments.runner import RunResult
 
-        return [(key, RunResult(**json.loads(blob)))
-                for key, blob in self._conn.execute(
-                    "SELECT key, result FROM results ORDER BY rowid")]
+        out = [(key, RunResult(**json.loads(blob)))
+               for key, blob in self._conn.execute(
+                   "SELECT key, result FROM results ORDER BY rowid")]
+        out.extend((key, RunResult(**json.loads(blob)))
+                   for key, blob in self._pending.items())
+        return out
 
     def close(self) -> None:
+        self.flush()
         self._conn.close()
 
     def __enter__(self) -> "SqliteStore":
@@ -411,18 +466,21 @@ class SqliteStore:
         return f"SqliteStore({str(self.path)!r}, {len(self)} results)"
 
 
-def open_store(path: str | Path | None) -> ResultStore:
+def open_store(path: str | Path | None, *,
+               batch_size: int = 1) -> ResultStore:
     """Open the store backend a path's suffix names.
 
     ``None`` gives a :class:`MemoryStore`; a ``.sqlite`` / ``.sqlite3`` /
     ``.db`` path a :class:`SqliteStore`; anything else a
     :class:`JsonlStore` — the convention behind every CLI ``--store``
-    flag and ``Experiment.store(path)``.
+    flag and ``Experiment.store(path)``.  ``batch_size`` selects the
+    SQLite write-batching granularity (ignored by the other backends,
+    which flush per put).
     """
     if path is None:
         return MemoryStore()
     if Path(path).suffix.lower() in SQLITE_SUFFIXES:
-        return SqliteStore(path)
+        return SqliteStore(path, batch_size=batch_size)
     return JsonlStore(path)
 
 
@@ -478,7 +536,9 @@ def merge_stores(inputs: Sequence[str | Path],
         if not Path(path).exists():
             raise FileNotFoundError(f"input store {path} does not exist")
     merged = duplicates = 0
-    with open_store(output) as out:
+    # merging is bulk-write by nature: batch the output commits (the
+    # inputs are read-only, and a crashed merge is simply re-run)
+    with open_store(output, batch_size=256) as out:
         for path in inputs:
             with open_store(path) as src:
                 for key, result in src.items():

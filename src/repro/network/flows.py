@@ -16,10 +16,12 @@ Max-Min sharing when one link dominates, and a lower bound otherwise.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.platforms.cluster import Cluster
 
-__all__ = ["FlowSpec", "bottleneck_time_estimate"]
+__all__ = ["FlowSpec", "bottleneck_time_estimate",
+           "bottleneck_time_estimate_mapped"]
 
 
 @dataclass(frozen=True)
@@ -42,23 +44,58 @@ def bottleneck_time_estimate(flows: list[FlowSpec], cluster: Cluster) -> float:
     are honoured: a flow can never finish faster than
     ``bytes / rate_cap``, so the estimate is the max of the link bottleneck
     and the slowest individual flow.
+
+    This is a thin wrapper over :func:`bottleneck_time_estimate_mapped`,
+    which the schedulers' pricing layer calls directly with the memoised
+    communication-matrix triples (no :class:`FlowSpec` objects on the hot
+    path).
+    """
+    return bottleneck_time_estimate_mapped(
+        None, None, [(f.src, f.dst, f.data_bytes) for f in flows], cluster)
+
+
+def bottleneck_time_estimate_mapped(
+    src_procs: Sequence[int] | None,
+    dst_procs: Sequence[int] | None,
+    entries: Sequence[tuple[int, int, float]],
+    cluster: Cluster,
+) -> float:
+    """:func:`bottleneck_time_estimate` over ``(i, j, amount)`` triples.
+
+    ``entries`` are communication-matrix triples
+    (:func:`repro.redistribution.matrix._comm_matrix_entries`); ``i`` /
+    ``j`` index ``src_procs`` / ``dst_procs``, or are concrete node ids
+    when the sequences are ``None``.  This runs once per distinct
+    (processor sets, bytes) key of every mapping probe, so the per-flow
+    work is one fused ``pair_summary`` cache hit (integer link indices,
+    latency, cap) plus integer-keyed accumulation; per-link byte sums
+    accumulate in flow order, exactly as the original FlowSpec loop did,
+    so the estimates are unchanged to the last bit.
     """
     topo = cluster.topology
-    link_bytes: dict[tuple[str, int], float] = {}
+    pair_summary = topo.pair_summary
+    link_bytes: dict[int, float] = {}
+    get = link_bytes.get
     max_latency = 0.0
     slowest_flow = 0.0
-    for f in flows:
-        if f.src == f.dst or f.data_bytes == 0:
+    for i, j, data in entries:
+        src = src_procs[i] if src_procs is not None else i
+        dst = dst_procs[j] if dst_procs is not None else j
+        if src == dst or data == 0:
             continue
-        route = topo.route(f.src, f.dst)
-        max_latency = max(max_latency, route.latency_s)
-        if route.rate_cap_Bps > 0:
-            slowest_flow = max(slowest_flow, f.data_bytes / route.rate_cap_Bps)
-        for link in route.links:
-            link_bytes[link] = link_bytes.get(link, 0.0) + f.data_bytes
+        indices, latency, cap = pair_summary(src, dst)
+        if latency > max_latency:
+            max_latency = latency
+        if cap > 0:
+            v = data / cap
+            if v > slowest_flow:
+                slowest_flow = v
+        for li in indices:
+            link_bytes[li] = get(li, 0.0) + data
     if not link_bytes:
         return 0.0
+    capacities = topo.capacity_list
     bottleneck = max(
-        bytes_ / topo.link_capacity(link) for link, bytes_ in link_bytes.items()
+        bytes_ / capacities[li] for li, bytes_ in link_bytes.items()
     )
     return max(bottleneck, slowest_flow) + max_latency

@@ -22,6 +22,16 @@ solves the progressive filling over unique route bundles carrying a
 multiplicity, and callers broadcast the per-bundle rate back to the flows.
 This collapses the per-solve cost from ``O(incidence entries)`` to
 ``O(bundles)`` — the hot-path win the fluid simulator relies on.
+
+Component decomposition
+-----------------------
+The Max-Min optimum decomposes exactly over *link-connected components*
+of the bundle set: two bundles sharing no link (directly or transitively)
+never influence each other's rate, so each component can be solved in
+isolation.  :func:`bundle_components` labels the components and
+:func:`waterfill_bundled_by_component` solves them one by one — the
+entry point behind the fluid simulator's lazy per-component maintenance,
+which re-solves only the component an event touched.
 """
 
 from __future__ import annotations
@@ -35,6 +45,8 @@ __all__ = [
     "maxmin_rates_indexed",
     "maxmin_rates_bundled",
     "waterfill_bundled",
+    "bundle_components",
+    "waterfill_bundled_by_component",
 ]
 
 _EPS = 1e-12
@@ -203,6 +215,20 @@ def maxmin_rates_indexed(
     return rates
 
 
+_KERNEL_UNSET = object()
+_C_KERNEL = _KERNEL_UNSET   # lazily resolved on the first bundled solve
+
+
+def _kernel():
+    """The compiled waterfilling kernel, or ``None`` (numpy fallback)."""
+    global _C_KERNEL
+    if _C_KERNEL is _KERNEL_UNSET:
+        from repro.network._ckernel import load_kernel
+
+        _C_KERNEL = load_kernel()
+    return _C_KERNEL
+
+
 def waterfill_bundled(
     bundle_links_flat: np.ndarray,
     bundle_ptr: np.ndarray,
@@ -210,7 +236,7 @@ def waterfill_bundled(
     capacities: np.ndarray,
     rate_caps: np.ndarray,
     *,
-    entry_bundle: np.ndarray | None = None,
+    route_len: int | None = None,
 ) -> np.ndarray:
     """Waterfilling over *bundles* of interchangeable flows.
 
@@ -239,16 +265,24 @@ def waterfill_bundled(
         Per-link capacities (indexed by the link ids in the incidence).
     rate_caps:
         Per-flow rate cap of each bundle (``inf`` when uncapped).
-    entry_bundle:
-        Optional precomputed ``np.repeat(arange(n_bundles), row lengths)``
-        — callers re-solving over an unchanged incidence (the fluid
-        simulator) pass it to skip the per-solve rebuild.
+    route_len:
+        Declare that *every* bundle crosses exactly ``route_len >= 1``
+        links laid out contiguously in ``bundle_links_flat``
+        (``bundle_ptr`` may then be ``None``) — the layout the fluid
+        simulator's uniform-route components maintain incrementally.
 
     Returns
     -------
     Per-bundle, per-flow rate (each of the ``multiplicity[b]`` flows of
     bundle ``b`` receives ``rates[b]``).  Semantics match running
     :func:`maxmin_rates` over the expanded flow set.
+
+    Notes
+    -----
+    When the optional compiled kernel is available
+    (:mod:`repro.network._ckernel`) the solve runs in C with **bitwise
+    identical** results; otherwise (including a failed in-kernel scratch
+    allocation) the numpy rounds below run.
     """
     n_bundles = len(multiplicity)
     rates = np.zeros(n_bundles)
@@ -256,16 +290,42 @@ def waterfill_bundled(
         return rates
     n_links = len(capacities)
     caps = np.asarray(rate_caps, dtype=float)
+
+    kernel = _kernel()
+    if kernel is not None:
+        mult_f = (multiplicity if multiplicity.dtype == np.float64
+                  else multiplicity.astype(float))
+        if (bundle_links_flat.dtype == np.intp
+                and mult_f.flags.c_contiguous
+                and bundle_links_flat.flags.c_contiguous
+                and caps.flags.c_contiguous
+                and capacities.dtype == np.float64
+                and capacities.flags.c_contiguous
+                and (route_len
+                     or (bundle_ptr is not None
+                         and bundle_ptr.dtype == np.intp
+                         and bundle_ptr.flags.c_contiguous))):
+            rc = kernel(n_bundles, n_links,
+                        bundle_links_flat.ctypes.data,
+                        0 if route_len else bundle_ptr.ctypes.data,
+                        route_len or 0,
+                        mult_f.ctypes.data, caps.ctypes.data,
+                        capacities.ctypes.data, rates.ctypes.data)
+            if rc == 0:
+                return rates
+            # scratch allocation failed inside the kernel: fall through
+            # to the numpy rounds rather than return degraded rates
+
+    if route_len and bundle_ptr is None:
+        bundle_ptr = np.arange(n_bundles + 1, dtype=np.intp) * route_len
+
     mult = multiplicity.astype(float)
 
-    if entry_bundle is None:
-        lens = np.diff(bundle_ptr)
-        entry_bundle = np.repeat(np.arange(n_bundles, dtype=np.intp), lens)
-        # route-less or population-less bundles never enter the filling;
-        # the former are cap-limited, the latter carry no flows at all
-        prefixed = (lens == 0) | (multiplicity == 0)
-    else:
-        prefixed = multiplicity == 0
+    lens = np.diff(bundle_ptr)
+    entry_bundle = np.repeat(np.arange(n_bundles, dtype=np.intp), lens)
+    # route-less or population-less bundles never enter the filling;
+    # the former are cap-limited, the latter carry no flows at all
+    prefixed = (lens == 0) | (multiplicity == 0)
 
     n_unfixed = n_bundles
     if prefixed.any():
@@ -387,3 +447,95 @@ def maxmin_rates_bundled(
         np.asarray(capacities, dtype=float),
         np.array(bundle_caps, dtype=float))
     return bundle_rates[bundle_of]
+
+
+# --------------------------------------------------------------------- #
+# link-connected component decomposition
+# --------------------------------------------------------------------- #
+def dsu_find(parent: list[int], x: int) -> int:
+    """Union-find root of ``x`` with path compression.
+
+    ``parent`` is a plain parent list (``parent[r] == r`` marks a root);
+    merging is ``parent[find(a)] = find(b)`` at the call site.  Shared by
+    :func:`bundle_components` and the fluid simulator's component
+    registry so the merge semantics live in one audited spot.
+    """
+    root = x
+    while parent[root] != root:
+        root = parent[root]
+    while parent[x] != root:
+        parent[x], x = root, parent[x]
+    return root
+
+
+def bundle_components(bundle_links_flat: np.ndarray,
+                      bundle_ptr: np.ndarray) -> np.ndarray:
+    """Label every bundle with its link-connected component.
+
+    Two bundles belong to the same component when they share a link,
+    directly or through a chain of other bundles.  The Max-Min optimum is
+    separable over these components (no constraint couples them), which
+    is what lets the fluid simulator re-solve only the component an event
+    touched.  Bundles with an empty route are singleton components.
+
+    Returns an ``intp`` array of component labels, numbered ``0..k-1`` in
+    order of first appearance.
+    """
+    n_bundles = len(bundle_ptr) - 1
+    parent = list(range(n_bundles))
+
+    link_owner: dict[int, int] = {}
+    for b in range(n_bundles):
+        for li in bundle_links_flat[bundle_ptr[b]:bundle_ptr[b + 1]]:
+            owner = link_owner.get(int(li))
+            if owner is None:
+                link_owner[int(li)] = b
+            else:
+                ra, rb = dsu_find(parent, owner), dsu_find(parent, b)
+                if ra != rb:
+                    parent[rb] = ra
+
+    labels = np.empty(n_bundles, dtype=np.intp)
+    seen: dict[int, int] = {}
+    for b in range(n_bundles):
+        root = dsu_find(parent, b)
+        label = seen.get(root)
+        if label is None:
+            label = len(seen)
+            seen[root] = label
+        labels[b] = label
+    return labels
+
+
+def waterfill_bundled_by_component(
+    bundle_links_flat: np.ndarray,
+    bundle_ptr: np.ndarray,
+    multiplicity: np.ndarray,
+    capacities: np.ndarray,
+    rate_caps: np.ndarray,
+) -> np.ndarray:
+    """Solve each link-connected component independently.
+
+    Exactly equivalent to one global :func:`waterfill_bundled` call (the
+    optimum is separable over components); useful when callers want the
+    per-component structure — and the correctness anchor for the fluid
+    simulator's lazy component-scoped maintenance.
+    """
+    n_bundles = len(multiplicity)
+    rates = np.zeros(n_bundles)
+    if n_bundles == 0:
+        return rates
+    caps = np.asarray(rate_caps, dtype=float)
+    labels = bundle_components(bundle_links_flat, bundle_ptr)
+    lens = np.diff(bundle_ptr)
+    for c in range(int(labels.max()) + 1):
+        sel = np.nonzero(labels == c)[0]
+        sub_lens = lens[sel]
+        sub_ptr = np.zeros(len(sel) + 1, dtype=np.intp)
+        np.cumsum(sub_lens, out=sub_ptr[1:])
+        sub_flat = np.concatenate(
+            [bundle_links_flat[bundle_ptr[b]:bundle_ptr[b + 1]]
+             for b in sel]) if sub_ptr[-1] else np.empty(0, dtype=np.intp)
+        rates[sel] = waterfill_bundled(
+            sub_flat, sub_ptr, multiplicity[sel], capacities, caps[sel])
+    return rates

@@ -30,13 +30,13 @@ from dataclasses import dataclass, field
 
 from repro.model.amdahl import AmdahlModel
 from repro.platforms.cluster import GIGABIT_BPS, Cluster
-from repro.platforms.topology import LinkId, Route
+from repro.platforms.topology import LinkId, Route, RouteCacheMixin
 from repro.registry import platforms
 
 __all__ = ["MultiClusterPlatform", "MultiClusterTopology"]
 
 
-class MultiClusterTopology:
+class MultiClusterTopology(RouteCacheMixin):
     """Routing and link capacities across a star-of-clusters WAN."""
 
     def __init__(self, platform: "MultiClusterPlatform") -> None:
@@ -59,25 +59,7 @@ class MultiClusterTopology:
             self.capacities[("wan_up", k)] = platform.wan_bandwidth_Bps
             self.capacities[("wan_down", k)] = platform.wan_bandwidth_Bps
 
-        self.link_ids: list[LinkId] = list(self.capacities)
-        self.link_index: dict[LinkId, int] = {
-            lid: i for i, lid in enumerate(self.link_ids)
-        }
-        self._capacity_array = None
-        self._route_cache: dict[tuple[int, int], Route] = {}
-        self._route_idx_cache: dict[tuple[int, int], tuple[int, ...]] = {}
-
-    @property
-    def capacity_array(self):
-        if self._capacity_array is None:
-            import numpy as np
-
-            self._capacity_array = np.array(
-                [self.capacities[lid] for lid in self.link_ids], dtype=float)
-        return self._capacity_array
-
-    def link_capacity(self, link: LinkId) -> float:
-        return self.capacities[link]
+        self._init_route_caches()
 
     # ------------------------------------------------------------------ #
     def route(self, src: int, dst: int) -> Route:
@@ -122,15 +104,6 @@ class MultiClusterTopology:
             route = Route(tuple(links), latency, cap)
         self._route_cache[key] = route
         return route
-
-    def route_indices(self, src: int, dst: int) -> tuple[int, ...]:
-        key = (src, dst)
-        hit = self._route_idx_cache.get(key)
-        if hit is None:
-            hit = tuple(self.link_index[lid]
-                        for lid in self.route(src, dst).links)
-            self._route_idx_cache[key] = hit
-        return hit
 
     def effective_bandwidth(self, src: int, dst: int) -> float:
         r = self.route(src, dst)

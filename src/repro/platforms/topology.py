@@ -29,7 +29,7 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover
     from repro.platforms.cluster import Cluster
 
-__all__ = ["LinkId", "Route", "Topology"]
+__all__ = ["LinkId", "Route", "RouteCacheMixin", "Topology"]
 
 #: A link identifier: ``(kind, index)``.
 LinkId = tuple[str, int]
@@ -59,7 +59,87 @@ class Route:
         return not self.links
 
 
-class Topology:
+class RouteCacheMixin:
+    """Shared link-index / route caching for topology classes.
+
+    Expects the concrete class to provide ``capacities`` (LinkId →
+    capacity) and ``route(src, dst)``; :meth:`_init_route_caches` wires
+    the link indexing and the caches.  Both :class:`Topology` and
+    :class:`~repro.platforms.multicluster.MultiClusterTopology` inherit
+    this, so the fused per-pair summary the schedulers' pricing relies
+    on cannot drift between the two.
+    """
+
+    capacities: dict[LinkId, float]
+
+    def _init_route_caches(self) -> None:
+        # stable integer indexing of links for the vectorised solvers
+        self.link_ids: list[LinkId] = list(self.capacities)
+        self.link_index: dict[LinkId, int] = {
+            lid: i for i, lid in enumerate(self.link_ids)
+        }
+        self._route_cache: dict[tuple[int, int], Route] = {}
+        self._capacity_array = None
+        self._capacity_list: list[float] | None = None
+        self._route_idx_cache: dict[tuple[int, int], tuple[int, ...]] = {}
+        self._pair_summary_cache: dict[tuple[int, int],
+                                       tuple[tuple[int, ...],
+                                             float, float]] = {}
+
+    @property
+    def capacity_array(self):
+        """Link capacities as a numpy array aligned with ``link_ids``."""
+        if self._capacity_array is None:
+            import numpy as np
+
+            self._capacity_array = np.array(
+                [self.capacities[lid] for lid in self.link_ids], dtype=float
+            )
+        return self._capacity_array
+
+    @property
+    def capacity_list(self) -> list[float]:
+        """Capacities as plain floats (scalar hot loops avoid numpy)."""
+        if self._capacity_list is None:
+            self._capacity_list = [float(self.capacities[lid])
+                                   for lid in self.link_ids]
+        return self._capacity_list
+
+    def route_indices(self, src: int, dst: int) -> tuple[int, ...]:
+        """Integer link indices of the ``src → dst`` route."""
+        key = (src, dst)
+        hit = self._route_idx_cache.get(key)
+        if hit is None:
+            hit = tuple(self.link_index[lid]
+                        for lid in self.route(src, dst).links)
+            self._route_idx_cache[key] = hit
+        return hit
+
+    def pair_summary(self, src: int, dst: int) -> tuple[tuple[int, ...],
+                                                        float, float]:
+        """``(link indices, latency, rate cap)`` of the pair, one dict hit.
+
+        The fused per-pair record behind the schedulers' bottleneck
+        estimator, which prices the same (src, dst) pairs thousands of
+        times per mapping run.
+        """
+        key = (src, dst)
+        hit = self._pair_summary_cache.get(key)
+        if hit is None:
+            route = self.route(src, dst)
+            hit = (self.route_indices(src, dst), route.latency_s,
+                   route.rate_cap_Bps)
+            self._pair_summary_cache[key] = hit
+        return hit
+
+    def link_capacity(self, link: LinkId) -> float:
+        return self.capacities[link]
+
+    def route(self, src: int, dst: int) -> Route:  # pragma: no cover
+        raise NotImplementedError
+
+
+class Topology(RouteCacheMixin):
     """Link capacities and routing for one :class:`Cluster`."""
 
     def __init__(self, cluster: "Cluster") -> None:
@@ -74,37 +154,7 @@ class Topology:
             for c in range(cluster.cabinets):
                 self.capacities[("cab_up", c)] = bw
                 self.capacities[("cab_down", c)] = bw
-        self._route_cache: dict[tuple[int, int], Route] = {}
-        # stable integer indexing of links for the vectorised solvers
-        self.link_ids: list[LinkId] = list(self.capacities)
-        self.link_index: dict[LinkId, int] = {
-            lid: i for i, lid in enumerate(self.link_ids)
-        }
-        self._capacity_array = None
-        self._route_idx_cache: dict[tuple[int, int], tuple[int, ...]] = {}
-
-    @property
-    def capacity_array(self):
-        """Link capacities as a numpy array aligned with ``link_ids``."""
-        if self._capacity_array is None:
-            import numpy as np
-
-            self._capacity_array = np.array(
-                [self.capacities[lid] for lid in self.link_ids], dtype=float
-            )
-        return self._capacity_array
-
-    def route_indices(self, src: int, dst: int) -> tuple[int, ...]:
-        """Integer link indices of the ``src → dst`` route."""
-        key = (src, dst)
-        hit = self._route_idx_cache.get(key)
-        if hit is None:
-            hit = tuple(self.link_index[lid] for lid in self.route(src, dst).links)
-            self._route_idx_cache[key] = hit
-        return hit
-
-    def link_capacity(self, link: LinkId) -> float:
-        return self.capacities[link]
+        self._init_route_caches()
 
     def route(self, src: int, dst: int) -> Route:
         """Route of a flow from node ``src`` to node ``dst``.

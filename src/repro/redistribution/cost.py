@@ -14,9 +14,9 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.network.flows import FlowSpec, bottleneck_time_estimate
+from repro.network.flows import FlowSpec, bottleneck_time_estimate_mapped
 from repro.platforms.cluster import Cluster
-from repro.redistribution.matrix import redistribution_flows
+from repro.redistribution.matrix import _comm_matrix_entries, redistribution_flows
 
 __all__ = ["RedistributionCost"]
 
@@ -54,15 +54,22 @@ class RedistributionCost:
 
     def time(self, src_procs: Sequence[int], dst_procs: Sequence[int],
              data_bytes: float) -> float:
-        """Estimated duration; 0 for identical ordered sets or no data."""
+        """Estimated duration; 0 for identical ordered sets or no data.
+
+        Works from the memoised communication-matrix triples directly —
+        the pricing hot path never materialises :class:`FlowSpec`
+        objects (the amounts are accumulated in the same order, so the
+        estimates match the flow-expanded computation bit for bit).
+        """
         if data_bytes == 0:
             return 0.0
         key = (tuple(src_procs), tuple(dst_procs), data_bytes)
         hit = self._time_cache.get(key)
         if hit is not None:
             return hit
-        flows = self._flows_cached(key)
-        t = bottleneck_time_estimate(list(flows), self.cluster) if flows else 0.0
+        entries = _comm_matrix_entries(data_bytes, len(key[0]), len(key[1]))
+        t = bottleneck_time_estimate_mapped(key[0], key[1], entries,
+                                            self.cluster)
         self._time_cache[key] = t
         return t
 
@@ -74,7 +81,11 @@ class RedistributionCost:
         key = (tuple(src_procs), tuple(dst_procs), data_bytes)
         hit = self._bytes_cache.get(key)
         if hit is None:
-            hit = sum(f.data_bytes for f in self._flows_cached(key))
+            src, dst = key[0], key[1]
+            hit = sum(amount
+                      for i, j, amount in _comm_matrix_entries(
+                          data_bytes, len(src), len(dst))
+                      if src[i] != dst[j])
             self._bytes_cache[key] = hit
         return hit
 

@@ -41,8 +41,14 @@ def _comm_matrix_entries(m: float, p: int,
 
     The schedulers re-price the same ``(bytes, p, q)`` shapes many times
     per adaptation loop (and the simulator re-expands them once more), so
-    the sweep result is cached on its three scalars.
+    the sweep result is cached on its three scalars.  Validation lives
+    here — every pricing path goes through this function, and a negative
+    ``m`` would otherwise spin the sweep forever.
     """
+    if p < 1 or q < 1:
+        raise ValueError("p and q must be >= 1")
+    if m < 0:
+        raise ValueError("m must be >= 0")
     out: dict[tuple[int, int], float] = {}
     if m == 0:
         return ()

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.dag.analysis import bottom_levels, dag_levels, top_levels
+from repro.dag.analysis import dag_levels
 from repro.dag.task import TaskGraph
 from repro.model.amdahl import PerformanceModel
 from repro.registry import register_allocator
@@ -70,73 +70,142 @@ def _cpa_core(
     max_iterations: int | None = None,
     keep_trace: bool = False,
 ) -> AllocationResult:
-    """The shared CPA allocation loop."""
+    """The shared CPA allocation loop.
+
+    The loop re-evaluates bottom/top levels over the whole graph on every
+    grant, which used to dominate the allocator's cost through repeated
+    ``model.time`` calls and graph-dict traversals.  The graph structure
+    and per-task times are therefore flattened **once** into index
+    arrays; each iteration then only touches plain-float lists plus the
+    one or two ``model.time`` evaluations of the task that grew.  A
+    user-supplied ``edge_time`` callable is still re-evaluated every
+    iteration (it may read the evolving allocation); the built-in
+    allocators pass ``None``, whose zero costs stay static.  Every float
+    is produced by the same arithmetic as before, so the resulting
+    allocations (and traces) are unchanged.
+    """
     if total_procs < 1:
         raise ValueError("total_procs must be >= 1")
     names = graph.task_names()
-    alloc: dict[str, int] = {n: 1 for n in names}
+    n_tasks = len(names)
+    index = {n: i for i, n in enumerate(names)}
+    alloc = [1] * n_tasks
     levels = dag_levels(graph) if level_cap else None
-    level_tasks: dict[int, list[str]] = {}
+    level_of: list[int] | None = None
+    level_used: dict[int, int] = {}
     if levels is not None:
+        level_of = [levels[n] for n in names]
         for n, lvl in levels.items():
-            level_tasks.setdefault(lvl, []).append(n)
+            level_used[lvl] = level_used.get(lvl, 0) + 1  # 1 proc per task
+
+    # ---- one-time structure flattening ---- #
+    topo = [index[n] for n in graph.topological_order()]
+    preds: list[list[int]] = [[] for _ in range(n_tasks)]
+    succs: list[list[int]] = [[] for _ in range(n_tasks)]
+    # edge costs aligned with the preds/succs adjacency
+    pred_cost: list[list[float]] = [[] for _ in range(n_tasks)]
+    succ_cost: list[list[float]] = [[] for _ in range(n_tasks)]
+
+    def fill_edge_costs() -> None:
+        for i, n in enumerate(names):
+            sc = succ_cost[i]
+            sc.clear()
+            for s in graph.successors(n):
+                sc.append(edge_time(n, s) if edge_time is not None else 0.0)
+        for j in range(n_tasks):
+            pc = pred_cost[j]
+            pc.clear()
+            for k, i in enumerate(preds[j]):
+                pc.append(succ_cost[i][succs[i].index(j)])
+
+    for i, n in enumerate(names):
+        for s in graph.successors(n):
+            j = index[s]
+            succs[i].append(j)
+            preds[j].append(i)
+    fill_edge_costs()
+    entries = [index[n] for n in graph.entry_tasks()]
+    tasks = [graph.task(n) for n in names]
+
+    # per-task times under the current (and next) allocation — the only
+    # model evaluations each iteration needs are for the task that grew
+    cur_time = [model.time(t, 1) for t in tasks]
+    next_time = [model.time(t, 2) if total_procs > 1 else 0.0 for t in tasks]
 
     p_eff = effective_processor_count(graph, total_procs, area_policy)
-    total_work = sum(model.work(graph.task(n), 1) for n in names)
+    total_work = sum(model.work(t, 1) for t in tasks)
     if max_iterations is None:
         # each task can grow at most to P processors
-        max_iterations = graph.num_tasks * total_procs
+        max_iterations = n_tasks * total_procs
 
     trace: list[tuple[str, int]] = []
     iterations = 0
     cp_len = 0.0
     area = 0.0
     converged = False
+    bl = [0.0] * n_tasks
+    tl = [0.0] * n_tasks
 
-    def node_time(n: str) -> float:
-        return model.time(graph.task(n), alloc[n])
-
-    def can_grow(n: str) -> bool:
-        if alloc[n] >= total_procs:
+    def can_grow(i: int) -> bool:
+        if alloc[i] >= total_procs:
             return False
-        if levels is not None:
-            used = sum(alloc[m] for m in level_tasks[levels[n]])
-            if used + 1 > total_procs:
-                return False
+        if level_of is not None and level_used[level_of[i]] + 1 > total_procs:
+            return False
         return True
 
     while iterations < max_iterations:
-        bl = bottom_levels(graph, node_time, edge_time)
-        tl = top_levels(graph, node_time, edge_time)
-        cp_len = max((bl[e] for e in graph.entry_tasks()), default=0.0)
+        if edge_time is not None and iterations:
+            # a user-supplied edge_time may read the evolving allocation
+            # (the pre-flattening loop re-evaluated it every iteration);
+            # the built-in allocators pass None and keep the static arrays
+            fill_edge_costs()
+        for i in reversed(topo):
+            tail = 0.0
+            for j, c in zip(succs[i], succ_cost[i]):
+                v = c + bl[j]
+                if v > tail:
+                    tail = v
+            bl[i] = cur_time[i] + tail
+        for i in topo:
+            top = 0.0
+            for j, c in zip(preds[i], pred_cost[i]):
+                v = tl[j] + cur_time[j] + c
+                if v > top:
+                    top = v
+            tl[i] = top
+        cp_len = max((bl[e] for e in entries), default=0.0)
         area = total_work / p_eff
         if cp_len <= area + _TOL:
             converged = True
             break
 
         # tasks on a critical path that may still grow
-        candidates = [
-            n for n in names
-            if tl[n] + bl[n] >= cp_len - _TOL * max(1.0, cp_len) and can_grow(n)
-        ]
+        threshold = cp_len - _TOL * max(1.0, cp_len)
+        candidates = [i for i in range(n_tasks)
+                      if tl[i] + bl[i] >= threshold and can_grow(i)]
         if not candidates:
             break
 
         # benefit of one extra processor: largest execution-time reduction
-        def benefit(n: str) -> float:
-            t = graph.task(n)
-            return model.time(t, alloc[n]) - model.time(t, alloc[n] + 1)
-
-        best = max(candidates, key=lambda n: (benefit(n), node_time(n), n))
-        old_work = model.work(graph.task(best), alloc[best])
+        best = max(candidates,
+                   key=lambda i: (cur_time[i] - next_time[i], cur_time[i],
+                                  names[i]))
+        t = tasks[best]
+        # model.work, not alloc·time: custom models may define work
+        # independently of time (the old loop called work() too)
+        total_work += model.work(t, alloc[best] + 1) - model.work(t, alloc[best])
         alloc[best] += 1
-        total_work += model.work(graph.task(best), alloc[best]) - old_work
+        if level_of is not None:
+            level_used[level_of[best]] += 1
+        cur_time[best] = next_time[best]
+        next_time[best] = (model.time(t, alloc[best] + 1)
+                           if alloc[best] < total_procs else 0.0)
         if keep_trace:
-            trace.append((best, alloc[best]))
+            trace.append((names[best], alloc[best]))
         iterations += 1
 
     return AllocationResult(
-        allocation=alloc,
+        allocation={n: alloc[i] for i, n in enumerate(names)},
         iterations=iterations,
         cp_length=cp_len,
         avg_area=area,

@@ -22,28 +22,39 @@ estimate — the effect §IV-D discusses.
 
 Implementation notes
 --------------------
-A dense 100-task DAG spawns tens of thousands of flows, so all per-flow
-state lives in numpy arrays: advancing the fluid, finding the next
-completion and re-solving the Max-Min rates are vector operations.  The
-solver uses simultaneous waterfilling (all links at the current minimum
-fair-share level freeze together), which converges in a handful of
-iterations on homogeneous-capacity networks.
+A dense 100-task DAG spawns tens of thousands of flows, so per-flow state
+lives in numpy arrays and the Max-Min rates are solved over the *unique
+active (src, dst) pairs* with multiplicities
+(:func:`repro.network.maxmin.waterfill_bundled`), as described in
+``docs/performance.md``.
 
-Two further structural optimisations keep the per-event cost low without
-changing any simulated time (see ``docs/performance.md``):
+The default engine additionally maintains the active pairs as
+**link-connected components** (SimGrid-style lazy fluid model updates):
 
-* **flow bundling** — flows sharing a (src, dst) node pair have identical
-  routes and rate caps, hence identical Max-Min rates; each solve runs
-  over the *unique active pairs* with multiplicities
-  (:func:`repro.network.maxmin.waterfill_bundled`) and broadcasts the
-  per-pair rate back to the member flows;
-* **incremental active-set state** — per-pair active flow counts are
-  maintained on release/completion, and the compact pair incidence is
-  only regathered when the *set* of active pairs changes, instead of
-  rebuilding masks over all flows at every event.
+* a union-find over shared links groups active pairs into components;
+  components merge when a newly released pair bridges them and dissolve
+  when their last pair drains (merge-only while alive — a component may
+  temporarily be coarser than the true connectivity, which costs work but
+  never correctness, since Max-Min is exact on any union of components);
+* every component caches its solved per-pair rates and its flows'
+  *projected completion times*; an event re-solves **only** the
+  components whose pair set or multiplicities it changed
+  (``lazy=True``), and untouched components keep their cached rates and
+  projections — their remaining bytes are materialised only when one of
+  their own events fires;
+* the "next flow completion" comes from a global **component event
+  heap** keyed by each component's earliest projection, lazily
+  invalidated by a per-component stamp — so the per-event cost scales
+  with the touched component, not with the platform.
 
-``use_bundling=False`` selects the original per-flow solver; it is kept
-as the equivalence oracle for the golden tests.
+``lazy=False`` runs the same component machinery but re-solves every live
+component at every flow-set change; since the extra solves see identical
+inputs they produce identical rates, which makes the two modes
+**byte-identical** (asserted by the property tests) while ``lazy=False``
+actually performs the full-solve work and is therefore a true oracle for
+the dirty-tracking.  ``use_bundling=False`` selects the original
+per-flow solver and global scan loop — the reference implementation kept
+as the end-to-end equivalence oracle for the golden tests.
 """
 
 from __future__ import annotations
@@ -55,7 +66,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.dag.task import TaskGraph
-from repro.network.maxmin import waterfill_bundled
+from repro.network.maxmin import dsu_find, waterfill_bundled
 from repro.platforms.cluster import Cluster
 from repro.redistribution.matrix import redistribution_flows
 from repro.scheduling.schedule import Schedule
@@ -70,13 +81,25 @@ _REL_BYTES_EPS = 1e-9
 
 @dataclass
 class SimulationResult:
-    """Outcome of simulating one schedule."""
+    """Outcome of simulating one schedule.
+
+    ``solves_full`` counts the events at which an eager engine re-solves
+    the whole active flow set (every flow-set change); ``solves_component``
+    counts the component-scoped solver invocations the engine actually
+    performed.  On the reference per-flow path ``solves_component`` is 0
+    and ``maxmin_solves == solves_full``; on the component engine
+    ``maxmin_solves == solves_component``, and the lazy path's saving is
+    visible as ``solves_component`` falling below ``lazy=False``'s count
+    (down to well under one solve per event when components decouple).
+    """
 
     makespan: float
     task_traces: dict[str, TaskTrace]
     flow_traces: list[FlowTrace] = field(default_factory=list)
     events: int = 0
     maxmin_solves: int = 0
+    solves_full: int = 0
+    solves_component: int = 0
 
     def as_executed_schedule(self, schedule: Schedule) -> Schedule:
         """Rebuild a :class:`Schedule` carrying the *simulated* times."""
@@ -156,6 +179,264 @@ def _csr_gather(flat: np.ndarray, ptr: np.ndarray,
     return flat[idx], lens
 
 
+def _grow(arr: np.ndarray, need: int) -> np.ndarray:
+    """Capacity-doubling growth of an amortised append array."""
+    cap = len(arr)
+    if need <= cap:
+        return arr
+    new = np.empty(max(need, 2 * cap, 8), dtype=arr.dtype)
+    new[:cap] = arr
+    return new
+
+
+class _Component:
+    """One link-connected component of the active pair set.
+
+    Pair rows and member flows are stored in amortised append arrays with
+    tombstones (a drained pair keeps its row with multiplicity 0, a
+    completed flow keeps its slot with ``remaining = inf``), compacted
+    when dead entries outnumber live ones — so the steady-state per-event
+    cost is O(changed entries), not O(component).  The CSR link incidence
+    (``flat`` / ``row_lens``) is maintained incrementally on pair
+    activation — the "bundle diff" that lets consecutive solves of the
+    same component skip any rebuild.
+    """
+
+    __slots__ = (
+        "cid", "alive", "dirty", "stamp", "t_mat", "next_t",
+        "pair_rows",
+        "row_pair", "mult", "row_caps", "n_rows", "live_rows",
+        "flat", "row_lens", "flat_len", "route_len", "uniform",
+        "rates",
+        "flow_fid", "flow_row", "n_flows", "live_flows", "flow_rates",
+        "proj",
+    )
+
+    def __init__(self, cid: int) -> None:
+        self.cid = cid
+        self.alive = True
+        self.dirty = True
+        self.stamp = 0
+        self.t_mat = 0.0
+        self.next_t = math.inf
+        self.pair_rows: dict[int, int] = {}   # pair id -> row index
+        self.row_pair = np.empty(4, dtype=np.intp)
+        # float64 multiplicities: handed to the solver without a cast
+        # (always integer-valued, so comparisons stay exact)
+        self.mult = np.zeros(4, dtype=float)
+        self.row_caps = np.empty(4, dtype=float)
+        self.flat = np.empty(8, dtype=np.intp)   # CSR link incidence
+        self.row_lens = np.empty(4, dtype=np.intp)
+        self.flat_len = 0
+        self.n_rows = 0
+        self.live_rows = 0
+        self.route_len = 0          # uniform route length, 0 = mixed
+        self.uniform = True
+        self.rates = np.zeros(0)
+        self.flow_fid = np.empty(8, dtype=np.intp)
+        self.flow_row = np.empty(8, dtype=np.intp)
+        self.n_flows = 0
+        self.live_flows = 0
+        self.flow_rates = np.zeros(8)
+        self.proj = np.full(8, np.inf)
+
+    # ------------------------------------------------------------------ #
+    def add_pair(self, pair: int, links: tuple[int, ...],
+                 cap: float) -> int:
+        row = self.n_rows
+        self.row_pair = _grow(self.row_pair, row + 1)
+        self.mult = _grow(self.mult, row + 1)
+        self.row_caps = _grow(self.row_caps, row + 1)
+        self.row_lens = _grow(self.row_lens, row + 1)
+        self.row_pair[row] = pair
+        self.mult[row] = 0
+        self.row_caps[row] = cap
+        self.row_lens[row] = len(links)
+        end = self.flat_len + len(links)
+        self.flat = _grow(self.flat, end)
+        self.flat[self.flat_len:end] = links
+        self.flat_len = end
+        self.n_rows = row + 1
+        self.live_rows += 1
+        self.pair_rows[pair] = row
+        if row == 0:
+            self.route_len = len(links)
+        elif self.uniform and len(links) != self.route_len:
+            self.uniform = False
+            self.route_len = 0
+        return row
+
+    def add_flow(self, fid: int, row: int) -> None:
+        n = self.n_flows
+        self.flow_fid = _grow(self.flow_fid, n + 1)
+        self.flow_row = _grow(self.flow_row, n + 1)
+        self.flow_rates = _grow(self.flow_rates, n + 1)
+        self.proj = _grow(self.proj, n + 1)
+        self.flow_fid[n] = fid
+        self.flow_row[n] = row
+        self.flow_rates[n] = 0.0
+        self.proj[n] = math.inf
+        self.n_flows = n + 1
+        self.live_flows += 1
+
+    # ------------------------------------------------------------------ #
+    def compact_flows(self, remaining: np.ndarray) -> None:
+        """Drop completed-flow slots (remaining == inf marks them dead)."""
+        n = self.n_flows
+        keep = np.isfinite(remaining[self.flow_fid[:n]])
+        kept = int(keep.sum())
+        self.flow_fid[:kept] = self.flow_fid[:n][keep]
+        self.flow_row[:kept] = self.flow_row[:n][keep]
+        self.flow_rates[:kept] = self.flow_rates[:n][keep]
+        self.proj[:kept] = self.proj[:n][keep]
+        self.n_flows = kept
+
+    def compact_rows(self) -> None:
+        """Drop drained-pair rows (multiplicity 0), renumbering flows.
+
+        The solved ``rates`` are *not* remapped: they are recomputed from
+        scratch by the next solve before anything reads them (compaction
+        only happens on completion events, which dirty the component).
+        """
+        n = self.n_rows
+        keep = self.mult[:n] > 0
+        new_of_old = np.cumsum(keep) - 1
+        kept = int(keep.sum())
+        # rebuild the CSR incidence over the surviving rows
+        ends = np.cumsum(self.row_lens[:n])
+        pieces = [self.flat[e - l:e]
+                  for e, l, k in zip(ends, self.row_lens[:n], keep) if k]
+        new_flat = (np.concatenate(pieces) if pieces
+                    else np.empty(0, dtype=np.intp))
+        self.flat[:len(new_flat)] = new_flat
+        self.flat_len = len(new_flat)
+        self.row_pair[:kept] = self.row_pair[:n][keep]
+        self.row_lens[:kept] = self.row_lens[:n][keep]
+        self.mult[:kept] = self.mult[:n][keep]
+        self.row_caps[:kept] = self.row_caps[:n][keep]
+        self.n_rows = kept
+        self.pair_rows = {int(p): int(new_of_old[r])
+                          for p, r in self.pair_rows.items()}
+        # completed flows may still point at a dropped row; clamp them to
+        # 0 — their rate is never read again (remaining == inf)
+        old_rows = self.flow_row[:self.n_flows]
+        dead_row = ~keep[old_rows]
+        remapped = new_of_old[old_rows]
+        remapped[dead_row] = 0
+        self.flow_row[:self.n_flows] = remapped
+
+
+class _TaskBookkeeping:
+    """Task-readiness and trace scaffolding shared by both engines.
+
+    The replayed runtime semantics — a task starts when it is at the
+    front of every processor queue, all predecessors finished and all
+    incoming flows arrived; flows release one latency after the producer
+    finishes — live here once, so the lazy component engine and the
+    per-flow reference oracle cannot drift apart.
+    """
+
+    def __init__(self, sim: "FluidSimulator", fl: dict) -> None:
+        graph, schedule = sim.graph, sim.schedule
+        self.graph = graph
+        self.collect_flow_traces = sim.collect_flow_traces
+        self.fl = fl
+        self.edges = fl["edges"]
+        names = graph.task_names()
+        self.total = graph.num_tasks
+        self.exec_time = {n: schedule[n].duration for n in names}
+        self.procs_of = {n: schedule[n].procs for n in names}
+        self.proc_queue: dict[int, list[str]] = {
+            p: [e.task for e in entries]
+            for p, entries in schedule.proc_timeline().items()
+        }
+        self.queue_pos: dict[int, int] = {p: 0 for p in self.proc_queue}
+        self.preds_left = {n: len(graph.predecessors(n)) for n in names}
+        # flows (hence bytes) still missing per consumer task
+        self.flows_left: dict[str, int] = {n: 0 for n in names}
+        for eid in fl["edge_of"]:
+            self.flows_left[self.edges[eid][1]] += 1
+        # per-edge flow ids (for release on producer completion)
+        self.edge_flows: dict[int, list[int]] = {}
+        for fid, eid in enumerate(fl["edge_of"]):
+            self.edge_flows.setdefault(int(eid), []).append(fid)
+        self.out_edge_ids: dict[str, list[int]] = {n: [] for n in names}
+        for eid, (u, _v) in enumerate(self.edges):
+            self.out_edge_ids[u].append(eid)
+        self.release_time = np.full(len(fl["size"]), np.inf)
+        self.started: set[str] = set()
+        self.done: set[str] = set()
+        self.task_start: dict[str, float] = {}
+        self.finish_heap: list[tuple[float, str]] = []
+        self.release_heap: list[tuple[float, int]] = []  # (time, flow id)
+        self.traces: dict[str, TaskTrace] = {}
+        self.flow_traces: list[FlowTrace] = []
+        # candidates whose readiness must be rechecked after an event
+        self.check_ready: set[str] = set(names)
+
+    # ------------------------------------------------------------------ #
+    def at_front(self, name: str) -> bool:
+        return all(
+            self.queue_pos[p] < len(self.proc_queue[p])
+            and self.proc_queue[p][self.queue_pos[p]] == name
+            for p in self.procs_of[name]
+        )
+
+    def can_start(self, name: str) -> bool:
+        return (name not in self.started
+                and self.preds_left[name] == 0
+                and self.flows_left[name] == 0
+                and self.at_front(name))
+
+    def start_task(self, name: str, now: float) -> None:
+        self.started.add(name)
+        self.task_start[name] = now
+        heapq.heappush(self.finish_heap, (now + self.exec_time[name], name))
+
+    def finish_task(self, name: str, now: float) -> None:
+        self.done.add(name)
+        self.traces[name] = TaskTrace(task=name, procs=self.procs_of[name],
+                                      start=self.task_start[name], finish=now)
+        for p in self.procs_of[name]:
+            self.queue_pos[p] += 1
+            pos = self.queue_pos[p]
+            if pos < len(self.proc_queue[p]):
+                self.check_ready.add(self.proc_queue[p][pos])
+        for succ in self.graph.successors(name):
+            self.preds_left[succ] -= 1
+            self.check_ready.add(succ)
+        lat = self.fl["lat"]
+        for eid in self.out_edge_ids[name]:
+            for fid in self.edge_flows.get(eid, ()):  # release after latency
+                t_rel = now + lat[fid]
+                self.release_time[fid] = t_rel
+                heapq.heappush(self.release_heap, (t_rel, fid))
+
+    def complete_flow(self, fid: int, now: float) -> None:
+        eid = int(self.fl["edge_of"][fid])
+        self.flows_left[self.edges[eid][1]] -= 1
+        self.check_ready.add(self.edges[eid][1])
+        if self.collect_flow_traces:
+            self.flow_traces.append(FlowTrace(
+                edge=self.edges[eid],
+                src=int(self.fl["src"][fid]),
+                dst=int(self.fl["dst"][fid]),
+                data_bytes=float(self.fl["size"][fid]),
+                release=float(self.release_time[fid]),
+                finish=now))
+
+    def start_ready(self, now: float) -> None:
+        """Start every newly startable task, clearing the recheck set."""
+        for name in self.check_ready:
+            if name not in self.started and self.can_start(name):
+                self.start_task(name, now)
+        self.check_ready.clear()
+
+    def makespan(self) -> float:
+        return (max(tr.finish for tr in self.traces.values())
+                - min(tr.start for tr in self.traces.values()))
+
+
 class FluidSimulator:
     """Simulate one schedule on its cluster.
 
@@ -169,18 +450,26 @@ class FluidSimulator:
     use_bundling:
         Solve Max-Min rates over unique (src, dst) route bundles with
         multiplicities (the fast path, on by default).  ``False`` runs the
-        original per-flow waterfilling — the reference implementation the
-        golden equivalence tests compare against.
+        original per-flow waterfilling and global-scan loop — the
+        reference implementation the golden equivalence tests compare
+        against (``lazy`` is then ignored).
+    lazy:
+        On the bundled engine, re-solve only the link-connected components
+        an event touched (default).  ``lazy=False`` re-solves every live
+        component at every flow-set change — byte-identical traces, kept
+        as the full-solve equivalence oracle.
     """
 
     def __init__(self, schedule: Schedule, *,
                  collect_flow_traces: bool = False,
-                 use_bundling: bool = True) -> None:
+                 use_bundling: bool = True,
+                 lazy: bool = True) -> None:
         self.schedule = schedule
         self.graph: TaskGraph = schedule.graph
         self.cluster: Cluster = schedule.cluster
         self.collect_flow_traces = collect_flow_traces
         self.use_bundling = use_bundling
+        self.lazy = lazy
 
     # ------------------------------------------------------------------ #
     def _build_flows(self):
@@ -252,198 +541,408 @@ class FluidSimulator:
             "pair_lat": pair_lat_arr,
             "pair_links_flat": pair_links_flat,
             "pair_ptr": pair_ptr,
+            "pair_routes": pair_routes,
             "edges": edges,
             "edge_index": edge_index,
         }
 
     # ------------------------------------------------------------------ #
     def run(self) -> SimulationResult:
-        graph, cluster, schedule = self.graph, self.cluster, self.schedule
+        if self.use_bundling:
+            return self._run_component()
+        return self._run_reference()
+
+    # ================================================================== #
+    # component engine (use_bundling=True)
+    # ================================================================== #
+    def _run_component(self) -> SimulationResult:
+        graph, cluster = self.graph, self.cluster
+        lazy = self.lazy
+        topo = cluster.topology
+        capacities = topo.capacity_array
+        n_links = len(capacities)
+
+        fl = self._build_flows()
+        tb = _TaskBookkeeping(self, fl)
+
+        size = fl["size"]
+        remaining = size.copy()
+        done_threshold = np.maximum(size * _REL_BYTES_EPS, 1e-12)
+        pair_of = fl["pair_of"]
+        pair_routes: list[tuple[int, ...]] = fl["pair_routes"]
+        pair_cap = fl["pair_cap"]
+
+        # ---------------- component registry ---------------- #
+        comps: list[_Component] = []
+        parent: list[int] = []              # union-find over component ids
+        link_owner = np.full(n_links, -1, dtype=np.intp)
+        link_pairs = np.zeros(n_links, dtype=np.intp)  # active pairs per link
+        comp_of_pair = np.full(len(pair_cap), -1, dtype=np.intp)
+        comp_heap: list[tuple[float, int, int]] = []   # (next_t, cid, stamp)
+
+        # local (route-less) flows complete one event after release; they
+        # never join a component — a shared pseudo-heap orders them
+        local_heap: list[tuple[float, int]] = []
+
+        def find(cid: int) -> int:
+            return dsu_find(parent, cid)
+
+        def new_component() -> _Component:
+            cid = len(comps)
+            comp = _Component(cid)
+            comps.append(comp)
+            parent.append(cid)
+            return comp
+
+        def push_comp(comp: _Component) -> None:
+            if math.isfinite(comp.next_t):
+                heapq.heappush(comp_heap, (comp.next_t, comp.cid, comp.stamp))
+
+        def materialize(comp: _Component, t: float) -> None:
+            """Advance the component's flows to ``t`` under cached rates."""
+            if t > comp.t_mat:
+                n = comp.n_flows
+                fids = comp.flow_fid[:n]
+                remaining[fids] -= comp.flow_rates[:n] * (t - comp.t_mat)
+            comp.t_mat = t
+
+        def merge(a: _Component, b: _Component, t: float) -> _Component:
+            """Merge ``b`` into ``a`` (both materialised to ``t``)."""
+            materialize(a, t)
+            materialize(b, t)
+            off = a.n_rows
+            a.row_pair = _grow(a.row_pair, off + b.n_rows)
+            a.mult = _grow(a.mult, off + b.n_rows)
+            a.row_caps = _grow(a.row_caps, off + b.n_rows)
+            a.row_lens = _grow(a.row_lens, off + b.n_rows)
+            a.row_pair[off:off + b.n_rows] = b.row_pair[:b.n_rows]
+            a.mult[off:off + b.n_rows] = b.mult[:b.n_rows]
+            a.row_caps[off:off + b.n_rows] = b.row_caps[:b.n_rows]
+            a.row_lens[off:off + b.n_rows] = b.row_lens[:b.n_rows]
+            end = a.flat_len + b.flat_len
+            a.flat = _grow(a.flat, end)
+            a.flat[a.flat_len:end] = b.flat[:b.flat_len]
+            a.flat_len = end
+            a.n_rows = off + b.n_rows
+            a.live_rows += b.live_rows
+            for pid, row in b.pair_rows.items():
+                a.pair_rows[pid] = off + row
+                comp_of_pair[pid] = a.cid
+            if a.uniform and (not b.uniform or b.route_len != a.route_len):
+                a.uniform = False
+                a.route_len = 0
+            fo = a.n_flows
+            a.flow_fid = _grow(a.flow_fid, fo + b.n_flows)
+            a.flow_row = _grow(a.flow_row, fo + b.n_flows)
+            a.flow_rates = _grow(a.flow_rates, fo + b.n_flows)
+            a.proj = _grow(a.proj, fo + b.n_flows)
+            a.flow_fid[fo:fo + b.n_flows] = b.flow_fid[:b.n_flows]
+            a.flow_row[fo:fo + b.n_flows] = b.flow_row[:b.n_flows] + off
+            a.flow_rates[fo:fo + b.n_flows] = b.flow_rates[:b.n_flows]
+            a.proj[fo:fo + b.n_flows] = b.proj[:b.n_flows]
+            a.n_flows = fo + b.n_flows
+            a.live_flows += b.live_flows
+            b.alive = False
+            parent[b.cid] = a.cid
+            a.dirty = True
+            return a
+
+        def activate_pair(pid: int, t: float) -> tuple[_Component, int]:
+            """Bring pair ``pid`` online; returns (component, row).
+
+            Components sharing a link with the pair merge (union-find);
+            link ownership is resolved through ``find``, so merged-away
+            components never need their links rewritten.
+            """
+            links = pair_routes[pid]
+            roots: list[int] = []
+            for li in links:
+                owner = link_owner[li]
+                if owner != -1:
+                    r = find(int(owner))
+                    if r not in roots:
+                        roots.append(r)
+            if not roots:
+                comp = new_component()
+                comp.t_mat = t
+            else:
+                comp = comps[roots[0]]
+                materialize(comp, t)
+                for r in roots[1:]:
+                    other = comps[r]
+                    if other.live_rows >= comp.live_rows:
+                        comp, other = other, comp
+                    comp = merge(comp, other, t)
+            row = comp.add_pair(pid, links, pair_cap[pid])
+            comp_of_pair[pid] = comp.cid
+            for li in links:
+                link_owner[li] = comp.cid
+                link_pairs[li] += 1
+            comp.dirty = True
+            return comp, row
+
+        def deactivate_pair(pid: int, comp: _Component) -> None:
+            comp.pair_rows.pop(pid, None)
+            comp_of_pair[pid] = -1
+            comp.live_rows -= 1
+            for li in pair_routes[pid]:
+                link_pairs[li] -= 1
+                if link_pairs[li] == 0:
+                    link_owner[li] = -1
+
+        def comp_waterfill(comp: _Component) -> np.ndarray:
+            nonlocal solves_component
+            solves_component += 1
+            n = comp.n_rows
+            if comp.uniform and comp.route_len:
+                return waterfill_bundled(
+                    comp.flat[:comp.flat_len], None, comp.mult[:n],
+                    capacities, comp.row_caps[:n],
+                    route_len=comp.route_len)
+            ptr = np.zeros(n + 1, dtype=np.intp)
+            np.cumsum(comp.row_lens[:n], out=ptr[1:])
+            return waterfill_bundled(
+                comp.flat[:comp.flat_len], ptr, comp.mult[:n],
+                capacities, comp.row_caps[:n])
+
+        def solve(comp: _Component, t: float) -> None:
+            """Re-solve the component's rates and projections at ``t``."""
+            comp.rates = comp_waterfill(comp)
+            nf = comp.n_flows
+            rf = comp.rates[comp.flow_row[:nf]]
+            comp.flow_rates[:nf] = rf
+            comp.proj[:nf] = t + remaining[comp.flow_fid[:nf]] / rf
+            comp.stamp += 1
+            comp.next_t = float(comp.proj[:nf].min()) if nf else math.inf
+            comp.dirty = False
+            push_comp(comp)
+
+        # ---------------- event loop ---------------- #
+        now = 0.0
+        events = 0
+        solves_full = 0
+        solves_component = 0
+        tb.start_ready(now)  # prime
+
+        total = tb.total
+        finish_heap = tb.finish_heap
+        release_heap = tb.release_heap
+        touched: list[_Component] = []
+        old_err = np.seterr(divide="ignore", invalid="ignore")
+        try:
+            while len(tb.done) < total:
+                t_next = math.inf
+                # skip stale component-heap entries while peeking
+                while comp_heap:
+                    tt, cid, stamp = comp_heap[0]
+                    comp = comps[cid]
+                    if not comp.alive or comp.stamp != stamp:
+                        heapq.heappop(comp_heap)
+                        continue
+                    t_next = tt
+                    break
+                if local_heap and local_heap[0][0] < t_next:
+                    t_next = local_heap[0][0]
+                if finish_heap and finish_heap[0][0] < t_next:
+                    t_next = finish_heap[0][0]
+                if release_heap and release_heap[0][0] < t_next:
+                    t_next = release_heap[0][0]
+                if not math.isfinite(t_next):  # pragma: no cover - deadlock
+                    raise RuntimeError(
+                        f"simulation stalled at t={now:g}: "
+                        f"{total - len(tb.done)} tasks never became runnable")
+                now = t_next
+                events += 1
+                set_changed = False
+                touched.clear()
+
+                # 1) flow completions: pop every component whose earliest
+                # projection fired, materialise it, sweep its flows
+                while comp_heap and comp_heap[0][0] <= now:
+                    _, cid, stamp = heapq.heappop(comp_heap)
+                    comp = comps[cid]
+                    if not comp.alive or comp.stamp != stamp:
+                        continue
+                    materialize(comp, now)
+                    nf = comp.n_flows
+                    fids = comp.flow_fid[:nf]
+                    done_sel = remaining[fids] <= done_threshold[fids]
+                    if not done_sel.any():
+                        # spurious wake-up (rates dropped since the push):
+                        # reproject from materialised remaining
+                        comp.stamp += 1
+                        comp.proj[:nf] = now + (remaining[fids]
+                                                / comp.flow_rates[:nf])
+                        comp.next_t = (float(comp.proj[:nf].min())
+                                       if nf else math.inf)
+                        push_comp(comp)
+                        continue
+                    finished = fids[done_sel]
+                    set_changed = True
+                    comp.dirty = True
+                    comp.live_flows -= len(finished)
+                    rows = comp.flow_row[:nf][done_sel]
+                    np.subtract.at(comp.mult, rows, 1)
+                    remaining[finished] = np.inf      # dead-slot marker
+                    comp.flow_rates[:nf][done_sel] = 0.0
+                    comp.proj[:nf][done_sel] = np.inf
+                    for r in np.unique(rows):
+                        if comp.mult[r] == 0:
+                            deactivate_pair(int(comp.row_pair[r]), comp)
+                    for fid in finished:
+                        tb.complete_flow(int(fid), now)
+                    if comp.live_rows == 0:
+                        # fully drained: every link was already freed by
+                        # deactivate_pair, the component just retires
+                        comp.alive = False
+                    else:
+                        if comp.live_flows * 2 < comp.n_flows:
+                            comp.compact_flows(remaining)
+                        if (comp.live_rows * 2 < comp.n_rows
+                                and comp.n_rows > 8):
+                            comp.compact_rows()
+                        touched.append(comp)
+
+                # local (route-less) flows: instantaneous once released
+                local_done: list[int] = []
+                while local_heap and local_heap[0][0] <= now:
+                    _, fid = heapq.heappop(local_heap)
+                    local_done.append(fid)
+                if local_done:
+                    set_changed = True
+                    for fid in local_done:
+                        remaining[fid] = np.inf
+                        tb.complete_flow(fid, now)
+
+                # 2) task completions
+                while finish_heap and finish_heap[0][0] <= now + _TIME_EPS:
+                    _, name = heapq.heappop(finish_heap)
+                    tb.finish_task(name, now)
+
+                # 3) flow releases
+                while release_heap and release_heap[0][0] <= now + _TIME_EPS:
+                    _, fid = heapq.heappop(release_heap)
+                    set_changed = True
+                    pid = int(pair_of[fid])
+                    if not pair_routes[pid]:
+                        # local pair: completes at the next event
+                        heapq.heappush(local_heap, (now, fid))
+                        continue
+                    cid = comp_of_pair[pid]
+                    if cid == -1:
+                        comp, row = activate_pair(pid, now)
+                    else:
+                        comp = comps[find(int(cid))]
+                        materialize(comp, now)
+                        comp.dirty = True
+                        row = comp.pair_rows[pid]
+                    comp.mult[row] += 1
+                    comp.add_flow(fid, row)
+                    if comp not in touched:
+                        touched.append(comp)
+
+                # 4) newly startable tasks
+                tb.start_ready(now)
+
+                # 5) re-solve: only dirty components (lazy) — or, on the
+                # full-solve oracle, every live component; clean ones see
+                # identical inputs and recompute identical rates, so the
+                # two modes stay byte-identical while lazy=False really
+                # performs the eager work
+                if set_changed:
+                    solves_full += 1
+                    if lazy:
+                        for comp in touched:
+                            if comp.alive and comp.dirty:
+                                solve(comp, now)
+                    else:
+                        for comp in comps:
+                            if not comp.alive or not comp.live_rows:
+                                continue
+                            if comp.dirty:
+                                solve(comp, now)
+                            else:
+                                # full re-solve of an untouched component:
+                                # same bundles, same multiplicities —
+                                # rates replaced by bitwise-equal values,
+                                # cached projections untouched (their
+                                # recomputation would reproduce them)
+                                comp.rates = comp_waterfill(comp)
+
+        finally:
+            np.seterr(**old_err)
+
+        return SimulationResult(
+            makespan=tb.makespan(),
+            task_traces=tb.traces,
+            flow_traces=tb.flow_traces,
+            events=events,
+            maxmin_solves=solves_component,
+            solves_full=solves_full,
+            solves_component=solves_component,
+        )
+
+    # ================================================================== #
+    # reference per-flow engine (use_bundling=False)
+    # ================================================================== #
+    def _run_reference(self) -> SimulationResult:
+        graph, cluster = self.graph, self.cluster
         topo = cluster.topology
         capacities = topo.capacity_array
 
-        exec_time = {n: schedule[n].duration for n in graph.task_names()}
-        procs_of = {n: schedule[n].procs for n in graph.task_names()}
-
-        proc_queue: dict[int, list[str]] = {
-            p: [e.task for e in entries]
-            for p, entries in schedule.proc_timeline().items()
-        }
-        queue_pos: dict[int, int] = {p: 0 for p in proc_queue}
-
-        preds_left = {n: len(graph.predecessors(n)) for n in graph.task_names()}
-
         fl = self._build_flows()
+        tb = _TaskBookkeeping(self, fl)
         n_flows = len(fl["size"])
-        edges = fl["edges"]
-        # flows (hence bytes) still missing per consumer task
-        flows_left: dict[str, int] = {n: 0 for n in graph.task_names()}
-        for eid in fl["edge_of"]:
-            flows_left[edges[eid][1]] += 1
 
-        # flow state: 0 = waiting for producer, 1 = pending latency,
-        # 2 = active, 3 = done
-        status = np.zeros(n_flows, dtype=np.int8)
         remaining = fl["size"].copy()
         rates = np.zeros(n_flows)
-        release_time = np.full(n_flows, np.inf)
         done_threshold = np.maximum(fl["size"] * _REL_BYTES_EPS, 1e-12)
-
-        # per-edge flow ids (for release on producer completion)
-        edge_flows: dict[int, list[int]] = {}
-        for fid, eid in enumerate(fl["edge_of"]):
-            edge_flows.setdefault(int(eid), []).append(fid)
-        out_edge_ids: dict[str, list[int]] = {n: [] for n in graph.task_names()}
-        for eid, (u, _v) in enumerate(edges):
-            out_edge_ids[u].append(eid)
 
         pair_of = fl["pair_of"]
         pair_ptr = fl["pair_ptr"]
         pair_links_flat = fl["pair_links_flat"]
-        pair_cap = fl["pair_cap"]
-        n_pairs = len(pair_cap)
 
-        # homogeneous route lengths (every non-hierarchical cluster, and
-        # intra-cabinet-only traffic) allow a reshape-based incidence
-        # gather instead of the generic CSR one
-        pair_lens = np.diff(pair_ptr)
-        uniform_len = 0
-        if n_pairs and int(pair_lens.min()) == int(pair_lens.max()) > 0:
-            uniform_len = int(pair_lens[0])
-            links_2d = pair_links_flat.reshape(n_pairs, uniform_len)
-            ptr_tpl = np.arange(n_pairs + 1, dtype=np.intp) * uniform_len
-            entry_tpl = np.repeat(np.arange(n_pairs, dtype=np.intp),
-                                  uniform_len)
-        arange_tpl = np.arange(n_pairs, dtype=np.intp)
-
-        if not self.use_bundling:
-            # reference path: expand the per-flow (link, flow) incidence
-            links_flat, _ = _csr_gather(pair_links_flat, pair_ptr, pair_of)
-            links_flow = np.repeat(
-                np.arange(n_flows, dtype=np.intp),
-                pair_ptr[pair_of + 1] - pair_ptr[pair_of])
+        # reference path: expand the per-flow (link, flow) incidence
+        links_flat, _ = _csr_gather(pair_links_flat, pair_ptr, pair_of)
+        links_flow = np.repeat(
+            np.arange(n_flows, dtype=np.intp),
+            pair_ptr[pair_of + 1] - pair_ptr[pair_of])
 
         now = 0.0
-        started: set[str] = set()
-        done: set[str] = set()
-        task_start: dict[str, float] = {}
-        finish_heap: list[tuple[float, str]] = []
-        release_heap: list[tuple[float, int]] = []  # (time, flow id)
-        traces: dict[str, TaskTrace] = {}
-        flow_traces: list[FlowTrace] = []
         events = 0
         solves = 0
 
         active_idx = np.empty(0, dtype=np.intp)  # ids of active flows
         next_completion = math.inf
-
-        # bundled-solver state: per-pair active flow counts are maintained
-        # incrementally on release/completion; the compact pair incidence
-        # is regathered only when the *set* of active pairs changes
-        active_count = np.zeros(n_pairs, dtype=np.intp)
-        pair_set_dirty = True
-        active_pairs = np.empty(0, dtype=np.intp)
-        compact_flat = np.empty(0, dtype=np.intp)
-        compact_ptr = np.zeros(1, dtype=np.intp)
-        compact_entry = np.empty(0, dtype=np.intp)
-        active_caps = np.empty(0, dtype=float)
-        pair_pos = np.zeros(n_pairs, dtype=np.intp)  # pair id -> compact row
-
-        # candidates whose readiness must be rechecked after an event
-        check_ready: set[str] = set(graph.task_names())
-
-        def at_front(name: str) -> bool:
-            return all(
-                queue_pos[p] < len(proc_queue[p])
-                and proc_queue[p][queue_pos[p]] == name
-                for p in procs_of[name]
-            )
-
-        def can_start(name: str) -> bool:
-            return (name not in started
-                    and preds_left[name] == 0
-                    and flows_left[name] == 0
-                    and at_front(name))
-
-        def start_task(name: str) -> None:
-            started.add(name)
-            task_start[name] = now
-            heapq.heappush(finish_heap, (now + exec_time[name], name))
-
-        def finish_task(name: str) -> None:
-            done.add(name)
-            traces[name] = TaskTrace(task=name, procs=procs_of[name],
-                                     start=task_start[name], finish=now)
-            for p in procs_of[name]:
-                queue_pos[p] += 1
-                pos = queue_pos[p]
-                if pos < len(proc_queue[p]):
-                    check_ready.add(proc_queue[p][pos])
-            for succ in graph.successors(name):
-                preds_left[succ] -= 1
-                check_ready.add(succ)
-            for eid in out_edge_ids[name]:
-                for fid in edge_flows.get(eid, ()):  # release after latency
-                    t_rel = now + fl["lat"][fid]
-                    release_time[fid] = t_rel
-                    status[fid] = 1
-                    heapq.heappush(release_heap, (t_rel, fid))
+        finish_heap = tb.finish_heap
+        release_heap = tb.release_heap
 
         def recompute_rates() -> None:
-            nonlocal solves, next_completion, pair_set_dirty
-            nonlocal active_pairs, compact_flat, compact_ptr, compact_entry
-            nonlocal active_caps
+            nonlocal solves, next_completion
             solves += 1
             if len(active_idx) == 0:
                 next_completion = math.inf
                 return
-            if self.use_bundling:
-                if pair_set_dirty:
-                    active_pairs = np.nonzero(active_count)[0]
-                    n_act = len(active_pairs)
-                    if uniform_len:
-                        compact_flat = links_2d[active_pairs].ravel()
-                        compact_ptr = ptr_tpl[:n_act + 1]
-                        compact_entry = entry_tpl[:n_act * uniform_len]
-                    else:
-                        entries, lens = _csr_gather(pair_links_flat,
-                                                    pair_ptr, active_pairs)
-                        compact_flat = entries
-                        compact_ptr = np.zeros(n_act + 1, dtype=np.intp)
-                        np.cumsum(lens, out=compact_ptr[1:])
-                        compact_entry = np.repeat(arange_tpl[:n_act], lens)
-                    pair_pos[active_pairs] = arange_tpl[:n_act]
-                    active_caps = pair_cap[active_pairs]
-                    pair_set_dirty = False
-                bundle_rates = waterfill_bundled(
-                    compact_flat, compact_ptr, active_count[active_pairs],
-                    capacities, active_caps, entry_bundle=compact_entry)
-                rates[active_idx] = bundle_rates[pair_pos[pair_of[active_idx]]]
-            else:
-                # reference path: compact incidence restricted to the
-                # active flows (active_idx kept sorted on this path)
-                active_mask = np.zeros(n_flows, dtype=bool)
-                active_mask[active_idx] = True
-                sel = active_mask[links_flow]
-                compact_flow = np.searchsorted(active_idx, links_flow[sel])
-                r = _waterfill(links_flat[sel], compact_flow, len(active_idx),
-                               capacities, fl["cap"][active_idx])
-                rates[active_idx] = r
+            # compact incidence restricted to the active flows
+            # (active_idx kept sorted on this path)
+            active_mask = np.zeros(n_flows, dtype=bool)
+            active_mask[active_idx] = True
+            sel = active_mask[links_flow]
+            compact_flow = np.searchsorted(active_idx, links_flow[sel])
+            r = _waterfill(links_flat[sel], compact_flow, len(active_idx),
+                           capacities, fl["cap"][active_idx])
+            rates[active_idx] = r
             etas = remaining[active_idx] / rates[active_idx]
             next_completion = now + float(etas.min())
 
-        # prime
-        for name in list(check_ready):
-            if can_start(name):
-                start_task(name)
-        check_ready.clear()
+        tb.start_ready(now)  # prime
 
-        total = graph.num_tasks
+        total = tb.total
         # a single errstate for the whole loop: etas legitimately divide
         # by zero/inf rates (instantaneous and stalled flows)
         old_err = np.seterr(divide="ignore", invalid="ignore")
         try:
-            while len(done) < total:
+            while len(tb.done) < total:
                 t_candidates = [next_completion]
                 if finish_heap:
                     t_candidates.append(finish_heap[0][0])
@@ -453,7 +952,7 @@ class FluidSimulator:
                 if not math.isfinite(t_next):  # pragma: no cover - deadlock guard
                     raise RuntimeError(
                         f"simulation stalled at t={now:g}: "
-                        f"{total - len(done)} tasks never became runnable")
+                        f"{total - len(tb.done)} tasks never became runnable")
                 dt = max(0.0, t_next - now)
 
                 if dt > 0 and len(active_idx):
@@ -468,54 +967,28 @@ class FluidSimulator:
                     if done_sel.any():
                         finished = active_idx[done_sel]
                         active_idx = active_idx[~done_sel]
-                        status[finished] = 3
                         remaining[finished] = 0.0
                         set_changed = True
-                        fin_pairs = pair_of[finished]
-                        np.subtract.at(active_count, fin_pairs, 1)
-                        if (active_count[fin_pairs] == 0).any():
-                            pair_set_dirty = True
                         for fid in finished:
-                            consumer = edges[int(fl["edge_of"][fid])][1]
-                            flows_left[consumer] -= 1
-                            check_ready.add(consumer)
-                            if self.collect_flow_traces:
-                                flow_traces.append(FlowTrace(
-                                    edge=edges[int(fl["edge_of"][fid])],
-                                    src=int(fl["src"][fid]),
-                                    dst=int(fl["dst"][fid]),
-                                    data_bytes=float(fl["size"][fid]),
-                                    release=float(release_time[fid]),
-                                    finish=now))
+                            tb.complete_flow(int(fid), now)
 
                 # 2) task completions
                 while finish_heap and finish_heap[0][0] <= now + _TIME_EPS:
                     _, name = heapq.heappop(finish_heap)
-                    finish_task(name)
+                    tb.finish_task(name, now)
 
                 # 3) flow releases
                 newly_active: list[int] = []
                 while release_heap and release_heap[0][0] <= now + _TIME_EPS:
                     _, fid = heapq.heappop(release_heap)
-                    status[fid] = 2
                     newly_active.append(fid)
                 if newly_active:
                     new = np.array(newly_active, dtype=np.intp)
-                    rel_pairs = pair_of[new]
-                    if (active_count[rel_pairs] == 0).any():
-                        pair_set_dirty = True
-                    np.add.at(active_count, rel_pairs, 1)
-                    if self.use_bundling:
-                        active_idx = np.concatenate([active_idx, new])
-                    else:  # reference path needs active_idx sorted
-                        active_idx = np.sort(np.concatenate([active_idx, new]))
+                    active_idx = np.sort(np.concatenate([active_idx, new]))
                     set_changed = True
 
                 # 4) newly startable tasks
-                for name in check_ready:
-                    if name not in started and can_start(name):
-                        start_task(name)
-                check_ready.clear()
+                tb.start_ready(now)
 
                 if set_changed:
                     recompute_rates()
@@ -528,14 +1001,14 @@ class FluidSimulator:
         finally:
             np.seterr(**old_err)
 
-        makespan = max(tr.finish for tr in traces.values()) - min(
-            tr.start for tr in traces.values())
         return SimulationResult(
-            makespan=makespan,
-            task_traces=traces,
-            flow_traces=flow_traces,
+            makespan=tb.makespan(),
+            task_traces=tb.traces,
+            flow_traces=tb.flow_traces,
             events=events,
             maxmin_solves=solves,
+            solves_full=solves,
+            solves_component=0,
         )
 
 

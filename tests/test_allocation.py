@@ -145,3 +145,31 @@ class TestMCPAAllocation:
     def test_invalid_total_procs(self, model):
         with pytest.raises(ValueError):
             mcpa_allocation(make_diamond(), model, 0)
+
+
+class TestDynamicEdgeTime:
+    def test_edge_time_reevaluated_every_iteration(self, model):
+        """A user edge_time callable may read evolving state: the flattened
+        loop must re-evaluate it per grant, like the pre-flattening code."""
+        g = make_diamond()
+        n_edges = len(list(g.edges()))
+        calls = []
+
+        def edge_time(u, v):
+            calls.append((u, v))
+            return 0.001
+
+        res = hcpa_allocation(g, model, 8, edge_time=edge_time)
+        assert res.iterations > 0
+        # initial fill + once per completed loop iteration (bl/tl share
+        # one evaluation per edge)
+        assert len(calls) >= n_edges * (res.iterations + 1)
+
+    def test_static_edge_time_matches_none_shape(self, model):
+        """edge_time=lambda: 0 must reproduce edge_time=None exactly."""
+        g = make_diamond()
+        a = hcpa_allocation(g, model, 8)
+        b = hcpa_allocation(g, model, 8, edge_time=lambda u, v: 0.0)
+        assert a.allocation == b.allocation
+        assert a.iterations == b.iterations
+        assert a.cp_length == b.cp_length

@@ -36,6 +36,18 @@ class TestBenchHarness:
         assert len(regs) == 1 and regs[0].startswith("b:")
         assert compare_benchmarks(cur, base, threshold=0.5) == []
 
+    def test_compare_per_benchmark_thresholds(self):
+        base = {"benchmarks": {"a": {"min_s": 1.0}, "b": {"min_s": 1.0}}}
+        cur = {"benchmarks": {"a": {"min_s": 1.2}, "b": {"min_s": 1.2}}}
+        # a gates tightly (10%), b keeps the loose global threshold
+        regs = compare_benchmarks(cur, base, threshold=0.5,
+                                  per_benchmark={"a": 0.1})
+        assert len(regs) == 1 and regs[0].startswith("a:")
+        assert "threshold 10%" in regs[0]
+        # per-benchmark values can also relax below the global gate
+        assert compare_benchmarks(cur, base, threshold=0.1,
+                                  per_benchmark={"a": 0.5, "b": 0.5}) == []
+
     def test_cli_writes_json_and_compares(self, tmp_path, capsys):
         out = tmp_path / "BENCH_substrate.json"
         rc = main(["bench", "--quick", "--rounds", "1",
@@ -166,6 +178,68 @@ class TestBenchTrajectory:
             main(["bench", "--quick", "--rounds", "1",
                   "--only", "maxmin_bundled_random", "--quiet",
                   "--out", str(out), "--append"])
+
+    def test_append_preserves_thresholds(self, tmp_path):
+        """The per-benchmark gates ride along through --append."""
+        path = tmp_path / "traj.json"
+        append_results({"schema": 1, "benchmarks": {"a": {"min_s": 1.0}}},
+                       path)
+        data = json.loads(path.read_text())
+        data["thresholds"] = {"a": 0.1}
+        path.write_text(json.dumps(data))
+        append_results({"schema": 1, "benchmarks": {"a": {"min_s": 0.9}}},
+                       path)
+        data = json.loads(path.read_text())
+        assert data["thresholds"] == {"a": 0.1}
+        assert len(data["entries"]) == 2
+
+    def test_cli_compare_uses_baseline_thresholds(self, tmp_path, capsys):
+        out = tmp_path / "base.json"
+        assert main(["bench", "--quick", "--rounds", "1",
+                     "--only", "maxmin_bundled_random", "--quiet",
+                     "--out", str(out)]) == 0
+        data = json.loads(out.read_text())
+        # an impossible per-benchmark gate must fail the compare even
+        # though the global --threshold is huge
+        data["thresholds"] = {"maxmin_bundled_random": -0.999999}
+        out.write_text(json.dumps(data))
+        capsys.readouterr()
+        rc = main(["bench", "--quick", "--rounds", "1",
+                   "--only", "maxmin_bundled_random", "--quiet",
+                   "--out", str(tmp_path / "now.json"),
+                   "--compare", str(out), "--threshold", "100.0"])
+        assert rc == 1
+        assert "PERF REGRESSION" in capsys.readouterr().out
+
+    def test_cli_warns_on_stale_threshold_names(self, tmp_path, capsys):
+        out = tmp_path / "base.json"
+        assert main(["bench", "--quick", "--rounds", "1",
+                     "--only", "maxmin_bundled_random", "--quiet",
+                     "--out", str(out)]) == 0
+        data = json.loads(out.read_text())
+        data["thresholds"] = {"simulator_densedag": 0.3}  # typo'd name
+        out.write_text(json.dumps(data))
+        capsys.readouterr()
+        rc = main(["bench", "--quick", "--rounds", "1",
+                   "--only", "maxmin_bundled_random", "--quiet",
+                   "--out", str(tmp_path / "now.json"),
+                   "--compare", str(out)])
+        assert rc == 0
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_cli_rejects_malformed_thresholds(self, tmp_path):
+        out = tmp_path / "base.json"
+        assert main(["bench", "--quick", "--rounds", "1",
+                     "--only", "maxmin_bundled_random", "--quiet",
+                     "--out", str(out)]) == 0
+        data = json.loads(out.read_text())
+        data["thresholds"] = {"maxmin_bundled_random": "tight"}
+        out.write_text(json.dumps(data))
+        with pytest.raises(SystemExit, match="thresholds"):
+            main(["bench", "--quick", "--rounds", "1",
+                  "--only", "maxmin_bundled_random", "--quiet",
+                  "--out", str(tmp_path / "now.json"),
+                  "--compare", str(out)])
 
     def test_append_refuses_unrecognized_json_shapes(self, tmp_path):
         """Valid JSON that is neither a bench result nor a trajectory

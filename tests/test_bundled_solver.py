@@ -155,7 +155,10 @@ class TestGoldenSimulation:
         ref = FluidSimulator(schedule, use_bundling=False).run()
         fast = FluidSimulator(schedule, use_bundling=True).run()
         assert fast.events == ref.events
-        assert fast.maxmin_solves == ref.maxmin_solves
+        # the component engine performs component-scoped solves, but the
+        # set-change events (what an eager engine solves at) must agree
+        assert fast.solves_full == ref.solves_full == ref.maxmin_solves
+        assert fast.solves_component > 0
         assert fast.makespan == pytest.approx(ref.makespan, rel=1e-9)
         assert set(fast.task_traces) == set(ref.task_traces)
         for name, tr in ref.task_traces.items():

@@ -229,3 +229,24 @@ class TestBottleneckEstimate:
         flows = [FlowSpec(0, 4, bw), FlowSpec(1, 5, bw)]
         t = bottleneck_time_estimate(flows, hier_cluster)
         assert t == pytest.approx(2.0 + 2 * hier_cluster.latency_s, rel=1e-6)
+
+
+class TestCostValidation:
+    def test_cost_estimator_rejects_malformed_inputs(self):
+        """The pricing fast path keeps redistribution_flows' validation.
+
+        A negative byte count would otherwise spin the memoised
+        two-pointer sweep forever, and an empty processor set divide by
+        zero — both must surface as clean ValueErrors.
+        """
+        import pytest
+
+        from repro.platforms.grid5000 import CHTI
+        from repro.redistribution.cost import RedistributionCost
+
+        rc = RedistributionCost(CHTI)
+        for fn in (rc.time, rc.remote_bytes):
+            with pytest.raises(ValueError, match="m must be >= 0"):
+                fn((0,), (1,), -5.0)
+            with pytest.raises(ValueError, match="p and q"):
+                fn((), (0, 1), 100.0)

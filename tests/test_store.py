@@ -244,6 +244,89 @@ class TestSqliteStore:
             SqliteStore(path)
 
 
+class TestSqliteWriteBatching:
+    def _result(self):
+        return ExperimentRunner(record_timings=False).run(
+            SCENARIO, TINY, HCPA)
+
+    def test_batched_puts_commit_on_flush(self, tmp_path):
+        path = tmp_path / "b.sqlite"
+        result = self._result()
+        with SqliteStore(path, batch_size=8) as store:
+            for i in range(5):
+                store.put(f"k{i}", result)
+            # reads see the buffered rows …
+            assert len(store) == 5
+            assert "k3" in store and store.get("k3") == result
+            assert {k for k, _ in store.items()} == {f"k{i}"
+                                                     for i in range(5)}
+            # … but nothing is committed yet: a crash here loses the batch
+            with SqliteStore(path) as other:
+                assert len(other) == 0
+            store.flush()
+            with SqliteStore(path) as other:
+                assert len(other) == 5
+        assert store.stats.puts == 5
+
+    def test_batch_size_triggers_flush(self, tmp_path):
+        path = tmp_path / "b.sqlite"
+        result = self._result()
+        with SqliteStore(path, batch_size=3) as store:
+            store.put("k0", result)
+            store.put("k1", result)
+            with SqliteStore(path) as other:
+                assert len(other) == 0
+            store.put("k2", result)  # third put fills the batch
+            with SqliteStore(path) as other:
+                assert len(other) == 3
+
+    def test_close_flushes_pending(self, tmp_path):
+        path = tmp_path / "b.sqlite"
+        result = self._result()
+        with SqliteStore(path, batch_size=100) as store:
+            store.put("k0", result)
+        with SqliteStore(path) as other:
+            assert other.get("k0") == result
+
+    def test_pending_puts_are_idempotent(self, tmp_path):
+        result = self._result()
+        with SqliteStore(tmp_path / "b.sqlite", batch_size=10) as store:
+            store.put("k", result)
+            store.put("k", result)
+            assert store.stats.puts == 1 and len(store) == 1
+
+    def test_default_batch_size_commits_per_put(self, tmp_path):
+        path = tmp_path / "b.sqlite"
+        result = self._result()
+        with SqliteStore(path) as store:
+            store.put("k0", result)
+            with SqliteStore(path) as other:   # durable immediately
+                assert len(other) == 1
+
+    def test_open_store_batch_size(self, tmp_path):
+        with open_store(tmp_path / "b.sqlite", batch_size=4) as store:
+            assert store.batch_size == 4
+        # non-sqlite backends simply ignore it (they flush per put)
+        with open_store(tmp_path / "b.jsonl", batch_size=4) as store:
+            store.flush()  # present and a no-op
+
+    def test_runner_flushes_per_chunk(self, tmp_path):
+        scenarios, clusters, specs = small_matrix()
+        path = tmp_path / "campaign.sqlite"
+        with SqliteStore(path, batch_size=10**6) as store:
+            with ExperimentRunner(store=store,
+                                  record_timings=False) as runner:
+                first = runner.run_matrix(scenarios, clusters, specs)
+            # every chunk was flushed by the runner despite the huge
+            # batch: the rows are durable before close()
+            with SqliteStore(path) as other:
+                assert len(other) == len(first) == 8
+
+    def test_batch_size_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="batch_size"):
+            SqliteStore(tmp_path / "b.sqlite", batch_size=0)
+
+
 class TestMergeStores:
     def _populated(self, path, scenarios) -> list:
         with open_store(path) as store:
