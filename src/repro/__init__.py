@@ -15,7 +15,11 @@ Two-Step Scheduling for Mixed-Parallel Applications"* (IEEE Cluster 2008):
 * the SimGrid-like fluid simulator used for evaluation —
   :mod:`repro.simulation`;
 * the experiment harness regenerating every table and figure —
-  :mod:`repro.experiments`.
+  :mod:`repro.experiments`;
+* the open-system online mode (job streams, admission control, residual
+  scheduling, live injection, per-job JCT/slowdown/SLO metrics) —
+  :mod:`repro.online`, fronted by ``repro serve`` and
+  ``repro replay-stream``.
 
 Quickstart
 ----------
@@ -137,8 +141,20 @@ from repro.experiments import (
     rats_spec,
     run_key,
 )
+from repro.online import (
+    BurstStream,
+    JobArrival,
+    JobRecord,
+    JobStream,
+    OnlineMetrics,
+    OnlineResult,
+    OnlineSimulator,
+    PoissonStream,
+    ReplayStream,
+    stream_from_spec,
+)
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",
@@ -211,6 +227,17 @@ __all__ = [
     # simulation
     "FluidSimulator",
     "simulate",
+    # online mode
+    "JobArrival",
+    "JobStream",
+    "PoissonStream",
+    "BurstStream",
+    "ReplayStream",
+    "stream_from_spec",
+    "OnlineSimulator",
+    "OnlineResult",
+    "JobRecord",
+    "OnlineMetrics",
     # utils & viz
     "scenario_seed",
     "spawn_rng",

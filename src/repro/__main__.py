@@ -27,6 +27,15 @@ Subcommands
     Run the substrate performance benchmarks, write
     ``BENCH_substrate.json`` and optionally ``--compare`` against a
     baseline (non-zero exit on regression).
+``serve``
+    Run the online simulator behind a local TCP socket (newline-delimited
+    JSON): submissions are admitted, scheduled against the residual
+    platform and injected into the live fluid simulation; completion
+    records stream back per job.
+``replay-stream``
+    Drive a deterministic job stream (Poisson / burst / replay spec file)
+    through the online simulator and print the JCT / slowdown / SLO
+    roll-up; ``--store`` persists one record per job.
 ``autotune``
     Auto-tune RATS parameters for a random application on a cluster.
 
@@ -262,6 +271,67 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_online_simulator(args: argparse.Namespace):
+    from repro.online.engine import OnlineSimulator
+    from repro.registry import platforms
+
+    platform = platforms.build(args.platform)
+    try:
+        return OnlineSimulator(platform, admission=args.admission,
+                               slo=args.slo)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.online.service import serve
+
+    sim = _build_online_simulator(args)
+
+    def ready(bound: tuple) -> None:
+        host, port = bound
+        # single parseable line: the CI smoke job reads the port from it
+        print(f"repro serve listening on {host}:{port}", flush=True)
+
+    asyncio.run(serve(sim, host=args.host, port=args.port, wall=args.wall,
+                      time_scale=args.time_scale, ready=ready))
+    return 0
+
+
+def _cmd_replay_stream(args: argparse.Namespace) -> int:
+    from repro.experiments.campaign import open_cli_store
+    from repro.experiments.store import job_key
+    from repro.online.stream import stream_from_spec
+
+    spec = _load_run_spec(args.spec)
+    try:
+        stream = stream_from_spec(spec)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SystemExit(f"invalid stream spec: {exc}") from None
+    sim = _build_online_simulator(args)
+    result = sim.run(stream)
+    print(result.metrics.summary())
+    if not args.quiet:
+        print(f"makespan {result.makespan:.2f}s, {result.events} events, "
+              f"{result.solves_component} component re-solves "
+              f"(+{result.solves_full} full)")
+
+    store = open_cli_store(args.store, args.resume)
+    if store is not None:
+        try:
+            for record in result.records:
+                store.put(job_key(spec, record.job_id, sim.platform),
+                          record)
+            store.flush()
+            print(f"store {args.store}: {store.stats.puts} job records "
+                  "written", file=sys.stderr, flush=True)
+        finally:
+            store.close()
+    return 0
+
+
 def _add_profile_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--profile", nargs="?", const=25, type=int,
                         default=None, metavar="N",
@@ -339,6 +409,48 @@ def main(argv: list[str] | None = None) -> int:
     from repro.experiments.bench import add_bench_arguments
     add_bench_arguments(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
+
+    def _add_online_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--platform", default="grillon",
+                       help="registered platform name (see `repro list`)")
+        p.add_argument("--admission", default="accept-all",
+                       metavar="POLICY",
+                       help="admission policy: accept-all, queue-cap:N "
+                            "or load-shed:SECONDS")
+        p.add_argument("--slo", type=float, default=None, metavar="SECONDS",
+                       help="JCT threshold for the SLO-attainment roll-up")
+
+    p_serve = sub.add_parser(
+        "serve", help="serve the online simulator over a local socket")
+    _add_online_options(p_serve)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="TCP port (0 = ephemeral, printed on start)")
+    p_serve.add_argument("--wall", action="store_true",
+                         help="stamp arrivals from the wall clock instead "
+                              "of deterministic virtual time")
+    p_serve.add_argument("--time-scale", type=float, default=1.0,
+                         metavar="X",
+                         help="simulated seconds per wall second "
+                              "(with --wall)")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_replay = sub.add_parser(
+        "replay-stream",
+        help="drive a job-stream spec through the online simulator")
+    p_replay.add_argument("spec", metavar="SPEC",
+                          help="stream spec file (.json or .toml): kind "
+                               "poisson/burst/replay + workloads, "
+                               "algorithms, rate, jobs, seed …")
+    _add_online_options(p_replay)
+    from pathlib import Path as _P
+    p_replay.add_argument("--store", type=_P, default=None, metavar="PATH",
+                          help="persist one record per job (JSON-Lines, "
+                               "or SQLite for .sqlite/.db paths)")
+    p_replay.add_argument("--resume", action="store_true",
+                          help="continue into an existing --store file")
+    p_replay.add_argument("--quiet", action="store_true")
+    p_replay.set_defaults(func=_cmd_replay_stream)
 
     p_tune = sub.add_parser("autotune", help="auto-tune RATS parameters")
     p_tune.add_argument("--cluster", default="grillon")

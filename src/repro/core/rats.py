@@ -45,10 +45,12 @@ class RATSScheduler(ListScheduler):
         params: RATSParams,
         *,
         redist: RedistributionCost | None = None,
+        proc_release=None,
         priority_edge_costs: bool = True,
     ) -> None:
         super().__init__(graph, cluster, model, allocation,
-                         redist=redist, priority_edge_costs=priority_edge_costs)
+                         redist=redist, proc_release=proc_release,
+                         priority_edge_costs=priority_edge_costs)
         self.params = params
         self.strategy = make_strategy(params)
         self.adaptations: list[AdaptationRecord] = []
@@ -163,8 +165,8 @@ def rats_schedule(
 @register_scheduler("rats", description="RATS redistribution-aware "
                     "adaptation (single cluster)")
 def _build_rats_scheduler(graph, platform, model, allocation, *,
-                          params=None, redist=None):
+                          params=None, redist=None, proc_release=None):
     if params is None:
         raise ValueError("the rats scheduler needs RATSParams")
     return RATSScheduler(graph, platform, model, allocation, params,
-                         redist=redist)
+                         redist=redist, proc_release=proc_release)

@@ -227,17 +227,58 @@ def _bench_hcpa(n_tasks: int) -> tuple[Callable, dict]:
     return run, {"n_tasks": n_tasks}
 
 
+def _bench_online_stream(n_jobs: int,
+                         n_clusters: int = 12) -> tuple[Callable, dict]:
+    """Online arrivals on the sparse multi-cluster platform.
+
+    A Poisson stream of small layered DAGs admitted, scheduled against
+    the residual platform and injected into the live fluid engine —
+    traffic, not a batch.  Concurrent jobs land on different clusters, so
+    the active flows stay component-sparse: the regime the lazy Max-Min
+    maintenance and the component-scoped injection re-solves target.
+    """
+    from repro.experiments.runner import AlgorithmSpec
+    from repro.experiments.scenarios import Scenario
+    from repro.online.engine import OnlineSimulator
+    from repro.online.stream import PoissonStream
+    from repro.platforms.cluster import Cluster
+    from repro.platforms.multicluster import MultiClusterPlatform
+
+    clusters = tuple(Cluster(name=f"c{i}", num_procs=16, speed_flops=3.0e9)
+                     for i in range(n_clusters))
+    platform = MultiClusterPlatform(clusters=clusters, name="sparse-grid")
+    scenarios = [Scenario(family="layered", n_tasks=12, width=0.5,
+                          density=0.2, regularity=0.8, sample=s)
+                 for s in range(4)]
+    stream = PoissonStream(rate=2.0, n_jobs=n_jobs, scenarios=scenarios,
+                           spec=AlgorithmSpec(label="hcpa"), seed=0)
+
+    def run():
+        return OnlineSimulator(platform).run(stream)
+
+    res = run()  # warm-up, also yields metadata
+    return run, {"n_jobs": n_jobs, "n_clusters": n_clusters,
+                 "events": res.events,
+                 "solves_full": res.solves_full,
+                 "solves_component": res.solves_component,
+                 "makespan": res.makespan,
+                 "jct_p50": res.metrics.jct["p50"]}
+
+
 def _benchmarks(quick: bool) -> dict[str, Callable[[], tuple[Callable, dict]]]:
     sim_tasks = 40 if quick else 100
     sched_tasks = 40 if quick else 100
     flows = 200 if quick else 1000
     grid = 4 if quick else 12
+    jobs = 40 if quick else 200
     return {
         "simulator_dense_dag": lambda: _bench_simulator(sim_tasks),
         "maxmin_component_reuse": lambda: _bench_component_reuse(grid),
         "maxmin_bundled_random": lambda: _bench_maxmin(flows),
         "rats_timecost_mapping": lambda: _bench_rats_mapping(sched_tasks),
         "hcpa_allocation": lambda: _bench_hcpa(sched_tasks),
+        "online_poisson_stream": lambda: _bench_online_stream(
+            jobs, n_clusters=grid),
     }
 
 

@@ -75,6 +75,12 @@ ParamsResolver = Callable[[str, str], RATSParams]  # (cluster, family) -> params
 #: fallback warns once per combination per process, not once per run
 _TUNED_FALLBACK_WARNED: set[tuple[str, str, str]] = set()
 
+#: Pool workers flip this off (:func:`_init_worker_runner`): the parent
+#: pre-resolves every pending spec's parameters before dispatching, so
+#: the fallback warning fires exactly once per combination — in the
+#: parent — instead of once per worker process.
+_TUNED_WARNINGS_ENABLED = True
+
 
 @dataclass(frozen=True)
 class TunedResolver:
@@ -94,7 +100,8 @@ class TunedResolver:
             return tuned_params(cluster_name, family, self.strategy)
         except KeyError:
             key = (cluster_name, family, self.strategy)
-            if key not in _TUNED_FALLBACK_WARNED:
+            if _TUNED_WARNINGS_ENABLED \
+                    and key not in _TUNED_FALLBACK_WARNED:
                 _TUNED_FALLBACK_WARNED.add(key)
                 warnings.warn(
                     f"no Table IV tuned parameters for cluster "
@@ -550,6 +557,13 @@ class ExperimentRunner:
                     f"falling back to serial run_matrix: {exc}",
                     RuntimeWarning, stacklevel=3)
             else:
+                # resolve every pending spec's parameters here, in the
+                # parent: any tuned-fallback warning fires once, at
+                # dispatch time, instead of once per pool worker (which
+                # warn with _TUNED_WARNINGS_ENABLED off)
+                for scenario, group in pending.items():
+                    for _, cluster, spec in group:
+                        spec.resolve_params(cluster.name, scenario.family)
                 yield from self._iter_parallel(pending, keys, jobs,
                                                snapshot, snapshot_blob,
                                                done, total)
@@ -646,7 +660,10 @@ def _init_worker_runner(simulate_schedules: bool, record_timings: bool,
                         registry_snapshot: list[tuple[str, object]]) -> None:
     from repro.registry import all_registries
 
-    global _WORKER_RUNNER
+    global _WORKER_RUNNER, _TUNED_WARNINGS_ENABLED
+    # the parent already pre-resolved (and warned about) every pending
+    # spec; a worker repeating the warning would print it once per process
+    _TUNED_WARNINGS_ENABLED = False
     registries = all_registries()
     for section, entry in registry_snapshot:
         registries[section].register(

@@ -42,6 +42,17 @@ refusing conflicting ones — across backends.
 All stores count hits/misses/puts in :attr:`ResultStore.stats`, which is
 how the CI smoke test asserts that a second pass over the same store
 performs zero fresh simulations.
+
+Besides :class:`~repro.experiments.runner.RunResult` rows, every backend
+also persists the online mode's per-job
+:class:`~repro.online.metrics.JobRecord` rows (``repro replay-stream``):
+a job record's payload carries a ``"__type__": "job"`` tag and decodes
+back to a :class:`JobRecord`; untagged payloads decode to
+:class:`RunResult` exactly as before, so existing store files read
+unchanged.  :func:`job_key` is the job-row analogue of :func:`run_key` —
+a content hash of the stream spec, the job id and the platform, with no
+wall-clock component, so replaying the same seeded stream twice writes
+byte-identical stores.
 """
 
 from __future__ import annotations
@@ -69,6 +80,7 @@ __all__ = [
     "merge_stores",
     "run_key",
     "content_key",
+    "job_key",
     "open_store",
     "SQLITE_SUFFIXES",
 ]
@@ -153,6 +165,51 @@ def content_key(scenario: "Scenario", cluster, spec: "AlgorithmSpec", *,
     payload = _key_payload(scenario, cluster, spec, simulated)
     del payload["label"]
     return _digest(payload)
+
+
+def job_key(stream_spec: dict, job_id: str, cluster) -> str:
+    """Stable content hash identifying one job of a replayed stream.
+
+    Per-job records written by ``repro replay-stream`` are keyed on the
+    *stream spec* (which, with its seed, deterministically generates
+    every arrival), the job id and the platform.  Nothing wall-clock
+    enters the key or the record, so replaying the same seeded stream
+    twice produces byte-identical store files — the property the CI
+    determinism check compares.
+    """
+    cluster_name = cluster if isinstance(cluster, str) else cluster.name
+    payload = {
+        "v": _KEY_VERSION,
+        "kind": "job",
+        "stream": dict(stream_spec),
+        "cluster": cluster_name,
+        "job_id": job_id,
+    }
+    return _digest(payload)
+
+
+# --------------------------------------------------------------------- #
+# row (de)serialisation: RunResult rows stay untagged (byte-compatible
+# with every existing store file); JobRecord rows carry a "__type__" tag
+# --------------------------------------------------------------------- #
+def _encode_result(result) -> dict:
+    from repro.online.metrics import JobRecord
+
+    payload = dataclasses.asdict(result)
+    if isinstance(result, JobRecord):
+        payload["__type__"] = "job"
+    return payload
+
+
+def _decode_result(payload: dict):
+    if payload.get("__type__") == "job":
+        from repro.online.metrics import JobRecord
+
+        return JobRecord(**{k: v for k, v in payload.items()
+                            if k != "__type__"})
+    from repro.experiments.runner import RunResult
+
+    return RunResult(**payload)
 
 
 @dataclass
@@ -282,8 +339,6 @@ class JsonlStore(_BaseStore):
         self._fh = self.path.open("a", encoding="utf-8")
 
     def _load(self) -> None:
-        from repro.experiments.runner import RunResult
-
         raw = self.path.read_bytes()
         end_valid = len(raw)
         if raw and not raw.endswith(b"\n"):
@@ -298,7 +353,7 @@ class JsonlStore(_BaseStore):
                 continue
             try:
                 row = json.loads(line)
-                result = RunResult(**row["result"])
+                result = _decode_result(row["result"])
                 key = row["key"]
             except (ValueError, KeyError, TypeError):
                 self.skipped_lines += 1
@@ -312,7 +367,7 @@ class JsonlStore(_BaseStore):
         if key in self._results:
             return
         super().put(key, result)
-        row = {"key": key, "result": dataclasses.asdict(result)}
+        row = {"key": key, "result": _encode_result(result)}
         self._fh.write(json.dumps(row, separators=(",", ":")) + "\n")
         self._fh.flush()
 
@@ -368,8 +423,6 @@ class SqliteStore:
                 f"{exc}") from exc
 
     def get(self, key: str) -> "RunResult | None":
-        from repro.experiments.runner import RunResult
-
         blob = self._pending.get(key)
         if blob is None:
             row = self._conn.execute(
@@ -380,12 +433,12 @@ class SqliteStore:
                 return None
             blob = row[0]
         self.stats.hits += 1
-        return RunResult(**json.loads(blob))
+        return _decode_result(json.loads(blob))
 
     def put(self, key: str, result: "RunResult") -> None:
         if key in self._pending:
             return
-        blob = json.dumps(dataclasses.asdict(result),
+        blob = json.dumps(_encode_result(result),
                           separators=(",", ":"))
         if self.batch_size == 1:
             cursor = self._conn.execute(
@@ -432,23 +485,19 @@ class SqliteStore:
 
     def results(self) -> list["RunResult"]:
         """Every stored result, in insertion (= completion) order."""
-        from repro.experiments.runner import RunResult
-
-        out = [RunResult(**json.loads(blob))
+        out = [_decode_result(json.loads(blob))
                for (blob,) in self._conn.execute(
                    "SELECT result FROM results ORDER BY rowid")]
-        out.extend(RunResult(**json.loads(blob))
+        out.extend(_decode_result(json.loads(blob))
                    for blob in self._pending.values())
         return out
 
     def items(self) -> list[tuple[str, "RunResult"]]:
         """Every ``(key, result)`` pair, in insertion order."""
-        from repro.experiments.runner import RunResult
-
-        out = [(key, RunResult(**json.loads(blob)))
+        out = [(key, _decode_result(json.loads(blob)))
                for key, blob in self._conn.execute(
                    "SELECT key, result FROM results ORDER BY rowid")]
-        out.extend((key, RunResult(**json.loads(blob)))
+        out.extend((key, _decode_result(json.loads(blob)))
                    for key, blob in self._pending.items())
         return out
 
@@ -512,9 +561,12 @@ def _comparable(result: "RunResult") -> "RunResult":
 
     Two shards that somehow both computed a run produce identical numbers
     but different wall clocks; only the *science* fields decide whether
-    results conflict.
+    results conflict.  Job records carry no wall-clock field and compare
+    as-is.
     """
-    return dataclasses.replace(result, wall_time_s=0.0)
+    if any(f.name == "wall_time_s" for f in dataclasses.fields(result)):
+        return dataclasses.replace(result, wall_time_s=0.0)
+    return result
 
 
 def merge_stores(inputs: Sequence[str | Path],

@@ -1,0 +1,73 @@
+"""Open-system (online) simulation: traffic, not batches.
+
+Every other mode of this codebase is a closed-world batch — a static DAG
+known up front, one makespan out.  This package adds the open-system view
+production schedulers face: DAG-job instances *arrive over time* from a
+workload source, the two-step scheduler runs incrementally against the
+residual platform state, the job's flows are injected into the **live**
+fluid simulation (component-scoped re-solves keep mid-flight injection
+cheap), and the reported metrics become per-job distributions —
+slowdown, job completion time and SLO attainment — instead of a single
+makespan.
+
+Layers
+------
+:mod:`repro.online.stream`
+    Workload sources: the :class:`JobStream` protocol plus Poisson,
+    burst (MMPP-style on/off) and replay-from-list generators, all
+    deterministic from a seed.
+:mod:`repro.online.live`
+    :class:`LiveFluidEngine` — the PR 5 component event-heap simulator
+    core, made *injectable*: jobs enter mid-flight and only the touched
+    link-connected components re-solve.
+:mod:`repro.online.engine`
+    :class:`OnlineSimulator` — admit → two-step schedule (against the
+    current residual platform state) → inject, per arrival.
+:mod:`repro.online.admission`
+    Pluggable admission control: accept-all, queue-cap, load-shed.
+:mod:`repro.online.metrics`
+    :class:`JobRecord` and :class:`OnlineMetrics` (p50/p95/p99 JCT and
+    slowdown, SLO attainment).
+:mod:`repro.online.service`
+    The ``repro serve`` asyncio front-end (stdlib-only) and its client
+    helper.
+"""
+
+from repro.online.admission import (
+    AcceptAll,
+    AdmissionPolicy,
+    LoadShed,
+    QueueCap,
+    admission_from_spec,
+)
+from repro.online.engine import OnlineResult, OnlineSimulator, ResidualState
+from repro.online.live import LiveFluidEngine
+from repro.online.metrics import JobRecord, OnlineMetrics
+from repro.online.stream import (
+    BurstStream,
+    JobArrival,
+    JobStream,
+    PoissonStream,
+    ReplayStream,
+    stream_from_spec,
+)
+
+__all__ = [
+    "AcceptAll",
+    "AdmissionPolicy",
+    "BurstStream",
+    "JobArrival",
+    "JobRecord",
+    "JobStream",
+    "LiveFluidEngine",
+    "LoadShed",
+    "OnlineMetrics",
+    "OnlineResult",
+    "OnlineSimulator",
+    "PoissonStream",
+    "QueueCap",
+    "ReplayStream",
+    "ResidualState",
+    "admission_from_spec",
+    "stream_from_spec",
+]

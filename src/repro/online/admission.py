@@ -1,0 +1,125 @@
+"""Pluggable admission control for the online engine and the service.
+
+A policy sees each arrival *before* scheduling, along with the engine's
+residual view of the platform, and answers admit / reject.  Three ship:
+
+* :class:`AcceptAll` — the open-system baseline (and the policy under
+  which the t=0 batch-equivalence holds);
+* :class:`QueueCap` — reject when more than ``cap`` admitted jobs are
+  still in flight, the classic bounded-queue model;
+* :class:`LoadShed` — reject when even the *least-loaded* processor's
+  estimated availability lies more than ``max_wait`` seconds out — an
+  optimistic lower bound on queueing delay, so load-shed only drops jobs
+  that would provably wait at least that long.
+
+Specs like ``"queue-cap:8"`` (see :func:`admission_from_spec`) make
+policies addressable from the CLI and the service config.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.online.engine import ResidualState
+    from repro.online.stream import JobArrival
+
+__all__ = [
+    "AdmissionPolicy",
+    "AcceptAll",
+    "QueueCap",
+    "LoadShed",
+    "admission_from_spec",
+]
+
+
+@runtime_checkable
+class AdmissionPolicy(Protocol):
+    """Admit or reject one arrival against the current residual state."""
+
+    def admit(self, job: "JobArrival", residual: "ResidualState") -> bool: ...
+
+
+class AcceptAll:
+    """Admit every job — the open-system baseline."""
+
+    spec = "accept-all"
+
+    def admit(self, job: "JobArrival", residual: "ResidualState") -> bool:
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "AcceptAll()"
+
+
+class QueueCap:
+    """Reject once ``cap`` admitted jobs are in flight (bounded queue)."""
+
+    def __init__(self, cap: int) -> None:
+        if cap < 1:
+            raise ValueError("queue cap must be >= 1")
+        self.cap = int(cap)
+
+    @property
+    def spec(self) -> str:
+        return f"queue-cap:{self.cap}"
+
+    def admit(self, job: "JobArrival", residual: "ResidualState") -> bool:
+        return len(residual.in_flight) < self.cap
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"QueueCap({self.cap})"
+
+
+class LoadShed:
+    """Reject when the platform is provably more than ``max_wait`` s behind.
+
+    The test compares ``min(proc_avail) − now`` against ``max_wait``:
+    the earliest any processor frees up is an *optimistic* bound on the
+    job's queueing delay (its tasks may need busier processors), so every
+    shed job would have waited at least ``max_wait``.
+    """
+
+    def __init__(self, max_wait: float) -> None:
+        if max_wait < 0:
+            raise ValueError("max_wait must be >= 0")
+        self.max_wait = float(max_wait)
+
+    @property
+    def spec(self) -> str:
+        return f"load-shed:{self.max_wait:g}"
+
+    def admit(self, job: "JobArrival", residual: "ResidualState") -> bool:
+        if not residual.proc_avail:
+            return True
+        backlog = min(residual.proc_avail) - residual.now
+        return backlog <= self.max_wait
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"LoadShed({self.max_wait!r})"
+
+
+def admission_from_spec(spec: str | AdmissionPolicy) -> AdmissionPolicy:
+    """Parse ``"accept-all"``, ``"queue-cap:N"`` or ``"load-shed:SECONDS"``.
+
+    An already-built policy passes through, so call sites can accept
+    either form.
+    """
+    if isinstance(spec, AdmissionPolicy) and not isinstance(spec, str):
+        return spec
+    name, _, arg = str(spec).partition(":")
+    if name == "accept-all":
+        if arg:
+            raise ValueError("accept-all takes no argument")
+        return AcceptAll()
+    if name == "queue-cap":
+        if not arg:
+            raise ValueError("queue-cap needs a size, e.g. 'queue-cap:8'")
+        return QueueCap(int(arg))
+    if name == "load-shed":
+        if not arg:
+            raise ValueError(
+                "load-shed needs a wait bound, e.g. 'load-shed:30'")
+        return LoadShed(float(arg))
+    raise ValueError(f"unknown admission policy {spec!r}; expected "
+                     "accept-all, queue-cap:N or load-shed:SECONDS")

@@ -1,0 +1,645 @@
+"""The live fluid engine: the batch component simulator, made injectable.
+
+:class:`~repro.simulation.simulator.FluidSimulator` replays one complete
+schedule and returns.  The online mode needs the same physics — Max-Min
+fair fluid flows over link-connected components, lazily re-solved — but
+with jobs *entering mid-flight*: a new DAG's tasks append to the live
+processor queues and its redistribution flows join the live component
+registry, re-solving only the components they touch.
+
+:class:`LiveFluidEngine` is that engine.  It is a faithful transplant of
+``FluidSimulator._run_component`` from closure-over-locals form into a
+class whose state persists across calls, plus two operations the batch
+loop never needed:
+
+* :meth:`inject` — add a scheduled job at the current virtual time
+  (tasks, per-processor queue entries, edge flows, pair table rows);
+* :meth:`advance_until` — run the event loop up to a target time and
+  stop, so arrivals can interleave with in-flight events.
+
+Equivalence contract
+--------------------
+The event loop body, the component bookkeeping (it reuses
+``_Component`` itself) and every vectorised numpy expression are kept
+*identical* to the batch engine, so a single job injected at t=0 and
+drained produces byte-identical traces to ``simulate(schedule)`` — the
+property ``tests/test_online_engine.py`` pins against the dense-DAG
+golden scenario.  When editing either engine, edit both.
+
+Tasks are namespaced ``"<job_id>/<task>"`` internally; a uniform prefix
+preserves every heap tie-break order within a job, which is why the
+single-job equivalence is exact and not merely numerical.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.network.maxmin import dsu_find, waterfill_bundled
+from repro.redistribution.matrix import redistribution_flows
+from repro.scheduling.schedule import Schedule
+from repro.simulation.simulator import (
+    _REL_BYTES_EPS,
+    _TIME_EPS,
+    _Component,
+    _grow,
+)
+from repro.simulation.trace import FlowTrace, TaskTrace
+
+__all__ = ["LiveFluidEngine", "LiveJobState"]
+
+
+@dataclass
+class LiveJobState:
+    """Per-job execution state the engine tracks for metrics."""
+
+    job_id: str
+    inject_time: float
+    n_tasks: int
+    n_done: int = 0
+    start: float | None = None
+    completion: float | None = None
+
+    @property
+    def finished(self) -> bool:
+        return self.n_done == self.n_tasks
+
+
+class LiveFluidEngine:
+    """Persistent, injectable fluid simulation over one platform.
+
+    Parameters
+    ----------
+    cluster:
+        The shared platform every injected schedule was mapped onto
+        (anything with a ``.topology``, including multi-cluster
+        platforms).  Processor ids in injected schedules are global ids
+        on this platform.
+    collect_flow_traces:
+        Keep per-flow trace records (off by default, as in batch).
+    lazy:
+        Re-solve only touched components (default); ``False`` re-solves
+        every live component at every flow-set change — the same
+        byte-identical full-solve oracle the batch engine offers.
+    """
+
+    def __init__(self, cluster, *, collect_flow_traces: bool = False,
+                 lazy: bool = True) -> None:
+        self.cluster = cluster
+        self.topo = cluster.topology
+        self.capacities = self.topo.capacity_array
+        self.lazy = lazy
+        self.collect_flow_traces = collect_flow_traces
+
+        n_links = len(self.capacities)
+        # ---- pair tables (shared across jobs, keyed by (src, dst)) ---- #
+        self.pair_index: dict[tuple[int, int], int] = {}
+        self.pair_routes: list[tuple[int, ...]] = []
+        self.pair_cap: list[float] = []
+        self.pair_lat: list[float] = []
+
+        # ---- global flow arrays (amortised append) ---- #
+        self.nf = 0
+        self.size = np.empty(8, dtype=float)
+        self.remaining = np.empty(8, dtype=float)
+        self.done_threshold = np.empty(8, dtype=float)
+        self.lat = np.empty(8, dtype=float)
+        self.src = np.empty(8, dtype=np.intp)
+        self.dst = np.empty(8, dtype=np.intp)
+        self.edge_of = np.empty(8, dtype=np.intp)
+        self.pair_of = np.empty(8, dtype=np.intp)
+        self.release_time = np.empty(8, dtype=float)
+
+        # ---- component registry (identical to the batch closures) ---- #
+        self.comps: list[_Component] = []
+        self.parent: list[int] = []
+        self.link_owner = np.full(n_links, -1, dtype=np.intp)
+        self.link_pairs = np.zeros(n_links, dtype=np.intp)
+        self.comp_of_pair: list[int] = []        # grows with the pair table
+        self.comp_heap: list[tuple[float, int, int]] = []
+        self.local_heap: list[tuple[float, int]] = []
+
+        # ---- task bookkeeping (dict-based _TaskBookkeeping) ---- #
+        self.edges: list[tuple[str, str]] = []   # global (namespaced) names
+        self.total = 0
+        self.exec_time: dict[str, float] = {}
+        self.procs_of: dict[str, tuple[int, ...]] = {}
+        self.succs: dict[str, list[str]] = {}
+        self.proc_queue: dict[int, list[str]] = {}
+        self.queue_pos: dict[int, int] = {}
+        self.preds_left: dict[str, int] = {}
+        self.flows_left: dict[str, int] = {}
+        self.edge_flows: dict[int, list[int]] = {}
+        self.out_edge_ids: dict[str, list[int]] = {}
+        self.started: set[str] = set()
+        self.done_tasks: set[str] = set()
+        self.task_start: dict[str, float] = {}
+        self.finish_heap: list[tuple[float, str]] = []
+        self.release_heap: list[tuple[float, int]] = []
+        self.traces: dict[str, TaskTrace] = {}
+        self.flow_traces: list[FlowTrace] = []
+        self.check_ready: set[str] = set()
+
+        # ---- jobs ---- #
+        self.jobs: dict[str, LiveJobState] = {}
+        self.job_of_task: dict[str, str] = {}
+        self._newly_completed: list[str] = []
+
+        self.now = 0.0
+        self.events = 0
+        self.solves_full = 0
+        self.solves_component = 0
+        self._touched: list[_Component] = []
+
+    # ------------------------------------------------------------------ #
+    # injection
+    # ------------------------------------------------------------------ #
+    def inject(self, job_id: str, schedule: Schedule, at: float) -> None:
+        """Add a scheduled job's tasks and flows at virtual time ``at``.
+
+        ``at`` must not precede the current virtual time; ready source
+        tasks start immediately at ``at``.
+        """
+        if job_id in self.jobs:
+            raise ValueError(f"duplicate job id {job_id!r}")
+        if at < self.now - _TIME_EPS:
+            raise ValueError(
+                f"cannot inject {job_id!r} at t={at} (now={self.now})")
+        graph = schedule.graph
+        names = graph.task_names()
+        gname = {n: f"{job_id}/{n}" for n in names}
+
+        for n in names:
+            g = gname[n]
+            self.exec_time[g] = schedule[n].duration
+            self.procs_of[g] = schedule[n].procs
+            self.preds_left[g] = len(graph.predecessors(n))
+            self.flows_left[g] = 0
+            self.succs[g] = [gname[s] for s in graph.successors(n)]
+            self.out_edge_ids[g] = []
+            self.job_of_task[g] = job_id
+        for p, entries in schedule.proc_timeline().items():
+            self.proc_queue.setdefault(p, []).extend(
+                gname[e.task] for e in entries)
+            self.queue_pos.setdefault(p, 0)
+
+        # expand edges into flows, in the batch _build_flows order, with
+        # pair ids resolved against the shared cross-job pair table
+        new_src: list[int] = []
+        new_dst: list[int] = []
+        new_size: list[float] = []
+        new_eid: list[int] = []
+        new_pid: list[int] = []
+        for u, v, data in graph.edges():
+            eid = len(self.edges)
+            self.edges.append((gname[u], gname[v]))
+            self.out_edge_ids[gname[u]].append(eid)
+            specs = redistribution_flows(schedule[u].procs, schedule[v].procs,
+                                         data)
+            for s in specs:
+                if s.data_bytes <= 0:
+                    continue
+                pid = self.pair_index.get((s.src, s.dst))
+                if pid is None:
+                    pid = len(self.pair_routes)
+                    self.pair_index[(s.src, s.dst)] = pid
+                    route = self.topo.route(s.src, s.dst)
+                    self.pair_cap.append(route.rate_cap_Bps)
+                    self.pair_lat.append(route.latency_s)
+                    self.pair_routes.append(
+                        self.topo.route_indices(s.src, s.dst))
+                    self.comp_of_pair.append(-1)
+                new_src.append(s.src)
+                new_dst.append(s.dst)
+                new_size.append(s.data_bytes)
+                new_eid.append(eid)
+                new_pid.append(pid)
+
+        n_new = len(new_size)
+        base = self.nf
+        need = base + n_new
+        self.size = _grow(self.size, need)
+        self.remaining = _grow(self.remaining, need)
+        self.done_threshold = _grow(self.done_threshold, need)
+        self.lat = _grow(self.lat, need)
+        self.src = _grow(self.src, need)
+        self.dst = _grow(self.dst, need)
+        self.edge_of = _grow(self.edge_of, need)
+        self.pair_of = _grow(self.pair_of, need)
+        self.release_time = _grow(self.release_time, need)
+        if n_new:
+            sizes = np.array(new_size, dtype=float)
+            self.size[base:need] = sizes
+            self.remaining[base:need] = sizes
+            self.done_threshold[base:need] = np.maximum(
+                sizes * _REL_BYTES_EPS, 1e-12)
+            pid_arr = np.array(new_pid, dtype=np.intp)
+            self.lat[base:need] = np.array(self.pair_lat, dtype=float)[pid_arr]
+            self.src[base:need] = new_src
+            self.dst[base:need] = new_dst
+            self.edge_of[base:need] = new_eid
+            self.pair_of[base:need] = pid_arr
+            self.release_time[base:need] = np.inf
+            for off, eid in enumerate(new_eid):
+                fid = base + off
+                self.edge_flows.setdefault(eid, []).append(fid)
+                self.flows_left[self.edges[eid][1]] += 1
+        self.nf = need
+
+        self.total += len(names)
+        self.jobs[job_id] = LiveJobState(job_id=job_id, inject_time=at,
+                                         n_tasks=len(names))
+        self.check_ready.update(gname.values())
+        self._start_ready(at)
+
+    # ------------------------------------------------------------------ #
+    # task bookkeeping (dict-based _TaskBookkeeping methods)
+    # ------------------------------------------------------------------ #
+    def _at_front(self, name: str) -> bool:
+        return all(
+            self.queue_pos[p] < len(self.proc_queue[p])
+            and self.proc_queue[p][self.queue_pos[p]] == name
+            for p in self.procs_of[name]
+        )
+
+    def _can_start(self, name: str) -> bool:
+        return (name not in self.started
+                and self.preds_left[name] == 0
+                and self.flows_left[name] == 0
+                and self._at_front(name))
+
+    def _start_task(self, name: str, now: float) -> None:
+        self.started.add(name)
+        self.task_start[name] = now
+        job = self.jobs[self.job_of_task[name]]
+        if job.start is None:
+            job.start = now
+        heapq.heappush(self.finish_heap, (now + self.exec_time[name], name))
+
+    def _finish_task(self, name: str, now: float) -> None:
+        self.done_tasks.add(name)
+        self.traces[name] = TaskTrace(task=name, procs=self.procs_of[name],
+                                      start=self.task_start[name], finish=now)
+        job = self.jobs[self.job_of_task[name]]
+        job.n_done += 1
+        if job.n_done == job.n_tasks:
+            job.completion = now
+            self._newly_completed.append(job.job_id)
+        for p in self.procs_of[name]:
+            self.queue_pos[p] += 1
+            pos = self.queue_pos[p]
+            if pos < len(self.proc_queue[p]):
+                self.check_ready.add(self.proc_queue[p][pos])
+        for succ in self.succs[name]:
+            self.preds_left[succ] -= 1
+            self.check_ready.add(succ)
+        for eid in self.out_edge_ids[name]:
+            for fid in self.edge_flows.get(eid, ()):  # release after latency
+                t_rel = now + self.lat[fid]
+                self.release_time[fid] = t_rel
+                heapq.heappush(self.release_heap, (t_rel, fid))
+
+    def _complete_flow(self, fid: int, now: float) -> None:
+        eid = int(self.edge_of[fid])
+        self.flows_left[self.edges[eid][1]] -= 1
+        self.check_ready.add(self.edges[eid][1])
+        if self.collect_flow_traces:
+            self.flow_traces.append(FlowTrace(
+                edge=self.edges[eid],
+                src=int(self.src[fid]),
+                dst=int(self.dst[fid]),
+                data_bytes=float(self.size[fid]),
+                release=float(self.release_time[fid]),
+                finish=now))
+
+    def _start_ready(self, now: float) -> None:
+        for name in self.check_ready:
+            if name not in self.started and self._can_start(name):
+                self._start_task(name, now)
+        self.check_ready.clear()
+
+    # ------------------------------------------------------------------ #
+    # component machinery (the batch closures, as methods)
+    # ------------------------------------------------------------------ #
+    def _find(self, cid: int) -> int:
+        return dsu_find(self.parent, cid)
+
+    def _new_component(self) -> _Component:
+        cid = len(self.comps)
+        comp = _Component(cid)
+        self.comps.append(comp)
+        self.parent.append(cid)
+        return comp
+
+    def _push_comp(self, comp: _Component) -> None:
+        if math.isfinite(comp.next_t):
+            heapq.heappush(self.comp_heap,
+                           (comp.next_t, comp.cid, comp.stamp))
+
+    def _materialize(self, comp: _Component, t: float) -> None:
+        if t > comp.t_mat:
+            n = comp.n_flows
+            fids = comp.flow_fid[:n]
+            self.remaining[fids] -= comp.flow_rates[:n] * (t - comp.t_mat)
+        comp.t_mat = t
+
+    def _merge(self, a: _Component, b: _Component, t: float) -> _Component:
+        self._materialize(a, t)
+        self._materialize(b, t)
+        off = a.n_rows
+        a.row_pair = _grow(a.row_pair, off + b.n_rows)
+        a.mult = _grow(a.mult, off + b.n_rows)
+        a.row_caps = _grow(a.row_caps, off + b.n_rows)
+        a.row_lens = _grow(a.row_lens, off + b.n_rows)
+        a.row_pair[off:off + b.n_rows] = b.row_pair[:b.n_rows]
+        a.mult[off:off + b.n_rows] = b.mult[:b.n_rows]
+        a.row_caps[off:off + b.n_rows] = b.row_caps[:b.n_rows]
+        a.row_lens[off:off + b.n_rows] = b.row_lens[:b.n_rows]
+        end = a.flat_len + b.flat_len
+        a.flat = _grow(a.flat, end)
+        a.flat[a.flat_len:end] = b.flat[:b.flat_len]
+        a.flat_len = end
+        a.n_rows = off + b.n_rows
+        a.live_rows += b.live_rows
+        for pid, row in b.pair_rows.items():
+            a.pair_rows[pid] = off + row
+            self.comp_of_pair[pid] = a.cid
+        if a.uniform and (not b.uniform or b.route_len != a.route_len):
+            a.uniform = False
+            a.route_len = 0
+        fo = a.n_flows
+        a.flow_fid = _grow(a.flow_fid, fo + b.n_flows)
+        a.flow_row = _grow(a.flow_row, fo + b.n_flows)
+        a.flow_rates = _grow(a.flow_rates, fo + b.n_flows)
+        a.proj = _grow(a.proj, fo + b.n_flows)
+        a.flow_fid[fo:fo + b.n_flows] = b.flow_fid[:b.n_flows]
+        a.flow_row[fo:fo + b.n_flows] = b.flow_row[:b.n_flows] + off
+        a.flow_rates[fo:fo + b.n_flows] = b.flow_rates[:b.n_flows]
+        a.proj[fo:fo + b.n_flows] = b.proj[:b.n_flows]
+        a.n_flows = fo + b.n_flows
+        a.live_flows += b.live_flows
+        b.alive = False
+        self.parent[b.cid] = a.cid
+        a.dirty = True
+        return a
+
+    def _activate_pair(self, pid: int, t: float) -> tuple[_Component, int]:
+        links = self.pair_routes[pid]
+        roots: list[int] = []
+        for li in links:
+            owner = self.link_owner[li]
+            if owner != -1:
+                r = self._find(int(owner))
+                if r not in roots:
+                    roots.append(r)
+        if not roots:
+            comp = self._new_component()
+            comp.t_mat = t
+        else:
+            comp = self.comps[roots[0]]
+            self._materialize(comp, t)
+            for r in roots[1:]:
+                other = self.comps[r]
+                if other.live_rows >= comp.live_rows:
+                    comp, other = other, comp
+                comp = self._merge(comp, other, t)
+        row = comp.add_pair(pid, links, self.pair_cap[pid])
+        self.comp_of_pair[pid] = comp.cid
+        for li in links:
+            self.link_owner[li] = comp.cid
+            self.link_pairs[li] += 1
+        comp.dirty = True
+        return comp, row
+
+    def _deactivate_pair(self, pid: int, comp: _Component) -> None:
+        comp.pair_rows.pop(pid, None)
+        self.comp_of_pair[pid] = -1
+        comp.live_rows -= 1
+        for li in self.pair_routes[pid]:
+            self.link_pairs[li] -= 1
+            if self.link_pairs[li] == 0:
+                self.link_owner[li] = -1
+
+    def _comp_waterfill(self, comp: _Component) -> np.ndarray:
+        self.solves_component += 1
+        n = comp.n_rows
+        if comp.uniform and comp.route_len:
+            return waterfill_bundled(
+                comp.flat[:comp.flat_len], None, comp.mult[:n],
+                self.capacities, comp.row_caps[:n],
+                route_len=comp.route_len)
+        ptr = np.zeros(n + 1, dtype=np.intp)
+        np.cumsum(comp.row_lens[:n], out=ptr[1:])
+        return waterfill_bundled(
+            comp.flat[:comp.flat_len], ptr, comp.mult[:n],
+            self.capacities, comp.row_caps[:n])
+
+    def _solve(self, comp: _Component, t: float) -> None:
+        comp.rates = self._comp_waterfill(comp)
+        nf = comp.n_flows
+        rf = comp.rates[comp.flow_row[:nf]]
+        comp.flow_rates[:nf] = rf
+        comp.proj[:nf] = t + self.remaining[comp.flow_fid[:nf]] / rf
+        comp.stamp += 1
+        comp.next_t = float(comp.proj[:nf].min()) if nf else math.inf
+        comp.dirty = False
+        self._push_comp(comp)
+
+    # ------------------------------------------------------------------ #
+    # event loop
+    # ------------------------------------------------------------------ #
+    def _peek_time(self) -> float:
+        """Earliest pending event time (inf if idle), skipping stale
+        component-heap entries exactly as the batch loop's peek does."""
+        t_next = math.inf
+        comp_heap = self.comp_heap
+        while comp_heap:
+            tt, cid, stamp = comp_heap[0]
+            comp = self.comps[cid]
+            if not comp.alive or comp.stamp != stamp:
+                heapq.heappop(comp_heap)
+                continue
+            t_next = tt
+            break
+        if self.local_heap and self.local_heap[0][0] < t_next:
+            t_next = self.local_heap[0][0]
+        if self.finish_heap and self.finish_heap[0][0] < t_next:
+            t_next = self.finish_heap[0][0]
+        if self.release_heap and self.release_heap[0][0] < t_next:
+            t_next = self.release_heap[0][0]
+        return t_next
+
+    def _step(self) -> None:
+        """Process every event at ``self.now`` — the batch loop body."""
+        now = self.now
+        remaining = self.remaining
+        done_threshold = self.done_threshold
+        comps = self.comps
+        comp_heap = self.comp_heap
+        local_heap = self.local_heap
+        finish_heap = self.finish_heap
+        release_heap = self.release_heap
+        lazy = self.lazy
+
+        self.events += 1
+        set_changed = False
+        touched = self._touched
+        touched.clear()
+
+        # 1) flow completions: pop every component whose earliest
+        # projection fired, materialise it, sweep its flows
+        while comp_heap and comp_heap[0][0] <= now:
+            _, cid, stamp = heapq.heappop(comp_heap)
+            comp = comps[cid]
+            if not comp.alive or comp.stamp != stamp:
+                continue
+            self._materialize(comp, now)
+            nf = comp.n_flows
+            fids = comp.flow_fid[:nf]
+            done_sel = remaining[fids] <= done_threshold[fids]
+            if not done_sel.any():
+                # spurious wake-up (rates dropped since the push):
+                # reproject from materialised remaining
+                comp.stamp += 1
+                comp.proj[:nf] = now + (remaining[fids]
+                                        / comp.flow_rates[:nf])
+                comp.next_t = (float(comp.proj[:nf].min())
+                               if nf else math.inf)
+                self._push_comp(comp)
+                continue
+            finished = fids[done_sel]
+            set_changed = True
+            comp.dirty = True
+            comp.live_flows -= len(finished)
+            rows = comp.flow_row[:nf][done_sel]
+            np.subtract.at(comp.mult, rows, 1)
+            remaining[finished] = np.inf      # dead-slot marker
+            comp.flow_rates[:nf][done_sel] = 0.0
+            comp.proj[:nf][done_sel] = np.inf
+            for r in np.unique(rows):
+                if comp.mult[r] == 0:
+                    self._deactivate_pair(int(comp.row_pair[r]), comp)
+            for fid in finished:
+                self._complete_flow(int(fid), now)
+            if comp.live_rows == 0:
+                # fully drained: every link was already freed by
+                # _deactivate_pair, the component just retires
+                comp.alive = False
+            else:
+                if comp.live_flows * 2 < comp.n_flows:
+                    comp.compact_flows(remaining)
+                if (comp.live_rows * 2 < comp.n_rows
+                        and comp.n_rows > 8):
+                    comp.compact_rows()
+                touched.append(comp)
+
+        # local (route-less) flows: instantaneous once released
+        local_done: list[int] = []
+        while local_heap and local_heap[0][0] <= now:
+            _, fid = heapq.heappop(local_heap)
+            local_done.append(fid)
+        if local_done:
+            set_changed = True
+            for fid in local_done:
+                remaining[fid] = np.inf
+                self._complete_flow(fid, now)
+
+        # 2) task completions
+        while finish_heap and finish_heap[0][0] <= now + _TIME_EPS:
+            _, name = heapq.heappop(finish_heap)
+            self._finish_task(name, now)
+
+        # 3) flow releases
+        while release_heap and release_heap[0][0] <= now + _TIME_EPS:
+            _, fid = heapq.heappop(release_heap)
+            set_changed = True
+            pid = int(self.pair_of[fid])
+            if not self.pair_routes[pid]:
+                # local pair: completes at the next event
+                heapq.heappush(local_heap, (now, fid))
+                continue
+            cid = self.comp_of_pair[pid]
+            if cid == -1:
+                comp, row = self._activate_pair(pid, now)
+            else:
+                comp = comps[self._find(int(cid))]
+                self._materialize(comp, now)
+                comp.dirty = True
+                row = comp.pair_rows[pid]
+            comp.mult[row] += 1
+            comp.add_flow(fid, row)
+            if comp not in touched:
+                touched.append(comp)
+
+        # 4) newly startable tasks
+        self._start_ready(now)
+
+        # 5) re-solve: only dirty components (lazy) — or, on the
+        # full-solve oracle, every live component (see the batch engine)
+        if set_changed:
+            self.solves_full += 1
+            if lazy:
+                for comp in touched:
+                    if comp.alive and comp.dirty:
+                        self._solve(comp, now)
+            else:
+                for comp in comps:
+                    if not comp.alive or not comp.live_rows:
+                        continue
+                    if comp.dirty:
+                        self._solve(comp, now)
+                    else:
+                        comp.rates = self._comp_waterfill(comp)
+
+    # ------------------------------------------------------------------ #
+    # public driving interface
+    # ------------------------------------------------------------------ #
+    def advance_until(self, t: float) -> None:
+        """Process every pending event at or before ``t``; the virtual
+        clock ends at ``max(now, t)``.  Idle gaps just advance the clock —
+        components carry their own materialisation times."""
+        if t < self.now - _TIME_EPS:
+            raise ValueError(f"cannot rewind from t={self.now} to t={t}")
+        with np.errstate(divide="ignore", invalid="ignore"):
+            while True:
+                t_next = self._peek_time()
+                if t_next > t:
+                    break
+                self.now = t_next
+                self._step()
+        if t > self.now:
+            self.now = t
+
+    def drain(self) -> None:
+        """Run the event loop until every injected task has finished."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            while len(self.done_tasks) < self.total:
+                t_next = self._peek_time()
+                if not math.isfinite(t_next):  # pragma: no cover - deadlock
+                    raise RuntimeError(
+                        f"simulation stalled at t={self.now:g}: "
+                        f"{self.total - len(self.done_tasks)} tasks never "
+                        f"became runnable")
+                self.now = t_next
+                self._step()
+
+    def pop_completed_jobs(self) -> list[str]:
+        """Job ids that finished since the last call (completion order)."""
+        out = self._newly_completed
+        self._newly_completed = []
+        return out
+
+    @property
+    def idle(self) -> bool:
+        return len(self.done_tasks) == self.total
+
+    def makespan(self) -> float:
+        """Span from the earliest task start to the latest finish."""
+        if not self.traces:
+            return 0.0
+        return (max(tr.finish for tr in self.traces.values())
+                - min(tr.start for tr in self.traces.values()))

@@ -1,0 +1,154 @@
+"""Per-job records and distribution metrics for the online mode.
+
+A batch simulation reports one makespan.  An open system reports *per-job*
+outcomes: a :class:`JobRecord` per arrival (admitted or not), rolled up by
+:class:`OnlineMetrics` into the distributions operators actually watch —
+job completion time (JCT), slowdown, and SLO attainment at percentile
+tails.
+
+Conventions
+-----------
+* ``JCT = completion − arrival`` (queueing *and* service);
+* ``slowdown = JCT / (completion − start)`` — time in system relative to
+  the job's own execution span, ≥ 1, the classic open-system metric;
+* percentiles use the **nearest-rank** definition (the ⌈p·n⌉-th smallest
+  sample), so every reported value is an actual observed JCT — no
+  interpolation artefacts in the tails;
+* SLO attainment is counted over **all** jobs: a rejected or unfinished
+  job is a missed SLO, and a job whose JCT lands exactly on the threshold
+  attains it (``<=``).
+
+Records are plain JSON-safe dataclasses (``None`` for the fields a
+rejected job never gets), so they round-trip through the
+:class:`~repro.experiments.store.ResultStore` backends and the service's
+wire protocol unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, fields
+from typing import Iterable, Sequence
+
+__all__ = ["JobRecord", "OnlineMetrics"]
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Outcome of one job arrival, admitted or not.
+
+    ``start`` is the simulated start of the job's first task and
+    ``completion`` the finish of its last; both are ``None`` for jobs the
+    admission policy rejected (``admitted=False``) or that never finished.
+    ``est_makespan`` is the two-step scheduler's own estimate at admission
+    time — comparing it with ``completion − start`` exposes the
+    contention the estimate ignores (the §IV-D effect, per job).
+    """
+
+    job_id: str
+    scenario: str
+    algorithm: str
+    arrival: float
+    admitted: bool
+    start: float | None = None
+    completion: float | None = None
+    est_makespan: float | None = None
+
+    @property
+    def finished(self) -> bool:
+        return self.completion is not None
+
+    @property
+    def jct(self) -> float | None:
+        """Job completion time: arrival → completion (None if unfinished)."""
+        if self.completion is None:
+            return None
+        return self.completion - self.arrival
+
+    @property
+    def slowdown(self) -> float | None:
+        """JCT relative to the job's own execution span (≥ 1)."""
+        if self.completion is None or self.start is None:
+            return None
+        span = self.completion - self.start
+        if span <= 0:
+            return 1.0
+        return (self.completion - self.arrival) / span
+
+
+def _nearest_rank(sorted_vals: Sequence[float], p: float) -> float:
+    """The ⌈p·n⌉-th smallest of pre-sorted ``sorted_vals`` (p in [0, 1])."""
+    n = len(sorted_vals)
+    rank = max(1, math.ceil(p * n))
+    return float(sorted_vals[min(rank, n) - 1])
+
+
+def _tails(values: list[float]) -> dict[str, float]:
+    vals = sorted(values)
+    return {"p50": _nearest_rank(vals, 0.50),
+            "p95": _nearest_rank(vals, 0.95),
+            "p99": _nearest_rank(vals, 0.99),
+            "mean": sum(vals) / len(vals),
+            "max": vals[-1]}
+
+
+@dataclass(frozen=True)
+class OnlineMetrics:
+    """Distribution roll-up of a set of :class:`JobRecord` outcomes."""
+
+    n_jobs: int
+    n_admitted: int
+    n_rejected: int
+    n_finished: int
+    jct: dict[str, float] = field(default_factory=dict)
+    slowdown: dict[str, float] = field(default_factory=dict)
+    slo_threshold: float | None = None
+    slo_attainment: float | None = None
+
+    @classmethod
+    def from_records(cls, records: Iterable[JobRecord], *,
+                     slo: float | None = None) -> "OnlineMetrics":
+        """Roll up ``records``; ``slo`` is a JCT threshold in seconds.
+
+        An empty record set yields zero counts and empty distributions
+        (attainment ``None`` — there is nothing to attain or miss); with
+        records but no finished jobs the distributions stay empty and
+        attainment, if an SLO is given, is 0.0.
+        """
+        records = list(records)
+        finished = [r for r in records if r.finished]
+        jcts = [r.jct for r in finished]
+        slowdowns = [s for r in finished
+                     if (s := r.slowdown) is not None]
+        attainment: float | None = None
+        if slo is not None and records:
+            attained = sum(1 for j in jcts if j <= slo)
+            attainment = attained / len(records)
+        return cls(
+            n_jobs=len(records),
+            n_admitted=sum(1 for r in records if r.admitted),
+            n_rejected=sum(1 for r in records if not r.admitted),
+            n_finished=len(finished),
+            jct=_tails(jcts) if jcts else {},
+            slowdown=_tails(slowdowns) if slowdowns else {},
+            slo_threshold=slo,
+            slo_attainment=attainment,
+        )
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def summary(self) -> str:
+        """One human line, for CLI output."""
+        parts = [f"jobs={self.n_jobs}", f"finished={self.n_finished}",
+                 f"rejected={self.n_rejected}"]
+        if self.jct:
+            parts.append(f"JCT p50/p95/p99 = {self.jct['p50']:.4g}"
+                         f"/{self.jct['p95']:.4g}/{self.jct['p99']:.4g} s")
+        if self.slowdown:
+            parts.append(f"slowdown p50/p99 = {self.slowdown['p50']:.3g}"
+                         f"/{self.slowdown['p99']:.3g}")
+        if self.slo_attainment is not None:
+            parts.append(f"SLO({self.slo_threshold:g}s) = "
+                         f"{100 * self.slo_attainment:.1f}%")
+        return "  ".join(parts)

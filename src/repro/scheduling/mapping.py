@@ -79,6 +79,13 @@ class ListScheduler:
     redist:
         Redistribution-cost estimator (defaults to a fresh one for the
         cluster).
+    proc_release:
+        Per-processor earliest-availability times seeding
+        :attr:`proc_avail` (length ``cluster.num_procs``).  Defaults to
+        all zeros — the batch case.  The online engine passes the
+        residual platform state here, so a job scheduled mid-stream is
+        priced against the processors' *current* backlog instead of an
+        empty platform.
     priority_edge_costs:
         Whether bottom-level priorities include a-priori edge communication
         estimates (the list scheduling of [7] accounts for communication).
@@ -95,6 +102,7 @@ class ListScheduler:
         allocation: Mapping[str, int],
         *,
         redist: RedistributionCost | None = None,
+        proc_release: Sequence[float] | None = None,
         priority_edge_costs: bool = True,
         candidates: str = "earliest",
     ) -> None:
@@ -113,7 +121,14 @@ class ListScheduler:
                 raise ValueError(
                     f"allocation for {name!r} out of range: {n}")
         self.redist = redist or RedistributionCost(cluster)
-        self.proc_avail: list[float] = [0.0] * cluster.num_procs
+        if proc_release is None:
+            self.proc_avail: list[float] = [0.0] * cluster.num_procs
+        else:
+            if len(proc_release) != cluster.num_procs:
+                raise ValueError(
+                    f"proc_release has {len(proc_release)} entries for "
+                    f"{cluster.num_procs} processors")
+            self.proc_avail = [float(t) for t in proc_release]
         self.schedule = Schedule(graph=graph, cluster=cluster)
         self.priorities = self._compute_priorities(priority_edge_costs)
 
@@ -295,5 +310,6 @@ class ListScheduler:
 @register_scheduler("list", description="plain list-scheduling mapping "
                     "(single cluster)")
 def _build_list_scheduler(graph, platform, model, allocation, *,
-                          params=None, redist=None):
-    return ListScheduler(graph, platform, model, allocation, redist=redist)
+                          params=None, redist=None, proc_release=None):
+    return ListScheduler(graph, platform, model, allocation, redist=redist,
+                         proc_release=proc_release)

@@ -111,6 +111,7 @@ class MultiClusterListScheduler(_MultiClusterMixin, ListScheduler):
         *,
         model: PerformanceModel | None = None,
         redist: RedistributionCost | None = None,
+        proc_release: Sequence[float] | None = None,
         priority_edge_costs: bool = True,
     ) -> None:
         self.platform = platform
@@ -120,6 +121,7 @@ class MultiClusterListScheduler(_MultiClusterMixin, ListScheduler):
             model or platform.performance_model(),
             allocation,
             redist=redist,
+            proc_release=proc_release,
             priority_edge_costs=priority_edge_costs,
         )
 
@@ -136,6 +138,7 @@ class MultiClusterRATSScheduler(_MultiClusterMixin, RATSScheduler):
         *,
         model: PerformanceModel | None = None,
         redist: RedistributionCost | None = None,
+        proc_release: Sequence[float] | None = None,
         priority_edge_costs: bool = True,
     ) -> None:
         self.platform = platform
@@ -146,6 +149,7 @@ class MultiClusterRATSScheduler(_MultiClusterMixin, RATSScheduler):
             allocation,
             params,
             redist=redist,
+            proc_release=proc_release,
             priority_edge_costs=priority_edge_costs,
         )
 
@@ -154,17 +158,19 @@ class MultiClusterRATSScheduler(_MultiClusterMixin, RATSScheduler):
                     description="translated-HCPA list scheduling across "
                                 "clusters")
 def _build_mc_list_scheduler(graph, platform, model, allocation, *,
-                             params=None, redist=None):
+                             params=None, redist=None, proc_release=None):
     return MultiClusterListScheduler(graph, platform, allocation,
-                                     model=model, redist=redist)
+                                     model=model, redist=redist,
+                                     proc_release=proc_release)
 
 
 @register_scheduler("multicluster-rats",
                     description="RATS adaptation on a multi-cluster "
                                 "platform (WAN-crossing aware)")
 def _build_mc_rats_scheduler(graph, platform, model, allocation, *,
-                             params=None, redist=None):
+                             params=None, redist=None, proc_release=None):
     if params is None:
         raise ValueError("the multicluster-rats scheduler needs RATSParams")
     return MultiClusterRATSScheduler(graph, platform, allocation, params,
-                                     model=model, redist=redist)
+                                     model=model, redist=redist,
+                                     proc_release=proc_release)

@@ -8,7 +8,7 @@ all experiments report.
 """
 
 from repro.simulation.simulator import FluidSimulator, SimulationResult, simulate
-from repro.simulation.trace import FlowTrace, TaskTrace
+from repro.simulation.trace import FlowTrace, TaskTrace, canonical_event_trace
 from repro.simulation.stats import (
     EdgeCommStats,
     edge_communication_times,
@@ -23,6 +23,7 @@ __all__ = [
     "simulate",
     "TaskTrace",
     "FlowTrace",
+    "canonical_event_trace",
     "EdgeCommStats",
     "edge_communication_times",
     "estimation_errors",

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["TaskTrace", "FlowTrace"]
+__all__ = ["TaskTrace", "FlowTrace", "canonical_event_trace"]
 
 
 @dataclass(frozen=True)
@@ -35,3 +35,32 @@ class FlowTrace:
     @property
     def duration(self) -> float:
         return self.finish - self.release
+
+
+def canonical_event_trace(result) -> dict:
+    """A JSON-able, order-canonical form of one simulation's events.
+
+    Task events are sorted by ``(start, task)`` and flow events kept in
+    execution order; only engine-invariant fields enter (``makespan``,
+    ``events``, the traces) — solver-strategy counters like
+    ``maxmin_solves`` are deliberately excluded, because the lazy, eager
+    and reference engines must all produce *this* value identically.
+
+    Python floats survive a JSON round trip exactly (shortest-repr), so
+    a golden file comparison asserts byte-exact replay, not approximate
+    agreement.
+    """
+    tasks = [
+        {"task": tr.task, "procs": list(tr.procs),
+         "start": tr.start, "finish": tr.finish}
+        for tr in sorted(result.task_traces.values(),
+                         key=lambda tr: (tr.start, tr.task))
+    ]
+    flows = [
+        {"edge": list(fl.edge), "src": fl.src, "dst": fl.dst,
+         "bytes": fl.data_bytes, "release": fl.release,
+         "finish": fl.finish}
+        for fl in result.flow_traces
+    ]
+    return {"makespan": result.makespan, "events": result.events,
+            "tasks": tasks, "flows": flows}

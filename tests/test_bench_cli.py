@@ -292,6 +292,48 @@ class TestTunedFallback:
             warnings.simplefilter("error")
             assert resolver("no-such-cluster", "layered") == p
 
+    def test_worker_processes_keep_the_fallback_silent(self):
+        import warnings
+
+        from repro.experiments import runner as runner_mod
+        from repro.experiments.runner import TunedResolver
+
+        resolver = TunedResolver("delta")
+        key = ("never-warned-cluster", "layered", "delta")
+        runner_mod._TUNED_FALLBACK_WARNED.discard(key)
+        old = runner_mod._TUNED_WARNINGS_ENABLED
+        runner_mod._TUNED_WARNINGS_ENABLED = False  # what workers set
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                p = resolver("never-warned-cluster", "layered")
+            assert p == RATSParams(strategy="delta")
+            # and the combination is NOT marked warned: the parent still
+            # owns the single user-visible warning
+            assert key not in runner_mod._TUNED_FALLBACK_WARNED
+        finally:
+            runner_mod._TUNED_WARNINGS_ENABLED = old
+
+    def test_parallel_matrix_warns_once_across_all_processes(self):
+        """The per-worker duplicate warning (once per pool process) is
+        gone: the parent pre-resolves at dispatch, workers stay silent."""
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.experiments.experiment import Experiment\n"
+            "result = (Experiment().on('grid5000-grid')\n"
+            "          .workload('strassen', k=2, samples=2)\n"
+            "          .compare('rats-delta-tuned')\n"
+            "          .parallel(2).run())\n"
+            "assert len(result) == 2\n"
+        )
+        proc = subprocess.run([sys.executable, "-c", code],
+                              capture_output=True, text=True, timeout=300)
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stderr.count("no Table IV tuned parameters") == 1, \
+            proc.stderr
+
     def test_tuned_spec_runs_on_multicluster_grid(self):
         import warnings
 

@@ -363,3 +363,68 @@ class TestShardedCampaign:
         err = capsys.readouterr().err
         assert ", 0 fresh" in err  # zero fresh simulations on replay
         assert replay.read_text() == ref.read_text()
+
+
+class TestReplayStreamSubcommand:
+    SPEC = {"kind": "poisson", "rate": 0.5, "jobs": 3, "seed": 11,
+            "workloads": [{"family": "strassen"}], "algorithm": "hcpa"}
+
+    def _spec_file(self, tmp_path, spec=None):
+        path = tmp_path / "stream.json"
+        path.write_text(json.dumps(spec or self.SPEC))
+        return str(path)
+
+    def test_replay_stream_prints_metrics(self, capsys, tmp_path):
+        assert main(["replay-stream", self._spec_file(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "jobs=3" in out and "finished=3" in out
+        assert "JCT p50/p95/p99" in out and "makespan" in out
+
+    def test_replay_stream_store_is_deterministic(self, capsys, tmp_path):
+        """Acceptance: same seed, two runs -> byte-identical job records."""
+        spec = self._spec_file(tmp_path)
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        assert main(["replay-stream", spec, "--store", str(a),
+                     "--quiet"]) == 0
+        assert main(["replay-stream", spec, "--store", str(b),
+                     "--quiet"]) == 0
+        assert a.read_bytes() == b.read_bytes()
+        assert len(a.read_bytes()) > 0
+
+    def test_replay_stream_store_roundtrips_job_records(self, capsys,
+                                                        tmp_path):
+        from repro.experiments.store import open_store
+        from repro.online.metrics import JobRecord
+
+        store_path = tmp_path / "jobs.sqlite"
+        assert main(["replay-stream", self._spec_file(tmp_path),
+                     "--store", str(store_path), "--quiet"]) == 0
+        with open_store(store_path) as store:
+            records = [r for _, r in store.items()]
+        assert len(records) == 3
+        assert all(isinstance(r, JobRecord) for r in records)
+        assert all(r.finished for r in records)
+
+    def test_replay_stream_slo_and_admission_flags(self, capsys, tmp_path):
+        spec = self._spec_file(tmp_path)
+        assert main(["replay-stream", spec, "--slo", "1e9",
+                     "--admission", "queue-cap:1", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "SLO" in out and "rejected=2" in out
+
+    def test_replay_stream_rejects_bad_spec(self, tmp_path):
+        bad = self._spec_file(tmp_path, {"kind": "poisson", "ratee": 2})
+        with pytest.raises(SystemExit, match="invalid stream spec"):
+            main(["replay-stream", bad])
+
+    def test_replay_stream_unknown_platform_is_clean(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["replay-stream", self._spec_file(tmp_path),
+                  "--platform", "no-such-platform"])
+
+    def test_serve_help_lists_options(self, capsys):
+        with pytest.raises(SystemExit) as ei:
+            main(["serve", "--help"])
+        assert ei.value.code == 0
+        out = capsys.readouterr().out
+        assert "--admission" in out and "--wall" in out

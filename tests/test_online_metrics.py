@@ -1,0 +1,128 @@
+"""Edge cases of the online per-job metrics roll-up."""
+
+import math
+
+import pytest
+
+from repro.online.metrics import JobRecord, OnlineMetrics, _nearest_rank
+
+
+def _finished(job_id="j0", arrival=0.0, start=1.0, completion=5.0,
+              **kw) -> JobRecord:
+    return JobRecord(job_id=job_id, scenario="s", algorithm="hcpa",
+                     arrival=arrival, admitted=True, start=start,
+                     completion=completion, **kw)
+
+
+def _rejected(job_id="r0", arrival=0.0) -> JobRecord:
+    return JobRecord(job_id=job_id, scenario="s", algorithm="hcpa",
+                     arrival=arrival, admitted=False)
+
+
+class TestJobRecord:
+    def test_jct_and_slowdown(self):
+        r = _finished(arrival=0.0, start=2.0, completion=6.0)
+        assert r.jct == 6.0
+        assert r.slowdown == 6.0 / 4.0
+
+    def test_rejected_has_no_timings(self):
+        r = _rejected()
+        assert not r.finished
+        assert r.jct is None and r.slowdown is None
+
+    def test_zero_span_slowdown_clamps_to_one(self):
+        r = _finished(arrival=0.0, start=3.0, completion=3.0)
+        assert r.slowdown == 1.0
+
+
+class TestEmptyStream:
+    def test_no_records_at_all(self):
+        m = OnlineMetrics.from_records([])
+        assert (m.n_jobs, m.n_admitted, m.n_rejected, m.n_finished) \
+            == (0, 0, 0, 0)
+        assert m.jct == {} and m.slowdown == {}
+        assert m.slo_attainment is None  # nothing to attain or miss
+
+    def test_no_records_with_slo_still_none(self):
+        m = OnlineMetrics.from_records([], slo=10.0)
+        assert m.slo_threshold == 10.0
+        assert m.slo_attainment is None
+
+    def test_summary_renders_without_distributions(self):
+        s = OnlineMetrics.from_records([]).summary()
+        assert "jobs=0" in s and "JCT" not in s
+
+
+class TestSingleJob:
+    def test_every_percentile_is_the_one_observation(self):
+        m = OnlineMetrics.from_records(
+            [_finished(arrival=1.0, start=2.0, completion=8.0)])
+        assert m.n_jobs == m.n_finished == 1
+        assert m.jct["p50"] == m.jct["p95"] == m.jct["p99"] \
+            == m.jct["mean"] == m.jct["max"] == 7.0
+        assert m.slowdown["p50"] == pytest.approx(7.0 / 6.0)
+
+    def test_single_unfinished_job(self):
+        r = JobRecord(job_id="j0", scenario="s", algorithm="hcpa",
+                      arrival=0.0, admitted=True)  # admitted, never done
+        m = OnlineMetrics.from_records([r], slo=10.0)
+        assert m.n_admitted == 1 and m.n_finished == 0
+        assert m.jct == {}
+        assert m.slo_attainment == 0.0  # unfinished counts as a miss
+
+
+class TestAllRejected:
+    def test_counts_and_empty_distributions(self):
+        m = OnlineMetrics.from_records([_rejected(f"r{i}")
+                                        for i in range(4)])
+        assert m.n_jobs == m.n_rejected == 4
+        assert m.n_admitted == m.n_finished == 0
+        assert m.jct == {} and m.slowdown == {}
+
+    def test_rejections_are_missed_slos(self):
+        m = OnlineMetrics.from_records([_rejected(f"r{i}")
+                                        for i in range(4)], slo=100.0)
+        assert m.slo_attainment == 0.0
+
+
+class TestSloBoundary:
+    def test_jct_exactly_at_threshold_attains(self):
+        # jobs with JCT 4, 8, 12; SLO exactly 8 -> the boundary job counts
+        records = [_finished(f"j{i}", arrival=0.0, start=0.0,
+                             completion=float(c))
+                   for i, c in enumerate((4, 8, 12))]
+        m = OnlineMetrics.from_records(records, slo=8.0)
+        assert m.slo_attainment == pytest.approx(2 / 3)
+
+    def test_attainment_denominator_includes_rejected(self):
+        records = [_finished("j0", arrival=0.0, start=0.0, completion=5.0),
+                   _rejected("r0")]
+        m = OnlineMetrics.from_records(records, slo=5.0)
+        assert m.slo_attainment == pytest.approx(0.5)
+
+
+class TestNearestRank:
+    def test_definition_on_known_list(self):
+        vals = [float(v) for v in range(1, 11)]  # 1..10
+        assert _nearest_rank(vals, 0.50) == 5.0   # ceil(5.0) = 5th
+        assert _nearest_rank(vals, 0.95) == 10.0  # ceil(9.5) = 10th
+        assert _nearest_rank(vals, 0.99) == 10.0
+        assert _nearest_rank(vals, 0.0) == 1.0    # rank clamps to 1
+
+    def test_reported_values_are_observations(self):
+        vals = sorted([3.7, 1.2, 9.9, 2.2, 5.1])
+        for p in (0.5, 0.9, 0.95, 0.99):
+            assert _nearest_rank(vals, p) in vals
+
+    def test_rank_never_exceeds_n(self):
+        assert _nearest_rank([2.5], 0.999) == 2.5
+        assert not math.isnan(_nearest_rank([2.5], 1.0))
+
+
+class TestAsDict:
+    def test_round_trips_every_field(self):
+        m = OnlineMetrics.from_records(
+            [_finished(), _rejected()], slo=10.0)
+        d = m.as_dict()
+        assert d["n_jobs"] == 2 and d["slo_threshold"] == 10.0
+        assert OnlineMetrics(**d) == m
