@@ -131,6 +131,65 @@ def sparse_multicluster_schedule(n_clusters: int = 12, chain_len: int = 40,
     return schedule
 
 
+def large_platform_jobs(n_clusters: int = 128, procs: int = 192,
+                        n_jobs: int = 352, chain_len: int = 30,
+                        m: float = 4.0e6):
+    """Many-cluster platform + per-cluster pipeline jobs for streaming.
+
+    The regime ROADMAP item 4 targets: ≥10k links (128 fat clusters ×
+    192 procs → 49,408 — a shared service grid where streaming jobs use
+    a slice of each cluster, so per-solve cost is all about *not*
+    touching platform-sized arrays), jobs landing round-robin across
+    clusters so the
+    live flow set stays component-sparse, and *every* hop a real 16→11
+    redistribution (``gcd = 1`` keeps each banded matrix one component,
+    as in :func:`sparse_multicluster_schedule`).  Overlapping jobs on
+    one cluster merge components; their staggered drains are what the
+    dynamic split machinery recovers from.  Returns the platform and
+    one t=0-based :class:`Schedule` per job (the live engine reads only
+    durations and per-processor order, so injection time is free).
+    """
+    from repro.dag.task import Task, TaskGraph
+    from repro.platforms.cluster import Cluster
+    from repro.platforms.multicluster import MultiClusterPlatform
+    from repro.scheduling.schedule import Schedule, ScheduleEntry
+    from repro.utils.rng import spawn_rng
+
+    clusters = tuple(Cluster(name=f"c{i}", num_procs=procs,
+                             speed_flops=3.0e9)
+                     for i in range(n_clusters))
+    platform = MultiClusterPlatform(clusters=clusters, name="large-grid")
+    model = platform.performance_model()
+    rng = spawn_rng("large-platform-bench")
+    jobs = []
+    for j in range(n_jobs):
+        off = platform.offsets[j % n_clusters]
+        wide = tuple(range(off, off + 16))
+        narrow = tuple(range(off + 16, off + 27))
+        graph = TaskGraph(name=f"job{j}")
+        schedule = Schedule(graph=graph, cluster=platform)
+        procs_now, side, prev, t_fin = wide, 0, None, 0.0
+        for i in range(chain_len):
+            # continuous jitter: keeps concurrent pipelines off exact
+            # event ties (see sparse_multicluster_schedule)
+            flops = 1.2e9 * (1.0 + 0.2 * rng.random())
+            task = Task(name=f"t{i}", data_elements=m, flops=flops,
+                        alpha=0.0)
+            graph.add_task(task)
+            if i > 0:
+                graph.add_edge(prev, task.name)
+                side ^= 1
+                procs_now = narrow if side else wide
+            dur = model.time(task, len(procs_now))
+            schedule.add(ScheduleEntry(task=task.name, procs=procs_now,
+                                       start=t_fin, finish=t_fin + dur))
+            t_fin += dur
+            prev = task.name
+        schedule.validate()
+        jobs.append(schedule)
+    return platform, jobs
+
+
 def _bench_simulator(n_tasks: int) -> tuple[Callable, dict]:
     from repro.simulation.simulator import FluidSimulator, simulate
 
@@ -265,6 +324,62 @@ def _bench_online_stream(n_jobs: int,
                  "jct_p50": res.metrics.jct["p50"]}
 
 
+def _bench_large_platform_stream(n_clusters: int, n_jobs: int,
+                                 chain_len: int) -> tuple[Callable, dict]:
+    """Online Poisson stream on a ≥10k-link grid — the leg-3 showcase.
+
+    Pipelines stream into a persistent :class:`LiveFluidEngine` at
+    Poisson arrivals and drain; ~100k+ events at full size.  On a
+    platform this wide, per-solve cost is dominated by the O(total
+    links) ``bincount``/``levels`` term unless solves are component-
+    local, so this bench is where the local link indexing and dynamic
+    splits earn their keep; ``local_global_speedup`` in the metadata
+    records the measured ratio against the same engine with both knobs
+    off (the pre-PR global-array solve cost).
+    """
+    import numpy as np
+
+    from repro.online.live import LiveFluidEngine
+    from repro.utils.rng import spawn_rng
+
+    platform, jobs = large_platform_jobs(n_clusters=n_clusters,
+                                         n_jobs=n_jobs,
+                                         chain_len=chain_len)
+    rng = spawn_rng("large-platform-arrivals")
+    arrivals = np.cumsum(rng.exponential(0.35, len(jobs)))
+
+    def _drive(**knobs):
+        eng = LiveFluidEngine(platform, **knobs)
+        for j, schedule in enumerate(jobs):
+            t = float(arrivals[j])
+            eng.advance_until(t)
+            eng.inject(f"job{j}", schedule, t)
+        eng.drain()
+        return eng
+
+    def run():
+        return _drive()
+
+    eng = run()  # untimed warm-up: fills the topology route caches,
+    #              which otherwise dominate whichever run goes first
+    t0 = time.perf_counter()
+    eng = run()
+    t_local = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    base = _drive(local_index=False, split_threshold=None)
+    t_global = time.perf_counter() - t0
+    assert base.events == eng.events and base.makespan() == eng.makespan()
+    return run, {"n_clusters": n_clusters, "n_jobs": n_jobs,
+                 "chain_len": chain_len,
+                 "n_links": len(platform.topology.capacity_array),
+                 "events": eng.events,
+                 "solves_component": eng.solves_component,
+                 "solve_rows": eng.solve_rows,
+                 "splits": eng.splits,
+                 "makespan": eng.makespan(),
+                 "local_global_speedup": t_global / max(t_local, 1e-9)}
+
+
 def _benchmarks(quick: bool) -> dict[str, Callable[[], tuple[Callable, dict]]]:
     sim_tasks = 40 if quick else 100
     sched_tasks = 40 if quick else 100
@@ -279,6 +394,10 @@ def _benchmarks(quick: bool) -> dict[str, Callable[[], tuple[Callable, dict]]]:
         "hcpa_allocation": lambda: _bench_hcpa(sched_tasks),
         "online_poisson_stream": lambda: _bench_online_stream(
             jobs, n_clusters=grid),
+        "large_platform_stream": lambda: _bench_large_platform_stream(
+            n_clusters=16 if quick else 128,
+            n_jobs=48 if quick else 352,
+            chain_len=20 if quick else 30),
     }
 
 
@@ -511,12 +630,25 @@ def add_bench_arguments(parser) -> None:
     parser.add_argument("--only", action="append", default=None,
                         metavar="NAME", help="run only the named benchmark "
                         "(repeatable)")
+    parser.add_argument("--warm-kernels", action="store_true",
+                        help="precompile the C solver kernels into the "
+                             "content-addressed cache and exit (CI/install "
+                             "hook; cold starts then skip "
+                             "compile-at-first-use)")
     parser.add_argument("--quiet", action="store_true")
 
 
 def main(args) -> int:
     log = None if args.quiet else (
         lambda msg: print(msg, file=sys.stderr, flush=True))
+    if getattr(args, "warm_kernels", False):
+        from repro.network._ckernel import warm
+
+        status = warm()
+        print(json.dumps(status, indent=1, sort_keys=True))
+        # an environment without a compiler is not an error: the numpy
+        # fallback is always available, warming is best-effort
+        return 0
     # read the baseline FIRST: with the default --out, comparing against
     # the committed baseline would otherwise overwrite it before the read
     # and vacuously compare the run against itself

@@ -33,7 +33,7 @@ import subprocess
 import tempfile
 from pathlib import Path
 
-__all__ = ["load_kernel", "kernel_status"]
+__all__ = ["load_kernel", "load_indexed_kernel", "warm", "kernel_status"]
 
 #: Why the kernel is (un)available — for diagnostics, set by load_kernel.
 kernel_status = "not loaded"
@@ -170,6 +170,122 @@ int repro_waterfill(int64_t n_b, int64_t n_links,
     return 0;
 #undef ROW
 }
+
+/* Per-flow progressive filling with the rate-cap branch.
+ *
+ * Mirrors repro.network.maxmin.maxmin_rates_indexed round-for-round:
+ * the same first-minimum argmin over link levels and unfixed caps, the
+ * same cap-branch tolerance (cap_level < link_level - 1e-12) with *no*
+ * residual clamp, and the same flow-major entry order for the
+ * bottleneck-link subtraction followed by one clamp per round — so the
+ * rates are bitwise identical to the numpy path.
+ *
+ * residual is caller-owned scratch (a private copy of the capacities)
+ * and is freely mutated.  Flows with an empty route must already be
+ * fixed at their cap by the caller (rates pre-filled); their
+ * offsets[i+1] == offsets[i], which is how they are recognised here.
+ *
+ * Returns 0 on success, non-zero when scratch allocation failed — the
+ * caller then falls back to the numpy implementation.
+ */
+int repro_maxmin_indexed(int64_t n, int64_t n_links,
+                         const int64_t *flat, const int64_t *offsets,
+                         const double *caps,
+                         double *residual,
+                         double *rates)
+{
+    void *scratch = malloc((size_t)n_links * sizeof(double) + (size_t)n);
+    if (!scratch)
+        return 1;
+    double *counts = scratch;
+    unsigned char *unfixed = (unsigned char *)(counts + n_links);
+
+    int64_t n_unfixed = 0;
+    for (int64_t i = 0; i < n; i++) {
+        if (offsets[i + 1] == offsets[i]) {
+            rates[i] = caps[i];
+            unfixed[i] = 0;
+        } else {
+            rates[i] = 0.0;
+            unfixed[i] = 1;
+            n_unfixed++;
+        }
+    }
+
+    while (n_unfixed > 0) {
+        for (int64_t l = 0; l < n_links; l++) counts[l] = 0.0;
+        for (int64_t i = 0; i < n; i++) {
+            if (!unfixed[i]) continue;
+            for (int64_t k = offsets[i]; k < offsets[i + 1]; k++)
+                counts[flat[k]] += 1.0;
+        }
+        /* first-minimum link level, exactly np.argmin over the levels */
+        int64_t link_idx = 0;
+        double link_level = INFINITY;
+        for (int64_t l = 0; l < n_links; l++) {
+            double lv = counts[l] > 0.0 ? residual[l] / counts[l]
+                                        : INFINITY;
+            if (lv < link_level) {
+                link_level = lv;
+                link_idx = l;
+            }
+        }
+        /* first-minimum unfixed rate cap */
+        int64_t cap_idx = -1;
+        double cap_level = INFINITY;
+        for (int64_t i = 0; i < n; i++) {
+            if (unfixed[i] && caps[i] < cap_level) {
+                cap_level = caps[i];
+                cap_idx = i;
+            }
+        }
+
+        if (cap_level < link_level - 1e-12) {
+            rates[cap_idx] = cap_level;
+            unfixed[cap_idx] = 0;
+            /* numpy's cap branch subtracts without clamping */
+            for (int64_t k = offsets[cap_idx]; k < offsets[cap_idx + 1];
+                 k++)
+                residual[flat[k]] -= cap_level;
+            n_unfixed--;
+            continue;
+        }
+
+        if (!isfinite(link_level)) {       /* degenerate: unbounded */
+            for (int64_t i = 0; i < n; i++)
+                if (unfixed[i]) rates[i] = INFINITY;
+            break;
+        }
+
+        /* fix every unfixed flow crossing the bottleneck link, then
+         * subtract in flow-major entry order (np.subtract.at on the
+         * isin selection), then clamp once */
+        int64_t n_new = 0;
+        for (int64_t i = 0; i < n; i++) {
+            if (!unfixed[i]) continue;
+            for (int64_t k = offsets[i]; k < offsets[i + 1]; k++) {
+                if (flat[k] == link_idx) {
+                    rates[i] = link_level;
+                    unfixed[i] = 2;        /* subtract pass below */
+                    n_new++;
+                    break;
+                }
+            }
+        }
+        for (int64_t i = 0; i < n; i++) {
+            if (unfixed[i] == 2) {
+                unfixed[i] = 0;
+                for (int64_t k = offsets[i]; k < offsets[i + 1]; k++)
+                    residual[flat[k]] -= link_level;
+            }
+        }
+        for (int64_t l = 0; l < n_links; l++)
+            if (residual[l] < 0.0) residual[l] = 0.0;
+        n_unfixed -= n_new;
+    }
+    free(scratch);
+    return 0;
+}
 """
 
 
@@ -183,21 +299,31 @@ def _cache_dir() -> Path:
     return Path(tempfile.gettempdir()) / "repro-kernels"
 
 
-def load_kernel():
-    """Compile (once, cached) and bind the waterfilling kernel.
+_LIB_UNSET = object()
+_LIB = _LIB_UNSET       # memoised CDLL (or None when unavailable)
 
-    Returns the bound ``ctypes`` function, or ``None`` when compilation
-    is unavailable; the reason lands in :data:`kernel_status`.
+
+def _load_lib():
+    """Compile (once, content-addressed) and load the kernel library.
+
+    The shared object holds every kernel entry point; individual loaders
+    bind their function from it.  Returns the ``ctypes.CDLL`` or ``None``
+    when compilation is unavailable; the reason lands in
+    :data:`kernel_status`.  The env-var kill switch is checked on every
+    call (not memoised) so tests can toggle it.
     """
-    global kernel_status
+    global kernel_status, _LIB
     if os.environ.get("REPRO_NO_C_KERNEL"):
         kernel_status = "disabled by REPRO_NO_C_KERNEL"
         return None
+    if _LIB is not _LIB_UNSET:
+        return _LIB
     try:
         cc = (shutil.which("cc") or shutil.which("gcc")
               or shutil.which("clang"))
         if cc is None:
             kernel_status = "no C compiler found"
+            _LIB = None
             return None
         tag = hashlib.sha256(
             (_C_SOURCE + " ".join(_CFLAGS)).encode()).hexdigest()[:16]
@@ -216,17 +342,53 @@ def load_kernel():
             if result.returncode != 0:
                 kernel_status = f"compile failed: {result.stderr[:500]}"
                 tmp.unlink(missing_ok=True)
+                _LIB = None
                 return None
             os.replace(tmp, so_path)
-        lib = ctypes.CDLL(str(so_path))
-        fn = lib.repro_waterfill
-        i64, vp = ctypes.c_int64, ctypes.c_void_p
-        # pointer slots take raw addresses (ndarray.ctypes.data) — far
-        # cheaper per call than constructing POINTER objects
-        fn.argtypes = [i64, i64, vp, vp, i64, vp, vp, vp, vp]
-        fn.restype = ctypes.c_int
+        _LIB = ctypes.CDLL(str(so_path))
         kernel_status = f"loaded ({so_path})"
-        return fn
+        return _LIB
     except Exception as exc:  # pragma: no cover - environment-specific
         kernel_status = f"unavailable: {exc!r}"
+        _LIB = None
         return None
+
+
+def load_kernel():
+    """Bind the bundled waterfilling kernel, or ``None`` (numpy path)."""
+    lib = _load_lib()
+    if lib is None:
+        return None
+    fn = lib.repro_waterfill
+    i64, vp = ctypes.c_int64, ctypes.c_void_p
+    # pointer slots take raw addresses (ndarray.ctypes.data) — far
+    # cheaper per call than constructing POINTER objects
+    fn.argtypes = [i64, i64, vp, vp, i64, vp, vp, vp, vp]
+    fn.restype = ctypes.c_int
+    return fn
+
+
+def load_indexed_kernel():
+    """Bind the per-flow indexed solver kernel, or ``None`` (numpy path)."""
+    lib = _load_lib()
+    if lib is None:
+        return None
+    fn = lib.repro_maxmin_indexed
+    i64, vp = ctypes.c_int64, ctypes.c_void_p
+    fn.argtypes = [i64, i64, vp, vp, vp, vp, vp]
+    fn.restype = ctypes.c_int
+    return fn
+
+
+def warm() -> dict:
+    """Precompile and bind every kernel (CI / install warm-up hook).
+
+    Compiling is content-addressed, so a warm cache directory makes every
+    later ``load_*`` call a pure dlopen — cold ``repro serve`` starts no
+    longer pay compile-at-first-use.  Returns a status mapping.
+    """
+    return {
+        "waterfill": load_kernel() is not None,
+        "maxmin_indexed": load_indexed_kernel() is not None,
+        "status": kernel_status,
+    }

@@ -181,6 +181,19 @@ def maxmin_rates_indexed(
     rates[no_link] = caps[no_link]
     fixed[no_link] = True
 
+    kernel = _indexed_kernel()
+    if (kernel is not None and flat.flags.c_contiguous
+            and caps.dtype == np.float64 and caps.flags.c_contiguous):
+        # residual is this function's private contiguous float64 copy,
+        # so the kernel may mutate it freely; the C loop replays the
+        # numpy rounds below op-for-op (bitwise identical results)
+        rc = kernel(n, n_links, flat.ctypes.data, offsets.ctypes.data,
+                    caps.ctypes.data, residual.ctypes.data,
+                    rates.ctypes.data)
+        if rc == 0:
+            return rates
+        # in-kernel scratch allocation failed: run the numpy rounds
+
     while not fixed.all():
         active_entry = ~fixed[flow_of]
         counts = np.bincount(flat[active_entry], minlength=n_links)
@@ -217,6 +230,7 @@ def maxmin_rates_indexed(
 
 _KERNEL_UNSET = object()
 _C_KERNEL = _KERNEL_UNSET   # lazily resolved on the first bundled solve
+_INDEXED_KERNEL = _KERNEL_UNSET  # lazily resolved on the first indexed solve
 
 
 def _kernel():
@@ -227,6 +241,16 @@ def _kernel():
 
         _C_KERNEL = load_kernel()
     return _C_KERNEL
+
+
+def _indexed_kernel():
+    """The compiled per-flow indexed kernel, or ``None`` (numpy fallback)."""
+    global _INDEXED_KERNEL
+    if _INDEXED_KERNEL is _KERNEL_UNSET:
+        from repro.network._ckernel import load_indexed_kernel
+
+        _INDEXED_KERNEL = load_indexed_kernel()
+    return _INDEXED_KERNEL
 
 
 def waterfill_bundled(

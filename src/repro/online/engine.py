@@ -65,6 +65,7 @@ class OnlineResult:
     events: int
     solves_full: int
     solves_component: int
+    splits: int = 0              # dynamic component splits performed
 
     @property
     def n_jobs(self) -> int:
@@ -90,7 +91,7 @@ class OnlineSimulator:
         ``"load-shed:SECONDS"``).
     slo:
         JCT threshold (seconds) for the attainment roll-up, optional.
-    lazy / collect_flow_traces:
+    lazy / local_index / split_threshold / collect_flow_traces:
         Forwarded to the :class:`~repro.online.live.LiveFluidEngine`.
     """
 
@@ -98,11 +99,15 @@ class OnlineSimulator:
                  admission: AdmissionPolicy | str = "accept-all",
                  slo: float | None = None,
                  lazy: bool = True,
+                 local_index: bool = True,
+                 split_threshold: float | None = 0.5,
                  collect_flow_traces: bool = False) -> None:
         self.platform = platform
         self.admission = admission_from_spec(admission)
         self.slo = slo
         self.engine = LiveFluidEngine(platform, lazy=lazy,
+                                      local_index=local_index,
+                                      split_threshold=split_threshold,
                                       collect_flow_traces=collect_flow_traces)
         # graph / allocation / redistribution caches, shared across jobs
         # exactly as a campaign runner shares them across cells
@@ -232,4 +237,5 @@ class OnlineSimulator:
             events=self.engine.events,
             solves_full=self.engine.solves_full,
             solves_component=self.engine.solves_component,
+            splits=self.engine.splits,
         )

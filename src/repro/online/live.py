@@ -7,10 +7,11 @@ with jobs *entering mid-flight*: a new DAG's tasks append to the live
 processor queues and its redistribution flows join the live component
 registry, re-solving only the components they touch.
 
-:class:`LiveFluidEngine` is that engine.  It is a faithful transplant of
-``FluidSimulator._run_component`` from closure-over-locals form into a
-class whose state persists across calls, plus two operations the batch
-loop never needed:
+:class:`LiveFluidEngine` is that engine.  It drives the *same*
+:class:`~repro.simulation.simulator._ComponentRegistry` the batch
+engine runs on — the component union-find, event heap, lazy re-solve,
+local link indexing and dynamic splits live in one implementation —
+plus two operations the batch loop never needed:
 
 * :meth:`inject` — add a scheduled job at the current virtual time
   (tasks, per-processor queue entries, edge flows, pair table rows);
@@ -19,12 +20,10 @@ loop never needed:
 
 Equivalence contract
 --------------------
-The event loop body, the component bookkeeping (it reuses
-``_Component`` itself) and every vectorised numpy expression are kept
-*identical* to the batch engine, so a single job injected at t=0 and
-drained produces byte-identical traces to ``simulate(schedule)`` — the
-property ``tests/test_online_engine.py`` pins against the dense-DAG
-golden scenario.  When editing either engine, edit both.
+Because the component machinery is shared code (not a transplant), a
+single job injected at t=0 and drained produces byte-identical traces
+to ``simulate(schedule)`` — the property ``tests/test_online_engine.py``
+pins against the dense-DAG golden scenario.
 
 Tasks are namespaced ``"<job_id>/<task>"`` internally; a uniform prefix
 preserves every heap tie-break order within a job, which is why the
@@ -39,13 +38,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.network.maxmin import dsu_find, waterfill_bundled
 from repro.redistribution.matrix import redistribution_flows
 from repro.scheduling.schedule import Schedule
 from repro.simulation.simulator import (
     _REL_BYTES_EPS,
     _TIME_EPS,
-    _Component,
+    _ComponentRegistry,
     _grow,
 )
 from repro.simulation.trace import FlowTrace, TaskTrace
@@ -85,17 +83,23 @@ class LiveFluidEngine:
         Re-solve only touched components (default); ``False`` re-solves
         every live component at every flow-set change — the same
         byte-identical full-solve oracle the batch engine offers.
+    local_index:
+        Per-component local link numbering for O(component links) solves
+        (default on; bitwise-neutral — see the batch engine).
+    split_threshold:
+        Drain-hysteresis fraction for dynamic component splits (default
+        0.5; ``None`` disables, reproducing merge-only solve costs).
     """
 
     def __init__(self, cluster, *, collect_flow_traces: bool = False,
-                 lazy: bool = True) -> None:
+                 lazy: bool = True, local_index: bool = True,
+                 split_threshold: float | None = 0.5) -> None:
         self.cluster = cluster
         self.topo = cluster.topology
         self.capacities = self.topo.capacity_array
         self.lazy = lazy
         self.collect_flow_traces = collect_flow_traces
 
-        n_links = len(self.capacities)
         # ---- pair tables (shared across jobs, keyed by (src, dst)) ---- #
         self.pair_index: dict[tuple[int, int], int] = {}
         self.pair_routes: list[tuple[int, ...]] = []
@@ -114,14 +118,13 @@ class LiveFluidEngine:
         self.pair_of = np.empty(8, dtype=np.intp)
         self.release_time = np.empty(8, dtype=float)
 
-        # ---- component registry (identical to the batch closures) ---- #
-        self.comps: list[_Component] = []
-        self.parent: list[int] = []
-        self.link_owner = np.full(n_links, -1, dtype=np.intp)
-        self.link_pairs = np.zeros(n_links, dtype=np.intp)
-        self.comp_of_pair: list[int] = []        # grows with the pair table
-        self.comp_heap: list[tuple[float, int, int]] = []
-        self.local_heap: list[tuple[float, int]] = []
+        # ---- shared component machinery (same class as batch) ---- #
+        self.reg = _ComponentRegistry(
+            self.capacities, self.pair_routes, self.pair_cap,
+            lazy=lazy, local_index=local_index,
+            split_threshold=split_threshold)
+        self.reg.remaining = self.remaining
+        self.reg.done_threshold = self.done_threshold
 
         # ---- task bookkeeping (dict-based _TaskBookkeeping) ---- #
         self.edges: list[tuple[str, str]] = []   # global (namespaced) names
@@ -151,9 +154,23 @@ class LiveFluidEngine:
 
         self.now = 0.0
         self.events = 0
-        self.solves_full = 0
-        self.solves_component = 0
-        self._touched: list[_Component] = []
+
+    # solver counters live on the shared registry
+    @property
+    def solves_full(self) -> int:
+        return self.reg.solves_full
+
+    @property
+    def solves_component(self) -> int:
+        return self.reg.solves_component
+
+    @property
+    def splits(self) -> int:
+        return self.reg.splits
+
+    @property
+    def solve_rows(self) -> int:
+        return self.reg.solve_rows
 
     # ------------------------------------------------------------------ #
     # injection
@@ -212,7 +229,7 @@ class LiveFluidEngine:
                     self.pair_lat.append(route.latency_s)
                     self.pair_routes.append(
                         self.topo.route_indices(s.src, s.dst))
-                    self.comp_of_pair.append(-1)
+                    self.reg.comp_of_pair.append(-1)
                 new_src.append(s.src)
                 new_dst.append(s.dst)
                 new_size.append(s.data_bytes)
@@ -225,6 +242,9 @@ class LiveFluidEngine:
         self.size = _grow(self.size, need)
         self.remaining = _grow(self.remaining, need)
         self.done_threshold = _grow(self.done_threshold, need)
+        # growth may reallocate: re-bind the registry's views
+        self.reg.remaining = self.remaining
+        self.reg.done_threshold = self.done_threshold
         self.lat = _grow(self.lat, need)
         self.src = _grow(self.src, need)
         self.dst = _grow(self.dst, need)
@@ -323,150 +343,12 @@ class LiveFluidEngine:
         self.check_ready.clear()
 
     # ------------------------------------------------------------------ #
-    # component machinery (the batch closures, as methods)
-    # ------------------------------------------------------------------ #
-    def _find(self, cid: int) -> int:
-        return dsu_find(self.parent, cid)
-
-    def _new_component(self) -> _Component:
-        cid = len(self.comps)
-        comp = _Component(cid)
-        self.comps.append(comp)
-        self.parent.append(cid)
-        return comp
-
-    def _push_comp(self, comp: _Component) -> None:
-        if math.isfinite(comp.next_t):
-            heapq.heappush(self.comp_heap,
-                           (comp.next_t, comp.cid, comp.stamp))
-
-    def _materialize(self, comp: _Component, t: float) -> None:
-        if t > comp.t_mat:
-            n = comp.n_flows
-            fids = comp.flow_fid[:n]
-            self.remaining[fids] -= comp.flow_rates[:n] * (t - comp.t_mat)
-        comp.t_mat = t
-
-    def _merge(self, a: _Component, b: _Component, t: float) -> _Component:
-        self._materialize(a, t)
-        self._materialize(b, t)
-        off = a.n_rows
-        a.row_pair = _grow(a.row_pair, off + b.n_rows)
-        a.mult = _grow(a.mult, off + b.n_rows)
-        a.row_caps = _grow(a.row_caps, off + b.n_rows)
-        a.row_lens = _grow(a.row_lens, off + b.n_rows)
-        a.row_pair[off:off + b.n_rows] = b.row_pair[:b.n_rows]
-        a.mult[off:off + b.n_rows] = b.mult[:b.n_rows]
-        a.row_caps[off:off + b.n_rows] = b.row_caps[:b.n_rows]
-        a.row_lens[off:off + b.n_rows] = b.row_lens[:b.n_rows]
-        end = a.flat_len + b.flat_len
-        a.flat = _grow(a.flat, end)
-        a.flat[a.flat_len:end] = b.flat[:b.flat_len]
-        a.flat_len = end
-        a.n_rows = off + b.n_rows
-        a.live_rows += b.live_rows
-        for pid, row in b.pair_rows.items():
-            a.pair_rows[pid] = off + row
-            self.comp_of_pair[pid] = a.cid
-        if a.uniform and (not b.uniform or b.route_len != a.route_len):
-            a.uniform = False
-            a.route_len = 0
-        fo = a.n_flows
-        a.flow_fid = _grow(a.flow_fid, fo + b.n_flows)
-        a.flow_row = _grow(a.flow_row, fo + b.n_flows)
-        a.flow_rates = _grow(a.flow_rates, fo + b.n_flows)
-        a.proj = _grow(a.proj, fo + b.n_flows)
-        a.flow_fid[fo:fo + b.n_flows] = b.flow_fid[:b.n_flows]
-        a.flow_row[fo:fo + b.n_flows] = b.flow_row[:b.n_flows] + off
-        a.flow_rates[fo:fo + b.n_flows] = b.flow_rates[:b.n_flows]
-        a.proj[fo:fo + b.n_flows] = b.proj[:b.n_flows]
-        a.n_flows = fo + b.n_flows
-        a.live_flows += b.live_flows
-        b.alive = False
-        self.parent[b.cid] = a.cid
-        a.dirty = True
-        return a
-
-    def _activate_pair(self, pid: int, t: float) -> tuple[_Component, int]:
-        links = self.pair_routes[pid]
-        roots: list[int] = []
-        for li in links:
-            owner = self.link_owner[li]
-            if owner != -1:
-                r = self._find(int(owner))
-                if r not in roots:
-                    roots.append(r)
-        if not roots:
-            comp = self._new_component()
-            comp.t_mat = t
-        else:
-            comp = self.comps[roots[0]]
-            self._materialize(comp, t)
-            for r in roots[1:]:
-                other = self.comps[r]
-                if other.live_rows >= comp.live_rows:
-                    comp, other = other, comp
-                comp = self._merge(comp, other, t)
-        row = comp.add_pair(pid, links, self.pair_cap[pid])
-        self.comp_of_pair[pid] = comp.cid
-        for li in links:
-            self.link_owner[li] = comp.cid
-            self.link_pairs[li] += 1
-        comp.dirty = True
-        return comp, row
-
-    def _deactivate_pair(self, pid: int, comp: _Component) -> None:
-        comp.pair_rows.pop(pid, None)
-        self.comp_of_pair[pid] = -1
-        comp.live_rows -= 1
-        for li in self.pair_routes[pid]:
-            self.link_pairs[li] -= 1
-            if self.link_pairs[li] == 0:
-                self.link_owner[li] = -1
-
-    def _comp_waterfill(self, comp: _Component) -> np.ndarray:
-        self.solves_component += 1
-        n = comp.n_rows
-        if comp.uniform and comp.route_len:
-            return waterfill_bundled(
-                comp.flat[:comp.flat_len], None, comp.mult[:n],
-                self.capacities, comp.row_caps[:n],
-                route_len=comp.route_len)
-        ptr = np.zeros(n + 1, dtype=np.intp)
-        np.cumsum(comp.row_lens[:n], out=ptr[1:])
-        return waterfill_bundled(
-            comp.flat[:comp.flat_len], ptr, comp.mult[:n],
-            self.capacities, comp.row_caps[:n])
-
-    def _solve(self, comp: _Component, t: float) -> None:
-        comp.rates = self._comp_waterfill(comp)
-        nf = comp.n_flows
-        rf = comp.rates[comp.flow_row[:nf]]
-        comp.flow_rates[:nf] = rf
-        comp.proj[:nf] = t + self.remaining[comp.flow_fid[:nf]] / rf
-        comp.stamp += 1
-        comp.next_t = float(comp.proj[:nf].min()) if nf else math.inf
-        comp.dirty = False
-        self._push_comp(comp)
-
-    # ------------------------------------------------------------------ #
     # event loop
     # ------------------------------------------------------------------ #
     def _peek_time(self) -> float:
         """Earliest pending event time (inf if idle), skipping stale
         component-heap entries exactly as the batch loop's peek does."""
-        t_next = math.inf
-        comp_heap = self.comp_heap
-        while comp_heap:
-            tt, cid, stamp = comp_heap[0]
-            comp = self.comps[cid]
-            if not comp.alive or comp.stamp != stamp:
-                heapq.heappop(comp_heap)
-                continue
-            t_next = tt
-            break
-        if self.local_heap and self.local_heap[0][0] < t_next:
-            t_next = self.local_heap[0][0]
+        t_next = self.reg.peek()
         if self.finish_heap and self.finish_heap[0][0] < t_next:
             t_next = self.finish_heap[0][0]
         if self.release_heap and self.release_heap[0][0] < t_next:
@@ -476,77 +358,15 @@ class LiveFluidEngine:
     def _step(self) -> None:
         """Process every event at ``self.now`` — the batch loop body."""
         now = self.now
-        remaining = self.remaining
-        done_threshold = self.done_threshold
-        comps = self.comps
-        comp_heap = self.comp_heap
-        local_heap = self.local_heap
+        reg = self.reg
         finish_heap = self.finish_heap
         release_heap = self.release_heap
-        lazy = self.lazy
 
         self.events += 1
-        set_changed = False
-        touched = self._touched
-        touched.clear()
+        reg.touched.clear()
 
-        # 1) flow completions: pop every component whose earliest
-        # projection fired, materialise it, sweep its flows
-        while comp_heap and comp_heap[0][0] <= now:
-            _, cid, stamp = heapq.heappop(comp_heap)
-            comp = comps[cid]
-            if not comp.alive or comp.stamp != stamp:
-                continue
-            self._materialize(comp, now)
-            nf = comp.n_flows
-            fids = comp.flow_fid[:nf]
-            done_sel = remaining[fids] <= done_threshold[fids]
-            if not done_sel.any():
-                # spurious wake-up (rates dropped since the push):
-                # reproject from materialised remaining
-                comp.stamp += 1
-                comp.proj[:nf] = now + (remaining[fids]
-                                        / comp.flow_rates[:nf])
-                comp.next_t = (float(comp.proj[:nf].min())
-                               if nf else math.inf)
-                self._push_comp(comp)
-                continue
-            finished = fids[done_sel]
-            set_changed = True
-            comp.dirty = True
-            comp.live_flows -= len(finished)
-            rows = comp.flow_row[:nf][done_sel]
-            np.subtract.at(comp.mult, rows, 1)
-            remaining[finished] = np.inf      # dead-slot marker
-            comp.flow_rates[:nf][done_sel] = 0.0
-            comp.proj[:nf][done_sel] = np.inf
-            for r in np.unique(rows):
-                if comp.mult[r] == 0:
-                    self._deactivate_pair(int(comp.row_pair[r]), comp)
-            for fid in finished:
-                self._complete_flow(int(fid), now)
-            if comp.live_rows == 0:
-                # fully drained: every link was already freed by
-                # _deactivate_pair, the component just retires
-                comp.alive = False
-            else:
-                if comp.live_flows * 2 < comp.n_flows:
-                    comp.compact_flows(remaining)
-                if (comp.live_rows * 2 < comp.n_rows
-                        and comp.n_rows > 8):
-                    comp.compact_rows()
-                touched.append(comp)
-
-        # local (route-less) flows: instantaneous once released
-        local_done: list[int] = []
-        while local_heap and local_heap[0][0] <= now:
-            _, fid = heapq.heappop(local_heap)
-            local_done.append(fid)
-        if local_done:
-            set_changed = True
-            for fid in local_done:
-                remaining[fid] = np.inf
-                self._complete_flow(fid, now)
+        # 1) flow completions (component sweep + local flows)
+        set_changed = reg.sweep(now, self._complete_flow)
 
         # 2) task completions
         while finish_heap and finish_heap[0][0] <= now + _TIME_EPS:
@@ -557,43 +377,14 @@ class LiveFluidEngine:
         while release_heap and release_heap[0][0] <= now + _TIME_EPS:
             _, fid = heapq.heappop(release_heap)
             set_changed = True
-            pid = int(self.pair_of[fid])
-            if not self.pair_routes[pid]:
-                # local pair: completes at the next event
-                heapq.heappush(local_heap, (now, fid))
-                continue
-            cid = self.comp_of_pair[pid]
-            if cid == -1:
-                comp, row = self._activate_pair(pid, now)
-            else:
-                comp = comps[self._find(int(cid))]
-                self._materialize(comp, now)
-                comp.dirty = True
-                row = comp.pair_rows[pid]
-            comp.mult[row] += 1
-            comp.add_flow(fid, row)
-            if comp not in touched:
-                touched.append(comp)
+            reg.release(int(fid), int(self.pair_of[fid]), now)
 
         # 4) newly startable tasks
         self._start_ready(now)
 
-        # 5) re-solve: only dirty components (lazy) — or, on the
-        # full-solve oracle, every live component (see the batch engine)
+        # 5) re-solve dirty (lazy) or all live (oracle) components
         if set_changed:
-            self.solves_full += 1
-            if lazy:
-                for comp in touched:
-                    if comp.alive and comp.dirty:
-                        self._solve(comp, now)
-            else:
-                for comp in comps:
-                    if not comp.alive or not comp.live_rows:
-                        continue
-                    if comp.dirty:
-                        self._solve(comp, now)
-                    else:
-                        comp.rates = self._comp_waterfill(comp)
+            reg.resolve(now)
 
     # ------------------------------------------------------------------ #
     # public driving interface

@@ -26,7 +26,9 @@ multi-cluster platform flow through the same simulator unchanged.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from repro.model.amdahl import AmdahlModel
 from repro.platforms.cluster import GIGABIT_BPS, Cluster
@@ -151,7 +153,11 @@ class MultiClusterPlatform:
             raise ValueError(f"duplicate cluster names: {names}")
 
     # ------------------------------------------------------------------ #
-    @property
+    # cached_property stores straight into the instance __dict__, which
+    # is fine on a frozen dataclass (no __setattr__ involved) — these are
+    # hot in route construction on wide platforms, where recomputing the
+    # offset table per lookup made `locate` O(clusters²)
+    @cached_property
     def offsets(self) -> tuple[int, ...]:
         out = []
         total = 0
@@ -160,7 +166,7 @@ class MultiClusterPlatform:
             total += c.num_procs
         return tuple(out)
 
-    @property
+    @cached_property
     def num_procs(self) -> int:
         return sum(c.num_procs for c in self.clusters)
 
@@ -168,11 +174,8 @@ class MultiClusterPlatform:
         """Global processor id → (cluster index, local processor id)."""
         if not 0 <= proc < self.num_procs:
             raise ValueError(f"processor {proc} out of range")
-        for k in reversed(range(len(self.clusters))):
-            off = self.offsets[k]
-            if proc >= off:
-                return k, proc - off
-        raise AssertionError("unreachable")
+        k = bisect_right(self.offsets, proc) - 1
+        return k, proc - self.offsets[k]
 
     def cluster_of(self, proc: int) -> Cluster:
         return self.clusters[self.locate(proc)[0]]

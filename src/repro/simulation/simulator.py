@@ -66,7 +66,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.dag.task import TaskGraph
-from repro.network.maxmin import dsu_find, waterfill_bundled
+from repro.network.maxmin import bundle_components, dsu_find, waterfill_bundled
 from repro.platforms.cluster import Cluster
 from repro.redistribution.matrix import redistribution_flows
 from repro.scheduling.schedule import Schedule
@@ -77,6 +77,11 @@ __all__ = ["FluidSimulator", "SimulationResult", "simulate"]
 _TIME_EPS = 1e-9
 #: Completion threshold as a fraction of a flow's total bytes.
 _REL_BYTES_EPS = 1e-9
+#: Components below this live-row count never partition: their solves
+#: cost microseconds while a partition build (connectivity labelling +
+#: part-local index construction) costs ~a millisecond — splits only pay
+#: on components large enough that part-scoped solves amortise the build.
+_SPLIT_MIN_ROWS = 32
 
 
 @dataclass
@@ -100,6 +105,12 @@ class SimulationResult:
     maxmin_solves: int = 0
     solves_full: int = 0
     solves_component: int = 0
+    #: dynamic component splits performed (component engine only)
+    splits: int = 0
+    #: total bundle rows handed to the solver across all component solves —
+    #: the work proxy that makes the split/local-index saving measurable
+    #: even when the solve *count* stays the same
+    solve_rows: int = 0
 
     def as_executed_schedule(self, schedule: Schedule) -> Schedule:
         """Rebuild a :class:`Schedule` carrying the *simulated* times."""
@@ -189,6 +200,33 @@ def _grow(arr: np.ndarray, need: int) -> np.ndarray:
     return new
 
 
+class _Part:
+    """One link-disjoint block of a dynamically split component.
+
+    A view over a subset of the owning component's rows, with its own
+    part-local link numbering and capacity slice — so re-solving one
+    part costs O(part links) per round, not O(component links).  Parts
+    *can* change shape: a pair (re)activation whose links all fall
+    inside one part is grafted onto it (``_Component._graft_row``),
+    which appends the row in sorted position and marks the part-local
+    view stale (``flat = None``); the next part solve rebuilds it.
+    Only a *bridging* activation — links spanning several parts — drops
+    the whole partition (``_ComponentRegistry`` rebuilds it on the next
+    drain hysteresis trigger).
+    """
+
+    __slots__ = ("rows", "flat", "ptr", "caps", "route_len")
+
+    def __init__(self, rows: np.ndarray, flat: np.ndarray,
+                 ptr: np.ndarray, caps: np.ndarray,
+                 route_len: int) -> None:
+        self.rows = rows            # owning component's row indices
+        self.flat = flat            # CSR link incidence, part-local ids
+        self.ptr = ptr
+        self.caps = caps            # part-local capacity array
+        self.route_len = route_len  # uniform route length, 0 = mixed
+
+
 class _Component:
     """One link-connected component of the active pair set.
 
@@ -197,22 +235,35 @@ class _Component:
     completed flow keeps its slot with ``remaining = inf``), compacted
     when dead entries outnumber live ones — so the steady-state per-event
     cost is O(changed entries), not O(component).  The CSR link incidence
-    (``flat`` / ``row_lens``) is maintained incrementally on pair
-    activation — the "bundle diff" that lets consecutive solves of the
-    same component skip any rebuild.
+    (``flat`` / ``ptr`` / ``row_lens``) is maintained incrementally on
+    pair activation — the "bundle diff" that lets consecutive solves of
+    the same component skip any rebuild.
+
+    With ``caps_global`` set, ``flat`` holds **component-local** link ids:
+    every global link seen gets a compact local id (``local_of`` /
+    ``local_links``) and its capacity is mirrored into ``cap_local``, so
+    the solver receives a residual array of size O(component links)
+    instead of the whole platform's.  Renumbering links changes nothing
+    in the waterfilling arithmetic (every per-link accumulation keeps its
+    entry order, links absent from the component contribute count 0 and
+    level inf either way), so local solves are bitwise identical to
+    global ones.
     """
 
     __slots__ = (
         "cid", "alive", "dirty", "stamp", "t_mat", "next_t",
         "pair_rows",
-        "row_pair", "mult", "row_caps", "n_rows", "live_rows",
-        "flat", "row_lens", "flat_len", "route_len", "uniform",
+        "row_pair", "mult", "row_caps", "n_rows", "live_rows", "peak_rows",
+        "flat", "ptr", "row_lens", "flat_len", "route_len", "uniform",
         "rates",
         "flow_fid", "flow_row", "n_flows", "live_flows", "flow_rates",
         "proj",
+        "caps_global", "local_of", "local_links", "cap_local", "n_local",
+        "parts", "part_of_row", "part_dirty", "part_of_link",
     )
 
-    def __init__(self, cid: int) -> None:
+    def __init__(self, cid: int,
+                 caps_global: np.ndarray | None = None) -> None:
         self.cid = cid
         self.alive = True
         self.dirty = True
@@ -226,10 +277,12 @@ class _Component:
         self.mult = np.zeros(4, dtype=float)
         self.row_caps = np.empty(4, dtype=float)
         self.flat = np.empty(8, dtype=np.intp)   # CSR link incidence
+        self.ptr = np.zeros(5, dtype=np.intp)    # cached CSR offsets
         self.row_lens = np.empty(4, dtype=np.intp)
         self.flat_len = 0
         self.n_rows = 0
         self.live_rows = 0
+        self.peak_rows = 0          # live-row high-water mark (split check)
         self.route_len = 0          # uniform route length, 0 = mixed
         self.uniform = True
         self.rates = np.zeros(0)
@@ -239,8 +292,41 @@ class _Component:
         self.live_flows = 0
         self.flow_rates = np.zeros(8)
         self.proj = np.full(8, np.inf)
+        # local link index (None caps_global = global link ids in flat)
+        self.caps_global = caps_global
+        self.local_of: dict[int, int] = {}
+        self.local_links = np.empty(8, dtype=np.intp)
+        self.cap_local = np.empty(8, dtype=float)
+        self.n_local = 0
+        # dynamic split state (see _ComponentRegistry): link-disjoint
+        # partition of the live rows, rebuilt on drain hysteresis;
+        # maintained incrementally across pair (re)activations via
+        # part_of_link (local link id -> part, -1 = unassigned) and
+        # dropped only by merges or bridging activations
+        self.parts: list[_Part] | None = None
+        self.part_of_row: np.ndarray | None = None
+        self.part_dirty: np.ndarray | None = None
+        self.part_of_link: np.ndarray | None = None
 
     # ------------------------------------------------------------------ #
+    def local_ids(self, links) -> np.ndarray:
+        """Local ids of ``links``, extending the index for unseen ones."""
+        local_of = self.local_of
+        out = np.empty(len(links), dtype=np.intp)
+        n = self.n_local
+        for i, g in enumerate(links):
+            lid = local_of.get(g)
+            if lid is None:
+                self.local_links = _grow(self.local_links, n + 1)
+                self.cap_local = _grow(self.cap_local, n + 1)
+                self.local_links[n] = g
+                self.cap_local[n] = self.caps_global[g]
+                local_of[g] = lid = n
+                n += 1
+            out[i] = lid
+        self.n_local = n
+        return out
+
     def add_pair(self, pair: int, links: tuple[int, ...],
                  cap: float) -> int:
         row = self.n_rows
@@ -254,10 +340,22 @@ class _Component:
         self.row_lens[row] = len(links)
         end = self.flat_len + len(links)
         self.flat = _grow(self.flat, end)
-        self.flat[self.flat_len:end] = links
+        ids = (np.asarray(links, dtype=np.intp)
+               if self.caps_global is None else self.local_ids(links))
+        self.flat[self.flat_len:end] = ids
         self.flat_len = end
+        if self.parts is not None:
+            if self.part_of_link is None or not len(ids):
+                self.parts = None      # no link index: drop the partition
+                self.part_of_link = None
+            else:
+                self._graft_row(row, ids)
+        self.ptr = _grow(self.ptr, row + 2)
+        self.ptr[row + 1] = end
         self.n_rows = row + 1
         self.live_rows += 1
+        if self.live_rows > self.peak_rows:
+            self.peak_rows = self.live_rows
         self.pair_rows[pair] = row
         if row == 0:
             self.route_len = len(links)
@@ -265,6 +363,55 @@ class _Component:
             self.uniform = False
             self.route_len = 0
         return row
+
+    def _graft_row(self, row: int, lids: np.ndarray) -> None:
+        """Attach a (re)activated row to the standing partition.
+
+        If the row's links are confined to one part (or wholly unseen),
+        the partition stays valid: the row joins that part (or founds a
+        new singleton part), the part's local view is marked stale for
+        rebuild at its next solve, and link-disjointness — the property
+        that makes part-scoped solves bitwise-identical to full ones —
+        is preserved.  A row bridging several parts drops the partition.
+        Rows are kept sorted within a part so the part solve sees them
+        in the same order a full-component solve would.
+        """
+        pol = self.part_of_link
+        if len(pol) < self.n_local:       # local index grew with this row
+            new = np.full(max(self.n_local, 2 * len(pol)), -1,
+                          dtype=np.intp)
+            new[:len(pol)] = pol
+            self.part_of_link = pol = new
+        touched = np.unique(pol[lids])
+        if len(touched) and touched[0] == -1:
+            touched = touched[1:]
+        if len(touched) > 1:
+            self.parts = None             # bridging activation
+            self.part_of_link = None
+            return
+        if len(touched) == 1:
+            p = int(touched[0])
+            part = self.parts[p]
+            part.rows = np.insert(part.rows,
+                                  int(np.searchsorted(part.rows, row)),
+                                  row)
+        else:
+            p = len(self.parts)
+            self.parts.append(_Part(np.array([row], dtype=np.intp),
+                                    None, None, None, 0))
+            self.part_dirty = np.append(self.part_dirty, False)
+        self.parts[p].flat = None         # stale part-local view
+        self.part_dirty[p] = True
+        pol[lids] = p
+        if row >= len(self.part_of_row):
+            n = len(self.part_of_row)
+            new = np.full(max(row + 1, 2 * n), -1, dtype=np.intp)
+            new[:n] = self.part_of_row
+            self.part_of_row = new
+        self.part_of_row[row] = p
+        if row >= len(self.rates):
+            self.rates = _grow(self.rates, row + 1)
+        self.rates[row] = 0.0             # rewritten by the dirty solve
 
     def add_flow(self, fid: int, row: int) -> None:
         n = self.n_flows
@@ -291,21 +438,22 @@ class _Component:
         self.proj[:kept] = self.proj[:n][keep]
         self.n_flows = kept
 
-    def compact_rows(self) -> None:
+    def compact_rows(self) -> list[int]:
         """Drop drained-pair rows (multiplicity 0), renumbering flows.
 
         The solved ``rates`` are *not* remapped: they are recomputed from
         scratch by the next solve before anything reads them (compaction
         only happens on completion events, which dirty the component).
+        Returns the pair ids whose (resurrectable) tombstone rows were
+        dropped — the registry must point them back at no component.
         """
         n = self.n_rows
         keep = self.mult[:n] > 0
         new_of_old = np.cumsum(keep) - 1
         kept = int(keep.sum())
         # rebuild the CSR incidence over the surviving rows
-        ends = np.cumsum(self.row_lens[:n])
-        pieces = [self.flat[e - l:e]
-                  for e, l, k in zip(ends, self.row_lens[:n], keep) if k]
+        pieces = [self.flat[self.ptr[r]:self.ptr[r + 1]]
+                  for r in np.nonzero(keep)[0]]
         new_flat = (np.concatenate(pieces) if pieces
                     else np.empty(0, dtype=np.intp))
         self.flat[:len(new_flat)] = new_flat
@@ -314,9 +462,11 @@ class _Component:
         self.row_lens[:kept] = self.row_lens[:n][keep]
         self.mult[:kept] = self.mult[:n][keep]
         self.row_caps[:kept] = self.row_caps[:n][keep]
+        np.cumsum(self.row_lens[:kept], out=self.ptr[1:kept + 1])
         self.n_rows = kept
+        dropped = [int(p) for p, r in self.pair_rows.items() if not keep[r]]
         self.pair_rows = {int(p): int(new_of_old[r])
-                          for p, r in self.pair_rows.items()}
+                          for p, r in self.pair_rows.items() if keep[r]}
         # completed flows may still point at a dropped row; clamp them to
         # 0 — their rate is never read again (remaining == inf)
         old_rows = self.flow_row[:self.n_flows]
@@ -324,6 +474,577 @@ class _Component:
         remapped = new_of_old[old_rows]
         remapped[dead_row] = 0
         self.flow_row[:self.n_flows] = remapped
+        return dropped
+
+
+def _connected_rows(flat: np.ndarray, ptr: np.ndarray) -> np.ndarray:
+    """Link-connected component label of every CSR row.
+
+    Labels are numbered by first row appearance — the exact contract of
+    :func:`repro.network.maxmin.bundle_components`, which is the
+    dependency-free fallback when scipy is unavailable.  The scipy path
+    runs the connected-components sweep over the bipartite row↔link
+    graph in compiled code, which is what makes split checks affordable
+    on large components.
+    """
+    n_rows = len(ptr) - 1
+    if n_rows <= 1 or not len(flat):
+        return np.arange(n_rows, dtype=np.intp) if not len(flat) \
+            else np.zeros(n_rows, dtype=np.intp) if n_rows == 1 \
+            else bundle_components(flat, ptr)
+    try:
+        from scipy import sparse
+        from scipy.sparse.csgraph import connected_components
+    except ImportError:  # pragma: no cover - scipy-free environments
+        return bundle_components(flat, ptr)
+    n_ids = int(flat.max()) + 1
+    rows = np.repeat(np.arange(n_rows, dtype=np.intp), np.diff(ptr))
+    graph = sparse.coo_matrix(
+        (np.ones(len(flat), dtype=np.int8), (rows, flat + n_rows)),
+        shape=(n_rows + n_ids, n_rows + n_ids))
+    _, labels = connected_components(graph, directed=False)
+    row_labels = labels[:n_rows]
+    # renumber by first appearance so scipy and the DSU fallback agree
+    uniq, first = np.unique(row_labels, return_index=True)
+    rank = np.empty(len(uniq), dtype=np.intp)
+    rank[np.argsort(first, kind="stable")] = np.arange(len(uniq),
+                                                       dtype=np.intp)
+    return rank[np.searchsorted(uniq, row_labels)]
+
+
+class _ComponentRegistry:
+    """The link-connected component machinery shared by both engines.
+
+    Owns the union-find over component ids, per-link ownership, the
+    component event heap and the local (route-less) flow pseudo-heap, and
+    performs the event-loop phases that touch components: the completion
+    sweep (:meth:`sweep`), flow releases (:meth:`release`) and the
+    re-solve with optional dynamic splits (:meth:`resolve`).  The batch
+    :class:`FluidSimulator` and the online
+    :class:`~repro.online.live.LiveFluidEngine` both drive this one
+    implementation, so the two engines cannot drift apart.
+
+    ``remaining`` / ``done_threshold`` are *bound* by the owning engine
+    (and re-bound after amortised growth): the registry always reads the
+    arrays the engine currently owns.  ``pair_routes`` / ``pair_cap`` are
+    held by reference too — the live engine appends to them on inject.
+
+    Dynamic splits
+    --------------
+    Components merge eagerly but — with ``split_threshold`` set — their
+    *solves* no longer stay coarse forever: when a component's live-pair
+    count has fallen to ``split_threshold × peak_rows`` at a re-solve,
+    its live rows are re-partitioned by link connectivity
+    (:func:`_connected_rows`).  If they fall apart, each block becomes a
+    :class:`_Part` with its own part-local link index, and subsequent
+    solves re-waterfill only the parts that events actually dirtied,
+    splicing cached rates for the rest.  The component remains *one*
+    entity for materialisation, projections and the event heap — that is
+    what makes splitting byte-identical to merge-only: a Max-Min solve
+    decomposes exactly over link-disjoint row sets (the same property
+    the lazy component engine itself rests on), while every remaining
+    flow still advances on the identical schedule.  A physical split
+    into independent components would instead change *when* flows
+    materialise and re-project, which perturbs the floating-point
+    summation order of ``remaining`` — observably different traces.
+    Any structural growth (pair activation, merge) drops the partition;
+    the hysteresis (``peak_rows`` re-armed at every partition build, a
+    :data:`_SPLIT_MIN_ROWS` floor, and no rebuild while a partition is
+    already standing) amortises the O(component) build cost over the
+    drains that earn it — drain-heavy workloads complete rows in large
+    synchronised batches, so re-checking connectivity at every further
+    halving would rebuild on nearly every solve and never reach a
+    part-scoped one.
+    """
+
+    def __init__(self, capacities: np.ndarray, pair_routes, pair_cap, *,
+                 lazy: bool = True, local_index: bool = True,
+                 split_threshold: float | None = 0.5) -> None:
+        self.capacities = capacities
+        self.pair_routes = pair_routes
+        self.pair_cap = pair_cap
+        self.lazy = lazy
+        self.local_index = local_index
+        self.split_threshold = float(split_threshold or 0.0)
+        n_links = len(capacities)
+        self.comps: list[_Component] = []
+        self.parent: list[int] = []         # union-find over component ids
+        self.link_owner = np.full(n_links, -1, dtype=np.intp)
+        self.link_pairs = np.zeros(n_links, dtype=np.intp)
+        self.comp_of_pair: list[int] = [-1] * len(pair_cap)
+        self.comp_heap: list[tuple[float, int, int]] = []  # (t, cid, stamp)
+        # local (route-less) flows complete one event after release; they
+        # never join a component — a shared pseudo-heap orders them
+        self.local_heap: list[tuple[float, int]] = []
+        self.remaining: np.ndarray | None = None       # bound by the engine
+        self.done_threshold: np.ndarray | None = None
+        self.touched: list[_Component] = []
+        self.solves_full = 0
+        self.solves_component = 0
+        self.solve_rows = 0
+        self.splits = 0
+
+    # ------------------------------------------------------------------ #
+    def find(self, cid: int) -> int:
+        return dsu_find(self.parent, cid)
+
+    def new_component(self) -> _Component:
+        cid = len(self.comps)
+        comp = _Component(cid,
+                          self.capacities if self.local_index else None)
+        self.comps.append(comp)
+        self.parent.append(cid)
+        return comp
+
+    def push_comp(self, comp: _Component) -> None:
+        if math.isfinite(comp.next_t):
+            heapq.heappush(self.comp_heap,
+                           (comp.next_t, comp.cid, comp.stamp))
+
+    def materialize(self, comp: _Component, t: float) -> None:
+        """Advance the component's flows to ``t`` under cached rates."""
+        if t > comp.t_mat:
+            n = comp.n_flows
+            fids = comp.flow_fid[:n]
+            self.remaining[fids] -= comp.flow_rates[:n] * (t - comp.t_mat)
+        comp.t_mat = t
+
+    def merge(self, a: _Component, b: _Component, t: float) -> _Component:
+        """Merge ``b`` into ``a`` (both materialised to ``t``)."""
+        self.materialize(a, t)
+        self.materialize(b, t)
+        off = a.n_rows
+        a.row_pair = _grow(a.row_pair, off + b.n_rows)
+        a.mult = _grow(a.mult, off + b.n_rows)
+        a.row_caps = _grow(a.row_caps, off + b.n_rows)
+        a.row_lens = _grow(a.row_lens, off + b.n_rows)
+        a.row_pair[off:off + b.n_rows] = b.row_pair[:b.n_rows]
+        a.mult[off:off + b.n_rows] = b.mult[:b.n_rows]
+        a.row_caps[off:off + b.n_rows] = b.row_caps[:b.n_rows]
+        a.row_lens[off:off + b.n_rows] = b.row_lens[:b.n_rows]
+        end = a.flat_len + b.flat_len
+        a.flat = _grow(a.flat, end)
+        if a.caps_global is None:
+            a.flat[a.flat_len:end] = b.flat[:b.flat_len]
+        else:
+            # remap b's local link ids into a's local index
+            remap = a.local_ids(b.local_links[:b.n_local].tolist())
+            a.flat[a.flat_len:end] = remap[b.flat[:b.flat_len]]
+        a.ptr = _grow(a.ptr, off + b.n_rows + 1)
+        a.ptr[off + 1:off + b.n_rows + 1] = (a.flat_len
+                                             + b.ptr[1:b.n_rows + 1])
+        a.flat_len = end
+        a.n_rows = off + b.n_rows
+        a.live_rows += b.live_rows
+        if a.live_rows > a.peak_rows:
+            a.peak_rows = a.live_rows
+        a.parts = None    # cross-component growth drops the partition
+        a.part_of_link = None
+        for pid, row in b.pair_rows.items():
+            a.pair_rows[pid] = off + row
+            self.comp_of_pair[pid] = a.cid
+        if a.uniform and (not b.uniform or b.route_len != a.route_len):
+            a.uniform = False
+            a.route_len = 0
+        fo = a.n_flows
+        a.flow_fid = _grow(a.flow_fid, fo + b.n_flows)
+        a.flow_row = _grow(a.flow_row, fo + b.n_flows)
+        a.flow_rates = _grow(a.flow_rates, fo + b.n_flows)
+        a.proj = _grow(a.proj, fo + b.n_flows)
+        a.flow_fid[fo:fo + b.n_flows] = b.flow_fid[:b.n_flows]
+        a.flow_row[fo:fo + b.n_flows] = b.flow_row[:b.n_flows] + off
+        a.flow_rates[fo:fo + b.n_flows] = b.flow_rates[:b.n_flows]
+        a.proj[fo:fo + b.n_flows] = b.proj[:b.n_flows]
+        a.n_flows = fo + b.n_flows
+        a.live_flows += b.live_flows
+        b.alive = False
+        self.parent[b.cid] = a.cid
+        a.dirty = True
+        return a
+
+    def activate_pair(self, pid: int, t: float) -> tuple[_Component, int]:
+        """Bring pair ``pid`` online; returns (component, row).
+
+        Components sharing a link with the pair merge (union-find);
+        link ownership is resolved through ``find``, so merged-away
+        components never need their links rewritten.
+        """
+        links = self.pair_routes[pid]
+        link_owner = self.link_owner
+        roots: list[int] = []
+        for li in links:
+            owner = link_owner[li]
+            if owner != -1:
+                r = self.find(int(owner))
+                if r not in roots:
+                    roots.append(r)
+        if not roots:
+            comp = self.new_component()
+            comp.t_mat = t
+        else:
+            comp = self.comps[roots[0]]
+            self.materialize(comp, t)
+            for r in roots[1:]:
+                other = self.comps[r]
+                if other.live_rows >= comp.live_rows:
+                    comp, other = other, comp
+                comp = self.merge(comp, other, t)
+        row = comp.add_pair(pid, links, self.pair_cap[pid])
+        self.comp_of_pair[pid] = comp.cid
+        for li in links:
+            link_owner[li] = comp.cid
+            self.link_pairs[li] += 1
+        comp.dirty = True
+        return comp, row
+
+    def deactivate_pair(self, pid: int, comp: _Component) -> None:
+        """Drain pair ``pid``: free its links but keep the tombstone row
+        *resurrectable* — ``pair_rows`` / ``comp_of_pair`` still point at
+        it, so a later release of the same pair revives the row in place
+        (:meth:`resurrect_pair`) instead of rebuilding CSR incidence and
+        local link index from scratch."""
+        comp.live_rows -= 1
+        for li in self.pair_routes[pid]:
+            self.link_pairs[li] -= 1
+            if self.link_pairs[li] == 0:
+                self.link_owner[li] = -1
+
+    def resurrect_pair(self, pid: int, comp: _Component, row: int,
+                       t: float) -> tuple[_Component, int]:
+        """Re-activate a drained pair whose tombstone row still lives in
+        ``comp``: reclaim link ownership (merging in any components that
+        claimed the links meanwhile — their rows are appended after
+        ``comp``'s, so live-row order matches a fresh activation) and
+        revive the row in place, skipping the whole incidence rebuild of
+        :meth:`activate_pair`."""
+        links = self.pair_routes[pid]
+        link_owner = self.link_owner
+        self.materialize(comp, t)
+        me = comp.cid
+        roots: list[int] = []
+        for li in links:
+            owner = link_owner[li]
+            if owner != -1:
+                r = self.find(int(owner))
+                if r != me and r not in roots:
+                    roots.append(r)
+        for r in roots:
+            other = self.comps[r]
+            if other.live_rows >= comp.live_rows:
+                comp, other = other, comp
+            comp = self.merge(comp, other, t)
+            me = comp.cid
+        if roots:
+            row = comp.pair_rows[pid]
+        for li in links:
+            link_owner[li] = me
+            self.link_pairs[li] += 1
+        comp.live_rows += 1
+        if comp.live_rows > comp.peak_rows:
+            comp.peak_rows = comp.live_rows
+        comp.dirty = True
+        if comp.parts is not None:
+            p = (int(comp.part_of_row[row])
+                 if row < len(comp.part_of_row) else -1)
+            if p >= 0:
+                comp.part_dirty[p] = True
+            elif comp.part_of_link is not None:
+                comp._graft_row(row, comp.local_ids(links))
+            else:
+                comp.parts = None
+                comp.part_of_link = None
+        return comp, row
+
+    # ------------------------------------------------------------------ #
+    def comp_waterfill(self, comp: _Component) -> np.ndarray:
+        self.solves_component += 1
+        n = comp.n_rows
+        self.solve_rows += n
+        # local components hand the solver their own capacity slice:
+        # O(component links) per round instead of O(platform links)
+        caps_arr = (self.capacities if comp.caps_global is None
+                    else comp.cap_local[:comp.n_local])
+        if comp.uniform and comp.route_len:
+            return waterfill_bundled(
+                comp.flat[:comp.flat_len], None, comp.mult[:n],
+                caps_arr, comp.row_caps[:n],
+                route_len=comp.route_len)
+        return waterfill_bundled(
+            comp.flat[:comp.flat_len], comp.ptr[:n + 1], comp.mult[:n],
+            caps_arr, comp.row_caps[:n])
+
+    def solve(self, comp: _Component, t: float) -> None:
+        """Re-solve the component's rates and projections at ``t``."""
+        thr = self.split_threshold
+        if (thr and comp.parts is None
+                and comp.live_rows >= _SPLIT_MIN_ROWS
+                and comp.live_rows <= thr * comp.peak_rows):
+            self._partition(comp)             # includes one full solve
+        elif comp.parts is None:
+            comp.rates = self.comp_waterfill(comp)
+        else:
+            self._solve_parts(comp)
+        nf = comp.n_flows
+        rf = comp.rates[comp.flow_row[:nf]]
+        comp.flow_rates[:nf] = rf
+        comp.proj[:nf] = t + self.remaining[comp.flow_fid[:nf]] / rf
+        comp.stamp += 1
+        comp.next_t = float(comp.proj[:nf].min()) if nf else math.inf
+        comp.dirty = False
+        self.push_comp(comp)
+
+    # ------------------------------------------------------------------ #
+    # dynamic splits
+    # ------------------------------------------------------------------ #
+    def _partition(self, comp: _Component) -> None:
+        """Re-partition ``comp``'s live rows by link connectivity.
+
+        Performs one full-component solve either way (the caller is on
+        the solve path), then — if the live rows fall into several
+        link-disjoint blocks — builds the :class:`_Part` views that let
+        subsequent solves touch only dirtied blocks.  ``peak_rows``
+        re-arms to the current live count, so the next check waits for
+        another ``split_threshold``-factor drain.
+        """
+        comp.peak_rows = comp.live_rows
+        comp.rates = self.comp_waterfill(comp)
+        comp.parts = None
+        comp.part_of_link = None
+        n = comp.n_rows
+        live = np.nonzero(comp.mult[:n] > 0)[0]
+        sub_flat, sub_lens = _csr_gather(comp.flat, comp.ptr[:n + 1], live)
+        sub_ptr = np.zeros(len(live) + 1, dtype=np.intp)
+        np.cumsum(sub_lens, out=sub_ptr[1:])
+        labels = _connected_rows(sub_flat, sub_ptr)
+        k = int(labels.max()) + 1 if len(labels) else 0
+        if k <= 1:
+            return
+        self.splits += 1
+        caps_src = (self.capacities if comp.caps_global is None
+                    else comp.cap_local[:comp.n_local])
+        part_of_link = (np.full(comp.n_local, -1, dtype=np.intp)
+                        if comp.caps_global is not None else None)
+        parts: list[_Part] = []
+        for lbl in range(k):
+            sel = labels == lbl
+            rows = live[sel]
+            entries, lens = _csr_gather(sub_flat, sub_ptr,
+                                        np.nonzero(sel)[0])
+            # part-local renumbering: bitwise-neutral for the solver
+            # (per-link accumulations keep entry order either way)
+            uniq, inv = np.unique(entries, return_inverse=True)
+            ptr = np.zeros(len(rows) + 1, dtype=np.intp)
+            np.cumsum(lens, out=ptr[1:])
+            rl = int(lens[0]) if len(lens) and (lens == lens[0]).all() \
+                else 0
+            parts.append(_Part(rows, inv.astype(np.intp, copy=False),
+                               ptr, caps_src[uniq], rl))
+            if part_of_link is not None:
+                part_of_link[uniq] = lbl
+        comp.parts = parts
+        comp.part_of_link = part_of_link
+        part_of_row = np.full(n, -1, dtype=np.intp)
+        part_of_row[live] = labels
+        comp.part_of_row = part_of_row
+        comp.part_dirty = np.zeros(k, dtype=bool)  # full solve just ran
+
+    def _solve_parts(self, comp: _Component) -> None:
+        """Re-waterfill only the dirtied parts, splicing cached rates.
+
+        Bitwise-identical to a full-component solve: rates of rows in
+        clean parts would be recomputed to the very same values (their
+        links saw no change), and the dirty parts' solves see the same
+        per-link arithmetic as inside the full solve.
+        """
+        mult, row_caps, rates = comp.mult, comp.row_caps, comp.rates
+        for idx in np.nonzero(comp.part_dirty)[0]:
+            part = comp.parts[idx]
+            rows = part.rows
+            if part.flat is None:
+                # stale view: rows were grafted since the last build —
+                # rebuild with the same arithmetic as _partition's build
+                entries, lens = _csr_gather(comp.flat,
+                                            comp.ptr[:comp.n_rows + 1],
+                                            rows)
+                uniq, inv = np.unique(entries, return_inverse=True)
+                ptr = np.zeros(len(rows) + 1, dtype=np.intp)
+                np.cumsum(lens, out=ptr[1:])
+                part.flat = inv.astype(np.intp, copy=False)
+                part.ptr = ptr
+                caps_src = (self.capacities if comp.caps_global is None
+                            else comp.cap_local[:comp.n_local])
+                part.caps = caps_src[uniq]
+                part.route_len = (int(lens[0])
+                                  if len(lens) and (lens == lens[0]).all()
+                                  else 0)
+            self.solves_component += 1
+            self.solve_rows += len(rows)
+            if part.route_len:
+                r = waterfill_bundled(
+                    part.flat, None, mult[rows],
+                    part.caps, row_caps[rows], route_len=part.route_len)
+            else:
+                r = waterfill_bundled(
+                    part.flat, part.ptr, mult[rows],
+                    part.caps, row_caps[rows])
+            rates[rows] = r
+        comp.part_dirty[:] = False
+
+    # ------------------------------------------------------------------ #
+    # event-loop phases
+    # ------------------------------------------------------------------ #
+    def peek(self) -> float:
+        """Earliest component/local event time (inf when idle), dropping
+        stale component-heap entries while peeking."""
+        t_next = math.inf
+        comp_heap = self.comp_heap
+        comps = self.comps
+        while comp_heap:
+            tt, cid, stamp = comp_heap[0]
+            comp = comps[cid]
+            if not comp.alive or comp.stamp != stamp:
+                heapq.heappop(comp_heap)
+                continue
+            t_next = tt
+            break
+        if self.local_heap and self.local_heap[0][0] < t_next:
+            t_next = self.local_heap[0][0]
+        return t_next
+
+    def sweep(self, now: float, complete_flow) -> bool:
+        """Flow completions: pop every component whose earliest projection
+        fired, materialise it, sweep its flows; then the local
+        (route-less) flows.  Returns whether the flow set changed."""
+        comps = self.comps
+        comp_heap = self.comp_heap
+        remaining = self.remaining
+        done_threshold = self.done_threshold
+        touched = self.touched
+        set_changed = False
+        while comp_heap and comp_heap[0][0] <= now:
+            _, cid, stamp = heapq.heappop(comp_heap)
+            comp = comps[cid]
+            if not comp.alive or comp.stamp != stamp:
+                continue
+            self.materialize(comp, now)
+            nf = comp.n_flows
+            fids = comp.flow_fid[:nf]
+            done_sel = remaining[fids] <= done_threshold[fids]
+            if not done_sel.any():
+                # spurious wake-up (rates dropped since the push):
+                # reproject from materialised remaining
+                comp.stamp += 1
+                comp.proj[:nf] = now + (remaining[fids]
+                                        / comp.flow_rates[:nf])
+                comp.next_t = (float(comp.proj[:nf].min())
+                               if nf else math.inf)
+                self.push_comp(comp)
+                continue
+            finished = fids[done_sel]
+            set_changed = True
+            comp.dirty = True
+            comp.live_flows -= len(finished)
+            rows = comp.flow_row[:nf][done_sel]
+            if comp.parts is not None:
+                comp.part_dirty[comp.part_of_row[rows]] = True
+            np.subtract.at(comp.mult, rows, 1)
+            remaining[finished] = np.inf      # dead-slot marker
+            comp.flow_rates[:nf][done_sel] = 0.0
+            comp.proj[:nf][done_sel] = np.inf
+            for r in np.unique(rows):
+                if comp.mult[r] == 0:
+                    self.deactivate_pair(int(comp.row_pair[r]), comp)
+            for fid in finished:
+                complete_flow(int(fid), now)
+            if comp.live_rows == 0:
+                # fully drained: every link was already freed by
+                # deactivate_pair.  The component stays alive as a
+                # resurrectable shell — its rows keep their local link
+                # ids, so re-releases of the same pairs skip the whole
+                # rebuild.  No heap entry (nothing can fire) and no
+                # solve needed (nothing is live).
+                comp.compact_flows(remaining)
+                comp.stamp += 1
+                comp.next_t = math.inf
+                comp.dirty = False
+            else:
+                if comp.live_flows * 2 < comp.n_flows:
+                    comp.compact_flows(remaining)
+                # row compaction renumbers rows, which would orphan the
+                # partition views; tombstones are numerically inert and
+                # the next partition rebuild sheds them anyway.  Since
+                # tombstones became resurrectable, eviction is no longer
+                # free — a compacted pair must rebuild incidence and
+                # local index on its next release — so only clearly
+                # tombstone-dominated large components compact
+                if (comp.parts is None
+                        and comp.live_rows * 8 < comp.n_rows
+                        and comp.n_rows > 64):
+                    for dead_pid in comp.compact_rows():
+                        self.comp_of_pair[dead_pid] = -1
+                touched.append(comp)
+
+        # local (route-less) flows: instantaneous once released
+        local_heap = self.local_heap
+        local_done: list[int] = []
+        while local_heap and local_heap[0][0] <= now:
+            _, fid = heapq.heappop(local_heap)
+            local_done.append(fid)
+        if local_done:
+            set_changed = True
+            for fid in local_done:
+                remaining[fid] = np.inf
+                complete_flow(fid, now)
+        return set_changed
+
+    def release(self, fid: int, pid: int, now: float) -> None:
+        """A released flow joins its pair's component (activating or
+        merging as needed); route-less pairs go to the local heap."""
+        if not self.pair_routes[pid]:
+            # local pair: completes at the next event
+            heapq.heappush(self.local_heap, (now, fid))
+            return
+        cid = self.comp_of_pair[pid]
+        if cid == -1:
+            comp, row = self.activate_pair(pid, now)
+        else:
+            comp = self.comps[self.find(int(cid))]
+            row = comp.pair_rows[pid]
+            if comp.mult[row] > 0:         # pair is live: just pile on
+                self.materialize(comp, now)
+                comp.dirty = True
+                if comp.parts is not None:
+                    comp.part_dirty[comp.part_of_row[row]] = True
+            else:                          # drained tombstone: revive it
+                comp, row = self.resurrect_pair(pid, comp, row, now)
+        comp.mult[row] += 1
+        comp.add_flow(fid, row)
+        if comp not in self.touched:
+            self.touched.append(comp)
+
+    def resolve(self, now: float) -> None:
+        """Re-solve: only dirty components (lazy) — or, on the full-solve
+        oracle, every live component; clean ones see identical inputs and
+        recompute identical rates, so the two modes stay byte-identical
+        while ``lazy=False`` really performs the eager work.
+        """
+        self.solves_full += 1
+        if self.lazy:
+            for comp in self.touched:
+                if comp.alive and comp.dirty and comp.live_rows:
+                    self.solve(comp, now)
+        else:
+            for comp in self.comps:
+                if not comp.alive or not comp.live_rows:
+                    continue
+                if comp.dirty:
+                    self.solve(comp, now)
+                else:
+                    # full re-solve of an untouched component: same
+                    # bundles, same multiplicities — rates replaced by
+                    # bitwise-equal values, cached projections untouched
+                    # (their recomputation would reproduce them)
+                    comp.rates = self.comp_waterfill(comp)
 
 
 class _TaskBookkeeping:
@@ -458,18 +1179,32 @@ class FluidSimulator:
         an event touched (default).  ``lazy=False`` re-solves every live
         component at every flow-set change — byte-identical traces, kept
         as the full-solve equivalence oracle.
+    local_index:
+        Give each component a compact local link numbering so its solves
+        see an O(component links) capacity array instead of the whole
+        platform's (default).  Bitwise-neutral; the toggle exists for
+        A/B benchmarking and debugging.
+    split_threshold:
+        Re-partition a component by link connectivity when its live-pair
+        count drops to this fraction of its high-water mark (default
+        0.5).  ``None`` disables dynamic splits (merge-only components,
+        the pre-split behaviour).  Bitwise-neutral by construction.
     """
 
     def __init__(self, schedule: Schedule, *,
                  collect_flow_traces: bool = False,
                  use_bundling: bool = True,
-                 lazy: bool = True) -> None:
+                 lazy: bool = True,
+                 local_index: bool = True,
+                 split_threshold: float | None = 0.5) -> None:
         self.schedule = schedule
         self.graph: TaskGraph = schedule.graph
         self.cluster: Cluster = schedule.cluster
         self.collect_flow_traces = collect_flow_traces
         self.use_bundling = use_bundling
         self.lazy = lazy
+        self.local_index = local_index
+        self.split_threshold = split_threshold
 
     # ------------------------------------------------------------------ #
     def _build_flows(self):
@@ -556,193 +1291,35 @@ class FluidSimulator:
     # component engine (use_bundling=True)
     # ================================================================== #
     def _run_component(self) -> SimulationResult:
-        graph, cluster = self.graph, self.cluster
-        lazy = self.lazy
-        topo = cluster.topology
+        topo = self.cluster.topology
         capacities = topo.capacity_array
-        n_links = len(capacities)
 
         fl = self._build_flows()
         tb = _TaskBookkeeping(self, fl)
 
         size = fl["size"]
-        remaining = size.copy()
-        done_threshold = np.maximum(size * _REL_BYTES_EPS, 1e-12)
         pair_of = fl["pair_of"]
-        pair_routes: list[tuple[int, ...]] = fl["pair_routes"]
-        pair_cap = fl["pair_cap"]
 
-        # ---------------- component registry ---------------- #
-        comps: list[_Component] = []
-        parent: list[int] = []              # union-find over component ids
-        link_owner = np.full(n_links, -1, dtype=np.intp)
-        link_pairs = np.zeros(n_links, dtype=np.intp)  # active pairs per link
-        comp_of_pair = np.full(len(pair_cap), -1, dtype=np.intp)
-        comp_heap: list[tuple[float, int, int]] = []   # (next_t, cid, stamp)
-
-        # local (route-less) flows complete one event after release; they
-        # never join a component — a shared pseudo-heap orders them
-        local_heap: list[tuple[float, int]] = []
-
-        def find(cid: int) -> int:
-            return dsu_find(parent, cid)
-
-        def new_component() -> _Component:
-            cid = len(comps)
-            comp = _Component(cid)
-            comps.append(comp)
-            parent.append(cid)
-            return comp
-
-        def push_comp(comp: _Component) -> None:
-            if math.isfinite(comp.next_t):
-                heapq.heappush(comp_heap, (comp.next_t, comp.cid, comp.stamp))
-
-        def materialize(comp: _Component, t: float) -> None:
-            """Advance the component's flows to ``t`` under cached rates."""
-            if t > comp.t_mat:
-                n = comp.n_flows
-                fids = comp.flow_fid[:n]
-                remaining[fids] -= comp.flow_rates[:n] * (t - comp.t_mat)
-            comp.t_mat = t
-
-        def merge(a: _Component, b: _Component, t: float) -> _Component:
-            """Merge ``b`` into ``a`` (both materialised to ``t``)."""
-            materialize(a, t)
-            materialize(b, t)
-            off = a.n_rows
-            a.row_pair = _grow(a.row_pair, off + b.n_rows)
-            a.mult = _grow(a.mult, off + b.n_rows)
-            a.row_caps = _grow(a.row_caps, off + b.n_rows)
-            a.row_lens = _grow(a.row_lens, off + b.n_rows)
-            a.row_pair[off:off + b.n_rows] = b.row_pair[:b.n_rows]
-            a.mult[off:off + b.n_rows] = b.mult[:b.n_rows]
-            a.row_caps[off:off + b.n_rows] = b.row_caps[:b.n_rows]
-            a.row_lens[off:off + b.n_rows] = b.row_lens[:b.n_rows]
-            end = a.flat_len + b.flat_len
-            a.flat = _grow(a.flat, end)
-            a.flat[a.flat_len:end] = b.flat[:b.flat_len]
-            a.flat_len = end
-            a.n_rows = off + b.n_rows
-            a.live_rows += b.live_rows
-            for pid, row in b.pair_rows.items():
-                a.pair_rows[pid] = off + row
-                comp_of_pair[pid] = a.cid
-            if a.uniform and (not b.uniform or b.route_len != a.route_len):
-                a.uniform = False
-                a.route_len = 0
-            fo = a.n_flows
-            a.flow_fid = _grow(a.flow_fid, fo + b.n_flows)
-            a.flow_row = _grow(a.flow_row, fo + b.n_flows)
-            a.flow_rates = _grow(a.flow_rates, fo + b.n_flows)
-            a.proj = _grow(a.proj, fo + b.n_flows)
-            a.flow_fid[fo:fo + b.n_flows] = b.flow_fid[:b.n_flows]
-            a.flow_row[fo:fo + b.n_flows] = b.flow_row[:b.n_flows] + off
-            a.flow_rates[fo:fo + b.n_flows] = b.flow_rates[:b.n_flows]
-            a.proj[fo:fo + b.n_flows] = b.proj[:b.n_flows]
-            a.n_flows = fo + b.n_flows
-            a.live_flows += b.live_flows
-            b.alive = False
-            parent[b.cid] = a.cid
-            a.dirty = True
-            return a
-
-        def activate_pair(pid: int, t: float) -> tuple[_Component, int]:
-            """Bring pair ``pid`` online; returns (component, row).
-
-            Components sharing a link with the pair merge (union-find);
-            link ownership is resolved through ``find``, so merged-away
-            components never need their links rewritten.
-            """
-            links = pair_routes[pid]
-            roots: list[int] = []
-            for li in links:
-                owner = link_owner[li]
-                if owner != -1:
-                    r = find(int(owner))
-                    if r not in roots:
-                        roots.append(r)
-            if not roots:
-                comp = new_component()
-                comp.t_mat = t
-            else:
-                comp = comps[roots[0]]
-                materialize(comp, t)
-                for r in roots[1:]:
-                    other = comps[r]
-                    if other.live_rows >= comp.live_rows:
-                        comp, other = other, comp
-                    comp = merge(comp, other, t)
-            row = comp.add_pair(pid, links, pair_cap[pid])
-            comp_of_pair[pid] = comp.cid
-            for li in links:
-                link_owner[li] = comp.cid
-                link_pairs[li] += 1
-            comp.dirty = True
-            return comp, row
-
-        def deactivate_pair(pid: int, comp: _Component) -> None:
-            comp.pair_rows.pop(pid, None)
-            comp_of_pair[pid] = -1
-            comp.live_rows -= 1
-            for li in pair_routes[pid]:
-                link_pairs[li] -= 1
-                if link_pairs[li] == 0:
-                    link_owner[li] = -1
-
-        def comp_waterfill(comp: _Component) -> np.ndarray:
-            nonlocal solves_component
-            solves_component += 1
-            n = comp.n_rows
-            if comp.uniform and comp.route_len:
-                return waterfill_bundled(
-                    comp.flat[:comp.flat_len], None, comp.mult[:n],
-                    capacities, comp.row_caps[:n],
-                    route_len=comp.route_len)
-            ptr = np.zeros(n + 1, dtype=np.intp)
-            np.cumsum(comp.row_lens[:n], out=ptr[1:])
-            return waterfill_bundled(
-                comp.flat[:comp.flat_len], ptr, comp.mult[:n],
-                capacities, comp.row_caps[:n])
-
-        def solve(comp: _Component, t: float) -> None:
-            """Re-solve the component's rates and projections at ``t``."""
-            comp.rates = comp_waterfill(comp)
-            nf = comp.n_flows
-            rf = comp.rates[comp.flow_row[:nf]]
-            comp.flow_rates[:nf] = rf
-            comp.proj[:nf] = t + remaining[comp.flow_fid[:nf]] / rf
-            comp.stamp += 1
-            comp.next_t = float(comp.proj[:nf].min()) if nf else math.inf
-            comp.dirty = False
-            push_comp(comp)
+        reg = _ComponentRegistry(
+            capacities, fl["pair_routes"], fl["pair_cap"],
+            lazy=self.lazy, local_index=self.local_index,
+            split_threshold=self.split_threshold)
+        reg.remaining = size.copy()
+        reg.done_threshold = np.maximum(size * _REL_BYTES_EPS, 1e-12)
 
         # ---------------- event loop ---------------- #
         now = 0.0
         events = 0
-        solves_full = 0
-        solves_component = 0
         tb.start_ready(now)  # prime
 
         total = tb.total
         finish_heap = tb.finish_heap
         release_heap = tb.release_heap
-        touched: list[_Component] = []
+        complete_flow = tb.complete_flow
         old_err = np.seterr(divide="ignore", invalid="ignore")
         try:
             while len(tb.done) < total:
-                t_next = math.inf
-                # skip stale component-heap entries while peeking
-                while comp_heap:
-                    tt, cid, stamp = comp_heap[0]
-                    comp = comps[cid]
-                    if not comp.alive or comp.stamp != stamp:
-                        heapq.heappop(comp_heap)
-                        continue
-                    t_next = tt
-                    break
-                if local_heap and local_heap[0][0] < t_next:
-                    t_next = local_heap[0][0]
+                t_next = reg.peek()
                 if finish_heap and finish_heap[0][0] < t_next:
                     t_next = finish_heap[0][0]
                 if release_heap and release_heap[0][0] < t_next:
@@ -753,66 +1330,10 @@ class FluidSimulator:
                         f"{total - len(tb.done)} tasks never became runnable")
                 now = t_next
                 events += 1
-                set_changed = False
-                touched.clear()
+                reg.touched.clear()
 
-                # 1) flow completions: pop every component whose earliest
-                # projection fired, materialise it, sweep its flows
-                while comp_heap and comp_heap[0][0] <= now:
-                    _, cid, stamp = heapq.heappop(comp_heap)
-                    comp = comps[cid]
-                    if not comp.alive or comp.stamp != stamp:
-                        continue
-                    materialize(comp, now)
-                    nf = comp.n_flows
-                    fids = comp.flow_fid[:nf]
-                    done_sel = remaining[fids] <= done_threshold[fids]
-                    if not done_sel.any():
-                        # spurious wake-up (rates dropped since the push):
-                        # reproject from materialised remaining
-                        comp.stamp += 1
-                        comp.proj[:nf] = now + (remaining[fids]
-                                                / comp.flow_rates[:nf])
-                        comp.next_t = (float(comp.proj[:nf].min())
-                                       if nf else math.inf)
-                        push_comp(comp)
-                        continue
-                    finished = fids[done_sel]
-                    set_changed = True
-                    comp.dirty = True
-                    comp.live_flows -= len(finished)
-                    rows = comp.flow_row[:nf][done_sel]
-                    np.subtract.at(comp.mult, rows, 1)
-                    remaining[finished] = np.inf      # dead-slot marker
-                    comp.flow_rates[:nf][done_sel] = 0.0
-                    comp.proj[:nf][done_sel] = np.inf
-                    for r in np.unique(rows):
-                        if comp.mult[r] == 0:
-                            deactivate_pair(int(comp.row_pair[r]), comp)
-                    for fid in finished:
-                        tb.complete_flow(int(fid), now)
-                    if comp.live_rows == 0:
-                        # fully drained: every link was already freed by
-                        # deactivate_pair, the component just retires
-                        comp.alive = False
-                    else:
-                        if comp.live_flows * 2 < comp.n_flows:
-                            comp.compact_flows(remaining)
-                        if (comp.live_rows * 2 < comp.n_rows
-                                and comp.n_rows > 8):
-                            comp.compact_rows()
-                        touched.append(comp)
-
-                # local (route-less) flows: instantaneous once released
-                local_done: list[int] = []
-                while local_heap and local_heap[0][0] <= now:
-                    _, fid = heapq.heappop(local_heap)
-                    local_done.append(fid)
-                if local_done:
-                    set_changed = True
-                    for fid in local_done:
-                        remaining[fid] = np.inf
-                        tb.complete_flow(fid, now)
+                # 1) flow completions (component sweep + local flows)
+                set_changed = reg.sweep(now, complete_flow)
 
                 # 2) task completions
                 while finish_heap and finish_heap[0][0] <= now + _TIME_EPS:
@@ -823,51 +1344,14 @@ class FluidSimulator:
                 while release_heap and release_heap[0][0] <= now + _TIME_EPS:
                     _, fid = heapq.heappop(release_heap)
                     set_changed = True
-                    pid = int(pair_of[fid])
-                    if not pair_routes[pid]:
-                        # local pair: completes at the next event
-                        heapq.heappush(local_heap, (now, fid))
-                        continue
-                    cid = comp_of_pair[pid]
-                    if cid == -1:
-                        comp, row = activate_pair(pid, now)
-                    else:
-                        comp = comps[find(int(cid))]
-                        materialize(comp, now)
-                        comp.dirty = True
-                        row = comp.pair_rows[pid]
-                    comp.mult[row] += 1
-                    comp.add_flow(fid, row)
-                    if comp not in touched:
-                        touched.append(comp)
+                    reg.release(int(fid), int(pair_of[fid]), now)
 
                 # 4) newly startable tasks
                 tb.start_ready(now)
 
-                # 5) re-solve: only dirty components (lazy) — or, on the
-                # full-solve oracle, every live component; clean ones see
-                # identical inputs and recompute identical rates, so the
-                # two modes stay byte-identical while lazy=False really
-                # performs the eager work
+                # 5) re-solve dirty (lazy) or all live (oracle) components
                 if set_changed:
-                    solves_full += 1
-                    if lazy:
-                        for comp in touched:
-                            if comp.alive and comp.dirty:
-                                solve(comp, now)
-                    else:
-                        for comp in comps:
-                            if not comp.alive or not comp.live_rows:
-                                continue
-                            if comp.dirty:
-                                solve(comp, now)
-                            else:
-                                # full re-solve of an untouched component:
-                                # same bundles, same multiplicities —
-                                # rates replaced by bitwise-equal values,
-                                # cached projections untouched (their
-                                # recomputation would reproduce them)
-                                comp.rates = comp_waterfill(comp)
+                    reg.resolve(now)
 
         finally:
             np.seterr(**old_err)
@@ -877,9 +1361,11 @@ class FluidSimulator:
             task_traces=tb.traces,
             flow_traces=tb.flow_traces,
             events=events,
-            maxmin_solves=solves_component,
-            solves_full=solves_full,
-            solves_component=solves_component,
+            maxmin_solves=reg.solves_component,
+            solves_full=reg.solves_full,
+            solves_component=reg.solves_component,
+            splits=reg.splits,
+            solve_rows=reg.solve_rows,
         )
 
     # ================================================================== #

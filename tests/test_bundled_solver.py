@@ -138,6 +138,50 @@ class TestBundledSolverEquivalence:
         np.testing.assert_allclose(got, ref, rtol=1e-12)
 
 
+class TestIndexedKernelParity:
+    """The compiled per-flow solver must equal numpy to the bit (PR 7)."""
+
+    def test_indexed_kernel_matches_numpy_bitwise(self):
+        from repro.network import _ckernel, maxmin
+
+        if maxmin._indexed_kernel() is None:
+            pytest.skip(f"no compiled kernel ({_ckernel.kernel_status})")
+        rng = np.random.default_rng(11)
+        for _ in range(120):
+            n_links = int(rng.integers(1, 30))
+            capacities = rng.uniform(0.5, 100.0, n_links)
+            n = int(rng.integers(0, 40))
+            routes = [list(rng.integers(0, n_links,
+                                        int(rng.integers(0, 5))))
+                      for _ in range(n)]
+            caps = np.where(rng.random(n) < 0.4,
+                            rng.uniform(0.01, 20.0, n), np.inf)
+            fast = maxmin.maxmin_rates_indexed(routes, capacities, caps)
+            saved = maxmin._INDEXED_KERNEL
+            try:
+                maxmin._INDEXED_KERNEL = None
+                slow = maxmin.maxmin_rates_indexed(routes, capacities,
+                                                   caps)
+            finally:
+                maxmin._INDEXED_KERNEL = saved
+            assert fast.tobytes() == slow.tobytes()
+
+    def test_kill_switch_disables_indexed_kernel(self, monkeypatch):
+        from repro.network import _ckernel
+
+        monkeypatch.setenv("REPRO_NO_C_KERNEL", "1")
+        assert _ckernel.load_indexed_kernel() is None
+        assert _ckernel.load_kernel() is None
+        assert "REPRO_NO_C_KERNEL" in _ckernel.kernel_status
+
+    def test_warm_reports_kernel_availability(self):
+        from repro.network import _ckernel
+
+        status = _ckernel.warm()
+        assert set(status) == {"waterfill", "maxmin_indexed", "status"}
+        assert status["waterfill"] == status["maxmin_indexed"]
+
+
 # ------------------------------------------------------------------ #
 # golden simulator tests
 # ------------------------------------------------------------------ #
