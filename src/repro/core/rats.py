@@ -47,10 +47,14 @@ class RATSScheduler(ListScheduler):
         redist: RedistributionCost | None = None,
         proc_release=None,
         priority_edge_costs: bool = True,
+        avail_index=True,
+        vector_price: bool = True,
     ) -> None:
         super().__init__(graph, cluster, model, allocation,
                          redist=redist, proc_release=proc_release,
-                         priority_edge_costs=priority_edge_costs)
+                         priority_edge_costs=priority_edge_costs,
+                         avail_index=avail_index,
+                         vector_price=vector_price)
         self.params = params
         self.strategy = make_strategy(params)
         self.adaptations: list[AdaptationRecord] = []
@@ -165,8 +169,10 @@ def rats_schedule(
 @register_scheduler("rats", description="RATS redistribution-aware "
                     "adaptation (single cluster)")
 def _build_rats_scheduler(graph, platform, model, allocation, *,
-                          params=None, redist=None, proc_release=None):
+                          params=None, redist=None, proc_release=None,
+                          avail_index=True, vector_price=True):
     if params is None:
         raise ValueError("the rats scheduler needs RATSParams")
     return RATSScheduler(graph, platform, model, allocation, params,
-                         redist=redist, proc_release=proc_release)
+                         redist=redist, proc_release=proc_release,
+                         avail_index=avail_index, vector_price=vector_price)

@@ -32,15 +32,19 @@ plan and fluid-simulated reality surfaces per job as
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.experiments.runner import ExperimentRunner
-from repro.online.admission import AdmissionPolicy, admission_from_spec
+from repro.online.admission import (AcceptAll, AdmissionPolicy,
+                                    admission_from_spec)
 from repro.online.live import LiveFluidEngine
 from repro.online.metrics import JobRecord, OnlineMetrics
 from repro.online.stream import JobArrival, JobStream
 from repro.registry import schedulers
+from repro.scheduling.avail import AvailabilityIndex
 from repro.scheduling.schedule import Schedule
 
 __all__ = ["OnlineSimulator", "OnlineResult", "ResidualState"]
@@ -66,6 +70,8 @@ class OnlineResult:
     solves_full: int
     solves_component: int
     splits: int = 0              # dynamic component splits performed
+    sched_s: float = 0.0         # wall time spent in two-step scheduling
+    sim_s: float = 0.0           # wall time spent advancing the engine
 
     @property
     def n_jobs(self) -> int:
@@ -93,6 +99,22 @@ class OnlineSimulator:
         JCT threshold (seconds) for the attainment roll-up, optional.
     lazy / local_index / split_threshold / collect_flow_traces:
         Forwarded to the :class:`~repro.online.live.LiveFluidEngine`.
+    avail_index:
+        Keep one warm :class:`~repro.scheduling.avail.AvailabilityIndex`
+        alive *across* arrivals (default).  Each job's scheduler reseeds
+        it to the clamped residual view instead of re-sorting 24k
+        processors from scratch; schedules are byte-identical either
+        way.  ``False`` hands every job the reference scan path.
+    vector_price:
+        Forwarded to the schedulers' batched candidate pricing knob.
+    pipeline:
+        Overlap the two-step scheduling of each admitted job with the
+        fluid engine's advance to its arrival time (default off).  The
+        schedule of job *i* depends only on its arrival time and the
+        *scheduler-estimated* availability left by jobs ``< i`` — never
+        on engine state — so results are byte-identical to the serial
+        loop; requires accept-all admission (a state-inspecting policy
+        would need the engine advanced first) and a time-ordered stream.
     """
 
     def __init__(self, platform, *,
@@ -101,10 +123,22 @@ class OnlineSimulator:
                  lazy: bool = True,
                  local_index: bool = True,
                  split_threshold: float | None = 0.5,
-                 collect_flow_traces: bool = False) -> None:
+                 collect_flow_traces: bool = False,
+                 avail_index: bool = True,
+                 vector_price: bool = True,
+                 pipeline: bool = False) -> None:
         self.platform = platform
         self.admission = admission_from_spec(admission)
         self.slo = slo
+        if pipeline and not isinstance(self.admission, AcceptAll):
+            raise ValueError(
+                "pipeline=True schedules ahead of the engine clock, so "
+                "admission cannot inspect residual state; it requires "
+                "the accept-all policy")
+        self.pipelined = pipeline
+        self.vector_price = vector_price
+        self._avail_index = (AvailabilityIndex.for_platform(platform)
+                             if avail_index else None)
         self.engine = LiveFluidEngine(platform, lazy=lazy,
                                       local_index=local_index,
                                       split_threshold=split_threshold,
@@ -118,6 +152,8 @@ class OnlineSimulator:
         self._pending: dict[str, _PendingJob] = {}
         self._order: list[str] = []                  # arrival order
         self._records: dict[str, JobRecord] = {}
+        self.sched_s = 0.0
+        self.sim_s = 0.0
 
     # ------------------------------------------------------------------ #
     def residual_state(self) -> ResidualState:
@@ -142,8 +178,15 @@ class OnlineSimulator:
                 est_makespan=pending.est_makespan,
             )
 
-    def _schedule_job(self, job: JobArrival) -> Schedule:
-        """The batch two-step pipeline, seeded with residual availability."""
+    def _schedule_job(self, job: JobArrival,
+                      now: float | None = None) -> Schedule:
+        """The batch two-step pipeline, seeded with residual availability.
+
+        ``now`` defaults to the engine clock; the pipelined path passes
+        the job's arrival time instead (the two coincide once the engine
+        catches up — the scheduler never reads engine state).
+        """
+        t0 = time.perf_counter()
         platform = self.platform
         scenario, spec = job.scenario, job.spec
         graph = self._pipeline.graph_for(scenario)
@@ -152,8 +195,11 @@ class OnlineSimulator:
         allocation = self._pipeline.allocation_for(scenario, platform,
                                                    spec.allocator)
 
-        now = self.engine.now
+        if now is None:
+            now = self.engine.now
         release = [max(now, t) for t in self._proc_avail]
+        avail_index = (self._avail_index if self._avail_index is not None
+                       else False)
         kind = getattr(platform, "scheduler_kind", "single")
         prefix = "" if kind == "single" else f"{kind}-"
         if spec.is_adaptive:
@@ -161,12 +207,21 @@ class OnlineSimulator:
             assert params is not None
             scheduler = schedulers.build(
                 f"{prefix}rats", graph, platform, model, allocation,
-                params=params, redist=redist, proc_release=release)
+                params=params, redist=redist, proc_release=release,
+                avail_index=avail_index, vector_price=self.vector_price)
         else:
             scheduler = schedulers.build(
                 f"{prefix}list", graph, platform, model, allocation,
-                redist=redist, proc_release=release)
-        return scheduler.run()
+                redist=redist, proc_release=release,
+                avail_index=avail_index, vector_price=self.vector_price)
+        schedule = scheduler.run()
+        self.sched_s += time.perf_counter() - t0
+        return schedule
+
+    def _advance_engine(self, t: float) -> None:
+        t0 = time.perf_counter()
+        self.engine.advance_until(t)
+        self.sim_s += time.perf_counter() - t0
 
     # ------------------------------------------------------------------ #
     def submit(self, job: JobArrival) -> bool:
@@ -177,7 +232,7 @@ class OnlineSimulator:
         """
         if job.job_id in self._records or job.job_id in self._pending:
             raise ValueError(f"duplicate job id {job.job_id!r}")
-        self.engine.advance_until(job.arrival_time)
+        self._advance_engine(job.arrival_time)
         self._sync_completions()
         self._order.append(job.job_id)
         if not self.admission.admit(job, self.residual_state()):
@@ -203,25 +258,73 @@ class OnlineSimulator:
     def advance_until(self, t: float) -> list[JobRecord]:
         """Run the engine to ``t``; returns records newly finalised."""
         before = set(self._records)
-        self.engine.advance_until(t)
+        self._advance_engine(t)
         self._sync_completions()
         return [self._records[j] for j in self._order
                 if j in self._records and j not in before]
 
     def drain(self) -> None:
         """Run every admitted job to completion."""
+        t0 = time.perf_counter()
         self.engine.drain()
+        self.sim_s += time.perf_counter() - t0
         self._sync_completions()
 
     # ------------------------------------------------------------------ #
     def run(self, stream: JobStream | Iterable[JobArrival], *,
             drain: bool = True) -> OnlineResult:
         """Drive a whole stream; returns records in arrival order."""
-        for job in stream:
-            self.submit(job)
+        if self.pipelined:
+            self._run_pipelined(stream)
+        else:
+            for job in stream:
+                self.submit(job)
         if drain:
             self.drain()
         return self.result()
+
+    def _run_pipelined(self, stream: JobStream | Iterable[JobArrival]) -> None:
+        """Overlap each job's scheduling with the engine's advance.
+
+        The engine catches up to a job's arrival on a worker thread
+        while the main thread runs the job's two-step schedule — legal
+        because residual availability is the *scheduler's* estimate,
+        maintained here, never read from the engine.  Everything that
+        does touch engine state (completion sync, injection) happens
+        after the join, in the exact order of the serial loop, so the
+        records, events and makespan are byte-identical to
+        ``pipeline=False``.
+        """
+        now = self.engine.now
+        for job in stream:
+            if job.job_id in self._records or job.job_id in self._pending:
+                raise ValueError(f"duplicate job id {job.job_id!r}")
+            if job.arrival_time < now:
+                raise ValueError(
+                    f"pipeline=True needs a time-ordered stream; "
+                    f"{job.job_id!r} arrives at {job.arrival_time} < {now}")
+            now = job.arrival_time
+            worker = threading.Thread(
+                target=self._advance_engine, args=(now,),
+                name="repro-online-advance")
+            worker.start()
+            try:
+                schedule = self._schedule_job(job, now=now)
+            finally:
+                worker.join()
+            self._sync_completions()
+            self._order.append(job.job_id)
+            # admission is accept-all by construction (checked in
+            # __init__): admit unconditionally without building a
+            # residual snapshot the policy would ignore
+            for entry in schedule.entries.values():
+                for p in entry.procs:
+                    if entry.finish > self._proc_avail[p]:
+                        self._proc_avail[p] = entry.finish
+            self._pending[job.job_id] = _PendingJob(
+                arrival=job, est_makespan=schedule.makespan)
+            self._in_flight.add(job.job_id)
+            self.engine.inject(job.job_id, schedule, job.arrival_time)
 
     def records(self) -> list[JobRecord]:
         """Records finalised so far, in arrival order."""
@@ -238,4 +341,6 @@ class OnlineSimulator:
             solves_full=self.engine.solves_full,
             solves_component=self.engine.solves_component,
             splits=self.engine.splits,
+            sched_s=self.sched_s,
+            sim_s=self.sim_s,
         )

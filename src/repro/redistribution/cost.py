@@ -32,12 +32,15 @@ class RedistributionCost:
     adaptation loop.
     """
 
+    _PRICER_UNSET = object()
+
     def __init__(self, cluster: Cluster) -> None:
         self.cluster = cluster
         _Key = tuple[tuple[int, ...], tuple[int, ...], float]
         self._time_cache: dict[_Key, float] = {}
         self._bytes_cache: dict[_Key, float] = {}
         self._flow_cache: dict[_Key, tuple[FlowSpec, ...]] = {}
+        self._pricer = RedistributionCost._PRICER_UNSET
 
     def _flows_cached(self, key) -> tuple[FlowSpec, ...]:
         hit = self._flow_cache.get(key)
@@ -88,6 +91,43 @@ class RedistributionCost:
                       if src[i] != dst[j])
             self._bytes_cache[key] = hit
         return hit
+
+    def price_batch(self, src_procs: Sequence[int],
+                    dst_list: Sequence[Sequence[int]],
+                    data_bytes: float) -> tuple[list[float], list[float]]:
+        """Time and remote bytes for *all* candidate receiver sets at once.
+
+        The vectorised :class:`~repro.redistribution.pricing.BatchPricer`
+        computes every uncached candidate from one shared statistics pass
+        over the memoised communication-matrix triples; its results are
+        bitwise identical to :meth:`time` / :meth:`remote_bytes` and land
+        in the same memo caches (so later scalar probes of the same keys
+        are hits).  Unsupported shapes — hierarchical topologies,
+        cluster-spanning sets — transparently keep the scalar path,
+        per candidate.
+        """
+        src = tuple(src_procs)
+        dsts = [tuple(d) for d in dst_list]
+        if data_bytes != 0 and dsts:
+            pricer = self._pricer
+            if pricer is RedistributionCost._PRICER_UNSET:
+                from repro.redistribution.pricing import BatchPricer
+
+                pricer = self._pricer = BatchPricer.for_cluster(self.cluster)
+            if pricer is not None:
+                miss = [d for d in dsts
+                        if (src, d, data_bytes) not in self._time_cache]
+                if miss:
+                    priced = pricer.price(src, miss, data_bytes)
+                    if priced is not None:
+                        for d, result in zip(miss, priced):
+                            if result is not None:
+                                key = (src, d, data_bytes)
+                                self._time_cache[key] = result[0]
+                                self._bytes_cache[key] = result[1]
+        times = [self.time(src, d, data_bytes) for d in dsts]
+        remotes = [self.remote_bytes(src, d, data_bytes) for d in dsts]
+        return times, remotes
 
     def average_edge_time(self, data_bytes: float) -> float:
         """Platform-level a-priori estimate of an edge's communication time.

@@ -1,0 +1,246 @@
+"""Incremental processor-availability index for the mapping step.
+
+List scheduling selects, for every candidate probe, the ``k`` earliest-
+available processors — historically a ``heapq.nsmallest`` (single
+cluster) or per-cluster ``sorted`` (multi-cluster) scan over **all**
+``proc_avail`` entries with a Python key function.  On a 24k-processor
+platform that scan is the scheduler's dominant cost: O(tasks × procs)
+per job, re-paid from scratch for every arriving job of a stream.
+
+:class:`AvailabilityIndex` maintains the same selection incrementally:
+
+* availability lives in a numpy mirror of the scheduler's ``proc_avail``
+  list, partitioned into *groups* (one per cluster on multi-cluster
+  platforms, one group for a plain cluster);
+* each group keeps its processor ids sorted by ``(avail, proc id)``
+  (a stable argsort, rebuilt lazily and only for groups whose
+  availability actually changed since the last query — a task commit
+  touches exactly one cluster, so 127 of 128 groups stay sorted);
+* :meth:`k_smallest` reproduces the exact historical tie-break order —
+  availability time, then preferred-set membership, then processor id —
+  by merging the small sorted ``prefer`` set with the group's sorted id
+  stream, so the selected sets (and therefore every schedule) are
+  **byte-identical** to the scan-based reference path;
+* :meth:`reseed` re-synchronises a *warm* index against a new
+  ``proc_release`` seeding in one vectorised pass, marking only the
+  groups whose values moved — this is what lets the online engine keep
+  one index alive across arriving jobs instead of rebuilding per job.
+
+The helper :func:`seed_proc_avail` is the single home of the
+``proc_release`` validation/seeding previously repeated across the
+scheduler classes.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["AvailabilityIndex", "seed_proc_avail", "platform_groups"]
+
+
+def seed_proc_avail(proc_release, num_procs: int) -> list[float]:
+    """Validate a ``proc_release`` seeding and return the ``proc_avail`` list.
+
+    The shared implementation of the seeding contract documented on
+    :class:`~repro.scheduling.mapping.ListScheduler`: ``None`` means the
+    batch case (all zeros); anything else must provide one float per
+    processor.  Every scheduler variant (list / RATS, single- and
+    multi-cluster) funnels through here, so the validation cannot drift.
+    """
+    if proc_release is None:
+        return [0.0] * num_procs
+    if len(proc_release) != num_procs:
+        raise ValueError(
+            f"proc_release has {len(proc_release)} entries for "
+            f"{num_procs} processors")
+    if isinstance(proc_release, np.ndarray):
+        return [float(t) for t in proc_release.tolist()]
+    return [float(t) for t in proc_release]
+
+
+def platform_groups(platform) -> list[tuple[int, int]]:
+    """``(start, stop)`` processor ranges per cluster of ``platform``.
+
+    A plain :class:`~repro.platforms.cluster.Cluster` is one group; a
+    :class:`~repro.platforms.multicluster.MultiClusterPlatform` yields
+    one group per member cluster (``offsets`` order).
+    """
+    clusters = getattr(platform, "clusters", None)
+    if clusters is None:
+        return [(0, platform.num_procs)]
+    offsets = platform.offsets
+    return [(off, off + c.num_procs)
+            for off, c in zip(offsets, clusters)]
+
+
+class AvailabilityIndex:
+    """Bucketed k-earliest selection over per-processor availability."""
+
+    def __init__(self, avail: Sequence[float],
+                 groups: Sequence[tuple[int, int]] | None = None) -> None:
+        self._avail = np.asarray(avail, dtype=float).copy()
+        n = len(self._avail)
+        if groups is None:
+            groups = [(0, n)]
+        self.groups: list[tuple[int, int]] = [(int(s), int(e))
+                                              for s, e in groups]
+        if (not self.groups or self.groups[0][0] != 0
+                or self.groups[-1][1] != n
+                or any(e <= s for s, e in self.groups)
+                or any(self.groups[i][1] != self.groups[i + 1][0]
+                       for i in range(len(self.groups) - 1))):
+            raise ValueError(f"groups {self.groups} do not partition "
+                             f"0..{n}")
+        self._starts = [s for s, _ in self.groups]
+        self._sorted: list[np.ndarray | None] = [None] * len(self.groups)
+        # the cross-group ordering, for whole-platform queries
+        self._sorted_all: np.ndarray | None = None
+
+    @classmethod
+    def for_platform(cls, platform,
+                     avail: Sequence[float] | None = None
+                     ) -> "AvailabilityIndex":
+        if avail is None:
+            avail = np.zeros(platform.num_procs)
+        return cls(avail, platform_groups(platform))
+
+    # ------------------------------------------------------------------ #
+    # maintenance
+    # ------------------------------------------------------------------ #
+    @property
+    def num_procs(self) -> int:
+        return len(self._avail)
+
+    def group_of(self, p: int) -> int:
+        return bisect_right(self._starts, p) - 1
+
+    def avail(self, p: int) -> float:
+        return float(self._avail[p])
+
+    def update(self, p: int, t: float) -> None:
+        """Record a new availability time for one processor."""
+        self._avail[p] = t
+        self._sorted[self.group_of(p)] = None
+        self._sorted_all = None
+
+    def update_many(self, procs: Iterable[int], t: float) -> None:
+        """One task commit: every processor of the set frees at ``t``."""
+        touched = set()
+        for p in procs:
+            self._avail[p] = t
+            touched.add(self.group_of(p))
+        for g in touched:
+            self._sorted[g] = None
+        if touched:
+            self._sorted_all = None
+
+    def reseed(self, values: Sequence[float]) -> None:
+        """Adopt a fresh ``proc_release`` seeding, keeping clean groups.
+
+        Only groups whose availability actually differs from the index's
+        current content are marked dirty — the warm-path contract: a job
+        stream re-seeds before every arrival, but between two arrivals
+        only the clusters the previous job landed on (plus the clusters
+        the clamp to *now* moved) have changed.
+        """
+        arr = np.asarray(values, dtype=float)
+        if arr.shape != self._avail.shape:
+            raise ValueError(
+                f"reseed got {arr.shape[0] if arr.ndim else 0} entries "
+                f"for {len(self._avail)} processors")
+        changed = np.flatnonzero(self._avail != arr)
+        if changed.size == 0:
+            return
+        self._avail[changed] = arr[changed]
+        starts = np.asarray(self._starts)
+        dirty = np.unique(np.searchsorted(starts, changed,
+                                          side="right") - 1)
+        for g in dirty.tolist():
+            self._sorted[g] = None
+        self._sorted_all = None
+
+    def clamped(self, now: float) -> np.ndarray:
+        """``max(now, avail)`` per processor — the residual release seed."""
+        return np.maximum(self._avail, now)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def _sorted_ids(self, group: int | None) -> np.ndarray:
+        if group is None:
+            if self._sorted_all is None:
+                self._sorted_all = np.argsort(self._avail, kind="stable")
+            return self._sorted_all
+        ids = self._sorted[group]
+        if ids is None:
+            s, e = self.groups[group]
+            ids = np.argsort(self._avail[s:e], kind="stable")
+            if s:
+                ids = ids + s
+            self._sorted[group] = ids
+        return ids
+
+    def k_smallest(self, count: int, prefer: Sequence[int] = (),
+                   group: int | None = None) -> list[int]:
+        """The ``count`` earliest-available processors of ``group``.
+
+        Exactly ``heapq.nsmallest(count, procs, key=lambda p:
+        (avail[p], p not in prefer, p))`` — availability first, preferred
+        processors win ties, processor id as the final tie-break — which
+        is the historical selection order of both the single-cluster
+        ``_earliest_procs`` scan and the multi-cluster per-cluster pool
+        sort.  ``group=None`` queries the whole platform.
+        """
+        ids = self._sorted_ids(group)
+        if count >= len(ids):
+            if not prefer:
+                return ids.tolist()
+            # whole group selected: only the order among ties changes
+            avail = self._avail
+            preferred = set(prefer)
+            return sorted(ids.tolist(),
+                          key=lambda p: (avail[p], p not in preferred, p))
+        if not prefer:
+            return ids[: count].tolist()
+        avail = self._avail
+        preferred = set(prefer)
+        if group is not None:
+            s, e = self.groups[group]
+            pref_here = [p for p in preferred if s <= p < e]
+        else:
+            pref_here = [p for p in preferred
+                         if 0 <= p < len(avail)]
+        if not pref_here:
+            return ids[: count].tolist()
+        # merge the (tiny) preferred stream with the sorted id stream;
+        # preferred entries carry flag 0, the rest flag 1 — the exact
+        # historical (avail, not-preferred, p) key order
+        pref_sorted = sorted((float(avail[p]), p) for p in pref_here)
+        out_list: list[int] = []
+        ia = 0
+        ids_list = ids
+        ib = 0
+        n_ids = len(ids_list)
+        while len(out_list) < count:
+            # next non-preferred candidate
+            while ib < n_ids and int(ids_list[ib]) in preferred:
+                ib += 1
+            have_a = ia < len(pref_sorted)
+            have_b = ib < n_ids
+            if not have_a and not have_b:
+                break
+            if have_b:
+                pb = int(ids_list[ib])
+                key_b = (float(avail[pb]), 1, pb)
+            if have_a and (not have_b or
+                           (pref_sorted[ia][0], 0, pref_sorted[ia][1])
+                           < key_b):
+                out_list.append(pref_sorted[ia][1])
+                ia += 1
+            else:
+                out_list.append(pb)
+                ib += 1
+        return out_list

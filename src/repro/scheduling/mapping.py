@@ -42,6 +42,7 @@ from repro.platforms.cluster import Cluster
 from repro.redistribution.cost import RedistributionCost
 from repro.redistribution.remap import align_receivers
 from repro.registry import register_scheduler
+from repro.scheduling.avail import AvailabilityIndex, seed_proc_avail
 from repro.scheduling.schedule import Schedule, ScheduleEntry
 
 __all__ = ["MappingDecision", "ListScheduler"]
@@ -92,6 +93,19 @@ class ListScheduler:
     candidates:
         Candidate-generation policy: ``"earliest"`` (the paper's baseline)
         or ``"rich"`` (redistribution-aware set reuse, for ablations).
+    avail_index:
+        ``True`` (default) keeps the k-earliest selection on an
+        :class:`~repro.scheduling.avail.AvailabilityIndex` — same sets,
+        same schedules, O(k log P) instead of scanning every processor
+        per probe.  Pass an existing index to share a warm one across
+        jobs (the online engine does; it is reseeded to this job's
+        ``proc_release`` view), or ``False`` for the reference scan.
+    vector_price:
+        ``True`` (default) batch-prices all candidate placements of a
+        task per predecessor edge through
+        :meth:`~repro.redistribution.cost.RedistributionCost.price_batch`
+        (bitwise-identical estimates); ``False`` keeps per-candidate
+        scalar pricing.
     """
 
     def __init__(
@@ -105,6 +119,8 @@ class ListScheduler:
         proc_release: Sequence[float] | None = None,
         priority_edge_costs: bool = True,
         candidates: str = "earliest",
+        avail_index: bool | AvailabilityIndex = True,
+        vector_price: bool = True,
     ) -> None:
         if candidates not in ("earliest", "rich"):
             raise ValueError(f"unknown candidate policy {candidates!r}")
@@ -121,14 +137,22 @@ class ListScheduler:
                 raise ValueError(
                     f"allocation for {name!r} out of range: {n}")
         self.redist = redist or RedistributionCost(cluster)
-        if proc_release is None:
-            self.proc_avail: list[float] = [0.0] * cluster.num_procs
-        else:
-            if len(proc_release) != cluster.num_procs:
+        self.proc_avail: list[float] = seed_proc_avail(proc_release,
+                                                       cluster.num_procs)
+        if isinstance(avail_index, AvailabilityIndex):
+            if avail_index.num_procs != cluster.num_procs:
                 raise ValueError(
-                    f"proc_release has {len(proc_release)} entries for "
-                    f"{cluster.num_procs} processors")
-            self.proc_avail = [float(t) for t in proc_release]
+                    f"shared availability index covers "
+                    f"{avail_index.num_procs} processors, platform has "
+                    f"{cluster.num_procs}")
+            avail_index.reseed(self.proc_avail)
+            self._avail: AvailabilityIndex | None = avail_index
+        elif avail_index:
+            self._avail = AvailabilityIndex.for_platform(
+                cluster, self.proc_avail)
+        else:
+            self._avail = None
+        self.vector_price = vector_price
         self.schedule = Schedule(graph=graph, cluster=cluster)
         self.priorities = self._compute_priorities(priority_edge_costs)
 
@@ -212,12 +236,22 @@ class ListScheduler:
         self.allocation[name] = decision.nprocs
         for p in decision.procs:
             self.proc_avail[p] = decision.finish
+        if self._avail is not None:
+            self._avail.update_many(decision.procs, decision.finish)
         return entry
 
     def best_decision(self, name: str, nprocs: int) -> MappingDecision:
         """Earliest-finish decision over the candidate processor sets."""
+        candidates = self.candidate_sets(name, nprocs)
+        if self.vector_price and len(candidates) > 1:
+            # one batched pricing pass per predecessor edge fills the
+            # estimator's memo caches; the scalar loop below hits them
+            for pred in self.graph.predecessors(name):
+                self.redist.price_batch(self.schedule[pred].procs,
+                                        candidates,
+                                        self.graph.edge_bytes(pred, name))
         best: MappingDecision | None = None
-        for procs in self.candidate_sets(name, nprocs):
+        for procs in candidates:
             d = self.decision_for_procs(name, procs)
             if (best is None
                     or (d.finish, d.remote_bytes, d.procs)
@@ -236,8 +270,12 @@ class ListScheduler:
         Selection instead of a full sort: ``heapq.nsmallest`` is
         documented to equal ``sorted(...)[:count]``, so the chosen sets —
         and thus every schedule — are unchanged, at ``O(P log count)``
-        instead of ``O(P log P)`` per pricing probe.
+        instead of ``O(P log P)`` per pricing probe.  With the
+        availability index the scan disappears entirely: the index keeps
+        the same ordering incrementally across commits.
         """
+        if self._avail is not None:
+            return self._avail.k_smallest(count, prefer)
         preferred = set(prefer)
         return heapq.nsmallest(
             count, range(self.cluster.num_procs),
@@ -274,7 +312,8 @@ class ListScheduler:
             else:
                 pool = self._earliest_procs(
                     min(self.cluster.num_procs, nprocs + len(pp)))
-                extra = [p for p in pool if p not in pp][: nprocs - len(pp)]
+                pps = set(pp)
+                extra = [p for p in pool if p not in pps][: nprocs - len(pp)]
                 cand = tuple(pp) + tuple(extra)
             if len(cand) == nprocs:
                 candidates.append(tuple(cand))
@@ -310,6 +349,8 @@ class ListScheduler:
 @register_scheduler("list", description="plain list-scheduling mapping "
                     "(single cluster)")
 def _build_list_scheduler(graph, platform, model, allocation, *,
-                          params=None, redist=None, proc_release=None):
+                          params=None, redist=None, proc_release=None,
+                          avail_index=True, vector_price=True):
     return ListScheduler(graph, platform, model, allocation, redist=redist,
-                         proc_release=proc_release)
+                         proc_release=proc_release, avail_index=avail_index,
+                         vector_price=vector_price)

@@ -80,11 +80,19 @@ class _MultiClusterMixin:
         candidates: list[tuple[int, ...]] = []
         for k in range(len(self.platform.clusters)):
             count = self.platform.translate_allocation(nprocs, k)
-            pool = sorted(self.platform.procs_of_cluster(k),
-                          key=lambda p: (self.proc_avail[p],
-                                         dominant is None or p not in dominant,
-                                         p))
-            procs = pool[:count]
+            if self._avail is not None:
+                # cluster-local index view; same (avail, preferred, id)
+                # order as the sort below, without touching other
+                # clusters' processors
+                procs = self._avail.k_smallest(count, dominant or (),
+                                               group=k)
+            else:
+                pool = sorted(self.platform.procs_of_cluster(k),
+                              key=lambda p: (self.proc_avail[p],
+                                             dominant is None
+                                             or p not in dominant,
+                                             p))
+                procs = pool[:count]
             if len(procs) < count:  # pragma: no cover - translate clamps
                 continue
             if dominant is not None:
@@ -113,6 +121,8 @@ class MultiClusterListScheduler(_MultiClusterMixin, ListScheduler):
         redist: RedistributionCost | None = None,
         proc_release: Sequence[float] | None = None,
         priority_edge_costs: bool = True,
+        avail_index=True,
+        vector_price: bool = True,
     ) -> None:
         self.platform = platform
         super().__init__(
@@ -123,6 +133,8 @@ class MultiClusterListScheduler(_MultiClusterMixin, ListScheduler):
             redist=redist,
             proc_release=proc_release,
             priority_edge_costs=priority_edge_costs,
+            avail_index=avail_index,
+            vector_price=vector_price,
         )
 
 
@@ -140,6 +152,8 @@ class MultiClusterRATSScheduler(_MultiClusterMixin, RATSScheduler):
         redist: RedistributionCost | None = None,
         proc_release: Sequence[float] | None = None,
         priority_edge_costs: bool = True,
+        avail_index=True,
+        vector_price: bool = True,
     ) -> None:
         self.platform = platform
         super().__init__(
@@ -151,6 +165,8 @@ class MultiClusterRATSScheduler(_MultiClusterMixin, RATSScheduler):
             redist=redist,
             proc_release=proc_release,
             priority_edge_costs=priority_edge_costs,
+            avail_index=avail_index,
+            vector_price=vector_price,
         )
 
 
@@ -158,19 +174,25 @@ class MultiClusterRATSScheduler(_MultiClusterMixin, RATSScheduler):
                     description="translated-HCPA list scheduling across "
                                 "clusters")
 def _build_mc_list_scheduler(graph, platform, model, allocation, *,
-                             params=None, redist=None, proc_release=None):
+                             params=None, redist=None, proc_release=None,
+                             avail_index=True, vector_price=True):
     return MultiClusterListScheduler(graph, platform, allocation,
                                      model=model, redist=redist,
-                                     proc_release=proc_release)
+                                     proc_release=proc_release,
+                                     avail_index=avail_index,
+                                     vector_price=vector_price)
 
 
 @register_scheduler("multicluster-rats",
                     description="RATS adaptation on a multi-cluster "
                                 "platform (WAN-crossing aware)")
 def _build_mc_rats_scheduler(graph, platform, model, allocation, *,
-                             params=None, redist=None, proc_release=None):
+                             params=None, redist=None, proc_release=None,
+                             avail_index=True, vector_price=True):
     if params is None:
         raise ValueError("the multicluster-rats scheduler needs RATSParams")
     return MultiClusterRATSScheduler(graph, platform, allocation, params,
                                      model=model, redist=redist,
-                                     proc_release=proc_release)
+                                     proc_release=proc_release,
+                                     avail_index=avail_index,
+                                     vector_price=vector_price)

@@ -914,13 +914,21 @@ class _ComponentRegistry:
     def sweep(self, now: float, complete_flow) -> bool:
         """Flow completions: pop every component whose earliest projection
         fired, materialise it, sweep its flows; then the local
-        (route-less) flows.  Returns whether the flow set changed."""
+        (route-less) flows.  Returns whether the flow set changed.
+
+        Completions are buffered and delivered in ascending flow id —
+        the order the per-flow reference engine uses (its active set is
+        kept fid-sorted) — so the trace order of same-instant
+        completions never depends on component row layout, which can
+        legitimately differ between split/merge-only/resurrected
+        configurations of the same simulation."""
         comps = self.comps
         comp_heap = self.comp_heap
         remaining = self.remaining
         done_threshold = self.done_threshold
         touched = self.touched
         set_changed = False
+        completed: list[int] = []
         while comp_heap and comp_heap[0][0] <= now:
             _, cid, stamp = heapq.heappop(comp_heap)
             comp = comps[cid]
@@ -954,8 +962,7 @@ class _ComponentRegistry:
             for r in np.unique(rows):
                 if comp.mult[r] == 0:
                     self.deactivate_pair(int(comp.row_pair[r]), comp)
-            for fid in finished:
-                complete_flow(int(fid), now)
+            completed.extend(int(fid) for fid in finished)
             if comp.live_rows == 0:
                 # fully drained: every link was already freed by
                 # deactivate_pair.  The component stays alive as a
@@ -994,7 +1001,9 @@ class _ComponentRegistry:
             set_changed = True
             for fid in local_done:
                 remaining[fid] = np.inf
-                complete_flow(fid, now)
+            completed.extend(local_done)
+        for fid in sorted(completed):
+            complete_flow(fid, now)
         return set_changed
 
     def release(self, fid: int, pid: int, now: float) -> None:

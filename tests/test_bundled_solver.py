@@ -178,8 +178,10 @@ class TestIndexedKernelParity:
         from repro.network import _ckernel
 
         status = _ckernel.warm()
-        assert set(status) == {"waterfill", "maxmin_indexed", "status"}
+        assert set(status) == {"waterfill", "maxmin_indexed",
+                               "price_masked", "status"}
         assert status["waterfill"] == status["maxmin_indexed"]
+        assert status["waterfill"] == status["price_masked"]
 
 
 # ------------------------------------------------------------------ #

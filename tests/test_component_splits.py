@@ -27,7 +27,7 @@ four disjoint chain blocks and splits.
 from __future__ import annotations
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.dag.task import Task, TaskGraph
@@ -151,6 +151,11 @@ class TestThreeWayEquivalence:
         sample=st.integers(0, 3),
         hierarchical=st.booleans(),
     )
+    # regression: same-instant completions used to be delivered in
+    # component row order, which diverges between the split and
+    # merge-only engines once pair-row resurrection reuses rows
+    @example(family="irregular", n_tasks=21, width=0.2, density=0.2,
+             regularity=0.8, jump=2, sample=0, hierarchical=False)
     def test_split_merge_only_full_agree_on_random_draws(
             self, family, n_tasks, width, density, regularity, jump,
             sample, hierarchical):
