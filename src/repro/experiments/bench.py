@@ -316,6 +316,11 @@ def _bench_online_stream(n_jobs: int,
         return OnlineSimulator(platform).run(stream)
 
     res = run()  # warm-up, also yields metadata
+    # the threaded solver must replay the serial run byte-for-byte:
+    # same events, same makespan, same per-job records
+    thr = OnlineSimulator(platform, solver_threads=4).run(stream)
+    assert thr.events == res.events and thr.makespan == res.makespan
+    assert thr.records == res.records
     return run, {"n_jobs": n_jobs, "n_clusters": n_clusters,
                  "events": res.events,
                  "solves_full": res.solves_full,
@@ -324,7 +329,10 @@ def _bench_online_stream(n_jobs: int,
                  "jct_p50": res.metrics.jct["p50"],
                  # scheduler vs simulator attribution for the trajectory
                  "sched_s": res.sched_s,
-                 "sim_s": res.sim_s}
+                 "sim_s": res.sim_s,
+                 # sim_s split further: Max-Min solve time vs event loop
+                 "solve_s": res.solve_s,
+                 "event_s": res.event_s}
 
 
 def _bench_large_platform_stream(n_clusters: int, n_jobs: int,
@@ -363,8 +371,10 @@ def _bench_large_platform_stream(n_clusters: int, n_jobs: int,
     def run():
         return _drive()
 
-    eng = run()  # untimed warm-up: fills the topology route caches,
-    #              which otherwise dominate whichever run goes first
+    ref = _drive(collect_flow_traces=True)
+    #   ^ untimed warm-up: fills the topology route caches, which
+    #     otherwise dominate whichever run goes first; doubles as the
+    #     trace reference for the identity assertions below
     t0 = time.perf_counter()
     eng = run()
     t_local = time.perf_counter() - t0
@@ -372,6 +382,12 @@ def _bench_large_platform_stream(n_clusters: int, n_jobs: int,
     base = _drive(local_index=False, split_threshold=None)
     t_global = time.perf_counter() - t0
     assert base.events == eng.events and base.makespan() == eng.makespan()
+    # the threaded solver must replay the serial engine byte-for-byte:
+    # events, makespan, and every task/flow trace
+    thr = _drive(solver_threads=4, collect_flow_traces=True)
+    assert thr.events == ref.events and thr.makespan() == ref.makespan()
+    assert thr.traces == ref.traces
+    assert thr.flow_traces == ref.flow_traces
     return run, {"n_clusters": n_clusters, "n_jobs": n_jobs,
                  "chain_len": chain_len,
                  "n_links": len(platform.topology.capacity_array),
@@ -384,7 +400,10 @@ def _bench_large_platform_stream(n_clusters: int, n_jobs: int,
                  # attribution: this bench injects pre-built schedules,
                  # so the whole timed run is simulator work
                  "sched_s": 0.0,
-                 "sim_s": t_local}
+                 "sim_s": t_local,
+                 # sim_s split further: Max-Min solve time vs event loop
+                 "solve_s": eng.solve_s,
+                 "event_s": eng.event_s}
 
 
 def _bench_schedule_large_platform(n_clusters: int, procs: int,
@@ -498,8 +517,15 @@ def _benchmarks(quick: bool) -> dict[str, Callable[[], tuple[Callable, dict]]]:
 # --------------------------------------------------------------------- #
 def run_benchmarks(*, rounds: int = 3, quick: bool = False,
                    only: list[str] | None = None,
+                   profile: int | None = None,
                    log=None) -> dict:
-    """Run the substrate benchmarks; returns the JSON-ready result dict."""
+    """Run the substrate benchmarks; returns the JSON-ready result dict.
+
+    ``profile`` runs one extra cProfiled pass per benchmark after its
+    timed rounds and prints the top-``profile`` entries to stderr — the
+    timed rounds themselves stay unprofiled, so the recorded numbers are
+    not distorted by tracing overhead.
+    """
     if rounds < 1:
         raise ValueError("rounds must be >= 1")
     available = _benchmarks(quick)
@@ -521,6 +547,12 @@ def run_benchmarks(*, rounds: int = 3, quick: bool = False,
             t0 = time.perf_counter()
             fn()
             times.append(time.perf_counter() - t0)
+        if profile:
+            if log:
+                log(f"  {name}: profiling one extra pass ...")
+            print(f"\n=== {name} ===", file=sys.stderr)
+            with profiled(profile):
+                fn()
         results[name] = {
             "mean_s": sum(times) / len(times),
             "min_s": min(times),
@@ -727,6 +759,11 @@ def add_bench_arguments(parser) -> None:
                              "content-addressed cache and exit (CI/install "
                              "hook; cold starts then skip "
                              "compile-at-first-use)")
+    parser.add_argument("--profile", nargs="?", const=25, type=int,
+                        metavar="N",
+                        help="cProfile one extra pass per benchmark and "
+                             "print the top N entries (default 25) — "
+                             "timed rounds stay unprofiled")
     parser.add_argument("--quiet", action="store_true")
 
 
@@ -772,7 +809,9 @@ def main(args) -> int:
             f"({args.rounds} rounds{', quick' if args.quick else ''}):")
     try:
         results = run_benchmarks(rounds=args.rounds, quick=args.quick,
-                                 only=args.only, log=log)
+                                 only=args.only,
+                                 profile=getattr(args, "profile", None),
+                                 log=log)
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
 

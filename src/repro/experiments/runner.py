@@ -248,6 +248,12 @@ class RunResult:
     wall_time_s: float = 0.0
     solves_full: int = 0
     solves_component: int = 0
+    # per-phase wall-clock attribution inside simulate(): Max-Min solve
+    # time vs everything else in the event loop.  0.0 for estimate-only
+    # runs, with record_timings=False, and for stored results that
+    # predate the fields.
+    solve_s: float = 0.0
+    event_s: float = 0.0
 
 
 class ExperimentRunner:
@@ -418,11 +424,15 @@ class ExperimentRunner:
 
         estimated = schedule.makespan
         solves_full = solves_component = 0
+        solve_s = event_s = 0.0
         if self.simulate_schedules:
             sim = simulate(schedule)
             makespan = sim.makespan
             solves_full = sim.solves_full
             solves_component = sim.solves_component
+            if self.record_timings:
+                solve_s = sim.solve_s
+                event_s = sim.event_s
         else:
             makespan = estimated
         work = schedule.total_work(model)
@@ -443,6 +453,8 @@ class ExperimentRunner:
                          if self.record_timings else 0.0),
             solves_full=solves_full,
             solves_component=solves_component,
+            solve_s=solve_s,
+            event_s=event_s,
         )
 
     # ------------------------------------------------------------------ #

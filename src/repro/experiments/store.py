@@ -564,8 +564,11 @@ def _comparable(result: "RunResult") -> "RunResult":
     results conflict.  Job records carry no wall-clock field and compare
     as-is.
     """
-    if any(f.name == "wall_time_s" for f in dataclasses.fields(result)):
-        return dataclasses.replace(result, wall_time_s=0.0)
+    names = {f.name for f in dataclasses.fields(result)}
+    timing = {name: 0.0 for name in ("wall_time_s", "solve_s", "event_s")
+              if name in names}
+    if timing:
+        return dataclasses.replace(result, **timing)
     return result
 
 

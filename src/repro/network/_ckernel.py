@@ -34,6 +34,7 @@ import tempfile
 from pathlib import Path
 
 __all__ = ["load_kernel", "load_indexed_kernel", "load_pricing_kernel",
+           "load_batch_kernel", "load_sweep_kernel",
            "warm", "kernel_status"]
 
 #: Why the kernel is (un)available — for diagnostics, set by load_kernel.
@@ -60,20 +61,21 @@ _C_SOURCE = r"""
  * CSR ptr is used.  A bundle with multiplicity 0 or an empty route is
  * cap-limited and never enters the filling.
  *
- * Returns 0 on success, non-zero when the scratch allocation failed —
- * the caller then falls back to the numpy implementation.
+ * The rounds live in waterfill_core over caller-provided scratch of
+ * (4*n_links + 2*n_b) doubles plus n_b bytes, so the batched entry
+ * point below can run many components through one allocation; the
+ * single-component wrapper keeps the original malloc-per-call ABI.
+ * ctypes dispatches every entry point through CDLL, which drops the
+ * GIL around the foreign call — solver threads therefore run the
+ * rounds truly concurrently.
  */
-int repro_waterfill(int64_t n_b, int64_t n_links,
-                    const int64_t *flat, const int64_t *ptr,
-                    int64_t route_len,
-                    const double *mult, const double *caps,
-                    const double *capacities,
-                    double *rates)
+static void waterfill_core(int64_t n_b, int64_t n_links,
+                           const int64_t *flat, const int64_t *ptr,
+                           int64_t route_len,
+                           const double *mult, const double *caps,
+                           const double *capacities,
+                           double *rates, double *scratch)
 {
-    double *scratch = malloc((size_t)(4 * n_links + 2 * n_b) * sizeof(double)
-                             + (size_t)n_b);
-    if (!scratch)
-        return 1;
     double *residual = scratch;
     double *counts = scratch + n_links;
     double *levels = scratch + 2 * n_links;
@@ -167,9 +169,158 @@ int repro_waterfill(int64_t n_b, int64_t n_links,
     }
     for (int64_t b = 0; b < n_b; b++)
         if (notfixed[b]) rates[b] = caps[b];   /* safety net: cap-limited */
+#undef ROW
+}
+
+/* Returns 0 on success, non-zero when the scratch allocation failed —
+ * the caller then falls back to the numpy implementation. */
+int repro_waterfill(int64_t n_b, int64_t n_links,
+                    const int64_t *flat, const int64_t *ptr,
+                    int64_t route_len,
+                    const double *mult, const double *caps,
+                    const double *capacities,
+                    double *rates)
+{
+    double *scratch = malloc((size_t)(4 * n_links + 2 * n_b) * sizeof(double)
+                             + (size_t)n_b);
+    if (!scratch)
+        return 1;
+    waterfill_core(n_b, n_links, flat, ptr, route_len,
+                   mult, caps, capacities, rates, scratch);
     free(scratch);
     return 0;
-#undef ROW
+}
+
+/* Component descriptor for the batched solve / sweep entry points.
+ *
+ * One component is 16 int64 slots: sizes and raw array addresses the
+ * Python side caches between structural changes (the "packed arena" —
+ * any bundle-diff mutation invalidates it):
+ *
+ *   [0] n_b          bundle rows               [8]  rates*      (n_b)
+ *   [1] n_links      local link count          [9]  n_flows
+ *   [2] flat*        CSR link incidence        [10] flow_row*   (int64)
+ *   [3] ptr*         CSR offsets (0 if [4])    [11] flow_fid*   (int64)
+ *   [4] route_len    uniform route length      [12] flow_rates* (double)
+ *   [5] mult*        multiplicities (double)   [13] proj*       (double)
+ *   [6] caps*        per-flow rate caps        [14] reserved
+ *   [7] capacities*  link capacity slice       [15] reserved
+ */
+#define RPRO_DESC_SLOTS 16
+
+/* Solve n_comps components in one crossing: waterfill each, gather the
+ * per-flow rates, project completion times (t_now + remaining/rate,
+ * the numpy expression verbatim) and write each component's earliest
+ * projection to next_out (NaN-propagating like np.min, INFINITY when
+ * the component has no flow slots).  Output slices are disjoint per
+ * component, so concurrent calls over disjoint descriptor ranges are
+ * race-free.  Returns 0, or non-zero when scratch allocation failed
+ * (the caller falls back to per-component solves).
+ */
+int repro_waterfill_batch(int64_t n_comps, const int64_t *desc,
+                          double t_now, const double *remaining,
+                          double *next_out)
+{
+    int64_t max_links = 1, max_b = 1;
+    for (int64_t c = 0; c < n_comps; c++) {
+        const int64_t *d = desc + c * RPRO_DESC_SLOTS;
+        if (d[0] > max_b) max_b = d[0];
+        if (d[1] > max_links) max_links = d[1];
+    }
+    double *scratch = malloc(
+        (size_t)(4 * max_links + 2 * max_b) * sizeof(double)
+        + (size_t)max_b);
+    if (!scratch)
+        return 1;
+    for (int64_t c = 0; c < n_comps; c++) {
+        const int64_t *d = desc + c * RPRO_DESC_SLOTS;
+        double *rates = (double *)d[8];
+        waterfill_core(d[0], d[1],
+                       (const int64_t *)d[2], (const int64_t *)d[3], d[4],
+                       (const double *)d[5], (const double *)d[6],
+                       (const double *)d[7], rates, scratch);
+        int64_t n_f = d[9];
+        const int64_t *frow = (const int64_t *)d[10];
+        const int64_t *ffid = (const int64_t *)d[11];
+        double *frate = (double *)d[12];
+        double *proj = (double *)d[13];
+        double m = INFINITY;
+        int has_nan = 0;
+        for (int64_t i = 0; i < n_f; i++) {
+            double r = rates[frow[i]];
+            frate[i] = r;
+            double p = t_now + remaining[ffid[i]] / r;
+            proj[i] = p;
+            if (isnan(p)) has_nan = 1;
+            else if (p < m) m = p;
+        }
+        next_out[c] = has_nan ? NAN : (n_f > 0 ? m : INFINITY);
+    }
+    free(scratch);
+    return 0;
+}
+
+/* The completion sweep of one component, mirroring the numpy block of
+ * _ComponentRegistry.sweep slot-for-slot: materialise the flows by dt
+ * (guarded dt > 0), detect completions against the freshly
+ * materialised remaining (the numpy order: subtract, then compare),
+ * and either
+ *
+ *   - no completion: reproject every slot from the materialised
+ *     remaining and write the new earliest projection (NaN-propagating
+ *     min; INFINITY when no flow slots) — the spurious wake-up path —
+ *     returning 0, or
+ *   - n > 0 completions: for each completing slot in flow-slot order,
+ *     decrement its row multiplicity, mark the flow done
+ *     (remaining = inf), zero its cached rate, clear its projection,
+ *     and append (fid, row) to finished/rows_out; returns n.
+ *
+ * Each fid occupies at most one live slot per component, so the
+ * in-place remaining update cannot affect another slot's completion
+ * test within the loop — the single pass is exactly the numpy
+ * two-phase select-then-mutate.
+ */
+int64_t repro_sweep_comp(const int64_t *d, double dt, double t_now,
+                         const double *done_threshold, double *remaining,
+                         int64_t *finished, int64_t *rows_out,
+                         double *next_out)
+{
+    int64_t n_f = d[9];
+    const int64_t *frow = (const int64_t *)d[10];
+    const int64_t *ffid = (const int64_t *)d[11];
+    double *frate = (double *)d[12];
+    double *proj = (double *)d[13];
+    double *mult = (double *)d[5];
+
+    if (dt > 0.0)
+        for (int64_t i = 0; i < n_f; i++)
+            remaining[ffid[i]] -= frate[i] * dt;
+
+    int64_t n_done = 0;
+    for (int64_t i = 0; i < n_f; i++) {
+        int64_t fid = ffid[i];
+        if (remaining[fid] <= done_threshold[fid]) {
+            mult[frow[i]] -= 1.0;
+            remaining[fid] = INFINITY;     /* dead-slot marker */
+            frate[i] = 0.0;
+            proj[i] = INFINITY;
+            finished[n_done] = fid;
+            rows_out[n_done] = frow[i];
+            n_done++;
+        }
+    }
+    if (n_done == 0) {
+        double m = INFINITY;
+        int has_nan = 0;
+        for (int64_t i = 0; i < n_f; i++) {
+            double p = t_now + remaining[ffid[i]] / frate[i];
+            proj[i] = p;
+            if (isnan(p)) has_nan = 1;
+            else if (p < m) m = p;
+        }
+        *next_out = has_nan ? NAN : (n_f > 0 ? m : INFINITY);
+    }
+    return n_done;
 }
 
 /* Per-flow progressive filling with the rate-cap branch.
@@ -434,6 +585,43 @@ def load_pricing_kernel():
     return fn
 
 
+def load_batch_kernel():
+    """Bind the batched multi-component solver kernel, or ``None``.
+
+    Signature: ``(n_comps, desc_addr, t_now, remaining_addr,
+    next_out_addr)`` where ``desc_addr`` points at ``n_comps``
+    16-slot int64 component descriptors (see the C source).  Disjoint
+    descriptor ranges may be solved concurrently: ctypes releases the
+    GIL around the call and every output slice is component-private.
+    """
+    lib = _load_lib()
+    if lib is None:
+        return None
+    fn = lib.repro_waterfill_batch
+    i64, vp = ctypes.c_int64, ctypes.c_void_p
+    fn.argtypes = [i64, vp, ctypes.c_double, vp, vp]
+    fn.restype = ctypes.c_int
+    return fn
+
+
+def load_sweep_kernel():
+    """Bind the per-component completion-sweep kernel, or ``None``.
+
+    Signature: ``(desc_addr, dt, t_now, done_threshold_addr,
+    remaining_addr, finished_addr, rows_out_addr, next_out_addr)``;
+    returns the number of completed flows (0 = spurious wake-up, with
+    the new earliest projection written to ``next_out``).
+    """
+    lib = _load_lib()
+    if lib is None:
+        return None
+    fn = lib.repro_sweep_comp
+    i64, vp = ctypes.c_int64, ctypes.c_void_p
+    fn.argtypes = [vp, ctypes.c_double, ctypes.c_double, vp, vp, vp, vp, vp]
+    fn.restype = i64
+    return fn
+
+
 def warm() -> dict:
     """Precompile and bind every kernel (CI / install warm-up hook).
 
@@ -445,5 +633,7 @@ def warm() -> dict:
         "waterfill": load_kernel() is not None,
         "maxmin_indexed": load_indexed_kernel() is not None,
         "price_masked": load_pricing_kernel() is not None,
+        "waterfill_batch": load_batch_kernel() is not None,
+        "sweep_comp": load_sweep_kernel() is not None,
         "status": kernel_status,
     }

@@ -72,6 +72,8 @@ class OnlineResult:
     splits: int = 0              # dynamic component splits performed
     sched_s: float = 0.0         # wall time spent in two-step scheduling
     sim_s: float = 0.0           # wall time spent advancing the engine
+    solve_s: float = 0.0         # sim_s share spent in Max-Min solves
+    event_s: float = 0.0         # sim_s share spent in the event loop
 
     @property
     def n_jobs(self) -> int:
@@ -107,6 +109,11 @@ class OnlineSimulator:
         way.  ``False`` hands every job the reference scan path.
     vector_price:
         Forwarded to the schedulers' batched candidate pricing knob.
+    solver_threads:
+        Forwarded to the :class:`~repro.online.live.LiveFluidEngine`:
+        how many threads solve independent dirty components per event
+        (default ``None`` reads ``REPRO_SOLVER_THREADS``, falling back
+        to 1 — the serial path, byte-for-byte).
     pipeline:
         Overlap the two-step scheduling of each admitted job with the
         fluid engine's advance to its arrival time (default off).  The
@@ -126,6 +133,7 @@ class OnlineSimulator:
                  collect_flow_traces: bool = False,
                  avail_index: bool = True,
                  vector_price: bool = True,
+                 solver_threads: int | None = None,
                  pipeline: bool = False) -> None:
         self.platform = platform
         self.admission = admission_from_spec(admission)
@@ -142,7 +150,8 @@ class OnlineSimulator:
         self.engine = LiveFluidEngine(platform, lazy=lazy,
                                       local_index=local_index,
                                       split_threshold=split_threshold,
-                                      collect_flow_traces=collect_flow_traces)
+                                      collect_flow_traces=collect_flow_traces,
+                                      solver_threads=solver_threads)
         # graph / allocation / redistribution caches, shared across jobs
         # exactly as a campaign runner shares them across cells
         self._pipeline = ExperimentRunner(simulate_schedules=False,
@@ -343,4 +352,6 @@ class OnlineSimulator:
             splits=self.engine.splits,
             sched_s=self.sched_s,
             sim_s=self.sim_s,
+            solve_s=self.engine.solve_s,
+            event_s=self.engine.event_s,
         )

@@ -35,6 +35,7 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
@@ -45,6 +46,7 @@ from repro.simulation.simulator import (
     _TIME_EPS,
     _ComponentRegistry,
     _grow,
+    _resolve_solver_threads,
 )
 from repro.simulation.trace import FlowTrace, TaskTrace
 
@@ -89,11 +91,17 @@ class LiveFluidEngine:
     split_threshold:
         Drain-hysteresis fraction for dynamic component splits (default
         0.5; ``None`` disables, reproducing merge-only solve costs).
+    solver_threads:
+        Concurrent dirty-component solves through the GIL-free batch
+        kernel (default ``None`` = the ``REPRO_SOLVER_THREADS`` env
+        var, itself defaulting to 1).  Byte-identical for every value —
+        see :class:`~repro.simulation.simulator.FluidSimulator`.
     """
 
     def __init__(self, cluster, *, collect_flow_traces: bool = False,
                  lazy: bool = True, local_index: bool = True,
-                 split_threshold: float | None = 0.5) -> None:
+                 split_threshold: float | None = 0.5,
+                 solver_threads: int | None = None) -> None:
         self.cluster = cluster
         self.topo = cluster.topology
         self.capacities = self.topo.capacity_array
@@ -119,12 +127,13 @@ class LiveFluidEngine:
         self.release_time = np.empty(8, dtype=float)
 
         # ---- shared component machinery (same class as batch) ---- #
+        self.solver_threads = _resolve_solver_threads(solver_threads)
         self.reg = _ComponentRegistry(
             self.capacities, self.pair_routes, self.pair_cap,
             lazy=lazy, local_index=local_index,
-            split_threshold=split_threshold)
-        self.reg.remaining = self.remaining
-        self.reg.done_threshold = self.done_threshold
+            split_threshold=split_threshold,
+            solver_threads=self.solver_threads)
+        self.reg.bind(self.remaining, self.done_threshold)
 
         # ---- task bookkeeping (dict-based _TaskBookkeeping) ---- #
         self.edges: list[tuple[str, str]] = []   # global (namespaced) names
@@ -154,6 +163,7 @@ class LiveFluidEngine:
 
         self.now = 0.0
         self.events = 0
+        self._loop_s = 0.0        # event-loop wall clock (advance/drain)
 
     # solver counters live on the shared registry
     @property
@@ -171,6 +181,16 @@ class LiveFluidEngine:
     @property
     def solve_rows(self) -> int:
         return self.reg.solve_rows
+
+    @property
+    def solve_s(self) -> float:
+        """Wall-clock seconds inside the rate re-solve phase."""
+        return self.reg.solve_s
+
+    @property
+    def event_s(self) -> float:
+        """Event-loop wall clock outside the solve phase."""
+        return self._loop_s - self.reg.solve_s
 
     # ------------------------------------------------------------------ #
     # injection
@@ -242,9 +262,9 @@ class LiveFluidEngine:
         self.size = _grow(self.size, need)
         self.remaining = _grow(self.remaining, need)
         self.done_threshold = _grow(self.done_threshold, need)
-        # growth may reallocate: re-bind the registry's views
-        self.reg.remaining = self.remaining
-        self.reg.done_threshold = self.done_threshold
+        # growth may reallocate: re-bind the registry's views (and the
+        # kernel-side raw addresses cached alongside them)
+        self.reg.bind(self.remaining, self.done_threshold)
         self.lat = _grow(self.lat, need)
         self.src = _grow(self.src, need)
         self.dst = _grow(self.dst, need)
@@ -258,7 +278,10 @@ class LiveFluidEngine:
             self.done_threshold[base:need] = np.maximum(
                 sizes * _REL_BYTES_EPS, 1e-12)
             pid_arr = np.array(new_pid, dtype=np.intp)
-            self.lat[base:need] = np.array(self.pair_lat, dtype=float)[pid_arr]
+            # index the pair-latency list per new flow — materialising the
+            # whole pair table here would be O(total pairs) per inject
+            pl = self.pair_lat
+            self.lat[base:need] = [pl[p] for p in new_pid]
             self.src[base:need] = new_src
             self.dst[base:need] = new_dst
             self.edge_of[base:need] = new_eid
@@ -363,7 +386,7 @@ class LiveFluidEngine:
         release_heap = self.release_heap
 
         self.events += 1
-        reg.touched.clear()
+        reg.begin_event()
 
         # 1) flow completions (component sweep + local flows)
         set_changed = reg.sweep(now, self._complete_flow)
@@ -395,6 +418,7 @@ class LiveFluidEngine:
         components carry their own materialisation times."""
         if t < self.now - _TIME_EPS:
             raise ValueError(f"cannot rewind from t={self.now} to t={t}")
+        t0 = perf_counter()
         with np.errstate(divide="ignore", invalid="ignore"):
             while True:
                 t_next = self._peek_time()
@@ -402,11 +426,13 @@ class LiveFluidEngine:
                     break
                 self.now = t_next
                 self._step()
+        self._loop_s += perf_counter() - t0
         if t > self.now:
             self.now = t
 
     def drain(self) -> None:
         """Run the event loop until every injected task has finished."""
+        t0 = perf_counter()
         with np.errstate(divide="ignore", invalid="ignore"):
             while len(self.done_tasks) < self.total:
                 t_next = self._peek_time()
@@ -417,6 +443,7 @@ class LiveFluidEngine:
                         f"became runnable")
                 self.now = t_next
                 self._step()
+        self._loop_s += perf_counter() - t0
 
     def pop_completed_jobs(self) -> list[str]:
         """Job ids that finished since the last call (completion order)."""

@@ -61,7 +61,11 @@ from __future__ import annotations
 
 import heapq
 import math
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from operator import attrgetter
+from time import perf_counter
 
 import numpy as np
 
@@ -82,6 +86,38 @@ _REL_BYTES_EPS = 1e-9
 #: part-local index construction) costs ~a millisecond — splits only pay
 #: on components large enough that part-scoped solves amortise the build.
 _SPLIT_MIN_ROWS = 32
+
+_BY_CID = attrgetter("cid")
+
+
+def _resolve_solver_threads(n: int | None) -> int:
+    """``solver_threads`` knob resolution: explicit value, else the
+    ``REPRO_SOLVER_THREADS`` env var, else 1 (today's serial path)."""
+    if n is None:
+        raw = os.environ.get("REPRO_SOLVER_THREADS", "").strip()
+        n = int(raw) if raw else 1
+    return max(1, int(n))
+
+
+_SOLVER_POOL: ThreadPoolExecutor | None = None
+_SOLVER_POOL_SIZE = 0
+
+
+def _solver_pool(n: int) -> ThreadPoolExecutor:
+    """The persistent solver thread pool, grown (never shrunk) to ``n``.
+
+    One process-wide pool: engines come and go per scenario, but worker
+    threads are only ever parked on a queue, so keeping them across
+    engine lifetimes avoids the spawn cost on every simulation."""
+    global _SOLVER_POOL, _SOLVER_POOL_SIZE
+    if _SOLVER_POOL is None or _SOLVER_POOL_SIZE < n:
+        old = _SOLVER_POOL
+        _SOLVER_POOL = ThreadPoolExecutor(
+            max_workers=n, thread_name_prefix="repro-solver")
+        _SOLVER_POOL_SIZE = n
+        if old is not None:
+            old.shutdown(wait=False)
+    return _SOLVER_POOL
 
 
 @dataclass
@@ -111,6 +147,12 @@ class SimulationResult:
     #: the work proxy that makes the split/local-index saving measurable
     #: even when the solve *count* stays the same
     solve_rows: int = 0
+    #: wall-clock seconds inside the rate re-solve phase (waterfilling,
+    #: projection updates, heap pushes) vs everything else in the event
+    #: loop (sweeps, bookkeeping, releases) — the per-phase attribution
+    #: that tells future perf legs where the time actually goes
+    solve_s: float = 0.0
+    event_s: float = 0.0
 
     def as_executed_schedule(self, schedule: Schedule) -> Schedule:
         """Rebuild a :class:`Schedule` carrying the *simulated* times."""
@@ -260,6 +302,7 @@ class _Component:
         "proj",
         "caps_global", "local_of", "local_links", "cap_local", "n_local",
         "parts", "part_of_row", "part_dirty", "part_of_link",
+        "arena", "arena_addr", "touch_epoch",
     )
 
     def __init__(self, cid: int,
@@ -307,6 +350,14 @@ class _Component:
         self.part_of_row: np.ndarray | None = None
         self.part_dirty: np.ndarray | None = None
         self.part_of_link: np.ndarray | None = None
+        # packed C-kernel descriptor (sizes + raw array addresses),
+        # cached between solves and dropped by every structural
+        # mutation — the existing bundle-diff bookkeeping decides when
+        # repacking is needed, so steady-state completion events do none
+        self.arena: np.ndarray | None = None
+        self.arena_addr = 0
+        # last event epoch this component was appended to reg.touched
+        self.touch_epoch = -1
 
     # ------------------------------------------------------------------ #
     def local_ids(self, links) -> np.ndarray:
@@ -352,6 +403,7 @@ class _Component:
                 self._graft_row(row, ids)
         self.ptr = _grow(self.ptr, row + 2)
         self.ptr[row + 1] = end
+        self.arena = None
         self.n_rows = row + 1
         self.live_rows += 1
         if self.live_rows > self.peak_rows:
@@ -412,18 +464,26 @@ class _Component:
         if row >= len(self.rates):
             self.rates = _grow(self.rates, row + 1)
         self.rates[row] = 0.0             # rewritten by the dirty solve
+        self.arena = None
 
     def add_flow(self, fid: int, row: int) -> None:
         n = self.n_flows
-        self.flow_fid = _grow(self.flow_fid, n + 1)
-        self.flow_row = _grow(self.flow_row, n + 1)
-        self.flow_rates = _grow(self.flow_rates, n + 1)
-        self.proj = _grow(self.proj, n + 1)
+        # the four flow arrays always share one capacity, so a single
+        # bound check covers them all (this runs once per released flow)
+        if n >= len(self.flow_fid):
+            self.flow_fid = _grow(self.flow_fid, n + 1)
+            self.flow_row = _grow(self.flow_row, n + 1)
+            self.flow_rates = _grow(self.flow_rates, n + 1)
+            self.proj = _grow(self.proj, n + 1)
+            self.arena = None          # buffer addresses changed
         self.flow_fid[n] = fid
         self.flow_row[n] = row
         self.flow_rates[n] = 0.0
         self.proj[n] = math.inf
         self.n_flows = n + 1
+        a = self.arena
+        if a is not None:
+            a[9] = n + 1               # only the slot count changed
         self.live_flows += 1
 
     # ------------------------------------------------------------------ #
@@ -437,6 +497,9 @@ class _Component:
         self.flow_rates[:kept] = self.flow_rates[:n][keep]
         self.proj[:kept] = self.proj[:n][keep]
         self.n_flows = kept
+        a = self.arena
+        if a is not None:
+            a[9] = kept    # in-place rewrite: addresses are unchanged
 
     def compact_rows(self) -> list[int]:
         """Drop drained-pair rows (multiplicity 0), renumbering flows.
@@ -474,6 +537,7 @@ class _Component:
         remapped = new_of_old[old_rows]
         remapped[dead_row] = 0
         self.flow_row[:self.n_flows] = remapped
+        self.arena = None
         return dropped
 
 
@@ -559,18 +623,23 @@ class _ComponentRegistry:
 
     def __init__(self, capacities: np.ndarray, pair_routes, pair_cap, *,
                  lazy: bool = True, local_index: bool = True,
-                 split_threshold: float | None = 0.5) -> None:
+                 split_threshold: float | None = 0.5,
+                 solver_threads: int = 1) -> None:
         self.capacities = capacities
         self.pair_routes = pair_routes
         self.pair_cap = pair_cap
         self.lazy = lazy
         self.local_index = local_index
         self.split_threshold = float(split_threshold or 0.0)
+        self.solver_threads = max(1, int(solver_threads))
         n_links = len(capacities)
         self.comps: list[_Component] = []
         self.parent: list[int] = []         # union-find over component ids
-        self.link_owner = np.full(n_links, -1, dtype=np.intp)
-        self.link_pairs = np.zeros(n_links, dtype=np.intp)
+        # plain lists: these tables are only ever read and written one
+        # scalar at a time in the (de)activation loops, where list
+        # indexing is several times cheaper than ndarray item access
+        self.link_owner: list[int] = [-1] * n_links
+        self.link_pairs: list[int] = [0] * n_links
         self.comp_of_pair: list[int] = [-1] * len(pair_cap)
         self.comp_heap: list[tuple[float, int, int]] = []  # (t, cid, stamp)
         # local (route-less) flows complete one event after release; they
@@ -583,6 +652,28 @@ class _ComponentRegistry:
         self.solves_component = 0
         self.solve_rows = 0
         self.splits = 0
+        #: wall-clock seconds spent inside resolve() — the solve phase
+        self.solve_s = 0.0
+        self._epoch = 0                      # current event, for touched
+        # ---- compiled fast paths (None = numpy fallback throughout) ----
+        # load_* re-checks REPRO_NO_C_KERNEL on every call, so a registry
+        # built under the kill switch stays on the numpy path even when a
+        # kernel was compiled earlier in the process
+        from repro.network._ckernel import load_batch_kernel, load_sweep_kernel
+        self._batch_knl = load_batch_kernel()
+        self._sweep_knl = load_sweep_kernel()
+        self._caps_addr = capacities.ctypes.data
+        self._rem_addr = 0                   # set by bind()
+        self._thr_addr = 0
+        # reusable kernel I/O buffers (grown on demand) + cached addresses
+        self._desc = np.zeros(16 * 8, dtype=np.int64)
+        self._desc_addr = self._desc.ctypes.data
+        self._next = np.zeros(8, dtype=np.float64)
+        self._next_addr = self._next.ctypes.data
+        self._fin = np.empty(64, dtype=np.int64)
+        self._fin_addr = self._fin.ctypes.data
+        self._rows = np.empty(64, dtype=np.int64)
+        self._rows_addr = self._rows.ctypes.data
 
     # ------------------------------------------------------------------ #
     def find(self, cid: int) -> int:
@@ -600,6 +691,70 @@ class _ComponentRegistry:
         if math.isfinite(comp.next_t):
             heapq.heappush(self.comp_heap,
                            (comp.next_t, comp.cid, comp.stamp))
+
+    def bind(self, remaining: np.ndarray,
+             done_threshold: np.ndarray) -> None:
+        """(Re-)bind the engine-owned flow arrays.
+
+        Engines must rebind through here after amortised growth: the
+        kernels address the arrays by cached raw pointer, so a
+        reallocation invalidates the addresses alongside the views."""
+        self.remaining = remaining
+        self.done_threshold = done_threshold
+        self._rem_addr = remaining.ctypes.data
+        self._thr_addr = done_threshold.ctypes.data
+
+    def begin_event(self) -> None:
+        """Open a new event: clears the touched set (epoch bump makes
+        the per-component membership test O(1) instead of a list scan)."""
+        self.touched.clear()
+        self._epoch += 1
+
+    def _touch(self, comp: _Component) -> None:
+        if comp.touch_epoch != self._epoch:
+            comp.touch_epoch = self._epoch
+            self.touched.append(comp)
+
+    def _arena(self, comp: _Component) -> np.ndarray:
+        """The component's packed kernel descriptor, (re)built on demand.
+
+        Cached until a structural mutation (pair/flow growth, merge,
+        compaction, partition, rates rebind) drops it — completion-only
+        steady-state events reuse the descriptor untouched."""
+        d = comp.arena
+        if d is not None:
+            return d
+        n = comp.n_rows
+        if len(comp.rates) < n:
+            comp.rates = _grow(comp.rates, n)
+        d = np.empty(16, dtype=np.int64)
+        d[0] = n
+        if comp.caps_global is None:
+            d[1] = len(self.capacities)
+            d[7] = self._caps_addr
+        else:
+            d[1] = comp.n_local
+            d[7] = comp.cap_local.ctypes.data
+        d[2] = comp.flat.ctypes.data
+        if comp.uniform and comp.route_len:
+            d[3] = 0
+            d[4] = comp.route_len
+        else:
+            d[3] = comp.ptr.ctypes.data
+            d[4] = 0
+        d[5] = comp.mult.ctypes.data
+        d[6] = comp.row_caps.ctypes.data
+        d[8] = comp.rates.ctypes.data
+        d[9] = comp.n_flows
+        d[10] = comp.flow_row.ctypes.data
+        d[11] = comp.flow_fid.ctypes.data
+        d[12] = comp.flow_rates.ctypes.data
+        d[13] = comp.proj.ctypes.data
+        d[14] = 0
+        d[15] = 0
+        comp.arena = d
+        comp.arena_addr = d.ctypes.data
+        return d
 
     def materialize(self, comp: _Component, t: float) -> None:
         """Advance the component's flows to ``t`` under cached rates."""
@@ -657,6 +812,7 @@ class _ComponentRegistry:
         a.proj[fo:fo + b.n_flows] = b.proj[:b.n_flows]
         a.n_flows = fo + b.n_flows
         a.live_flows += b.live_flows
+        a.arena = None
         b.alive = False
         self.parent[b.cid] = a.cid
         a.dirty = True
@@ -675,7 +831,7 @@ class _ComponentRegistry:
         for li in links:
             owner = link_owner[li]
             if owner != -1:
-                r = self.find(int(owner))
+                r = self.find(owner)
                 if r not in roots:
                     roots.append(r)
         if not roots:
@@ -725,7 +881,7 @@ class _ComponentRegistry:
         for li in links:
             owner = link_owner[li]
             if owner != -1:
-                r = self.find(int(owner))
+                r = self.find(owner)
                 if r != me and r not in roots:
                     roots.append(r)
         for r in roots:
@@ -782,6 +938,7 @@ class _ComponentRegistry:
             self._partition(comp)             # includes one full solve
         elif comp.parts is None:
             comp.rates = self.comp_waterfill(comp)
+            comp.arena = None                 # rates buffer rebound
         else:
             self._solve_parts(comp)
         nf = comp.n_flows
@@ -808,6 +965,7 @@ class _ComponentRegistry:
         """
         comp.peak_rows = comp.live_rows
         comp.rates = self.comp_waterfill(comp)
+        comp.arena = None                     # rates buffer rebound
         comp.parts = None
         comp.part_of_link = None
         n = comp.n_rows
@@ -926,43 +1084,86 @@ class _ComponentRegistry:
         comp_heap = self.comp_heap
         remaining = self.remaining
         done_threshold = self.done_threshold
-        touched = self.touched
         set_changed = False
         completed: list[int] = []
+        knl = self._sweep_knl
         while comp_heap and comp_heap[0][0] <= now:
             _, cid, stamp = heapq.heappop(comp_heap)
             comp = comps[cid]
             if not comp.alive or comp.stamp != stamp:
                 continue
-            self.materialize(comp, now)
-            nf = comp.n_flows
-            fids = comp.flow_fid[:nf]
-            done_sel = remaining[fids] <= done_threshold[fids]
-            if not done_sel.any():
-                # spurious wake-up (rates dropped since the push):
-                # reproject from materialised remaining
-                comp.stamp += 1
-                comp.proj[:nf] = now + (remaining[fids]
-                                        / comp.flow_rates[:nf])
-                comp.next_t = (float(comp.proj[:nf].min())
-                               if nf else math.inf)
-                self.push_comp(comp)
-                continue
-            finished = fids[done_sel]
-            set_changed = True
-            comp.dirty = True
-            comp.live_flows -= len(finished)
-            rows = comp.flow_row[:nf][done_sel]
-            if comp.parts is not None:
-                comp.part_dirty[comp.part_of_row[rows]] = True
-            np.subtract.at(comp.mult, rows, 1)
-            remaining[finished] = np.inf      # dead-slot marker
-            comp.flow_rates[:nf][done_sel] = 0.0
-            comp.proj[:nf][done_sel] = np.inf
-            for r in np.unique(rows):
+            if knl is not None:
+                # compiled sweep: materialise + completion detect +
+                # slot/multiplicity bookkeeping in one GIL-free call
+                # over the cached descriptor (numpy block mirrored
+                # slot-for-slot — see repro_sweep_comp)
+                nf = comp.n_flows
+                if nf > len(self._fin):
+                    cap = max(nf, 2 * len(self._fin))
+                    self._fin = np.empty(cap, dtype=np.int64)
+                    self._fin_addr = self._fin.ctypes.data
+                    self._rows = np.empty(cap, dtype=np.int64)
+                    self._rows_addr = self._rows.ctypes.data
+                if comp.arena is None:
+                    self._arena(comp)
+                dt = now - comp.t_mat
+                comp.t_mat = now
+                n_done = knl(comp.arena_addr, dt, now, self._thr_addr,
+                             self._rem_addr, self._fin_addr,
+                             self._rows_addr, self._next_addr)
+                if n_done == 0:
+                    # spurious wake-up (rates dropped since the push):
+                    # the kernel reprojected from materialised remaining
+                    comp.stamp += 1
+                    comp.next_t = float(self._next[0])
+                    self.push_comp(comp)
+                    continue
+                finished = self._fin[:n_done]
+                rows = self._rows[:n_done]
+                set_changed = True
+                comp.dirty = True
+                comp.live_flows -= n_done
+                if comp.parts is not None:
+                    comp.part_dirty[comp.part_of_row[rows]] = True
+            else:
+                self.materialize(comp, now)
+                nf = comp.n_flows
+                fids = comp.flow_fid[:nf]
+                done_sel = remaining[fids] <= done_threshold[fids]
+                if not done_sel.any():
+                    # spurious wake-up (rates dropped since the push):
+                    # reproject from materialised remaining
+                    comp.stamp += 1
+                    comp.proj[:nf] = now + (remaining[fids]
+                                            / comp.flow_rates[:nf])
+                    comp.next_t = (float(comp.proj[:nf].min())
+                                   if nf else math.inf)
+                    self.push_comp(comp)
+                    continue
+                finished = fids[done_sel]
+                set_changed = True
+                comp.dirty = True
+                comp.live_flows -= len(finished)
+                rows = comp.flow_row[:nf][done_sel]
+                if comp.parts is not None:
+                    comp.part_dirty[comp.part_of_row[rows]] = True
+                np.subtract.at(comp.mult, rows, 1)
+                remaining[finished] = np.inf      # dead-slot marker
+                comp.flow_rates[:nf][done_sel] = 0.0
+                comp.proj[:nf][done_sel] = np.inf
+            # dedupe rows in first-seen order (np.unique sorts — order is
+            # irrelevant here: deactivation only decrements per-link
+            # counters, commutative across rows)
+            rows_l = rows.tolist()
+            if len(rows_l) == 1:
+                r = rows_l[0]
                 if comp.mult[r] == 0:
                     self.deactivate_pair(int(comp.row_pair[r]), comp)
-            completed.extend(int(fid) for fid in finished)
+            else:
+                for r in dict.fromkeys(rows_l):
+                    if comp.mult[r] == 0:
+                        self.deactivate_pair(int(comp.row_pair[r]), comp)
+            completed.extend(finished.tolist())
             if comp.live_rows == 0:
                 # fully drained: every link was already freed by
                 # deactivate_pair.  The component stays alive as a
@@ -977,19 +1178,28 @@ class _ComponentRegistry:
             else:
                 if comp.live_flows * 2 < comp.n_flows:
                     comp.compact_flows(remaining)
-                # row compaction renumbers rows, which would orphan the
-                # partition views; tombstones are numerically inert and
-                # the next partition rebuild sheds them anyway.  Since
-                # tombstones became resurrectable, eviction is no longer
-                # free — a compacted pair must rebuild incidence and
-                # local index on its next release — so only clearly
-                # tombstone-dominated large components compact
-                if (comp.parts is None
-                        and comp.live_rows * 8 < comp.n_rows
+                # Since tombstones became resurrectable, eviction is no
+                # longer free — a compacted pair must rebuild incidence
+                # and local index on its next release — so only clearly
+                # tombstone-dominated large components compact.  The
+                # trigger must not depend on engine knobs: whether a
+                # pair resurrects in place or re-activates fresh decides
+                # future row order, and the solver's per-link float
+                # accumulation is row-order-sensitive in the last ulp —
+                # so a partitioned component compacts too (dropping its
+                # partition views, which renumbering would orphan; the
+                # next solve re-partitions if still eligible), keeping
+                # split and merge-only layouts in lockstep.
+                if (comp.live_rows * 8 < comp.n_rows
                         and comp.n_rows > 64):
+                    if comp.parts is not None:
+                        comp.parts = None
+                        comp.part_of_link = None
                     for dead_pid in comp.compact_rows():
                         self.comp_of_pair[dead_pid] = -1
-                touched.append(comp)
+                if comp.touch_epoch != self._epoch:  # inlined _touch
+                    comp.touch_epoch = self._epoch
+                    self.touched.append(comp)
 
         # local (route-less) flows: instantaneous once released
         local_heap = self.local_heap
@@ -1028,7 +1238,8 @@ class _ComponentRegistry:
                 comp, row = self.resurrect_pair(pid, comp, row, now)
         comp.mult[row] += 1
         comp.add_flow(fid, row)
-        if comp not in self.touched:
+        if comp.touch_epoch != self._epoch:     # inlined _touch (hot)
+            comp.touch_epoch = self._epoch
             self.touched.append(comp)
 
     def resolve(self, now: float) -> None:
@@ -1036,13 +1247,24 @@ class _ComponentRegistry:
         oracle, every live component; clean ones see identical inputs and
         recompute identical rates, so the two modes stay byte-identical
         while ``lazy=False`` really performs the eager work.
+
+        On the lazy path all dirty components re-solve through **one**
+        batched kernel crossing (``repro_waterfill_batch``) — the
+        same-timestamp completions the sweep coalesced across components
+        become a single re-solve — optionally chunked over the
+        persistent solver thread pool (``solver_threads > 1``).  Results
+        are committed in ascending component id, so stamps, heap pushes
+        and counters follow one deterministic order however many threads
+        produced the rates; per-component outputs are disjoint slices,
+        so the values themselves are thread-count-invariant, making
+        every thread setting byte-identical to the serial path.
+        Components under the split machinery (standing parts, or a
+        partition check due) take the classic per-component path inside
+        the same ascending-cid commit loop.
         """
+        t0 = perf_counter()
         self.solves_full += 1
-        if self.lazy:
-            for comp in self.touched:
-                if comp.alive and comp.dirty and comp.live_rows:
-                    self.solve(comp, now)
-        else:
+        if not self.lazy:
             for comp in self.comps:
                 if not comp.alive or not comp.live_rows:
                     continue
@@ -1054,6 +1276,108 @@ class _ComponentRegistry:
                     # bitwise-equal values, cached projections untouched
                     # (their recomputation would reproduce them)
                     comp.rates = self.comp_waterfill(comp)
+                    comp.arena = None
+            self.solve_s += perf_counter() - t0
+            return
+        knl = self._batch_knl
+        touched = self.touched
+        if len(touched) == 1 and knl is not None:
+            # fast path for the steady-state stream shape: one event
+            # touched one component — no list building, no classify
+            comp = touched[0]
+            if comp.alive and comp.dirty and comp.live_rows:
+                thr = self.split_threshold
+                if comp.parts is None and not (
+                        thr and comp.live_rows >= _SPLIT_MIN_ROWS
+                        and comp.live_rows <= thr * comp.peak_rows):
+                    if comp.arena is None:
+                        self._arena(comp)
+                    if knl(1, comp.arena_addr, now, self._rem_addr,
+                           self._next_addr) == 0:
+                        self.solves_component += 1
+                        self.solve_rows += comp.n_rows
+                        comp.stamp += 1
+                        comp.next_t = float(self._next[0])
+                        comp.dirty = False
+                        self.push_comp(comp)
+                        self.solve_s += perf_counter() - t0
+                        return
+                self.solve(comp, now)
+            self.solve_s += perf_counter() - t0
+            return
+        dirty = [c for c in self.touched
+                 if c.alive and c.dirty and c.live_rows]
+        if len(dirty) > 1:
+            dirty.sort(key=_BY_CID)
+        if knl is None:
+            # numpy fallback (no compiler / REPRO_NO_C_KERNEL): the
+            # classic per-component solves, serial regardless of
+            # solver_threads — identical results either way
+            for comp in dirty:
+                self.solve(comp, now)
+            self.solve_s += perf_counter() - t0
+            return
+        thr = self.split_threshold
+        plain = [comp for comp in dirty
+                 if comp.parts is None
+                 and not (thr and comp.live_rows >= _SPLIT_MIN_ROWS
+                          and comp.live_rows <= thr * comp.peak_rows)]
+        k = len(plain)
+        ok = True
+        if k == 1:
+            comp = plain[0]
+            if comp.arena is None:
+                self._arena(comp)
+            ok = knl(1, comp.arena_addr, now, self._rem_addr,
+                     self._next_addr) == 0
+        elif k:
+            if 16 * k > len(self._desc):
+                cap = max(16 * k, 2 * len(self._desc))
+                self._desc = np.zeros(cap, dtype=np.int64)
+                self._desc_addr = self._desc.ctypes.data
+                self._next = np.zeros(cap // 16, dtype=np.float64)
+                self._next_addr = self._next.ctypes.data
+            desc = self._desc
+            for i, comp in enumerate(plain):
+                d = comp.arena
+                if d is None:
+                    d = self._arena(comp)
+                desc[16 * i:16 * i + 16] = d
+            nthreads = self.solver_threads
+            if nthreads > 1:
+                # contiguous chunks, one GIL-free kernel call each; a
+                # descriptor is 16 int64 slots = 128 bytes, a next_out
+                # slot 8 bytes
+                pool = _solver_pool(nthreads)
+                step = -(-k // min(nthreads, k))
+                futs = [pool.submit(knl, min(step, k - s),
+                                    self._desc_addr + 128 * s, now,
+                                    self._rem_addr,
+                                    self._next_addr + 8 * s)
+                        for s in range(0, k, step)]
+                ok = all(f.result() == 0 for f in futs)
+            else:
+                ok = knl(k, self._desc_addr, now, self._rem_addr,
+                         self._next_addr) == 0
+        if not ok:      # pragma: no cover - kernel scratch malloc failed
+            for comp in dirty:
+                self.solve(comp, now)
+            self.solve_s += perf_counter() - t0
+            return
+        nxt = self._next
+        j = 0
+        for comp in dirty:          # ascending-cid commit
+            if j < k and comp is plain[j]:
+                self.solves_component += 1
+                self.solve_rows += comp.n_rows
+                comp.stamp += 1
+                comp.next_t = float(nxt[j])
+                comp.dirty = False
+                self.push_comp(comp)
+                j += 1
+            else:
+                self.solve(comp, now)
+        self.solve_s += perf_counter() - t0
 
 
 class _TaskBookkeeping:
@@ -1198,6 +1522,14 @@ class FluidSimulator:
         count drops to this fraction of its high-water mark (default
         0.5).  ``None`` disables dynamic splits (merge-only components,
         the pre-split behaviour).  Bitwise-neutral by construction.
+    solver_threads:
+        Solve independent dirty components concurrently over a
+        persistent thread pool through the GIL-free batch kernel.
+        Default ``None`` reads ``REPRO_SOLVER_THREADS`` (itself
+        defaulting to 1, the serial path).  Byte-identical for every
+        value: components are disjoint subproblems and results commit
+        in ascending component id (see
+        :meth:`_ComponentRegistry.resolve`).
     """
 
     def __init__(self, schedule: Schedule, *,
@@ -1205,7 +1537,8 @@ class FluidSimulator:
                  use_bundling: bool = True,
                  lazy: bool = True,
                  local_index: bool = True,
-                 split_threshold: float | None = 0.5) -> None:
+                 split_threshold: float | None = 0.5,
+                 solver_threads: int | None = None) -> None:
         self.schedule = schedule
         self.graph: TaskGraph = schedule.graph
         self.cluster: Cluster = schedule.cluster
@@ -1214,6 +1547,7 @@ class FluidSimulator:
         self.lazy = lazy
         self.local_index = local_index
         self.split_threshold = split_threshold
+        self.solver_threads = _resolve_solver_threads(solver_threads)
 
     # ------------------------------------------------------------------ #
     def _build_flows(self):
@@ -1312,9 +1646,9 @@ class FluidSimulator:
         reg = _ComponentRegistry(
             capacities, fl["pair_routes"], fl["pair_cap"],
             lazy=self.lazy, local_index=self.local_index,
-            split_threshold=self.split_threshold)
-        reg.remaining = size.copy()
-        reg.done_threshold = np.maximum(size * _REL_BYTES_EPS, 1e-12)
+            split_threshold=self.split_threshold,
+            solver_threads=self.solver_threads)
+        reg.bind(size.copy(), np.maximum(size * _REL_BYTES_EPS, 1e-12))
 
         # ---------------- event loop ---------------- #
         now = 0.0
@@ -1326,6 +1660,7 @@ class FluidSimulator:
         release_heap = tb.release_heap
         complete_flow = tb.complete_flow
         old_err = np.seterr(divide="ignore", invalid="ignore")
+        t_loop = perf_counter()
         try:
             while len(tb.done) < total:
                 t_next = reg.peek()
@@ -1339,7 +1674,7 @@ class FluidSimulator:
                         f"{total - len(tb.done)} tasks never became runnable")
                 now = t_next
                 events += 1
-                reg.touched.clear()
+                reg.begin_event()
 
                 # 1) flow completions (component sweep + local flows)
                 set_changed = reg.sweep(now, complete_flow)
@@ -1364,6 +1699,7 @@ class FluidSimulator:
 
         finally:
             np.seterr(**old_err)
+        loop_s = perf_counter() - t_loop
 
         return SimulationResult(
             makespan=tb.makespan(),
@@ -1375,6 +1711,8 @@ class FluidSimulator:
             solves_component=reg.solves_component,
             splits=reg.splits,
             solve_rows=reg.solve_rows,
+            solve_s=reg.solve_s,
+            event_s=loop_s - reg.solve_s,
         )
 
     # ================================================================== #

@@ -327,8 +327,10 @@ class TestParallelRunMatrix:
         serial = ExperimentRunner().run_matrix(scenarios, clusters, specs)
         parallel = ExperimentRunner(jobs=2).run_matrix(
             scenarios, clusters, specs)
-        strip = [replace(r, wall_time_s=0.0) for r in serial]
-        strip_p = [replace(r, wall_time_s=0.0) for r in parallel]
+        # wall_time_s, solve_s and event_s are per-machine clocks
+        timing = dict(wall_time_s=0.0, solve_s=0.0, event_s=0.0)
+        strip = [replace(r, **timing) for r in serial]
+        strip_p = [replace(r, **timing) for r in parallel]
         assert strip == strip_p
 
     def test_single_scenario_stays_serial(self):

@@ -1,0 +1,215 @@
+"""Parity suite for the batched kernel and solver threads (PR 10).
+
+The live-path tentpole promises **bitwise identity** across every speed
+knob: the batched ``repro_waterfill_batch`` crossing, the compiled sweep,
+the cached per-component arenas, and ``solver_threads=N`` must all replay
+the serial reference byte-for-byte.  The argument: per-component outputs
+are disjoint slices of pre-grown arrays (no allocation, no sharing), and
+results are committed in ascending component id whatever thread produced
+them — so the only thing threads can change is wall-clock.  These tests
+pin that argument against random scenario draws (exercising splits,
+resurrection and merges through the same schedules the split suite uses)
+and against a live engine with mid-flight injection, plus the numpy
+fallback under ``REPRO_NO_C_KERNEL=1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.scenarios import Scenario
+from repro.platforms.grid5000 import CHTI, GRELON
+from repro.scheduling.allocation import hcpa_allocation
+from repro.scheduling.mapping import ListScheduler
+from repro.simulation.simulator import (FluidSimulator,
+                                        _resolve_solver_threads)
+
+
+def _schedule_for_scenario(scenario: Scenario, cluster):
+    graph = scenario.build()
+    model = cluster.performance_model()
+    alloc = hcpa_allocation(graph, model, cluster.num_procs).allocation
+    return ListScheduler(graph, cluster, model, alloc).run()
+
+
+def assert_byte_identical(a, b):
+    assert a.events == b.events
+    assert a.makespan == b.makespan
+    assert set(a.task_traces) == set(b.task_traces)
+    for name, tr in a.task_traces.items():
+        other = b.task_traces[name]
+        assert tr.procs == other.procs
+        assert tr.start == other.start
+        assert tr.finish == other.finish
+    assert a.flow_traces == b.flow_traces
+
+
+_scenarios = st.builds(
+    Scenario,
+    family=st.sampled_from(["layered", "irregular"]),
+    n_tasks=st.sampled_from([8, 12, 16]),
+    width=st.sampled_from([0.2, 0.5]),
+    density=st.sampled_from([0.2, 0.8]),
+    regularity=st.sampled_from([0.2, 0.8]),
+    jump=st.sampled_from([1, 2]),
+    sample=st.integers(0, 3),
+)
+
+
+class TestThreadedBatchParity:
+    """solver_threads=4 ≡ solver_threads=1 ≡ full oracle, to the bit."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(scenario=_scenarios, hierarchical=st.booleans())
+    def test_threads_equal_serial_and_oracle(self, scenario, hierarchical):
+        cluster = GRELON if hierarchical else CHTI
+        schedule = _schedule_for_scenario(scenario, cluster)
+        serial = FluidSimulator(schedule, solver_threads=1,
+                                collect_flow_traces=True).run()
+        threaded = FluidSimulator(schedule, solver_threads=4,
+                                  collect_flow_traces=True).run()
+        oracle = FluidSimulator(schedule, lazy=False,
+                                collect_flow_traces=True).run()
+        assert_byte_identical(threaded, serial)
+        assert_byte_identical(threaded, oracle)
+
+    def test_threads_equal_serial_on_split_heavy_draw(self):
+        """A draw known to split, resurrect and merge (regression pin)."""
+        scenario = Scenario(family="layered", n_tasks=16, width=0.2,
+                            density=0.8, regularity=0.2, jump=1, sample=1)
+        schedule = _schedule_for_scenario(scenario, CHTI)
+        serial = FluidSimulator(schedule, collect_flow_traces=True).run()
+        threaded = FluidSimulator(schedule, solver_threads=4,
+                                  collect_flow_traces=True).run()
+        assert_byte_identical(threaded, serial)
+        merge_only = FluidSimulator(schedule, solver_threads=4,
+                                    split_threshold=None, local_index=False,
+                                    collect_flow_traces=True).run()
+        assert_byte_identical(threaded, merge_only)
+
+    def test_live_engine_midflight_injection(self):
+        """Threaded live engine ≡ serial under staggered injection.
+
+        Jobs inject while earlier flows are still in flight, so arenas
+        are invalidated mid-stream, pairs resurrect, and components
+        merge across jobs — the full streaming shape.
+        """
+        from repro.experiments.bench import large_platform_jobs
+        from repro.online.live import LiveFluidEngine
+
+        platform, jobs = large_platform_jobs(n_clusters=4, n_jobs=6,
+                                             chain_len=4)
+
+        def drive(**knobs):
+            eng = LiveFluidEngine(platform, collect_flow_traces=True,
+                                  **knobs)
+            for j, schedule in enumerate(jobs):
+                eng.advance_until(0.4 * j)
+                eng.inject(f"job{j}", schedule, 0.4 * j)
+            eng.drain()
+            return eng
+
+        serial = drive()
+        threaded = drive(solver_threads=4)
+        assert threaded.events == serial.events
+        assert threaded.makespan() == serial.makespan()
+        assert threaded.traces == serial.traces
+        assert threaded.flow_traces == serial.flow_traces
+
+    def test_online_simulator_forwards_solver_threads(self):
+        from repro.online.engine import OnlineSimulator
+        from repro.platforms.cluster import Cluster
+
+        sim = OnlineSimulator(Cluster(name="c", num_procs=4,
+                                      speed_flops=1e9),
+                              solver_threads=3)
+        assert sim.engine.solver_threads == 3
+
+
+class TestNumpyFallbackParity:
+    """REPRO_NO_C_KERNEL=1 forces the numpy path — even with threads."""
+
+    def test_kill_switch_is_bitwise_neutral_with_threads(self, monkeypatch):
+        scenario = Scenario(family="layered", n_tasks=12, width=0.5,
+                            density=0.8, regularity=0.8, sample=0)
+        schedule = _schedule_for_scenario(scenario, CHTI)
+        with_kernel = FluidSimulator(schedule, solver_threads=4,
+                                     collect_flow_traces=True).run()
+        monkeypatch.setenv("REPRO_NO_C_KERNEL", "1")
+        numpy_path = FluidSimulator(schedule, solver_threads=4,
+                                    collect_flow_traces=True).run()
+        assert_byte_identical(numpy_path, with_kernel)
+
+    def test_kill_switch_reaches_registry(self, monkeypatch):
+        from repro.simulation.simulator import _ComponentRegistry
+
+        monkeypatch.setenv("REPRO_NO_C_KERNEL", "1")
+        reg = _ComponentRegistry(np.array([1.0]), [(0,)], [np.inf],
+                                 solver_threads=4)
+        assert reg._batch_knl is None
+        assert reg._sweep_knl is None
+
+
+class TestSolverThreadsKnob:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SOLVER_THREADS", raising=False)
+        assert _resolve_solver_threads(None) == 1
+
+    def test_env_var_sets_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SOLVER_THREADS", "4")
+        assert _resolve_solver_threads(None) == 4
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SOLVER_THREADS", "4")
+        assert _resolve_solver_threads(2) == 2
+
+    def test_floor_is_one(self):
+        assert _resolve_solver_threads(0) == 1
+        assert _resolve_solver_threads(-3) == 1
+
+
+class TestPhaseAttribution:
+    """solve_s / event_s counters (satellite of PR 10)."""
+
+    def test_simulation_result_carries_phase_times(self):
+        scenario = Scenario(family="layered", n_tasks=8, width=0.5,
+                            density=0.8, regularity=0.8, sample=0)
+        schedule = _schedule_for_scenario(scenario, CHTI)
+        res = FluidSimulator(schedule).run()
+        assert res.solve_s > 0.0
+        assert res.event_s >= 0.0
+
+    def test_run_result_defaults_keep_old_stores_readable(self):
+        from dataclasses import asdict
+
+        from repro.experiments.runner import RunResult
+
+        res = RunResult(scenario_id="s", family="f", cluster="c",
+                        algorithm="a", makespan=1.0,
+                        estimated_makespan=1.0, work=1.0, n_tasks=1)
+        payload = asdict(res)
+        # a store written before the counters existed has no such keys
+        del payload["solve_s"], payload["event_s"]
+        old = RunResult(**payload)
+        assert old.solve_s == 0.0 and old.event_s == 0.0
+
+    def test_online_result_carries_phase_times(self):
+        from repro.experiments.runner import AlgorithmSpec
+        from repro.online.engine import OnlineSimulator
+        from repro.online.stream import PoissonStream
+        from repro.platforms.cluster import Cluster
+        from repro.platforms.multicluster import MultiClusterPlatform
+
+        clusters = tuple(Cluster(name=f"c{i}", num_procs=8,
+                                 speed_flops=1e9) for i in range(2))
+        platform = MultiClusterPlatform(clusters=clusters, name="mini")
+        scenarios = [Scenario(family="layered", n_tasks=6, width=0.5,
+                              density=0.5, regularity=0.8, sample=0)]
+        stream = PoissonStream(rate=2.0, n_jobs=4, scenarios=scenarios,
+                               spec=AlgorithmSpec(label="hcpa"), seed=0)
+        res = OnlineSimulator(platform).run(stream)
+        assert res.solve_s >= 0.0 and res.event_s >= 0.0
+        assert res.solve_s + res.event_s <= res.sim_s + 1e-6
